@@ -1,0 +1,52 @@
+// Ablation of the Y-chunk width (paper §III, Fig. 4 discussion): chunking
+// decouples on-chip memory from the domain size at the cost of re-streamed
+// halo columns and shorter external-memory bursts — "negligible performance
+// impact" except for very small chunks of 8 or below.
+#include "bench_common.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/kernel/chunking.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+  const grid::GridDims dims = grid::paper_grid(16);
+
+  util::Table t(
+      "Ablation: Y-chunk width vs single-kernel performance (16M cells)");
+  t.header({"Chunk width", "Alveo U280 HBM2 (GFLOPS)",
+            "Stratix 10 DDR (GFLOPS)", "Streamed overlap",
+            "On-chip buffer (KB per kernel)"});
+
+  for (std::size_t chunk : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    auto result = [&](const fpga::FpgaDeviceProfile& device) {
+      fpga::KernelOnlyInput input;
+      input.dims = dims;
+      input.config.chunk_y = chunk;
+      input.kernels = 1;
+      input.clock_hz = device.clock_hz(1);
+      input.memory = device.memories.front();
+      input.launch_overhead_s = device.launch_overhead_s;
+      return fpga::model_kernel_only(input);
+    };
+    const auto alveo = result(devices.alveo);
+    const auto stratix = result(devices.stratix);
+
+    const kernel::ChunkPlan plan(dims, chunk);
+    const double overlap =
+        static_cast<double>(plan.overlap_values_per_field()) /
+        static_cast<double>(plan.streamed_values_per_field());
+    // 3 fields x (3 slices of the padded face + 3x3 column windows).
+    const double buffer_kb =
+        3.0 * (3.0 * static_cast<double>(plan.max_padded_face()) +
+               9.0 * static_cast<double>(dims.nz + 2)) *
+        sizeof(double) / 1024.0;
+
+    t.row({std::to_string(chunk), util::format_double(alveo.gflops, 2),
+           util::format_double(stratix.gflops, 2),
+           util::format_double(overlap * 100.0, 1) + "%",
+           util::format_double(buffer_kb, 0)});
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,47 @@
+// Ablation of the HBM2 port-to-bank mapping (paper §III.A: "connecting our
+// kernel data ports across all the HBM2 banks", per Vitis best practice).
+// Shows why: per-kernel or single-bank placements turn one 13 GB/s pseudo-
+// channel into the bottleneck for the whole design.
+#include "bench_common.hpp"
+#include "pw/advect/flops.hpp"
+#include "pw/fpga/hbm_banks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const fpga::HbmBankSystem hbm;
+
+  // Six kernels, six 512-bit ports each; per-port demand at 300 MHz is one
+  // 8-byte value per cycle = 2.4 GB/s.
+  const std::size_t kernels = 6;
+  const std::size_t ports = 6;
+  const double port_demand = 8.0 * 300e6 / 1e9;
+
+  util::Table t(
+      "Ablation: HBM2 port-to-bank mapping, 6 kernels x 6 ports @ 300 MHz "
+      "(32 banks x " + util::format_double(hbm.per_bank_sustained_gbps, 0) +
+      " GB/s)");
+  t.header({"Mapping", "Busiest bank (ports)", "Busiest-bank demand",
+            "Port throughput", "Per-kernel effective GB/s",
+            "Kernel-only GFLOPS (6 kernels)"});
+
+  for (auto mapping : {fpga::BankMapping::kSpread,
+                       fpga::BankMapping::kPerKernel,
+                       fpga::BankMapping::kSingleBank}) {
+    const auto result =
+        fpga::evaluate_mapping(hbm, mapping, kernels, ports, port_demand);
+    // Translate the throughput fraction into the design's GFLOPS: at
+    // fraction f each kernel streams f cells per cycle.
+    const double gflops = static_cast<double>(kernels) *
+                          advect::flops_per_cycle(64) * 300e6 *
+                          result.port_throughput_fraction / 1e9;
+    t.row({fpga::to_string(mapping),
+           std::to_string(result.busiest_bank_ports),
+           util::format_double(result.busiest_bank_demand_gbps, 1) + " GB/s",
+           util::format_double(result.port_throughput_fraction * 100.0, 0) +
+               "%",
+           util::format_double(result.per_kernel_effective_gbps, 1),
+           util::format_double(gflops, 1)});
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,67 @@
+// §IV's scaling narrative as a sweep: kernel-only and overlapped-overall
+// performance versus the number of kernel instances on each device. Shows
+// the Alveo's flat 300 MHz linear scaling, the Stratix 10's clock collapse
+// (398 -> 250 MHz via the congestion model) and DDR system saturation, and
+// where the bitstream fitter says the sweep must stop (6 and 5).
+#include "bench_common.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/exp/experiments.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/fpga/synthesis_report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+  const grid::GridDims dims = grid::paper_grid(16);
+
+  kernel::KernelConfig config;
+  config.chunk_y = 64;
+  fpga::KernelEstimateOptions options;
+  options.nz = dims.nz;
+
+  util::Table t(
+      "Kernel scaling on 16M cells: kernel-only GFLOPS (and clock) per "
+      "instance count; rows beyond the fitter's capacity marked");
+  t.header({"Kernels", "Alveo GFLOPS", "Alveo clock", "Alveo fit?",
+            "Stratix GFLOPS", "Stratix clock", "Stratix fit?"});
+
+  auto evaluate = [&](const fpga::FpgaDeviceProfile& base,
+                      std::size_t kernels, double& gflops, double& clock_mhz,
+                      bool& fits) {
+    const auto usage =
+        fpga::estimate_kernel(config, options, base.vendor);
+    const std::size_t fit = fpga::max_kernels(base, usage);
+    fits = kernels <= fit;
+    const double utilisation =
+        base.resources.utilisation(usage * kernels);
+    const double fmax = fpga::estimate_fmax_hz(base, utilisation);
+    clock_mhz = fmax / 1e6;
+
+    fpga::KernelOnlyInput input;
+    input.dims = dims;
+    input.config = config;
+    input.kernels = kernels;
+    input.clock_hz = fmax;
+    input.memory = base.memories.front();
+    input.launch_overhead_s = base.launch_overhead_s;
+    gflops = fpga::model_kernel_only(input).gflops;
+  };
+
+  for (std::size_t kernels = 1; kernels <= 8; ++kernels) {
+    double alveo_gflops = 0.0, alveo_clock = 0.0;
+    double stratix_gflops = 0.0, stratix_clock = 0.0;
+    bool alveo_fits = false, stratix_fits = false;
+    evaluate(devices.alveo, kernels, alveo_gflops, alveo_clock, alveo_fits);
+    evaluate(devices.stratix, kernels, stratix_gflops, stratix_clock,
+             stratix_fits);
+    t.row({std::to_string(kernels), util::format_double(alveo_gflops, 1),
+           util::format_double(alveo_clock, 0) + " MHz",
+           alveo_fits ? "yes" : "NO",
+           util::format_double(stratix_gflops, 1),
+           util::format_double(stratix_clock, 0) + " MHz",
+           stratix_fits ? "yes" : "NO"});
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,37 @@
+// Ablation of the host-side X-chunk count for transfer/compute overlap
+// (paper §IV: "given a sensible chunk size then data will be present when
+// a specific kernel starts"). Too few chunks leave the first/last
+// transfers exposed; too many pay per-command DMA/dispatch overhead.
+#include "bench_common.hpp"
+#include "pw/advect/flops.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+  const auto cells = static_cast<std::size_t>(cli.get_int("cells", 16));
+  const grid::GridDims dims = grid::paper_grid(cells);
+
+  util::Table t("Ablation: X-chunk count for overlapped transfers (" +
+                util::format_cells(dims.cells()) + " cells)");
+  t.header({"Chunks", "Alveo U280 (GFLOPS)", "Alveo kernel busy",
+            "Stratix 10 (GFLOPS)", "V100 (GFLOPS)"});
+
+  for (std::size_t chunks : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 512u}) {
+    const auto alveo = exp::run_fpga_overall(devices.alveo,
+                                             devices.alveo_power, dims,
+                                             /*overlapped=*/true, chunks);
+    const auto stratix = exp::run_fpga_overall(devices.stratix,
+                                               devices.stratix_power, dims,
+                                               true, chunks);
+    const auto gpu = exp::run_gpu_overall(devices.v100, devices.v100_power,
+                                          dims, true, chunks);
+    t.row({std::to_string(chunks), util::format_double(alveo.gflops, 2),
+           util::format_double(alveo.compute_utilisation * 100.0, 0) + "%",
+           util::format_double(stratix.gflops, 2),
+           util::format_double(gpu.gflops, 2)});
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,88 @@
+// The paper's §V future-work study: reduced precision and fixed-point
+// arithmetic "could reduce the amount of resource required for our shift
+// buffers and advection calculations, as such enabling more kernels to be
+// fitted onto the chip". Reports per-representation numerical error
+// (measured by running the real datapath) next to projected resources,
+// kernel fit and peak throughput.
+#include "bench_common.hpp"
+#include "pw/advect/coefficients.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/precision/reduced.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+
+  // Numerical error measured on a real run (modest grid, random winds).
+  const grid::GridDims dims{24, 24, 32};
+  grid::WindState state(dims);
+  grid::init_random(state, 4242);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+
+  util::Table t(
+      "Future work (paper SV): reduced precision — measured error vs "
+      "projected resources and fit");
+  t.header({"Representation", "max rel err", "RMS err", "Alveo kernels",
+            "Alveo peak (GFLOPS)", "Stratix kernels",
+            "Stratix peak (GFLOPS)"});
+
+  kernel::KernelConfig config;
+  config.chunk_y = 64;
+
+  struct Variant {
+    const char* label;
+    std::optional<precision::Representation> representation;
+    unsigned value_bits;
+  };
+  const Variant variants[] = {
+      {"float64 (paper)", std::nullopt, 64},
+      {"float32", precision::Representation::kFloat32, 32},
+      {"fixed Q20.43", precision::Representation::kFixedQ43, 64},
+      {"fixed Q31.32", precision::Representation::kFixedQ32, 64},
+  };
+
+  for (const Variant& variant : variants) {
+    precision::ErrorStats error;
+    if (variant.representation) {
+      error = precision::evaluate(*variant.representation, state,
+                                  coefficients, config);
+    }
+
+    fpga::KernelEstimateOptions options;
+    options.nz = 64;
+    options.value_bits = variant.value_bits;
+    const auto xilinx_usage =
+        fpga::estimate_kernel(config, options, fpga::Vendor::kXilinx);
+    const auto intel_usage =
+        fpga::estimate_kernel(config, options, fpga::Vendor::kIntel);
+    const std::size_t alveo_fit =
+        fpga::max_kernels(devices.alveo, xilinx_usage);
+    const std::size_t stratix_fit =
+        fpga::max_kernels(devices.stratix, intel_usage);
+
+    auto peak = [&](const fpga::FpgaDeviceProfile& device, std::size_t fit) {
+      return fpga::theoretical_gflops(64, device.clock_hz(fit), fit);
+    };
+
+    auto err = [](double v) {
+      if (v == 0.0) {
+        return std::string("exact ref");
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.2e", v);
+      return std::string(buffer);
+    };
+
+    t.row({variant.label, err(error.max_rel), err(error.rms),
+           std::to_string(alveo_fit),
+           util::format_double(peak(devices.alveo, alveo_fit), 1),
+           std::to_string(stratix_fit),
+           util::format_double(peak(devices.stratix, stratix_fit), 1)});
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,50 @@
+// Ablation of the paper's central design trade (§II.A/§III): the general
+// 27-point 3D shift buffer (simple, portable, more on-chip RAM) versus the
+// previous work's bespoke minimal cache (less RAM, "very complicated"
+// code). Compares resource estimates and per-device kernel fit.
+#include "bench_common.hpp"
+#include "pw/baseline/delay_line.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+
+  util::Table t(
+      "Ablation: general 3D shift buffer vs bespoke minimal cache "
+      "(chunk_y=64, nz=64)");
+  t.header({"Variant", "Vendor", "Logic cells", "Block RAM (KB)", "DSP",
+            "Kernels that fit", "Buffer doubles/field"});
+
+  kernel::KernelConfig config;
+  config.chunk_y = 64;
+
+  const kernel::ShiftBuffer3D shift_probe(66, 66);
+  const baseline::DelayLineStencil delay_probe(66, 66);
+  const std::size_t shift_doubles = shift_probe.slab_doubles() +
+                                    shift_probe.window_doubles() +
+                                    kernel::ShiftBuffer3D::register_doubles();
+  const std::size_t delay_doubles = delay_probe.storage_doubles();
+
+  for (bool bespoke : {false, true}) {
+    fpga::KernelEstimateOptions options;
+    options.nz = 64;
+    options.bespoke_cache = bespoke;
+    for (auto vendor : {fpga::Vendor::kXilinx, fpga::Vendor::kIntel}) {
+      const auto usage = fpga::estimate_kernel(config, options, vendor);
+      const auto& device =
+          vendor == fpga::Vendor::kXilinx ? devices.alveo : devices.stratix;
+      t.row({bespoke ? "bespoke cache [6,7]" : "3D shift buffer",
+             vendor == fpga::Vendor::kXilinx ? "Xilinx" : "Intel",
+             std::to_string(usage.logic_cells),
+             util::format_double(usage.block_ram_bytes / 1024.0, 0),
+             std::to_string(usage.dsp),
+             std::to_string(fpga::max_kernels(device, usage)),
+             std::to_string(bespoke ? delay_doubles : shift_doubles)});
+    }
+  }
+  return bench::emit(t, cli);
+}

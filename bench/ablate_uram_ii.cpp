@@ -1,0 +1,62 @@
+// Ablation of the URAM experiment (paper §III.A): placing the shift buffer
+// in UltraRAM imposes a two-cycle access latency, forcing the loop's
+// initiation interval to 2 and halving throughput. Validated two ways: the
+// analytic model and the cycle-level simulator on a reduced grid.
+#include "bench_common.hpp"
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/cycle_stages.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+  const grid::GridDims dims = grid::paper_grid(16);
+
+  util::Table t("Ablation: BRAM (II=1) vs URAM (II=2) shift buffer, Alveo");
+  t.header({"Variant", "Modelled GFLOPS (16M)", "Cycle-sim cells/cycle",
+            "BRAM KB / kernel", "URAM KB / kernel"});
+
+  // Small grid for the cycle-level cross-check.
+  const grid::GridDims sim_dims{8, 8, 16};
+  grid::WindState state(sim_dims);
+  grid::init_random(state, 7);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(sim_dims, 100.0, 100.0, 25.0));
+
+  for (unsigned ii : {1u, 2u}) {
+    fpga::KernelOnlyInput input;
+    input.dims = dims;
+    input.config.chunk_y = 64;
+    input.kernels = 1;
+    input.clock_hz = devices.alveo.clock_hz(1);
+    input.memory = devices.alveo.memories.front();
+    input.shift_ii = ii;
+    input.launch_overhead_s = devices.alveo.launch_overhead_s;
+    const auto modelled = fpga::model_kernel_only(input);
+
+    advect::SourceTerms out(sim_dims);
+    kernel::CycleSimConfig sim;
+    sim.kernel.chunk_y = 0;
+    sim.shift_ii = ii;
+    const auto cycle = kernel::run_kernel_cycle_sim(state, coefficients, out,
+                                                    sim);
+
+    fpga::KernelEstimateOptions options;
+    options.nz = dims.nz;
+    options.shift_buffer_in_uram = ii == 2;
+    const auto usage = fpga::estimate_kernel(input.config, options,
+                                             fpga::Vendor::kXilinx);
+
+    t.row({ii == 1 ? "BRAM, II=1" : "URAM, II=2",
+           util::format_double(modelled.gflops, 2),
+           util::format_double(cycle.cells_per_cycle(), 3),
+           util::format_double(usage.block_ram_bytes / 1024.0, 0),
+           util::format_double(usage.large_ram_bytes / 1024.0, 0)});
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "pw/util/cli.hpp"
+#include "pw/util/table.hpp"
+
+namespace pw::bench {
+
+/// Prints a finished table and, when --csv=<path> was passed, writes it as
+/// CSV too. Returns 0 for use as main's exit status.
+inline int emit(const util::Table& table, const util::Cli& cli) {
+  table.print(std::cout);
+  if (auto path = cli.get("csv")) {
+    std::ofstream out(*path);
+    if (!out) {
+      std::cerr << "cannot open " << *path << " for writing\n";
+      return 1;
+    }
+    table.write_csv(out);
+    std::cout << "csv written to " << *path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace pw::bench

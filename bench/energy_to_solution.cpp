@@ -1,0 +1,31 @@
+// Derived artefact: energy-to-solution (J) per device and grid size for the
+// overlapped runs — the product of Fig. 7's power and Fig. 6's runtime,
+// the metric procurement actually cares about and the quantitative core of
+// the paper's conclusion that the Alveo is "overall most power efficient".
+#include "bench_common.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+
+  util::Table t(
+      "Energy to solution, joules per advection pass (overlapped runs; "
+      "lower is better)");
+  t.header({"Device", "16M", "67M", "268M", "536M"});
+
+  const auto runs = exp::overall_runs(devices, /*overlapped=*/true);
+  const auto sizes = exp::figure_grid_sizes();
+  for (std::size_t d = 0; d < 4; ++d) {
+    std::vector<std::string> cells{runs[d].device};
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      const auto& run = runs[s * 4 + d];
+      cells.push_back(run.available
+                          ? util::format_double(run.power_w * run.seconds, 1)
+                          : std::string("n/a"));
+    }
+    t.row(std::move(cells));
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,10 @@
+// Regenerates paper Fig. 5: overall performance including PCIe transfers,
+// without transfer/compute overlap, across grid sizes and devices.
+#include "bench_common.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  return bench::emit(exp::fig5(exp::paper_devices()), cli);
+}

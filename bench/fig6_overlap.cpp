@@ -1,0 +1,11 @@
+// Regenerates paper Fig. 6: overall performance including PCIe transfers,
+// with X-chunked transfers overlapped against compute via the event
+// scheduler (OpenCL events / CUDA streams analogue).
+#include "bench_common.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  return bench::emit(exp::fig6(exp::paper_devices()), cli);
+}

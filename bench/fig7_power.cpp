@@ -1,0 +1,9 @@
+// Regenerates paper Fig. 7: average power draw during the overlapped runs.
+#include "bench_common.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  return bench::emit(exp::fig7(exp::paper_devices()), cli);
+}

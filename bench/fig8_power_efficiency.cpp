@@ -1,0 +1,10 @@
+// Regenerates paper Fig. 8: power efficiency (GFLOPS/W) of the overlapped
+// runs.
+#include "bench_common.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  return bench::emit(exp::fig8(exp::paper_devices()), cli);
+}

@@ -1,0 +1,111 @@
+// The paper's closing prediction (§V): "the next generation FPGA
+// technologies to be released later in 2021 will likely further close the
+// gap between FPGAs and GPUs". Evaluates hypothetical next-generation
+// boards — defined purely as config-text profiles, the same mechanism
+// users have for their own hardware — through the identical model stack,
+// next to the paper's boards and the V100.
+#include "bench_common.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/exp/experiments.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/fpga/profile_io.hpp"
+
+namespace {
+
+// Plausible next-generation parts (publicly known directions at the time:
+// bigger HBM, PCIe gen4, higher Fmax). Calibration inherits the Alveo's
+// per-kernel sustained scaling with clock.
+constexpr const char* kU55cPlus = R"(
+name = Next-gen Xilinx (U55C-class)
+vendor = xilinx
+logic_cells = 1304000
+bram_kb = 4600
+uram_kb = 35000
+dsp = 9024
+clock_single_mhz = 320
+clock_multi_mhz = 320
+kernels = 7
+
+[pcie]
+peak_gbps = 31.5
+single_util = 0.2
+overlap_util = 0.75
+
+[memory0]
+name = HBM2e
+kind = hbm2
+per_kernel_gbps = 14
+system_gbps = 380
+capacity_gb = 16
+burst_knee = 56
+)";
+
+constexpr const char* kAgilex = R"(
+name = Next-gen Intel (Agilex-class)
+vendor = intel
+logic_cells = 1120000
+bram_kb = 33000
+dsp = 8736
+clock_single_mhz = 450
+clock_multi_mhz = 330
+kernels = 6
+
+[pcie]
+peak_gbps = 15.75
+single_util = 0.6
+overlap_util = 0.85
+
+[memory0]
+name = DDR5
+kind = ddr
+per_kernel_gbps = 20
+system_gbps = 90
+capacity_gb = 64
+burst_knee = 64
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+  const grid::GridDims dims = grid::paper_grid(67);
+
+  util::Table t(
+      "Future work (paper SV): projected next-generation boards vs the "
+      "paper's hardware, 67M cells, overlapped (V100 kernel-only = 367.2 "
+      "GFLOPS for context)");
+  t.header({"Board", "Kernels", "Clock (multi)", "Kernel-only GFLOPS",
+            "Overall GFLOPS (overlapped)", "% of V100 overall"});
+
+  const auto v100 = exp::run_gpu_overall(devices.v100, devices.v100_power,
+                                         dims, /*overlapped=*/true);
+
+  auto evaluate = [&](const fpga::FpgaDeviceProfile& board) {
+    fpga::KernelOnlyInput input;
+    input.dims = dims;
+    input.config.chunk_y = 64;
+    input.kernels = board.paper_kernel_count;
+    input.clock_hz = board.clock_hz(input.kernels);
+    input.memory = board.memory_for(fpga::device_footprint_bytes(dims));
+    const auto kernel_only = fpga::model_kernel_only(input);
+    const auto overall = exp::run_fpga_overall(board, devices.alveo_power,
+                                               dims, true);
+    t.row({board.name, std::to_string(board.paper_kernel_count),
+           util::format_double(board.clock_multi_hz / 1e6, 0) + " MHz",
+           util::format_double(kernel_only.gflops, 1),
+           util::format_double(overall.gflops, 2),
+           util::format_double(100.0 * overall.gflops / v100.gflops, 0) +
+               "%"});
+  };
+
+  evaluate(devices.alveo);
+  evaluate(devices.stratix);
+  evaluate(fpga::profile_from_config(util::Config::parse_string(kU55cPlus)));
+  evaluate(fpga::profile_from_config(util::Config::parse_string(kAgilex)));
+
+  t.row({devices.v100.name + " (overlapped)", "-", "-", "367.2",
+         util::format_double(v100.gflops, 2), "100%"});
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,68 @@
+// Extension beyond the paper (clearly marked as such): MONC runs MPI-
+// decomposed, so a production deployment would put one accelerator per
+// rank. Projects strong scaling of the overlapped Fig. 6 configuration
+// across ranks, charging each timestep the per-rank advection (from the
+// calibrated device model) plus the halo exchange over a 100 Gb/s fabric.
+#include "bench_common.hpp"
+#include <iostream>
+
+#include "pw/decomp/decomposition.hpp"
+#include "pw/exp/devices.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+  const grid::GridDims dims = grid::paper_grid(
+      static_cast<std::size_t>(cli.get_int("cells", 268)));
+  const double network_gbps = cli.get_double("network_gbps", 12.5);  // 100 Gb/s
+
+  util::Table t(
+      "Extension (not in the paper): strong scaling with one Alveo U280 "
+      "per rank, " + util::format_cells(dims.cells()) +
+      " cells, halo exchange over a 100 Gb/s fabric");
+  t.header({"Ranks", "Process grid", "Per-rank cells", "Advect (GFLOPS)",
+            "Halo traffic / step", "Exchange time", "Scaling efficiency"});
+
+  double single_rank_seconds = 0.0;
+  for (std::size_t ranks : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto decomposition = decomp::Decomposition::auto_grid(dims, ranks);
+    // Every rank advects its own patch on its own board, concurrently.
+    const auto& widest = decomposition.extent(0);
+    const grid::GridDims rank_dims{widest.nx(), widest.ny(), dims.nz};
+    const auto run = exp::run_fpga_overall(devices.alveo,
+                                           devices.alveo_power, rank_dims,
+                                           /*overlapped=*/true);
+
+    const std::size_t halo_bytes =
+        3 * decomposition.halo_exchange_bytes_per_field();
+    const double exchange_seconds =
+        static_cast<double>(halo_bytes) /
+        (network_gbps * 1e9 * static_cast<double>(ranks));
+    const double step_seconds = run.seconds + exchange_seconds;
+
+    if (ranks == 1) {
+      single_rank_seconds = step_seconds;
+    }
+    const double efficiency = single_rank_seconds /
+                              (step_seconds * static_cast<double>(ranks));
+    const double total_gflops =
+        static_cast<double>(ranks) * run.gflops;
+
+    t.row({std::to_string(ranks),
+           std::to_string(decomposition.px()) + "x" +
+               std::to_string(decomposition.py()),
+           util::format_cells(rank_dims.cells()),
+           util::format_double(total_gflops, 1),
+           util::format_bytes(static_cast<double>(halo_bytes)),
+           util::format_double(exchange_seconds * 1e3, 2) + " ms",
+           util::format_double(efficiency * 100.0, 0) + "%"});
+  }
+  const int status = bench::emit(t, cli);
+  std::cout << "note: super-linear efficiency at 268M+ cells is real in the "
+               "model — splitting the domain lets per-rank data drop back "
+               "into the 8GB HBM2, escaping the single-board DDR cliff of "
+               "Fig. 6.\n";
+  return status;
+}

@@ -1,0 +1,36 @@
+// The paper's closing projection (§V): Versal AI engines could
+// "considerably accelerate the arithmetic component of our advection
+// kernel, and keeping the engines fed with data will be the key". Sweeps
+// the number of fabric shift-buffer instances and shows which constraint
+// binds, against the V100's 367.2 GFLOPS for context.
+#include "bench_common.hpp"
+#include "pw/fpga/versal.hpp"
+#include "pw/gpu/v100.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const fpga::VersalProfile profile;
+  const auto v100 = gpu::tesla_v100();
+
+  util::Table t(
+      "Future work (paper SV): Versal ACAP projection — AI engines (" +
+      std::to_string(profile.ai_engines) + " x 8 SP FLOPs @ 1 GHz = " +
+      util::format_double(profile.ai_engines * 8.0, 0) +
+      " GFLOPS peak) fed by fabric shift buffers; V100 = " +
+      util::format_double(v100.kernel_gflops, 1) + " GFLOPS");
+  t.header({"Shift-buffer instances", "Precision", "Projected GFLOPS",
+            "% of V100", "Binding constraint"});
+
+  for (bool fp32 : {false, true}) {
+    for (std::size_t instances : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const auto p = fpga::project_versal(profile, instances, fp32);
+      t.row({std::to_string(instances), fp32 ? "fp32" : "fp64 (emulated)",
+             util::format_double(p.projected_gflops, 1),
+             util::format_double(100.0 * p.projected_gflops /
+                                     v100.kernel_gflops, 0) + "%",
+             p.binding_constraint});
+    }
+  }
+  return bench::emit(t, cli);
+}

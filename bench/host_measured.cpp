@@ -1,0 +1,66 @@
+// Real measurements on THIS machine (no models): the threaded CPU baseline
+// across thread counts and the software-executed dataflow datapath, for a
+// range of grid sizes. The equivalent of the paper's CPU rows, measured
+// rather than profiled.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/cpu_baseline.hpp"
+#include "pw/advect/flops.hpp"
+#include "pw/kernel/fused.hpp"
+#include "pw/util/thread_pool.hpp"
+#include "pw/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+
+  util::Table t("Measured on this host: PW advection GFLOPS (best of " +
+                std::to_string(repeats) + ")");
+  t.header({"Grid", "Cells", "serial reference", "CPU baseline (all threads)",
+            "dataflow datapath (fused)"});
+
+  util::ThreadPool pool;
+  for (const grid::GridDims dims :
+       {grid::GridDims{64, 64, 64}, grid::GridDims{128, 128, 64},
+        grid::GridDims{256, 128, 64}}) {
+    auto state = std::make_unique<grid::WindState>(dims);
+    grid::init_random(*state, 1);
+    const auto coefficients = advect::PwCoefficients::from_geometry(
+        grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+    auto out = std::make_unique<advect::SourceTerms>(dims);
+    const double flops = static_cast<double>(advect::total_flops(dims));
+
+    auto best_of = [&](auto&& body) {
+      double best = 0.0;
+      for (int r = 0; r < repeats; ++r) {
+        util::WallTimer timer;
+        body();
+        best = std::max(best, flops / timer.seconds() / 1e9);
+      }
+      return best;
+    };
+
+    const double serial = best_of([&] {
+      advect::advect_reference(*state, coefficients, *out);
+    });
+    advect::CpuAdvectorBaseline baseline(pool);
+    const double threaded = best_of([&] {
+      baseline.run(*state, coefficients, *out);
+    });
+    const double fused = best_of([&] {
+      kernel::run_kernel_fused(*state, coefficients, *out,
+                               kernel::KernelConfig{64});
+    });
+
+    t.row({std::to_string(dims.nx) + "x" + std::to_string(dims.ny) + "x" +
+               std::to_string(dims.nz),
+           util::format_cells(dims.cells()), util::format_double(serial, 2),
+           util::format_double(threaded, 2) + " (" +
+               std::to_string(pool.size()) + "t)",
+           util::format_double(fused, 2)});
+  }
+  return bench::emit(t, cli);
+}

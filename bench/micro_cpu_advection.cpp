@@ -1,0 +1,59 @@
+// Measured-on-host CPU baseline scaling: the real threaded PW advection on
+// this machine, across thread counts and grid sizes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/cpu_baseline.hpp"
+#include "pw/advect/flops.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/util/thread_pool.hpp"
+
+namespace {
+
+struct Fixture {
+  explicit Fixture(pw::grid::GridDims dims) : state(dims), out(dims) {
+    pw::grid::init_random(state, 11);
+    coefficients = pw::advect::PwCoefficients::from_geometry(
+        pw::grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  }
+  pw::grid::WindState state;
+  pw::advect::PwCoefficients coefficients;
+  pw::advect::SourceTerms out;
+};
+
+void BM_ReferenceSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f({n, n, 64});
+  for (auto _ : state) {
+    pw::advect::advect_reference(f.state, f.coefficients, f.out);
+    benchmark::DoNotOptimize(f.out.su.raw().data());
+  }
+  const auto flops = pw::advect::total_flops(f.state.u.dims());
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(flops) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceSerial)->Arg(32)->Arg(64);
+
+void BM_CpuBaselineThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Fixture f({128, 128, 64});
+  pw::util::ThreadPool pool(threads);
+  pw::advect::CpuAdvectorBaseline baseline(pool);
+  for (auto _ : state) {
+    baseline.run(f.state, f.coefficients, f.out);
+    benchmark::DoNotOptimize(f.out.su.raw().data());
+  }
+  const auto flops = pw::advect::total_flops(f.state.u.dims());
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(flops) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuBaselineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Measured-on-host cost of the fixed-point arithmetic (paper §V future
+// work) compared to native floating point, plus the reduced-precision
+// datapath throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/hls/fixed_point.hpp"
+#include "pw/precision/reduced.hpp"
+#include "pw/util/rng.hpp"
+
+namespace {
+
+template <typename T>
+T convert(double v) {
+  if constexpr (std::is_same_v<T, double> || std::is_same_v<T, float>) {
+    return static_cast<T>(v);
+  } else {
+    return T::from_double(v);
+  }
+}
+
+template <typename T>
+void BM_MulAddChain(benchmark::State& state) {
+  pw::util::Rng rng(9);
+  std::vector<T> values(1024);
+  for (auto& v : values) {
+    v = convert<T>(rng.uniform(-3.0, 3.0));
+  }
+  for (auto _ : state) {
+    T acc = convert<T>(0.0);
+    for (std::size_t n = 0; n + 1 < values.size(); ++n) {
+      acc += values[n] * values[n + 1];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_MulAddChain<double>);
+BENCHMARK(BM_MulAddChain<float>);
+BENCHMARK(BM_MulAddChain<pw::hls::FixedQ43>);
+BENCHMARK(BM_MulAddChain<pw::hls::FixedQ32>);
+
+void BM_ReducedPrecisionKernel(benchmark::State& state) {
+  const auto representation =
+      static_cast<pw::precision::Representation>(state.range(0));
+  const pw::grid::GridDims dims{16, 16, 32};
+  pw::grid::WindState wind(dims);
+  pw::grid::init_random(wind, 21);
+  const auto coefficients = pw::advect::PwCoefficients::from_geometry(
+      pw::grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  for (auto _ : state) {
+    const auto stats =
+        pw::precision::evaluate(representation, wind, coefficients);
+    benchmark::DoNotOptimize(stats.max_abs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dims.cells()));
+}
+BENCHMARK(BM_ReducedPrecisionKernel)
+    ->Arg(static_cast<int>(pw::precision::Representation::kFloat32))
+    ->Arg(static_cast<int>(pw::precision::Representation::kFixedQ43));
+
+}  // namespace

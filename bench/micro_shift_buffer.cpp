@@ -1,0 +1,91 @@
+// Measured-on-host throughput of the stencil providers: the paper's 3D
+// shift buffer versus the previous-generation delay line, and the full
+// fused kernel datapath.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/baseline/delay_line.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/fused.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+#include "pw/kernel/vectorized.hpp"
+#include "pw/util/rng.hpp"
+
+namespace {
+
+void BM_ShiftBuffer3D(benchmark::State& state) {
+  const auto face = static_cast<std::size_t>(state.range(0));
+  pw::kernel::ShiftBuffer3D buffer(face, 66);
+  pw::util::Rng rng(1);
+  std::vector<double> inputs(face * 66 * 4);
+  for (auto& v : inputs) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::size_t n = 0;
+  for (auto _ : state) {
+    auto out = buffer.push(inputs[n]);
+    benchmark::DoNotOptimize(out);
+    n = (n + 1) % inputs.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShiftBuffer3D)->Arg(10)->Arg(18)->Arg(34)->Arg(66);
+
+void BM_DelayLineStencil(benchmark::State& state) {
+  const auto face = static_cast<std::size_t>(state.range(0));
+  pw::baseline::DelayLineStencil buffer(face, 66);
+  pw::util::Rng rng(2);
+  std::vector<double> inputs(face * 66 * 4);
+  for (auto& v : inputs) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::size_t n = 0;
+  for (auto _ : state) {
+    auto out = buffer.push(inputs[n]);
+    benchmark::DoNotOptimize(out);
+    n = (n + 1) % inputs.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DelayLineStencil)->Arg(10)->Arg(18)->Arg(34)->Arg(66);
+
+void BM_FusedKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const pw::grid::GridDims dims{n, n, 64};
+  pw::grid::WindState wind(dims);
+  pw::grid::init_random(wind, 3);
+  const auto coefficients = pw::advect::PwCoefficients::from_geometry(
+      pw::grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  pw::advect::SourceTerms out(dims);
+  for (auto _ : state) {
+    pw::kernel::run_kernel_fused(wind, coefficients, out,
+                                 pw::kernel::KernelConfig{64});
+    benchmark::DoNotOptimize(out.su.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * dims.cells());
+}
+BENCHMARK(BM_FusedKernel)->Arg(16)->Arg(32)->Arg(64);
+
+
+void BM_VectorizedKernelF32(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const pw::grid::GridDims dims{32, 32, 64};
+  pw::grid::WindState wind(dims);
+  pw::grid::init_random(wind, 4);
+  const auto coefficients = pw::advect::PwCoefficients::from_geometry(
+      pw::grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  pw::advect::SourceTerms out(dims);
+  for (auto _ : state) {
+    pw::kernel::run_kernel_vectorized_f32(wind, coefficients, out,
+                                          pw::kernel::KernelConfig{64},
+                                          lanes);
+    benchmark::DoNotOptimize(out.su.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * dims.cells());
+}
+BENCHMARK(BM_VectorizedKernelF32)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Measured-on-host throughput of the dataflow plumbing: blocking streams
+// (vendor-frontend transport) and the cycle engine's simulation rate.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "pw/dataflow/engine.hpp"
+#include "pw/dataflow/sim_stream.hpp"
+#include "pw/dataflow/stream.hpp"
+
+namespace {
+
+void BM_StreamPushPop(benchmark::State& state) {
+  pw::dataflow::Stream<double> stream(
+      static_cast<std::size_t>(state.range(0)));
+  double x = 1.0;
+  for (auto _ : state) {
+    stream.push(x);
+    auto v = stream.try_pop();
+    benchmark::DoNotOptimize(v);
+    x += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamPushPop)->Arg(4)->Arg(64);
+
+void BM_StreamThreaded(benchmark::State& state) {
+  // Producer/consumer across real threads, the frontends' execution model.
+  for (auto _ : state) {
+    pw::dataflow::Stream<double> stream(64);
+    constexpr int kCount = 100000;
+    std::thread producer([&stream] {
+      for (int i = 0; i < kCount; ++i) {
+        stream.push(static_cast<double>(i));
+      }
+      stream.close();
+    });
+    double sum = 0.0;
+    while (auto v = stream.pop()) {
+      sum += *v;
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(kCount);
+  }
+}
+BENCHMARK(BM_StreamThreaded);
+
+void BM_SimStream(benchmark::State& state) {
+  pw::dataflow::SimStream<double> stream(4);
+  double x = 0.0;
+  for (auto _ : state) {
+    stream.push(x);
+    auto v = stream.pop();
+    benchmark::DoNotOptimize(v);
+    x += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimStream);
+
+}  // namespace

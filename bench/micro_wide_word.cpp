@@ -1,0 +1,47 @@
+// Measured-on-host cost of the 512-bit packing the Xilinx frontend applies
+// to external accesses (Vitis best practice).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "pw/hls/wide_word.hpp"
+#include "pw/util/rng.hpp"
+
+namespace {
+
+void BM_PackWords(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<double> values(count);
+  pw::util::Rng rng(5);
+  for (auto& v : values) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<pw::hls::Word512> words(pw::hls::words_for<8>(count));
+  for (auto _ : state) {
+    auto n = pw::hls::pack_words<8>(values, words);
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count) * 8);
+}
+BENCHMARK(BM_PackWords)->Arg(4096)->Arg(65536);
+
+void BM_UnpackWords(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<double> values(count, 1.5);
+  std::vector<pw::hls::Word512> words(pw::hls::words_for<8>(count));
+  pw::hls::pack_words<8>(values, words);
+  std::vector<double> out(count);
+  for (auto _ : state) {
+    auto n = pw::hls::unpack_words<8>(
+        std::span<const pw::hls::Word512>(words), out);
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count) * 8);
+}
+BENCHMARK(BM_UnpackWords)->Arg(4096)->Arg(65536);
+
+}  // namespace

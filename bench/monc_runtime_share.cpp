@@ -1,0 +1,44 @@
+// The paper's motivating measurement (§I): advection is the single longest
+// running piece of MONC, ~40% of the model runtime. Runs the miniature
+// MONC configuration and reports each component's measured share.
+#include "bench_common.hpp"
+#include "pw/monc/components.hpp"
+#include "pw/monc/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 48));
+  const auto nz = static_cast<std::size_t>(cli.get_int("nz", 48));
+  const int steps = static_cast<int>(cli.get_int("steps", 10));
+
+  monc::Model model(grid::Geometry::uniform({n, n, nz}, 100.0, 100.0, 50.0),
+                    2026);
+  model.add_component(monc::make_pw_advection(
+      model.coefficients(), monc::AdvectionBackend::kReference));
+  model.add_component(monc::make_scalar_advection(model.coefficients()));
+  model.add_component(monc::make_buoyancy());
+  model.add_component(monc::make_coriolis());
+  model.add_component(monc::make_diffusion(5.0, model.geometry()));
+  model.add_component(monc::make_damping(nz / 6, 100.0));
+
+  for (int step = 0; step < steps; ++step) {
+    model.step(0.1);
+  }
+
+  double total = 0.0;
+  for (const auto& p : model.profile()) {
+    total += p.seconds;
+  }
+
+  util::Table t("Mini-MONC component runtime share (" + std::to_string(n) +
+                "x" + std::to_string(n) + "x" + std::to_string(nz) + ", " +
+                std::to_string(steps) + " steps) — paper §I: advection ~40%");
+  t.header({"Component", "Seconds", "Share"});
+  for (const auto& p : model.profile()) {
+    t.row({p.name, util::format_double(p.seconds, 4),
+           util::format_double(100.0 * p.seconds / total, 1) + "%"});
+  }
+  t.row({"TOTAL (components)", util::format_double(total, 4), "100.0%"});
+  return bench::emit(t, cli);
+}

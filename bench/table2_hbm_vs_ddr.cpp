@@ -1,0 +1,10 @@
+// Regenerates paper Table II: single-kernel Alveo U280 performance using
+// the on-chip HBM2 versus the on-board DDR-DRAM, across grid sizes.
+#include "bench_common.hpp"
+#include "pw/exp/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  return bench::emit(exp::table2(exp::paper_devices()), cli);
+}

@@ -1,0 +1,27 @@
+// The paper's design-methodology metric (§III): theoretical best GFLOPS of
+// the dataflow machine as a function of clock frequency and column height —
+// 18.86 GFLOPS at the Alveo's 300 MHz / 64 levels, 25.02 GFLOPS at the
+// Stratix 10's single-kernel 398 MHz.
+#include "bench_common.hpp"
+#include "pw/fpga/perf_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+
+  util::Table t(
+      "Theoretical peak GFLOPS of the dataflow design "
+      "(one cell per cycle; 63 FLOPs, 55 at column top)");
+  t.header({"Clock (MHz)", "nz=32", "nz=64", "nz=128", "6 kernels @ nz=64",
+            "5 kernels @ nz=64"});
+  for (double mhz : {200.0, 250.0, 300.0, 398.0, 450.0}) {
+    const double hz = mhz * 1e6;
+    t.row({util::format_double(mhz, 0),
+           util::format_double(fpga::theoretical_gflops(32, hz), 2),
+           util::format_double(fpga::theoretical_gflops(64, hz), 2),
+           util::format_double(fpga::theoretical_gflops(128, hz), 2),
+           util::format_double(fpga::theoretical_gflops(64, hz, 6), 2),
+           util::format_double(fpga::theoretical_gflops(64, hz, 5), 2)});
+  }
+  return bench::emit(t, cli);
+}

@@ -1,0 +1,97 @@
+// bitstream_report: an HLS-synthesis-report-style summary of the advection
+// kernel — resources per variant, kernel fit per device, theoretical
+// throughput, and streaming/II facts the vendor tools would report.
+//
+//   ./bitstream_report [--chunk=64 --nz=64]
+#include <iostream>
+
+#include "pw/exp/devices.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/fpga/synthesis_report.hpp"
+#include "pw/kernel/chunking.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+#include "pw/util/cli.hpp"
+#include "pw/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto chunk = static_cast<std::size_t>(cli.get_int("chunk", 64));
+  const auto nz = static_cast<std::size_t>(cli.get_int("nz", 64));
+  const auto devices = exp::paper_devices();
+
+  kernel::KernelConfig config;
+  config.chunk_y = chunk;
+
+  std::cout << "PW advection kernel synthesis-style report (chunk_y="
+            << chunk << ", nz=" << nz << ")\n\n";
+
+  const kernel::ShiftBuffer3D probe(chunk + 2, nz + 2);
+  std::cout << "shift buffer per field: slab " << probe.slab_doubles()
+            << " doubles, windows " << probe.window_doubles()
+            << " doubles, registers "
+            << kernel::ShiftBuffer3D::register_doubles() << " doubles\n";
+  std::cout << "pipeline: II=1; one 27-point stencil per cycle per field; "
+               "63 FLOPs/cycle (55 at column tops)\n\n";
+
+  util::Table t("Per-kernel resources and device fit");
+  t.header({"Variant", "Device", "Logic", "BRAM KB", "URAM KB", "DSP",
+            "Fit", "Peak GFLOPS (fit x clock)"});
+  struct Row {
+    const char* label;
+    fpga::KernelEstimateOptions options;
+  };
+  fpga::KernelEstimateOptions base;
+  base.nz = nz;
+  fpga::KernelEstimateOptions uram = base;
+  uram.shift_buffer_in_uram = true;
+  fpga::KernelEstimateOptions bespoke = base;
+  bespoke.bespoke_cache = true;
+
+  for (const Row& row : {Row{"shift buffer (BRAM)", base},
+                         Row{"shift buffer (URAM, II=2)", uram},
+                         Row{"bespoke cache", bespoke}}) {
+    for (const auto* device : {&devices.alveo, &devices.stratix}) {
+      const auto usage =
+          fpga::estimate_kernel(config, row.options, device->vendor);
+      const std::size_t fit = fpga::max_kernels(*device, usage);
+      const unsigned ii = row.options.shift_buffer_in_uram ? 2u : 1u;
+      const double peak = fpga::theoretical_gflops(
+          nz, device->clock_hz(fit == 0 ? 1 : fit), fit, ii);
+      t.row({row.label, device->name, std::to_string(usage.logic_cells),
+             util::format_double(usage.block_ram_bytes / 1024.0, 0),
+             util::format_double(usage.large_ram_bytes / 1024.0, 0),
+             std::to_string(usage.dsp), std::to_string(fit),
+             util::format_double(peak, 1)});
+    }
+  }
+  t.print(std::cout);
+
+  // Per-stage synthesis-style breakdown on both devices (the analysis-pane
+  // view the paper credits the Xilinx tooling with).
+  std::cout << '\n';
+  fpga::KernelEstimateOptions report_options;
+  report_options.nz = nz;
+  fpga::synthesize_kernel(config, report_options, devices.alveo)
+      .to_table()
+      .print(std::cout);
+  std::cout << '\n';
+  fpga::synthesize_kernel(config, report_options, devices.stratix)
+      .to_table()
+      .print(std::cout);
+
+  const kernel::ChunkPlan plan({512, 512, nz}, chunk);
+  std::cout << "\nstreaming (16M-cell grid): "
+            << plan.streamed_values_per_field() << " values/field/pass, "
+            << util::format_double(
+                   100.0 *
+                       static_cast<double>(plan.overlap_values_per_field()) /
+                       static_cast<double>(plan.streamed_values_per_field()),
+                   1)
+            << "% chunk-overlap re-reads, contiguous bursts of "
+            << util::format_bytes(
+                   static_cast<double>(plan.contiguous_run_doubles() * 8))
+            << "\n";
+  return 0;
+}

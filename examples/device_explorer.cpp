@@ -1,0 +1,114 @@
+// device_explorer: what-if analysis for porting the advection kernel to a
+// given board — the workflow of paper §III/§IV as an interactive tool.
+// Predicts kernel-only and overall (PCIe-inclusive) performance, power and
+// efficiency for a chosen device, grid, kernel count and chunking.
+//
+//   ./device_explorer --device=alveo|stratix|ku115 --cells=16
+//       [--kernels=6 --chunk=64 --overlap=true --clock_mhz=0]
+//   ./device_explorer --profile=board.ini --cells=67     # custom board
+#include <iostream>
+
+#include "pw/exp/experiments.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/fpga/profile_io.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/util/cli.hpp"
+#include "pw/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+  const auto devices = exp::paper_devices();
+
+  const std::string device_name = cli.get_string("device", "alveo");
+  fpga::FpgaDeviceProfile device;
+  power::PowerProfile power_profile;
+  if (auto profile_path = cli.get("profile")) {
+    device = fpga::load_profile(*profile_path);
+    power_profile = devices.alveo_power;  // no counters for custom boards
+  } else if (device_name == "alveo") {
+    device = devices.alveo;
+    power_profile = devices.alveo_power;
+  } else if (device_name == "stratix") {
+    device = devices.stratix;
+    power_profile = devices.stratix_power;
+  } else if (device_name == "ku115") {
+    device = fpga::kintex_ku115();
+    power_profile = devices.alveo_power;  // no published counter; reuse
+  } else {
+    std::cerr << "unknown --device (use alveo, stratix or ku115)\n";
+    return 1;
+  }
+
+  const auto cells = static_cast<std::size_t>(cli.get_int("cells", 16));
+  const grid::GridDims dims = grid::paper_grid(cells);
+  const auto chunk = static_cast<std::size_t>(cli.get_int("chunk", 64));
+  const bool overlap = cli.get_bool("overlap", true);
+
+  auto kernels = static_cast<std::size_t>(
+      cli.get_int("kernels", static_cast<long long>(device.paper_kernel_count)));
+  device.paper_kernel_count = kernels;
+  if (const double mhz = cli.get_double("clock_mhz", 0.0); mhz > 0.0) {
+    device.clock_single_hz = mhz * 1e6;
+    device.clock_multi_hz = mhz * 1e6;
+  }
+
+  // Resource feasibility first: does this many kernels even fit?
+  kernel::KernelConfig config;
+  config.chunk_y = chunk;
+  fpga::KernelEstimateOptions options;
+  options.nz = dims.nz;
+  const auto usage = fpga::estimate_kernel(config, options, device.vendor);
+  const std::size_t fit = fpga::max_kernels(device, usage);
+
+  std::cout << "=== " << device.name << ", " << util::format_cells(dims.cells())
+            << " cells, " << kernels << " kernel(s), chunk_y=" << chunk
+            << ", " << (overlap ? "overlapped" : "sequential")
+            << " transfers ===\n\n";
+  std::cout << "resource fit: " << fit << " kernels fit ("
+            << util::format_double(
+                   device.resources.utilisation(usage) * 100.0, 1)
+            << "% of the device per kernel)";
+  if (kernels > fit) {
+    std::cout << "  ** WARNING: requested " << kernels
+              << " kernels exceed the device **";
+  }
+  std::cout << "\n";
+
+  const std::size_t footprint = fpga::device_footprint_bytes(dims);
+  const auto& memory = device.memory_for(footprint);
+  std::cout << "working memory: " << memory.name << " ("
+            << util::format_bytes(static_cast<double>(footprint))
+            << " resident)\n";
+
+  fpga::KernelOnlyInput input;
+  input.dims = dims;
+  input.config = config;
+  input.kernels = kernels;
+  input.clock_hz = device.clock_hz(kernels);
+  input.memory = memory;
+  const auto kernel_only = fpga::model_kernel_only(input);
+  std::cout << "kernel-only: "
+            << util::format_double(kernel_only.gflops, 2) << " GFLOPS ("
+            << util::format_double(kernel_only.efficiency * 100.0, 0)
+            << "% of the " << util::format_double(
+                   kernel_only.theoretical_gflops, 2)
+            << " GFLOPS theoretical peak; "
+            << (kernel_only.memory_bound ? "memory-bound" : "clock-bound")
+            << ")\n";
+
+  const auto overall =
+      exp::run_fpga_overall(device, power_profile, dims, overlap);
+  std::cout << "overall (incl. PCIe): "
+            << util::format_double(overall.gflops, 2) << " GFLOPS in "
+            << util::format_double(overall.seconds * 1e3, 1) << " ms; "
+            << "kernel engine busy "
+            << util::format_double(overall.compute_utilisation * 100.0, 0)
+            << "%, DMA busy "
+            << util::format_double(overall.transfer_utilisation * 100.0, 0)
+            << "%\n";
+  std::cout << "power: " << util::format_double(overall.power_w, 1) << " W  ->  "
+            << util::format_double(overall.gflops_per_watt, 3)
+            << " GFLOPS/W\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every bench binary, and
+# leaves the transcript in test_output.txt / bench_output.txt at the repo
+# root — the one-command reproduction of the paper's evaluation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [[ -x "$b" && -f "$b" ]]; then
+    echo "==== $(basename "$b") ====" | tee -a bench_output.txt
+    case "$(basename "$b")" in
+      micro_*) "$b" --benchmark_min_time=0.05 ;;
+      *) "$b" ;;
+    esac 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "pw/grid/geometry.hpp"
+
+namespace pw::advect {
+
+/// Precomputed coefficients of the Piacsek–Williams advection scheme
+/// (Piacsek & Williams 1970; as used by MONC).
+///
+/// tcx/tcy are the horizontal quarter-reciprocal spacings; the z-direction
+/// coefficients fold in the anelastic reference density profile and the
+/// (possibly stretched) level spacing:
+///   tzc1[k], tzc2[k] — used by the U and V source terms,
+///   tzd1[k], tzd2[k] — used by the W source term.
+/// With unit density and uniform dz they all reduce to 0.25/dz.
+struct PwCoefficients {
+  double tcx = 0.0;
+  double tcy = 0.0;
+  std::vector<double> tzc1;
+  std::vector<double> tzc2;
+  std::vector<double> tzd1;
+  std::vector<double> tzd2;
+
+  static PwCoefficients from_geometry(const grid::Geometry& geometry);
+};
+
+}  // namespace pw::advect

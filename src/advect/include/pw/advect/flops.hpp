@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pw/grid/geometry.hpp"
+
+namespace pw::advect {
+
+/// Double-precision operations per grid cell (paper §III): 63 usually — 21
+/// per field — dropping to 55 at the column top where U and V lose their
+/// tzc2 term (4 FLOPs each).
+inline constexpr std::uint64_t kFlopsPerCell = 63;
+inline constexpr std::uint64_t kFlopsPerCellTop = 55;
+
+/// FLOPs performed for one cell at level k of an nz-level column.
+constexpr std::uint64_t flops_per_cell(std::size_t k, std::size_t nz) {
+  return k + 1 == nz ? kFlopsPerCellTop : kFlopsPerCell;
+}
+
+/// Total FLOPs for one full advection of a grid.
+std::uint64_t total_flops(const grid::GridDims& dims);
+
+/// Average FLOPs issued per streamed cell, i.e. per pipeline cycle at
+/// initiation interval 1: (63*(nz-1) + 55) / nz.
+double flops_per_cycle(std::size_t nz);
+
+}  // namespace pw::advect

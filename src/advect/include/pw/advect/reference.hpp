@@ -1,0 +1,31 @@
+#pragma once
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/grid/field3d.hpp"
+#include "pw/grid/init.hpp"
+
+namespace pw::advect {
+
+/// The computed source terms (tendencies) for the three wind fields.
+struct SourceTerms {
+  grid::FieldD su;
+  grid::FieldD sv;
+  grid::FieldD sw;
+
+  explicit SourceTerms(grid::GridDims dims, std::size_t halo = 1)
+      : su(dims, halo), sv(dims, halo), sw(dims, halo) {}
+};
+
+/// Straightforward serial translation of the MONC Fortran PW advection
+/// (paper Listing 1, extended to all three fields). This is the functional
+/// oracle every other implementation is tested against.
+void advect_reference(const grid::WindState& state, const PwCoefficients& c,
+                      SourceTerms& out);
+
+/// As advect_reference but gathering each cell's full 27-point stencils
+/// first (the access pattern the shift buffer produces). Exists to prove
+/// the stencil formulation is bit-identical to direct field indexing.
+void advect_reference_stencil(const grid::WindState& state,
+                              const PwCoefficients& c, SourceTerms& out);
+
+}  // namespace pw::advect

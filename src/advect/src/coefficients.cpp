@@ -1,0 +1,41 @@
+#include "pw/advect/coefficients.hpp"
+
+#include <stdexcept>
+
+namespace pw::advect {
+
+PwCoefficients PwCoefficients::from_geometry(const grid::Geometry& geometry) {
+  const auto& vertical = geometry.vertical;
+  const std::size_t nz = geometry.dims.nz;
+  if (vertical.nz() != nz) {
+    throw std::invalid_argument(
+        "PwCoefficients: vertical grid does not match dims.nz");
+  }
+  if (geometry.dx <= 0.0 || geometry.dy <= 0.0) {
+    throw std::invalid_argument("PwCoefficients: non-positive spacing");
+  }
+
+  PwCoefficients c;
+  c.tcx = 0.25 / geometry.dx;
+  c.tcy = 0.25 / geometry.dy;
+  c.tzc1.resize(nz);
+  c.tzc2.resize(nz);
+  c.tzd1.resize(nz);
+  c.tzd2.resize(nz);
+  for (std::size_t k = 0; k < nz; ++k) {
+    const double rdz = 0.25 / vertical.dz(k);
+    // Density weighting follows MONC's anelastic formulation: the U/V terms
+    // are weighted by rho at the w-levels bounding cell k, normalised by the
+    // p-level density; the W term is the converse. rho below the surface is
+    // taken equal to rho(0).
+    const double rho_below = k == 0 ? vertical.rho(0) : vertical.rho(k - 1);
+    c.tzc1[k] = rdz * rho_below / vertical.rhon(k);
+    c.tzc2[k] = rdz * vertical.rho(k) / vertical.rhon(k);
+    c.tzd1[k] = rdz * vertical.rhon(k) / vertical.rho(k);
+    c.tzd2[k] = rdz * (k + 1 < nz ? vertical.rhon(k + 1) : vertical.rhon(k)) /
+                vertical.rho(k);
+  }
+  return c;
+}
+
+}  // namespace pw::advect

@@ -1,0 +1,19 @@
+#include "pw/advect/flops.hpp"
+
+namespace pw::advect {
+
+std::uint64_t total_flops(const grid::GridDims& dims) {
+  const std::uint64_t columns =
+      static_cast<std::uint64_t>(dims.nx) * dims.ny;
+  const std::uint64_t per_column =
+      kFlopsPerCell * (dims.nz - 1) + kFlopsPerCellTop;
+  return columns * per_column;
+}
+
+double flops_per_cycle(std::size_t nz) {
+  return (static_cast<double>(kFlopsPerCell) * (static_cast<double>(nz) - 1.0) +
+          static_cast<double>(kFlopsPerCellTop)) /
+         static_cast<double>(nz);
+}
+
+}  // namespace pw::advect

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "pw/advect/scheme.hpp"
+
+namespace pw::baseline {
+
+/// The previous-generation stencil provider in the spirit of refs [6,7]: a
+/// single minimal circular delay line per field with fixed taps, rather
+/// than the paper's three-structure shift buffer.
+///
+/// Storage is two padded faces + two columns + 3 values (the minimum any
+/// depth-1 3D stencil needs), about two thirds of the shift buffer's three
+/// full faces — the resource saving the old bespoke design bought at the
+/// cost of "very complicated" code (paper §II.A). Functionally it emits
+/// exactly the same stencils; the equivalence test proves it.
+class DelayLineStencil {
+public:
+  DelayLineStencil(std::size_t ny_padded, std::size_t nz_padded);
+
+  struct Output {
+    advect::Stencil27 stencil;
+    std::size_t ci = 0, cj = 0, ck = 0;
+  };
+
+  std::optional<Output> push(double value);
+  void reset();
+
+  std::size_t ny_padded() const noexcept { return ny_; }
+  std::size_t nz_padded() const noexcept { return nz_; }
+
+  /// On-chip doubles: the delay-line capacity.
+  std::size_t storage_doubles() const noexcept { return line_.size(); }
+
+private:
+  std::size_t ny_ = 0, nz_ = 0;
+  std::size_t face_ = 0;
+  std::vector<double> line_;  // circular, newest at head_
+  std::size_t head_ = 0;      // index of most recently written element
+  std::size_t count_ = 0;     // values pushed since reset
+  std::size_t in_i_ = 0, in_j_ = 0, in_k_ = 0;
+
+  double tap(std::size_t delay) const {
+    return line_[(head_ + line_.size() - delay) % line_.size()];
+  }
+};
+
+}  // namespace pw::baseline

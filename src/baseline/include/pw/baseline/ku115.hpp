@@ -1,0 +1,21 @@
+#pragma once
+
+#include "pw/fpga/perf_model.hpp"
+#include "pw/grid/geometry.hpp"
+
+namespace pw::baseline {
+
+/// The previous-generation result from refs [6,7]: the PW kernel on an
+/// ADM-PCIE-8K5 (Kintex KU115-2), eight kernels, 18.8 GFLOPS kernel-only.
+struct Ku115Summary {
+  double gflops_8_kernels = 18.8;  ///< as published in [7]
+  double modelled_gflops = 0.0;    ///< our perf model on the KU115 profile
+  double alveo_single_kernel_fraction = 0.0;  ///< paper: ~77% of 18.8
+  double stratix_single_kernel_fraction = 0.0;  ///< paper: ~110% of 18.8
+};
+
+/// Evaluates the previous-generation comparison of paper §III on `dims`
+/// (the paper used 16M cells).
+Ku115Summary ku115_comparison(const grid::GridDims& dims);
+
+}  // namespace pw::baseline

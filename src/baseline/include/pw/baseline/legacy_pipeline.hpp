@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::baseline {
+
+/// The *previous* dataflow design (paper Fig. 1, from refs [6,7]): four
+/// concurrently running regions — load data, prepare stencil (the bespoke
+/// minimal cache), compute advection (one combined stage for all three
+/// fields), write results — rather than the redesign's read/shift/
+/// replicate/three-advect/write split (Fig. 2).
+///
+/// Functionally equivalent to the new design (bit-exact, tested); what the
+/// paper improved was code simplicity, portability, and resource shape.
+kernel::KernelRunStats run_legacy_pipeline(
+    const grid::WindState& state,
+    const advect::PwCoefficients& coefficients, advect::SourceTerms& out,
+    const kernel::KernelConfig& config,
+    std::optional<kernel::XRange> xrange = std::nullopt);
+
+}  // namespace pw::baseline

@@ -1,0 +1,63 @@
+#include "pw/baseline/delay_line.hpp"
+
+#include <stdexcept>
+
+namespace pw::baseline {
+
+DelayLineStencil::DelayLineStencil(std::size_t ny_padded,
+                                   std::size_t nz_padded)
+    : ny_(ny_padded), nz_(nz_padded), face_(ny_padded * nz_padded) {
+  if (ny_ < 3 || nz_ < 3) {
+    throw std::invalid_argument("DelayLineStencil: face must be >= 3x3");
+  }
+  // Two faces + two columns + 3: the span between the oldest tap
+  // (i-1, j-1, k-1) and the newest input (i+1, j+1, k+1).
+  line_.assign(2 * face_ + 2 * nz_ + 3, 0.0);
+}
+
+void DelayLineStencil::reset() {
+  line_.assign(line_.size(), 0.0);
+  head_ = 0;
+  count_ = 0;
+  in_i_ = in_j_ = in_k_ = 0;
+}
+
+std::optional<DelayLineStencil::Output> DelayLineStencil::push(double value) {
+  head_ = (head_ + 1) % line_.size();
+  line_[head_] = value;
+  ++count_;
+
+  std::optional<Output> out;
+  if (in_i_ >= 2 && in_j_ >= 2 && in_k_ >= 2) {
+    Output o;
+    o.ci = in_i_ - 1;
+    o.cj = in_j_ - 1;
+    o.ck = in_k_ - 1;
+    // The value at raster distance d behind the newest input sits at tap d.
+    // Newest input is (in_i_, in_j_, in_k_); the stencil point
+    // (ci+dx, cj+dy, ck+dz) lies (1-dx)*face + (1-dy)*col + (1-dz) behind.
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const std::size_t delay =
+              static_cast<std::size_t>(1 - dx) * face_ +
+              static_cast<std::size_t>(1 - dy) * nz_ +
+              static_cast<std::size_t>(1 - dz);
+          o.stencil.at(dx, dy, dz) = tap(delay);
+        }
+      }
+    }
+    out = o;
+  }
+
+  if (++in_k_ == nz_) {
+    in_k_ = 0;
+    if (++in_j_ == ny_) {
+      in_j_ = 0;
+      ++in_i_;
+    }
+  }
+  return out;
+}
+
+}  // namespace pw::baseline

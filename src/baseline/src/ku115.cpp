@@ -1,0 +1,37 @@
+#include "pw/baseline/ku115.hpp"
+
+#include "pw/fpga/device_profiles.hpp"
+
+namespace pw::baseline {
+
+Ku115Summary ku115_comparison(const grid::GridDims& dims) {
+  Ku115Summary summary;
+
+  const auto ku115 = fpga::kintex_ku115();
+  fpga::KernelOnlyInput input;
+  input.dims = dims;
+  input.config.chunk_y = 64;
+  input.kernels = ku115.paper_kernel_count;
+  input.clock_hz = ku115.clock_hz(input.kernels);
+  input.memory = ku115.memories.front();
+  input.launch_overhead_s = ku115.launch_overhead_s;
+  summary.modelled_gflops = fpga::model_kernel_only(input).gflops;
+
+  auto single_kernel = [&](const fpga::FpgaDeviceProfile& device) {
+    fpga::KernelOnlyInput in;
+    in.dims = dims;
+    in.config.chunk_y = 64;
+    in.kernels = 1;
+    in.clock_hz = device.clock_hz(1);
+    in.memory = device.memories.front();
+    in.launch_overhead_s = device.launch_overhead_s;
+    return fpga::model_kernel_only(in).gflops;
+  };
+  summary.alveo_single_kernel_fraction =
+      single_kernel(fpga::alveo_u280()) / summary.gflops_8_kernels;
+  summary.stratix_single_kernel_fraction =
+      single_kernel(fpga::stratix10_520n()) / summary.gflops_8_kernels;
+  return summary;
+}
+
+}  // namespace pw::baseline

@@ -1,0 +1,161 @@
+#include "pw/baseline/legacy_pipeline.hpp"
+
+#include <stdexcept>
+
+#include "pw/advect/scheme.hpp"
+#include "pw/baseline/delay_line.hpp"
+#include "pw/dataflow/threaded.hpp"
+#include "pw/hls/vendor_stream.hpp"
+#include "pw/kernel/chunking.hpp"
+#include "pw/kernel/packets.hpp"
+
+namespace pw::baseline {
+
+namespace {
+
+using kernel::CellInput;
+using kernel::StencilPacket;
+
+/// The combined result beat of the old design's single compute stage.
+struct ResultPacket {
+  double su = 0.0;
+  double sv = 0.0;
+  double sw = 0.0;
+};
+
+struct Trip {
+  kernel::ChunkPlan plan;
+  kernel::XRange xr;
+  std::size_t nz;
+
+  std::size_t streamed() const {
+    std::size_t total = 0;
+    for (const auto& c : plan.chunks()) {
+      total += (xr.width() + 2) * c.padded_width() * (nz + 2);
+    }
+    return total;
+  }
+  std::size_t emitted() const {
+    std::size_t total = 0;
+    for (const auto& c : plan.chunks()) {
+      total += xr.width() * c.width() * nz;
+    }
+    return total;
+  }
+};
+
+void load_data(const grid::WindState& state, const Trip& t,
+               hls::XilinxStream<CellInput>& out) {
+  const auto nz = static_cast<std::ptrdiff_t>(t.nz);
+  for (const kernel::YChunk& chunk : t.plan.chunks()) {
+    const auto x_lo = static_cast<std::ptrdiff_t>(t.xr.begin) - 1;
+    const auto x_hi = static_cast<std::ptrdiff_t>(t.xr.end) + 1;
+    const auto j_lo = static_cast<std::ptrdiff_t>(chunk.j_begin) - 1;
+    const auto j_hi = static_cast<std::ptrdiff_t>(chunk.j_end) + 1;
+    for (std::ptrdiff_t i = x_lo; i < x_hi; ++i) {
+      for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+        for (std::ptrdiff_t k = -1; k <= nz; ++k) {
+          out.write({state.u.at(i, j, k), state.v.at(i, j, k),
+                     state.w.at(i, j, k)});
+        }
+      }
+    }
+  }
+}
+
+void prepare_stencil(const Trip& t, hls::XilinxStream<CellInput>& in,
+                     hls::XilinxStream<StencilPacket>& out) {
+  for (const kernel::YChunk& chunk : t.plan.chunks()) {
+    // The bespoke cache of [6,7]: a minimal delay line per field rather
+    // than the general 3-slice shift buffer.
+    DelayLineStencil du(chunk.padded_width(), t.nz + 2);
+    DelayLineStencil dv(chunk.padded_width(), t.nz + 2);
+    DelayLineStencil dw(chunk.padded_width(), t.nz + 2);
+    const std::size_t beats =
+        (t.xr.width() + 2) * chunk.padded_width() * (t.nz + 2);
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+      const CellInput cell = in.read();
+      const auto eu = du.push(cell.u);
+      const auto ev = dv.push(cell.v);
+      const auto ew = dw.push(cell.w);
+      if (eu) {
+        StencilPacket packet;
+        packet.stencils.u = eu->stencil;
+        packet.stencils.v = ev->stencil;
+        packet.stencils.w = ew->stencil;
+        packet.k = static_cast<std::uint32_t>(eu->ck - 1);
+        packet.top = packet.k + 1 == t.nz;
+        out.write(packet);
+      }
+    }
+  }
+}
+
+void compute_advection(const advect::PwCoefficients& c, const Trip& t,
+                       hls::XilinxStream<StencilPacket>& in,
+                       hls::XilinxStream<ResultPacket>& out) {
+  const std::size_t beats = t.emitted();
+  for (std::size_t beat = 0; beat < beats; ++beat) {
+    const StencilPacket p = in.read();
+    const advect::ZCoeffs z{c.tzc1[p.k], c.tzc2[p.k], c.tzd1[p.k],
+                            c.tzd2[p.k]};
+    const auto sources =
+        advect::advect_cell(p.stencils, c.tcx, c.tcy, z, p.top);
+    out.write({sources.su, sources.sv, sources.sw});
+  }
+}
+
+void write_results(const Trip& t, advect::SourceTerms& out,
+                   hls::XilinxStream<ResultPacket>& in) {
+  const auto nz = static_cast<std::ptrdiff_t>(t.nz);
+  for (const kernel::YChunk& chunk : t.plan.chunks()) {
+    for (std::size_t iu = t.xr.begin; iu < t.xr.end; ++iu) {
+      for (std::size_t ju = chunk.j_begin; ju < chunk.j_end; ++ju) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          const ResultPacket r = in.read();
+          const auto i = static_cast<std::ptrdiff_t>(iu);
+          const auto j = static_cast<std::ptrdiff_t>(ju);
+          out.su.at(i, j, k) = r.su;
+          out.sv.at(i, j, k) = r.sv;
+          out.sw.at(i, j, k) = r.sw;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+kernel::KernelRunStats run_legacy_pipeline(
+    const grid::WindState& state, const advect::PwCoefficients& c,
+    advect::SourceTerms& out, const kernel::KernelConfig& config,
+    std::optional<kernel::XRange> xrange) {
+  const grid::GridDims dims = state.u.dims();
+  const kernel::XRange xr = xrange.value_or(kernel::XRange{0, dims.nx});
+  if (xr.end > dims.nx || xr.begin >= xr.end) {
+    throw std::invalid_argument("run_legacy_pipeline: bad x-range");
+  }
+  const Trip trip{kernel::ChunkPlan(dims, config.chunk_y), xr, dims.nz};
+
+  hls::XilinxStream<CellInput> loaded(config.stream_depth);
+  hls::XilinxStream<StencilPacket> stencils(config.stream_depth);
+  hls::XilinxStream<ResultPacket> results(config.stream_depth);
+
+  dataflow::ThreadedPipeline region;
+  region.add_stage("load_data", [&] { load_data(state, trip, loaded); });
+  region.add_stage("prepare_stencil",
+                   [&] { prepare_stencil(trip, loaded, stencils); });
+  region.add_stage("compute_advection",
+                   [&] { compute_advection(c, trip, stencils, results); });
+  region.add_stage("write_results",
+                   [&] { write_results(trip, out, results); });
+  region.run();
+
+  kernel::KernelRunStats stats;
+  stats.values_streamed_per_field = trip.streamed();
+  stats.stencils_emitted = trip.emitted();
+  stats.chunks = trip.plan.chunks().size();
+  return stats;
+}
+
+}  // namespace pw::baseline

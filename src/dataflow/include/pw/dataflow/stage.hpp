@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pw::dataflow {
+
+/// Outcome of one stage tick, used for occupancy accounting.
+enum class TickResult {
+  kFired,    ///< consumed and/or produced work this cycle
+  kStalled,  ///< wanted to work but an input was empty / an output full
+  kIdle,     ///< nothing to do (e.g. pipeline not yet filled)
+  kDone,     ///< stage has finished for good
+};
+
+/// Per-stage occupancy counters accumulated by the engine.
+struct StageStats {
+  std::uint64_t fired = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t idle = 0;
+
+  std::uint64_t cycles() const noexcept { return fired + stalled + idle; }
+  double occupancy() const noexcept {
+    const auto total = cycles();
+    return total == 0 ? 0.0 : static_cast<double>(fired) / static_cast<double>(total);
+  }
+};
+
+/// A stage of the cycle-level dataflow simulation. The engine calls tick()
+/// once per simulated clock cycle; the stage moves at most one element per
+/// port (initiation interval 1) unless it throttles itself.
+class ICycleStage {
+public:
+  virtual ~ICycleStage() = default;
+
+  explicit ICycleStage(std::string name, unsigned initiation_interval = 1)
+      : name_(std::move(name)), ii_(initiation_interval == 0 ? 1 : initiation_interval) {}
+
+  const std::string& name() const noexcept { return name_; }
+  unsigned initiation_interval() const noexcept { return ii_; }
+  const StageStats& stats() const noexcept { return stats_; }
+
+  /// Called by the engine each cycle. Applies the II throttle then defers to
+  /// step(). Returns the effective result for this cycle.
+  TickResult tick(std::uint64_t cycle) {
+    if (done_) {
+      return TickResult::kDone;
+    }
+    // With II > 1 the stage only accepts new work every II cycles (the URAM
+    // read-modify-write dependency of paper §III.A is modelled this way).
+    if (ii_ > 1 && cycle % ii_ != 0) {
+      ++stats_.idle;
+      return TickResult::kIdle;
+    }
+    const TickResult result = step();
+    switch (result) {
+      case TickResult::kFired:
+        ++stats_.fired;
+        break;
+      case TickResult::kStalled:
+        ++stats_.stalled;
+        break;
+      case TickResult::kIdle:
+        ++stats_.idle;
+        break;
+      case TickResult::kDone:
+        done_ = true;
+        break;
+    }
+    return result;
+  }
+
+  bool done() const noexcept { return done_; }
+
+protected:
+  /// Perform (at most) one cycle of work.
+  virtual TickResult step() = 0;
+
+private:
+  std::string name_;
+  unsigned ii_;
+  StageStats stats_;
+  bool done_ = false;
+};
+
+}  // namespace pw::dataflow

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace pw::dataflow {
+
+/// Bounded blocking FIFO connecting two concurrently running dataflow
+/// stages — the software analogue of an `hls::stream` / OpenCL channel.
+///
+/// push() blocks while full; pop() blocks while empty and returns nullopt
+/// once the stream is closed *and* drained. close() is how a producer
+/// signals end-of-stream.
+template <typename T>
+class Stream {
+public:
+  explicit Stream(std::size_t capacity = 16) : capacity_(capacity) {
+    if (capacity_ == 0) {
+      throw std::invalid_argument("Stream capacity must be positive");
+    }
+  }
+
+  void push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) {
+      throw std::logic_error("push on closed Stream");
+    }
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  bool try_push(T value) {
+    std::lock_guard lock(mutex_);
+    if (closed_) {
+      throw std::logic_error("push on closed Stream");
+    }
+    if (queue_.size() >= capacity_) {
+      return false;
+    }
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt means closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pw::dataflow

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pw::dataflow {
+
+/// Runs a set of stage bodies truly concurrently, one thread each — the
+/// execution model of an HLS `dataflow` region (every box of the paper's
+/// Fig. 2 runs at once, synchronising only through streams).
+///
+/// Bodies must terminate on their own (producers close() their output
+/// streams; consumers exit on end-of-stream). The first exception thrown by
+/// any body is rethrown from run() after all threads join.
+class ThreadedPipeline {
+public:
+  /// Adds a named stage body.
+  void add_stage(std::string name, std::function<void()> body);
+
+  /// Launches every stage, waits for completion, rethrows the first failure.
+  void run();
+
+  std::size_t stages() const noexcept { return bodies_.size(); }
+
+private:
+  struct NamedBody {
+    std::string name;
+    std::function<void()> body;
+  };
+  std::vector<NamedBody> bodies_;
+};
+
+}  // namespace pw::dataflow

@@ -1,0 +1,39 @@
+#include "pw/dataflow/threaded.hpp"
+
+#include <mutex>
+#include <thread>
+
+namespace pw::dataflow {
+
+void ThreadedPipeline::add_stage(std::string name,
+                                 std::function<void()> body) {
+  bodies_.push_back({std::move(name), std::move(body)});
+}
+
+void ThreadedPipeline::run() {
+  std::vector<std::thread> threads;
+  threads.reserve(bodies_.size());
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (auto& stage : bodies_) {
+    threads.emplace_back([&stage, &first_error, &error_mutex] {
+      try {
+        stage.body();
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace pw::dataflow

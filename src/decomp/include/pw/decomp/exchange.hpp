@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/decomp/decomposition.hpp"
+#include "pw/grid/field3d.hpp"
+#include "pw/grid/init.hpp"
+
+namespace pw::decomp {
+
+/// One global field distributed over the ranks of a Decomposition: each
+/// rank holds its patch (plus 1-deep halos) in MONC layout. scatter /
+/// exchange_halos / gather mirror the MPI traffic of the real model; the
+/// exchange is coordinate-mapped (equivalent to face+corner messages from
+/// the eight periodic neighbours).
+class DistributedField {
+public:
+  explicit DistributedField(const Decomposition& decomposition);
+
+  const Decomposition& decomposition() const noexcept { return *decomp_; }
+
+  grid::FieldD& local(std::size_t rank) { return locals_.at(rank); }
+  const grid::FieldD& local(std::size_t rank) const {
+    return locals_.at(rank);
+  }
+
+  /// Copies the global interior into the rank patches (halos untouched).
+  void scatter(const grid::FieldD& global);
+
+  /// Fills every rank's x/y halos from the owning neighbour's interior
+  /// (periodic), and zeroes the z halos (surface / rigid lid).
+  void exchange_halos();
+
+  /// Copies rank interiors back into the global interior.
+  void gather(grid::FieldD& global) const;
+
+private:
+  const Decomposition* decomp_;
+  std::vector<grid::FieldD> locals_;
+};
+
+/// The three wind fields plus their source terms, distributed.
+struct DistributedWind {
+  DistributedField u, v, w;
+
+  explicit DistributedWind(const Decomposition& decomposition)
+      : u(decomposition), v(decomposition), w(decomposition) {}
+
+  void scatter(const grid::WindState& global);
+  void exchange_halos();
+};
+
+/// Per-rank advection backend: computes local source terms from a local
+/// wind state (e.g. advect_reference, or run_kernel_fused — per rank, as
+/// if each rank drove its own FPGA).
+using RankAdvector =
+    std::function<void(const grid::WindState& local_state,
+                       const advect::PwCoefficients& coefficients,
+                       advect::SourceTerms& local_out)>;
+
+/// Scatters `state`, exchanges halos, runs `advector` on every rank
+/// concurrently, and gathers the source terms into `out`. Bit-identical to
+/// a global single-rank run (tested) because halo exchange reproduces the
+/// same neighbour values the global field provides.
+void distributed_advection(const Decomposition& decomposition,
+                           const grid::WindState& state,
+                           const advect::PwCoefficients& coefficients,
+                           const RankAdvector& advector,
+                           advect::SourceTerms& out);
+
+}  // namespace pw::decomp

@@ -1,0 +1,177 @@
+#include "pw/decomp/exchange.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pw/dataflow/threaded.hpp"
+
+namespace pw::decomp {
+
+namespace {
+
+grid::FieldD make_local(const Decomposition& d, std::size_t rank) {
+  return grid::FieldD(d.local_dims(rank), 1);
+}
+
+}  // namespace
+
+DistributedField::DistributedField(const Decomposition& decomposition)
+    : decomp_(&decomposition) {
+  locals_.reserve(decomposition.ranks());
+  for (std::size_t r = 0; r < decomposition.ranks(); ++r) {
+    locals_.push_back(make_local(decomposition, r));
+  }
+}
+
+void DistributedField::scatter(const grid::FieldD& global) {
+  if (global.dims() != decomp_->global_dims()) {
+    throw std::invalid_argument("DistributedField::scatter: dims mismatch");
+  }
+  for (std::size_t r = 0; r < decomp_->ranks(); ++r) {
+    const RankExtent& e = decomp_->extent(r);
+    grid::FieldD& local = locals_[r];
+    for (std::size_t i = 0; i < e.nx(); ++i) {
+      for (std::size_t j = 0; j < e.ny(); ++j) {
+        for (std::size_t k = 0; k < global.nz(); ++k) {
+          local.at(static_cast<std::ptrdiff_t>(i),
+                   static_cast<std::ptrdiff_t>(j),
+                   static_cast<std::ptrdiff_t>(k)) =
+              global.at(static_cast<std::ptrdiff_t>(e.x_begin + i),
+                        static_cast<std::ptrdiff_t>(e.y_begin + j),
+                        static_cast<std::ptrdiff_t>(k));
+        }
+      }
+    }
+  }
+}
+
+void DistributedField::exchange_halos() {
+  const grid::GridDims dims = decomp_->global_dims();
+  const auto gx = static_cast<std::ptrdiff_t>(dims.nx);
+  const auto gy = static_cast<std::ptrdiff_t>(dims.ny);
+
+  // Owner lookup by global coordinate (periodic in x/y).
+  auto owner_value = [&](std::ptrdiff_t x, std::ptrdiff_t y,
+                         std::ptrdiff_t k) {
+    const std::size_t wx = static_cast<std::size_t>((x % gx + gx) % gx);
+    const std::size_t wy = static_cast<std::size_t>((y % gy + gy) % gy);
+    for (std::size_t r = 0; r < decomp_->ranks(); ++r) {
+      const RankExtent& e = decomp_->extent(r);
+      if (wx >= e.x_begin && wx < e.x_end && wy >= e.y_begin &&
+          wy < e.y_end) {
+        return locals_[r].at(
+            static_cast<std::ptrdiff_t>(wx - e.x_begin),
+            static_cast<std::ptrdiff_t>(wy - e.y_begin), k);
+      }
+    }
+    throw std::logic_error("exchange_halos: no owner for coordinate");
+  };
+
+  for (std::size_t r = 0; r < decomp_->ranks(); ++r) {
+    const RankExtent& e = decomp_->extent(r);
+    grid::FieldD& local = locals_[r];
+    const auto lnx = static_cast<std::ptrdiff_t>(e.nx());
+    const auto lny = static_cast<std::ptrdiff_t>(e.ny());
+    const auto lnz = static_cast<std::ptrdiff_t>(dims.nz);
+    for (std::ptrdiff_t i = -1; i <= lnx; ++i) {
+      for (std::ptrdiff_t j = -1; j <= lny; ++j) {
+        const bool x_halo = i < 0 || i >= lnx;
+        const bool y_halo = j < 0 || j >= lny;
+        if (!x_halo && !y_halo) {
+          continue;
+        }
+        const auto global_x = static_cast<std::ptrdiff_t>(e.x_begin) + i;
+        const auto global_y = static_cast<std::ptrdiff_t>(e.y_begin) + j;
+        for (std::ptrdiff_t k = 0; k < lnz; ++k) {
+          local.at(i, j, k) = owner_value(global_x, global_y, k);
+        }
+      }
+    }
+    // z halos: zero (surface below, rigid lid above), over the full
+    // padded footprint including the x/y halo columns.
+    for (std::ptrdiff_t i = -1; i <= lnx; ++i) {
+      for (std::ptrdiff_t j = -1; j <= lny; ++j) {
+        local.at(i, j, -1) = 0.0;
+        local.at(i, j, lnz) = 0.0;
+      }
+    }
+  }
+}
+
+void DistributedField::gather(grid::FieldD& global) const {
+  if (global.dims() != decomp_->global_dims()) {
+    throw std::invalid_argument("DistributedField::gather: dims mismatch");
+  }
+  for (std::size_t r = 0; r < decomp_->ranks(); ++r) {
+    const RankExtent& e = decomp_->extent(r);
+    const grid::FieldD& local = locals_[r];
+    for (std::size_t i = 0; i < e.nx(); ++i) {
+      for (std::size_t j = 0; j < e.ny(); ++j) {
+        for (std::size_t k = 0; k < global.nz(); ++k) {
+          global.at(static_cast<std::ptrdiff_t>(e.x_begin + i),
+                    static_cast<std::ptrdiff_t>(e.y_begin + j),
+                    static_cast<std::ptrdiff_t>(k)) =
+              local.at(static_cast<std::ptrdiff_t>(i),
+                       static_cast<std::ptrdiff_t>(j),
+                       static_cast<std::ptrdiff_t>(k));
+        }
+      }
+    }
+  }
+}
+
+void DistributedWind::scatter(const grid::WindState& global) {
+  u.scatter(global.u);
+  v.scatter(global.v);
+  w.scatter(global.w);
+}
+
+void DistributedWind::exchange_halos() {
+  u.exchange_halos();
+  v.exchange_halos();
+  w.exchange_halos();
+}
+
+void distributed_advection(const Decomposition& decomposition,
+                           const grid::WindState& state,
+                           const advect::PwCoefficients& coefficients,
+                           const RankAdvector& advector,
+                           advect::SourceTerms& out) {
+  DistributedWind wind(decomposition);
+  wind.scatter(state);
+  wind.exchange_halos();
+
+  DistributedField su(decomposition), sv(decomposition), sw(decomposition);
+
+  dataflow::ThreadedPipeline ranks;
+  for (std::size_t r = 0; r < decomposition.ranks(); ++r) {
+    ranks.add_stage("rank_" + std::to_string(r), [&, r] {
+      const grid::GridDims local_dims = decomposition.local_dims(r);
+      grid::WindState local_state(local_dims);
+      // Move rank patches into a WindState (copy incl. halos).
+      auto copy_in = [](const grid::FieldD& src, grid::FieldD& dst) {
+        std::copy(src.raw().begin(), src.raw().end(), dst.raw().begin());
+      };
+      copy_in(wind.u.local(r), local_state.u);
+      copy_in(wind.v.local(r), local_state.v);
+      copy_in(wind.w.local(r), local_state.w);
+
+      advect::SourceTerms local_out(local_dims);
+      advector(local_state, coefficients, local_out);
+
+      auto copy_out = [](const grid::FieldD& src, grid::FieldD& dst) {
+        std::copy(src.raw().begin(), src.raw().end(), dst.raw().begin());
+      };
+      copy_out(local_out.su, su.local(r));
+      copy_out(local_out.sv, sv.local(r));
+      copy_out(local_out.sw, sw.local(r));
+    });
+  }
+  ranks.run();
+
+  su.gather(out.su);
+  sv.gather(out.sv);
+  sw.gather(out.sw);
+}
+
+}  // namespace pw::decomp

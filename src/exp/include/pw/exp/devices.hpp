@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/gpu/v100.hpp"
+#include "pw/power/power_model.hpp"
+
+namespace pw::exp {
+
+/// The paper's CPU comparator: a 24-core Xeon Platinum (Cascade Lake)
+/// 8260M running the Fortran/OpenMP MONC kernel. Kernel-only numbers from
+/// Table I; the CPU needs no PCIe transfers so they are also its overall
+/// numbers in Figs. 5/6.
+struct CpuProfile {
+  std::string name = "24 core Xeon CPU";
+  double gflops_single_core = 2.09;
+  double gflops_all_cores = 15.2;
+  std::size_t cores = 24;
+};
+
+/// The full hardware cast of the paper's evaluation.
+struct Devices {
+  fpga::FpgaDeviceProfile alveo = fpga::alveo_u280();
+  fpga::FpgaDeviceProfile stratix = fpga::stratix10_520n();
+  gpu::GpuProfile v100 = gpu::tesla_v100();
+  CpuProfile cpu;
+
+  power::PowerProfile alveo_power = power::alveo_u280_power();
+  power::PowerProfile stratix_power = power::stratix10_power();
+  power::PowerProfile v100_power = power::v100_power();
+  power::PowerProfile cpu_power = power::xeon_8260m_power();
+};
+
+Devices paper_devices();
+
+}  // namespace pw::exp

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pw/exp/devices.hpp"
+#include "pw/power/power_model.hpp"
+#include "pw/util/table.hpp"
+
+namespace pw::exp {
+
+/// One device's result for one grid size in an overall-performance
+/// experiment (one bar of Fig. 5 or Fig. 6).
+struct DeviceRun {
+  std::string device;
+  std::size_t cells = 0;
+  bool available = true;     ///< false: data set does not fit (V100 @ 536M)
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double compute_utilisation = 0.0;
+  double transfer_utilisation = 0.0;
+  power::ActiveMemory memory = power::ActiveMemory::kNone;
+  /// Fraction of the device-memory bandwidth left to the kernels after
+  /// overlapped PCIe DMA (1.0 when uncontended; < 1 only for DDR+overlap).
+  double memory_share = 1.0;
+  double power_w = 0.0;
+  double gflops_per_watt = 0.0;
+  std::string note;
+};
+
+/// Grid sizes (million cells) used in the multi-kernel figures.
+std::vector<std::size_t> figure_grid_sizes();  // {16, 67, 268, 536}
+
+/// Table I — kernel-only performance @16M cells: 1-core CPU, 24-core CPU,
+/// V100, one kernel on the Alveo U280 (HBM2) and on the Stratix 10.
+util::Table table1(const Devices& devices);
+
+/// Table II — Alveo U280 kernel-only, HBM2 vs DDR, 1M/4M/16M/67M cells.
+util::Table table2(const Devices& devices);
+
+/// The runs behind Figs. 5-8. `overlapped` selects Fig. 5 (false) or
+/// Fig. 6/7/8 (true) scheduling.
+std::vector<DeviceRun> overall_runs(const Devices& devices, bool overlapped);
+
+util::Table fig5(const Devices& devices);   ///< overall GFLOPS, no overlap
+util::Table fig6(const Devices& devices);   ///< overall GFLOPS, overlapped
+util::Table fig7(const Devices& devices);   ///< power (W), overlapped runs
+util::Table fig8(const Devices& devices);   ///< GFLOPS/W, overlapped runs
+
+/// One FPGA device on one grid — exposed for ablation benches.
+DeviceRun run_fpga_overall(const fpga::FpgaDeviceProfile& device,
+                           const power::PowerProfile& power,
+                           const grid::GridDims& dims, bool overlapped,
+                           std::size_t x_chunks = 16);
+
+/// The V100 on one grid.
+DeviceRun run_gpu_overall(const gpu::GpuProfile& gpu,
+                          const power::PowerProfile& power,
+                          const grid::GridDims& dims, bool overlapped,
+                          std::size_t x_chunks = 16);
+
+/// The CPU on one grid (no transfers; kernel-only = overall).
+DeviceRun run_cpu_overall(const CpuProfile& cpu,
+                          const power::PowerProfile& power,
+                          const grid::GridDims& dims);
+
+}  // namespace pw::exp

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "pw/exp/devices.hpp"
+
+namespace pw::exp {
+
+/// Renders every paper artefact (Tables I–II, Figs. 5–8 as tables) into
+/// one self-contained markdown document — the `pwadvect figures --md=`
+/// output and the basis of EXPERIMENTS.md regeneration.
+void write_markdown_report(const Devices& devices, std::ostream& os);
+
+std::string markdown_report(const Devices& devices);
+
+}  // namespace pw::exp

@@ -1,0 +1,7 @@
+#include "pw/exp/devices.hpp"
+
+namespace pw::exp {
+
+Devices paper_devices() { return {}; }
+
+}  // namespace pw::exp

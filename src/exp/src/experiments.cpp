@@ -1,0 +1,315 @@
+#include "pw/exp/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pw/advect/flops.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/xfer/schedules.hpp"
+
+namespace pw::exp {
+
+namespace {
+
+constexpr std::size_t kChunkY = 64;  // default Y-chunk in every experiment
+
+fpga::KernelOnlyInput kernel_input(const fpga::FpgaDeviceProfile& device,
+                                   const grid::GridDims& dims,
+                                   std::size_t kernels,
+                                   const fpga::MemoryTech& memory,
+                                   double memory_share) {
+  fpga::KernelOnlyInput input;
+  input.dims = dims;
+  input.config.chunk_y = kChunkY;
+  input.kernels = kernels;
+  input.clock_hz = device.clock_hz(kernels);
+  input.memory = memory;
+  input.memory_share = memory_share;
+  input.launch_overhead_s = 0.0;  // accounted in the schedule
+  return input;
+}
+
+power::ActiveMemory to_active(fpga::MemoryKind kind) {
+  return kind == fpga::MemoryKind::kHbm2 ? power::ActiveMemory::kHbm2
+                                         : power::ActiveMemory::kDdr;
+}
+
+double run_flops(const grid::GridDims& dims) {
+  return static_cast<double>(advect::total_flops(dims));
+}
+
+void finalise(DeviceRun& run, const power::PowerProfile& profile) {
+  const power::Activity activity{run.compute_utilisation,
+                                 run.transfer_utilisation, run.memory};
+  run.power_w = power::average_power_w(profile, activity);
+  run.gflops_per_watt = power::power_efficiency(run.gflops, run.power_w);
+}
+
+}  // namespace
+
+std::vector<std::size_t> figure_grid_sizes() { return {16, 67, 268, 536}; }
+
+DeviceRun run_fpga_overall(const fpga::FpgaDeviceProfile& device,
+                           const power::PowerProfile& power_profile,
+                           const grid::GridDims& dims, bool overlapped,
+                           std::size_t x_chunks) {
+  DeviceRun run;
+  run.device = device.name;
+  run.cells = dims.cells();
+
+  const std::size_t footprint = fpga::device_footprint_bytes(dims);
+  const fpga::MemoryTech& memory = device.memory_for(footprint);
+  run.memory = to_active(memory.kind);
+  run.note = memory.name;
+
+  const std::size_t kernels = device.paper_kernel_count;
+  const auto bytes = fpga::transfer_bytes(dims);
+
+  xfer::TransferModel tm;
+  tm.full_duplex = device.pcie.full_duplex;
+  if (overlapped) {
+    tm.h2d_gbps = device.pcie.overlapped_gbps();
+    tm.d2h_gbps = device.pcie.overlapped_gbps();
+  } else {
+    tm.h2d_gbps = device.pcie.single_stream_gbps();
+    tm.d2h_gbps = device.pcie.single_stream_gbps();
+  }
+
+  // When overlapped transfers land in the memory the kernels read (DDR —
+  // HBM2 has headroom to spare), the PCIe DMA steals a share of the
+  // sustainable bandwidth. Solve the coupled rates by damped fixed point.
+  double memory_share = 1.0;
+  xfer::RunResult scheduled;
+  for (int iteration = 0; iteration < 24; ++iteration) {
+    const auto kernel_result = fpga::model_kernel_only(
+        kernel_input(device, dims, kernels, memory, memory_share));
+
+    xfer::RunShape shape;
+    shape.bytes_in = bytes.host_to_device;
+    shape.bytes_out = bytes.device_to_host;
+    shape.compute_seconds = kernel_result.seconds;
+    shape.chunks = overlapped ? x_chunks : 1;
+    shape.fixed_overhead_s = device.launch_overhead_s;
+    scheduled = overlapped ? xfer::schedule_overlapped(shape, tm)
+                           : xfer::schedule_sequential(shape, tm);
+
+    const bool contended =
+        overlapped && memory.kind == fpga::MemoryKind::kDdr;
+    if (!contended) {
+      break;
+    }
+    const double pcie_bps =
+        static_cast<double>(bytes.total()) / scheduled.seconds;
+    const double next_share = std::clamp(
+        1.0 - pcie_bps / (memory.system_sustained_gbps * 1e9), 0.15, 1.0);
+    if (std::fabs(next_share - memory_share) < 1e-3) {
+      memory_share = next_share;
+      break;
+    }
+    memory_share = 0.5 * memory_share + 0.5 * next_share;
+  }
+
+  run.seconds = scheduled.seconds;
+  run.gflops = run_flops(dims) / run.seconds / 1e9;
+  run.memory_share = memory_share;
+  run.compute_utilisation = scheduled.timeline.utilisation(xfer::Engine::kKernel);
+  run.transfer_utilisation =
+      std::max(scheduled.timeline.utilisation(xfer::Engine::kHostToDevice),
+               scheduled.timeline.utilisation(xfer::Engine::kDeviceToHost));
+  finalise(run, power_profile);
+  return run;
+}
+
+DeviceRun run_gpu_overall(const gpu::GpuProfile& gpu,
+                          const power::PowerProfile& power_profile,
+                          const grid::GridDims& dims, bool overlapped,
+                          std::size_t x_chunks) {
+  DeviceRun run;
+  run.device = gpu.name;
+  run.cells = dims.cells();
+  run.memory = power::ActiveMemory::kHbm2;
+
+  if (!gpu::fits_on_gpu(gpu, dims)) {
+    // Paper §IV: no 536M result — 25.8GB exceeds the V100's 16GB.
+    run.available = false;
+    run.note = "data set exceeds 16GB device memory";
+    return run;
+  }
+
+  const auto bytes = fpga::transfer_bytes(dims);
+  xfer::TransferModel tm;
+  tm.full_duplex = gpu.pcie.full_duplex;
+  tm.h2d_gbps = overlapped ? gpu.pcie.overlapped_gbps()
+                           : gpu.pcie.single_stream_gbps();
+  tm.d2h_gbps = tm.h2d_gbps;
+  tm.dma_setup_s = gpu.dma_setup_s;
+  tm.kernel_dispatch_s = gpu.kernel_dispatch_s;
+
+  xfer::RunShape shape;
+  shape.bytes_in = bytes.host_to_device;
+  shape.bytes_out = bytes.device_to_host;
+  shape.compute_seconds = gpu::gpu_compute_seconds(gpu, dims);
+  shape.chunks = overlapped ? x_chunks : 1;  // CUDA streams analogue
+  shape.fixed_overhead_s = gpu.launch_overhead_s;
+
+  const auto scheduled = overlapped ? xfer::schedule_overlapped(shape, tm)
+                                    : xfer::schedule_sequential(shape, tm);
+  run.seconds = scheduled.seconds;
+  run.gflops = run_flops(dims) / run.seconds / 1e9;
+  run.compute_utilisation = scheduled.timeline.utilisation(xfer::Engine::kKernel);
+  run.transfer_utilisation =
+      std::max(scheduled.timeline.utilisation(xfer::Engine::kHostToDevice),
+               scheduled.timeline.utilisation(xfer::Engine::kDeviceToHost));
+  finalise(run, power_profile);
+  return run;
+}
+
+DeviceRun run_cpu_overall(const CpuProfile& cpu,
+                          const power::PowerProfile& power_profile,
+                          const grid::GridDims& dims) {
+  DeviceRun run;
+  run.device = cpu.name;
+  run.cells = dims.cells();
+  run.memory = power::ActiveMemory::kDdr;
+  run.gflops = cpu.gflops_all_cores;
+  run.seconds = run_flops(dims) / (run.gflops * 1e9);
+  run.compute_utilisation = 1.0;
+  run.transfer_utilisation = 0.0;
+  run.memory = power::ActiveMemory::kNone;
+  finalise(run, power_profile);
+  return run;
+}
+
+util::Table table1(const Devices& devices) {
+  const grid::GridDims dims = grid::paper_grid(16);
+
+  auto fpga_single = [&](const fpga::FpgaDeviceProfile& device) {
+    fpga::KernelOnlyInput input = kernel_input(
+        device, dims, 1, device.memories.front(), 1.0);
+    input.launch_overhead_s = device.launch_overhead_s;
+    return fpga::model_kernel_only(input);
+  };
+  const auto alveo = fpga_single(devices.alveo);
+  const auto stratix = fpga_single(devices.stratix);
+
+  const double cpu1 = devices.cpu.gflops_single_core;
+  const double cpu24 = devices.cpu.gflops_all_cores;
+  const double gpu = devices.v100.kernel_gflops;
+
+  auto pct = [](double value) {
+    return util::format_double(value * 100.0, 0) + "%";
+  };
+
+  util::Table t(
+      "Table I: kernel-only performance, 16M grid points "
+      "(single FPGA kernel; no PCIe transfer)");
+  t.header({"Description", "Performance (GFLOPS)", "% theoretical",
+            "% CPU performance"});
+  t.row({"1 core of Xeon CPU", util::format_double(cpu1, 2), "-", "-"});
+  t.row({"24 core Xeon CPU", util::format_double(cpu24, 1), "-", "-"});
+  t.row({"NVIDIA V100 GPU", util::format_double(gpu, 1), "-",
+         pct(gpu / cpu24)});
+  t.row({"Xilinx Alveo U280", util::format_double(alveo.gflops, 2),
+         pct(alveo.efficiency), pct(alveo.gflops / cpu24)});
+  t.row({"Intel Stratix 10", util::format_double(stratix.gflops, 1),
+         pct(stratix.efficiency), pct(stratix.gflops / cpu24)});
+  return t;
+}
+
+util::Table table2(const Devices& devices) {
+  util::Table t(
+      "Table II: Alveo U280 kernel-only performance, HBM2 vs DDR-DRAM");
+  t.header({"Grid points", "HBM2 performance (GFLOPS)",
+            "DDR-DRAM performance (GFLOPS)", "DDR-DRAM overhead"});
+
+  for (std::size_t m : {1, 4, 16, 67}) {
+    const grid::GridDims dims = grid::paper_grid(m);
+    auto result = [&](const fpga::MemoryTech& memory) {
+      fpga::KernelOnlyInput input =
+          kernel_input(devices.alveo, dims, 1, memory, 1.0);
+      input.launch_overhead_s = devices.alveo.launch_overhead_s;
+      return fpga::model_kernel_only(input);
+    };
+    const auto hbm = result(devices.alveo.memories.at(0));
+    const auto ddr = result(devices.alveo.memories.at(1));
+    t.row({util::format_cells(dims.cells()),
+           util::format_double(hbm.gflops, 2),
+           util::format_double(ddr.gflops, 2),
+           util::format_double((hbm.gflops / ddr.gflops - 1.0) * 100.0, 0) +
+               "%"});
+  }
+  return t;
+}
+
+std::vector<DeviceRun> overall_runs(const Devices& devices, bool overlapped) {
+  std::vector<DeviceRun> runs;
+  for (std::size_t m : figure_grid_sizes()) {
+    const grid::GridDims dims = grid::paper_grid(m);
+    runs.push_back(run_cpu_overall(devices.cpu, devices.cpu_power, dims));
+    runs.push_back(run_gpu_overall(devices.v100, devices.v100_power, dims,
+                                   overlapped));
+    runs.push_back(run_fpga_overall(devices.alveo, devices.alveo_power, dims,
+                                    overlapped));
+    runs.push_back(run_fpga_overall(devices.stratix, devices.stratix_power,
+                                    dims, overlapped));
+  }
+  return runs;
+}
+
+namespace {
+
+util::Table figure_table(const Devices& devices, bool overlapped,
+                         const std::string& caption,
+                         double DeviceRun::*field, int decimals) {
+  util::Table t(caption);
+  t.header({"Device", "16M", "67M", "268M", "536M"});
+  const auto runs = overall_runs(devices, overlapped);
+  const auto sizes = figure_grid_sizes();
+
+  for (std::size_t d = 0; d < 4; ++d) {  // CPU, GPU, Alveo, Stratix
+    std::vector<std::string> cells;
+    cells.push_back(runs[d].device);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      const DeviceRun& run = runs[s * 4 + d];
+      cells.push_back(run.available
+                          ? util::format_double(run.*field, decimals)
+                          : std::string("n/a"));
+    }
+    t.row(std::move(cells));
+  }
+  return t;
+}
+
+}  // namespace
+
+util::Table fig5(const Devices& devices) {
+  return figure_table(
+      devices, false,
+      "Fig. 5: overall performance, GFLOPS, no transfer/compute overlap "
+      "(higher is better)",
+      &DeviceRun::gflops, 2);
+}
+
+util::Table fig6(const Devices& devices) {
+  return figure_table(
+      devices, true,
+      "Fig. 6: overall performance, GFLOPS, transfers overlapped with "
+      "compute (higher is better)",
+      &DeviceRun::gflops, 2);
+}
+
+util::Table fig7(const Devices& devices) {
+  return figure_table(devices, true,
+                      "Fig. 7: power usage, Watts, overlapped runs "
+                      "(lower is better)",
+                      &DeviceRun::power_w, 1);
+}
+
+util::Table fig8(const Devices& devices) {
+  return figure_table(devices, true,
+                      "Fig. 8: power efficiency, GFLOPS/Watt, overlapped "
+                      "runs (higher is better)",
+                      &DeviceRun::gflops_per_watt, 3);
+}
+
+}  // namespace pw::exp

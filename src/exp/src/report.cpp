@@ -1,0 +1,70 @@
+#include "pw/exp/report.hpp"
+
+#include <sstream>
+
+#include "pw/exp/experiments.hpp"
+
+namespace pw::exp {
+
+namespace {
+
+void table_as_markdown(const util::Table& table, std::ostream& os) {
+  os << "### " << table.caption() << "\n\n";
+  // Header
+  const std::size_t columns = table.columns();
+  if (columns == 0) {
+    return;
+  }
+  // Recover header/rows through CSV (Table keeps them private); cheap and
+  // loss-free for our cells.
+  std::ostringstream csv;
+  table.write_csv(csv);
+  std::istringstream lines(csv.str());
+  std::string line;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    os << "| ";
+    std::string cell;
+    std::istringstream cells(line);
+    bool first_cell = true;
+    while (std::getline(cells, cell, ',')) {
+      if (!first_cell) {
+        os << " | ";
+      }
+      os << cell;
+      first_cell = false;
+    }
+    os << " |\n";
+    if (first) {
+      os << "|";
+      for (std::size_t c = 0; c < columns; ++c) {
+        os << "---|";
+      }
+      os << "\n";
+      first = false;
+    }
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+void write_markdown_report(const Devices& devices, std::ostream& os) {
+  os << "# PW advection on FPGAs — regenerated evaluation artefacts\n\n"
+     << "Produced by the pwadvection simulation stack; see EXPERIMENTS.md "
+        "for paper-vs-measured commentary and the calibration table.\n\n";
+  table_as_markdown(table1(devices), os);
+  table_as_markdown(table2(devices), os);
+  table_as_markdown(fig5(devices), os);
+  table_as_markdown(fig6(devices), os);
+  table_as_markdown(fig7(devices), os);
+  table_as_markdown(fig8(devices), os);
+}
+
+std::string markdown_report(const Devices& devices) {
+  std::ostringstream os;
+  write_markdown_report(devices, os);
+  return os.str();
+}
+
+}  // namespace pw::exp

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pw/fpga/resources.hpp"
+
+namespace pw::fpga {
+
+enum class Vendor { kXilinx, kIntel };
+
+enum class MemoryKind { kHbm2, kDdr };
+
+/// Calibrated model of one external-memory technology on a board.
+///
+/// `per_kernel_sustained_gbps` is the throughput one kernel's load/store
+/// infrastructure sustains against this memory for the advection access
+/// pattern (long near-contiguous bursts, mixed read/write). It is the
+/// constant that reproduces the paper's Table II efficiencies; see
+/// EXPERIMENTS.md for the derivation.
+/// `system_sustained_gbps` caps the sum over all kernels plus any PCIe DMA
+/// landing in the same memory (the Fig. 6 DDR cliff at 268M/536M cells).
+struct MemoryTech {
+  std::string name;
+  MemoryKind kind = MemoryKind::kDdr;
+  double per_kernel_sustained_gbps = 0.0;
+  double system_sustained_gbps = 0.0;
+  std::size_t capacity_bytes = 0;
+  /// Burst-efficiency knee, in doubles: efficiency = run / (run + knee)
+  /// where run is the contiguous-run length a chunk face provides. Chosen
+  /// so chunks of <= 8 columns visibly hurt (paper §III) and larger chunks
+  /// do not.
+  double burst_knee_doubles = 64.0;
+
+  double burst_efficiency(std::size_t contiguous_run_doubles) const {
+    const double run = static_cast<double>(contiguous_run_doubles);
+    return run <= 0.0 ? 0.0 : run / (run + burst_knee_doubles);
+  }
+};
+
+/// PCIe link behaviour of a board. The paper's observation that bulk-
+/// registered, chunked, event-driven transfers reach far higher utilisation
+/// than one blocking transfer (especially on the Alveo) is captured by the
+/// two utilisation points.
+struct PcieSpec {
+  double peak_gbps = 0.0;            ///< per direction, raw link rate
+  double single_stream_utilisation = 0.0;  ///< one blocking migration
+  double overlapped_utilisation = 0.0;     ///< many in-flight chunk DMAs
+  bool full_duplex = true;
+
+  double single_stream_gbps() const {
+    return peak_gbps * single_stream_utilisation;
+  }
+  double overlapped_gbps() const { return peak_gbps * overlapped_utilisation; }
+};
+
+/// A data-centre FPGA board profile.
+struct FpgaDeviceProfile {
+  std::string name;
+  Vendor vendor = Vendor::kXilinx;
+  ResourceVector resources;
+
+  double clock_single_hz = 0.0;  ///< Fmax with one kernel
+  double clock_multi_hz = 0.0;   ///< Fmax with the full kernel complement
+  std::size_t paper_kernel_count = 1;  ///< kernels the paper fitted
+
+  std::vector<MemoryTech> memories;  ///< preferred first (HBM2 on the U280)
+  PcieSpec pcie;
+
+  /// Fixed host-side overhead per kernel invocation batch (enqueue, sync).
+  double launch_overhead_s = 5e-4;
+
+  /// Picks the preferred memory that can hold `bytes` (the paper switches
+  /// the U280 from HBM2 to DDR for the two largest grids). Throws if none.
+  const MemoryTech& memory_for(std::size_t bytes) const;
+
+  /// Clock when `kernels` instances are configured.
+  double clock_hz(std::size_t kernels) const {
+    return kernels <= 1 ? clock_single_hz : clock_multi_hz;
+  }
+};
+
+/// Xilinx Alveo U280 (Vitis 2020.2), as described in paper §II.B.
+FpgaDeviceProfile alveo_u280();
+
+/// Intel Stratix 10 GX 2800 on a Bittware 520N (Quartus Prime Pro 20.4).
+FpgaDeviceProfile stratix10_520n();
+
+/// The previous-generation ADM-PCIE-8K5 (Kintex UltraScale KU115-2) from
+/// refs [6,7], used as a historical comparison point.
+FpgaDeviceProfile kintex_ku115();
+
+}  // namespace pw::fpga

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pw/fpga/device_profiles.hpp"
+
+namespace pw::fpga {
+
+/// Bank-level model of the U280's HBM2: 32 pseudo-channels, each with a
+/// fixed per-bank sustained rate. The paper follows Vitis best practice and
+/// connects each kernel's six data ports (u, v, w in; su, sv, sw out)
+/// "across all the HBM2 banks"; this model quantifies why — concentrating
+/// ports on few banks makes the bank, not the port, the bottleneck.
+struct HbmBankSystem {
+  std::size_t banks = 32;
+  double per_bank_sustained_gbps = 13.0;  ///< ~460 GB/s aggregate derated
+
+  double aggregate_gbps() const {
+    return static_cast<double>(banks) * per_bank_sustained_gbps;
+  }
+};
+
+/// How kernel ports are assigned to banks.
+enum class BankMapping {
+  kSpread,      ///< every port on its own bank (paper / best practice)
+  kPerKernel,   ///< each kernel's six ports share one bank
+  kSingleBank,  ///< everything on bank 0 (the anti-pattern)
+};
+
+std::string to_string(BankMapping mapping);
+
+/// Result of mapping `kernels` kernels x `ports_per_kernel` ports onto the
+/// banks and pushing `port_demand_gbps` through each port.
+struct BankMappingResult {
+  std::size_t busiest_bank_ports = 0;
+  double busiest_bank_demand_gbps = 0.0;
+  /// Fraction of each port's demand the busiest bank can actually serve.
+  double port_throughput_fraction = 1.0;
+  /// Effective per-kernel memory bandwidth under this mapping.
+  double per_kernel_effective_gbps = 0.0;
+};
+
+BankMappingResult evaluate_mapping(const HbmBankSystem& system,
+                                   BankMapping mapping, std::size_t kernels,
+                                   std::size_t ports_per_kernel,
+                                   double port_demand_gbps);
+
+}  // namespace pw::fpga

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+#include "pw/dataflow/rate_limiter.hpp"
+#include "pw/fpga/device_profiles.hpp"
+
+namespace pw::fpga {
+
+/// Token-bucket rate limiter realising a MemoryTech for the cycle-level
+/// simulator: each simulated cycle refills `bytes_per_cycle` tokens
+/// (sustained bandwidth x burst efficiency / clock), shared across the
+/// kernel's read and write ports. Requests beyond the balance stall.
+class MemoryRateLimiter final : public dataflow::IRateLimiter {
+public:
+  /// `contiguous_run_doubles` is the chunk-face run length the access
+  /// pattern provides (ChunkPlan::contiguous_run_doubles()).
+  MemoryRateLimiter(const MemoryTech& tech, double clock_hz,
+                    std::size_t contiguous_run_doubles,
+                    double bandwidth_share = 1.0);
+
+  bool request(std::size_t port, std::size_t bytes) override;
+  void advance_cycle() override;
+
+  double bytes_per_cycle() const noexcept { return bytes_per_cycle_; }
+
+private:
+  double bytes_per_cycle_ = 0.0;
+  double balance_ = 0.0;
+  double max_balance_ = 0.0;
+};
+
+}  // namespace pw::fpga

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/grid/geometry.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::fpga {
+
+/// Input to the analytic kernel-only performance model.
+struct KernelOnlyInput {
+  grid::GridDims dims;
+  kernel::KernelConfig config;
+  std::size_t kernels = 1;
+  double clock_hz = 300e6;
+  MemoryTech memory;
+  unsigned shift_ii = 1;
+  /// Fraction of the memory system's bandwidth available to the kernels
+  /// (reduced below 1 when overlapped PCIe DMA lands in the same memory).
+  double memory_share = 1.0;
+  /// Host-side invocation overhead added once per run.
+  double launch_overhead_s = 0.0;
+};
+
+/// Output of the analytic model.
+struct KernelOnlyResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double theoretical_gflops = 0.0;  ///< clock x 63-ish FLOPs/cycle x kernels
+  double efficiency = 0.0;          ///< gflops / theoretical
+  double beat_rate_hz = 0.0;        ///< achieved input rate per kernel
+  bool memory_bound = false;        ///< beat rate limited by memory not clock
+  std::uint64_t beats_per_kernel = 0;  ///< widest slab's streamed values
+};
+
+/// Predicts kernel-only performance (no PCIe) of `kernels` instances of the
+/// Fig. 2 design. Matches the cycle-level simulator within ~2% (validated
+/// by tests) and reproduces paper Tables I/II with the calibrated device
+/// profiles.
+///
+/// Model: each kernel streams its padded x-slab chunk by chunk at a beat
+/// rate min(clock/II, per-kernel memory limit, fair share of the system
+/// limit); time = beats / rate + per-chunk drain + launch overhead.
+KernelOnlyResult model_kernel_only(const KernelOnlyInput& input);
+
+/// Theoretical best GFLOPS of the design (paper §III): one cell per cycle,
+/// 63 FLOPs usually, 55 at the column top.
+double theoretical_gflops(std::size_t nz, double clock_hz,
+                          std::size_t kernels = 1, unsigned shift_ii = 1);
+
+/// Bytes that must cross PCIe for one advection of a grid: three input
+/// fields down, three source-term fields back (interiors only — halos are
+/// generated host-side in the paper's framing of ~800MB per 16M cells).
+struct TransferBytes {
+  std::size_t host_to_device = 0;
+  std::size_t device_to_host = 0;
+  std::size_t total() const noexcept { return host_to_device + device_to_host; }
+};
+TransferBytes transfer_bytes(const grid::GridDims& dims);
+
+/// On-device footprint: six resident fields (u, v, w, su, sv, sw) with
+/// halos, which is what must fit in HBM2/DDR (the 268M/536M cliff).
+std::size_t device_footprint_bytes(const grid::GridDims& dims);
+
+}  // namespace pw::fpga

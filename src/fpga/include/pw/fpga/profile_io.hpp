@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/util/config.hpp"
+
+namespace pw::fpga {
+
+/// Builds a device profile from a configuration file, so the explorer
+/// tools can evaluate boards beyond the paper's two. Required keys:
+///
+///   name = Example U55C
+///   vendor = xilinx | intel
+///   logic_cells = 1300000
+///   bram_kb = 4600
+///   uram_kb = 35000          # optional, default 0
+///   dsp = 9024
+///   clock_single_mhz = 300
+///   clock_multi_mhz = 300
+///   kernels = 6
+///
+///   [pcie]
+///   peak_gbps = 15.75
+///   single_util = 0.15
+///   overlap_util = 0.7
+///   duplex = true            # optional, default true
+///
+///   [memory0]                # first is preferred; memory1 optional
+///   name = HBM2
+///   kind = hbm2 | ddr
+///   per_kernel_gbps = 11.7
+///   system_gbps = 300
+///   capacity_gb = 16
+///   burst_knee = 56          # optional
+FpgaDeviceProfile profile_from_config(const util::Config& config);
+
+FpgaDeviceProfile load_profile(const std::string& path);
+
+/// Serialises a profile back to config text (round-trips through
+/// profile_from_config; used for tests and for exporting the built-ins as
+/// templates).
+std::string profile_to_config_text(const FpgaDeviceProfile& profile);
+
+}  // namespace pw::fpga

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::fpga {
+
+/// Synthesis-report-style resource estimate for one advection kernel.
+struct KernelEstimateOptions {
+  std::size_t nz = 64;            ///< column height (sizes the shift buffer)
+  bool shift_buffer_in_uram = false;  ///< the §III.A URAM experiment
+  /// Use the bespoke 8-value forwarding cache of refs [6,7] instead of the
+  /// general 27-point shift buffer (the paper's resource/complexity trade).
+  bool bespoke_cache = false;
+  /// Value width: 64 (double, the paper's configuration) or 32 (the §V
+  /// reduced-precision study — halves buffer memory and shrinks the FP
+  /// operators, notably on the Stratix 10's hard single-precision DSPs).
+  unsigned value_bits = 64;
+};
+
+/// Estimates one kernel's resource usage on a vendor's fabric. The logic
+/// figure is calibrated so a kernel occupies ~15% of the U280 / ~17% of the
+/// Stratix 10 (paper §IV); the memory figures follow directly from the
+/// shift-buffer geometry and FIFO depths.
+ResourceVector estimate_kernel(const kernel::KernelConfig& config,
+                               const KernelEstimateOptions& options,
+                               Vendor vendor);
+
+/// How many kernel instances fit on the device. `routing_margin` caps
+/// usable resources (designs beyond ~85% rarely close timing).
+std::size_t max_kernels(const FpgaDeviceProfile& device,
+                        const ResourceVector& per_kernel,
+                        double routing_margin = 0.85);
+
+}  // namespace pw::fpga

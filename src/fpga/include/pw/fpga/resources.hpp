@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pw::fpga {
+
+/// Vendor-neutral FPGA resource vector.
+///
+/// Xilinx terms map: logic_cells = LUTs, block_ram = BRAM, large_ram = URAM,
+/// dsp = DSP48 slices. Intel terms map: logic_cells = ALMs, block_ram =
+/// M20K, large_ram = 0 (no URAM analogue; MLAB is folded into block_ram for
+/// fitting purposes), dsp = variable-precision DSP blocks.
+struct ResourceVector {
+  std::uint64_t logic_cells = 0;
+  std::uint64_t block_ram_bytes = 0;
+  std::uint64_t large_ram_bytes = 0;
+  std::uint64_t dsp = 0;
+
+  ResourceVector operator+(const ResourceVector& o) const noexcept {
+    return {logic_cells + o.logic_cells,
+            block_ram_bytes + o.block_ram_bytes,
+            large_ram_bytes + o.large_ram_bytes, dsp + o.dsp};
+  }
+  ResourceVector operator*(std::uint64_t n) const noexcept {
+    return {logic_cells * n, block_ram_bytes * n, large_ram_bytes * n,
+            dsp * n};
+  }
+
+  /// True when every component of `usage` fits within this capacity scaled
+  /// by `margin` (routing congestion keeps real designs below 100%).
+  bool fits(const ResourceVector& usage, double margin = 1.0) const noexcept {
+    auto ok = [margin](std::uint64_t cap, std::uint64_t use) {
+      return static_cast<double>(use) <=
+             margin * static_cast<double>(cap);
+    };
+    return ok(logic_cells, usage.logic_cells) &&
+           ok(block_ram_bytes, usage.block_ram_bytes) &&
+           ok(large_ram_bytes, usage.large_ram_bytes) && ok(dsp, usage.dsp);
+  }
+
+  /// Largest single-resource utilisation fraction of `usage` against this
+  /// capacity (the binding constraint).
+  double utilisation(const ResourceVector& usage) const noexcept;
+};
+
+}  // namespace pw::fpga

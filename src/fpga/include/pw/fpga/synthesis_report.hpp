@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/util/table.hpp"
+
+namespace pw::fpga {
+
+/// Per-stage entry of the HLS-report-style summary (the "analysis pane"
+/// insight the paper credits the Xilinx tooling with, §III.C).
+struct StageReport {
+  std::string stage;
+  unsigned initiation_interval = 1;
+  unsigned pipeline_depth = 1;
+  ResourceVector usage;
+};
+
+/// Synthesis-style report for one kernel plus a device-level fit summary.
+struct SynthesisReport {
+  std::string top = "pw_advect_kernel";
+  std::string device;
+  Vendor vendor = Vendor::kXilinx;
+  std::vector<StageReport> stages;
+  ResourceVector total;
+  double target_clock_mhz = 0.0;
+  double estimated_fmax_mhz = 0.0;  ///< at full kernel complement
+  std::size_t kernels_fit = 0;
+
+  util::Table to_table() const;
+};
+
+/// Estimated achievable clock as a function of device utilisation — the
+/// congestion effect behind the Stratix 10's 398 MHz (one kernel) to
+/// 250 MHz (five kernels) drop; Vitis pins the U280 design at its 300 MHz
+/// target throughout (paper §IV).
+double estimate_fmax_hz(const FpgaDeviceProfile& device, double utilisation);
+
+/// Builds the per-stage report for a kernel configuration on a device.
+SynthesisReport synthesize_kernel(const kernel::KernelConfig& config,
+                                  const KernelEstimateOptions& options,
+                                  const FpgaDeviceProfile& device);
+
+}  // namespace pw::fpga

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pw::fpga {
+
+/// Forward-looking projection of the paper's §V: Xilinx Versal ACAPs carry
+/// up to 400 AI engines — vector units at ~1 GHz, each performing eight
+/// single-precision FLOPs per cycle — with the reconfigurable fabric left
+/// to "keep the engines fed with data" via the shift-buffer design.
+struct VersalProfile {
+  std::string name = "Xilinx Versal ACAP (projection)";
+  std::size_t ai_engines = 400;
+  double engine_clock_hz = 1.0e9;
+  double flops_per_engine_per_cycle = 8.0;  ///< single precision
+
+  /// The programmable-logic side: shift-buffer instances stream one cell
+  /// per fabric cycle each.
+  double fabric_clock_hz = 500e6;
+
+  /// PL -> AIE streaming interconnect: per-port sustained rate and port
+  /// budget available to this kernel.
+  std::size_t stream_ports = 32;
+  double stream_gbps_per_port = 4.0;
+};
+
+/// The three bounds of the projection and their resolution.
+struct VersalProjection {
+  double ai_peak_gflops = 0.0;        ///< engines x 8 x clock
+  double arithmetic_cells_per_s = 0;  ///< AI engines / 63 FLOPs per cell
+  double fabric_cells_per_s = 0;      ///< shift-buffer instances x Fmax
+  double feed_cells_per_s = 0;        ///< stream bandwidth / bytes per cell
+  double projected_cells_per_s = 0;   ///< min of the three
+  double projected_gflops = 0.0;      ///< x 63 (the paper's FLOP count)
+  std::string binding_constraint;
+};
+
+/// Projects kernel throughput for `shift_buffer_instances` stencil
+/// generators in the fabric feeding the AI-engine array. `fp32` halves the
+/// per-cell stream traffic (and is the arithmetic the engines natively
+/// run); fp64 is emulated at a quarter of the engine rate.
+VersalProjection project_versal(const VersalProfile& profile,
+                                std::size_t shift_buffer_instances,
+                                bool fp32);
+
+}  // namespace pw::fpga

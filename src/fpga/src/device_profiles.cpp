@@ -1,0 +1,117 @@
+#include "pw/fpga/device_profiles.hpp"
+
+#include <stdexcept>
+
+namespace pw::fpga {
+
+namespace {
+constexpr std::size_t kGiB = 1024ull * 1024 * 1024;
+constexpr std::size_t kMiB = 1024ull * 1024;
+}  // namespace
+
+const MemoryTech& FpgaDeviceProfile::memory_for(std::size_t bytes) const {
+  for (const MemoryTech& m : memories) {
+    if (bytes <= m.capacity_bytes) {
+      return m;
+    }
+  }
+  throw std::runtime_error(name + ": data set of " + std::to_string(bytes) +
+                           " bytes exceeds every on-board memory");
+}
+
+FpgaDeviceProfile alveo_u280() {
+  FpgaDeviceProfile d;
+  d.name = "Xilinx Alveo U280";
+  d.vendor = Vendor::kXilinx;
+  // Paper §II.B: 1.08M LUTs, 4.5MB BRAM, 30MB URAM, 9024 DSP slices.
+  d.resources = {1'080'000, std::size_t{45} * kMiB / 10,
+                 std::size_t{30} * kMiB, 9024};
+  // §III: 300 MHz is the Vitis default and held for one and six kernels.
+  d.clock_single_hz = 300e6;
+  d.clock_multi_hz = 300e6;
+  d.paper_kernel_count = 6;
+
+  // 8 GB HBM2 (preferred while the data fits) and 32 GB DDR4.
+  // per-kernel/system sustained rates are calibrated to Table II; see
+  // EXPERIMENTS.md ("calibration") for the back-derivation.
+  MemoryTech hbm;
+  hbm.name = "HBM2";
+  hbm.kind = MemoryKind::kHbm2;
+  hbm.capacity_bytes = 8 * kGiB;
+  hbm.per_kernel_sustained_gbps = 11.7;
+  hbm.system_sustained_gbps = 300.0;
+  hbm.burst_knee_doubles = 56.0;
+
+  MemoryTech ddr;
+  ddr.name = "DDR-DRAM";
+  ddr.kind = MemoryKind::kDdr;
+  ddr.capacity_bytes = 32 * kGiB;
+  ddr.per_kernel_sustained_gbps = 8.46;
+  ddr.system_sustained_gbps = 20.0;
+  ddr.burst_knee_doubles = 96.0;
+
+  d.memories = {hbm, ddr};
+
+  // PCIe gen3 x16. A single blocking XRT buffer migration is strikingly
+  // inefficient (the paper: transfers take ~2x the Stratix time), while
+  // many in-flight chunked DMAs approach the link rate — which is why
+  // overlap "benefits the Alveo the most" (§IV).
+  d.pcie = {15.75, 0.145, 0.66, true};
+  return d;
+}
+
+FpgaDeviceProfile stratix10_520n() {
+  FpgaDeviceProfile d;
+  d.name = "Intel Stratix 10";
+  d.vendor = Vendor::kIntel;
+  // Paper §II.B: 933,120 ALMs, 28.6MB M20K (+1.87MB MLAB), 5760 DSP.
+  d.resources = {933'120, std::size_t{286} * kMiB / 10, 0, 5760};
+  // §III/§IV: 398 MHz for a single kernel, dropping to 250 MHz for five.
+  d.clock_single_hz = 398e6;
+  d.clock_multi_hz = 250e6;
+  d.paper_kernel_count = 5;
+
+  // 32 GB DDR4 only (four channels on the 520N). The Intel tooling's
+  // automatic load-store units sustain a higher per-kernel rate than the
+  // hand-packed Alveo DDR path (83% of theoretical peak, §III.C).
+  MemoryTech ddr;
+  ddr.name = "DDR-DRAM";
+  ddr.kind = MemoryKind::kDdr;
+  ddr.capacity_bytes = 32 * kGiB;
+  ddr.per_kernel_sustained_gbps = 16.9;
+  ddr.system_sustained_gbps = 57.6;
+  ddr.burst_knee_doubles = 64.0;
+  d.memories = {ddr};
+
+  // PCIe gen3 x8: half the lanes of the U280 but a much better behaved
+  // single-stream DMA, so blocking transfers finish in about half the
+  // Alveo's time (§IV).
+  d.pcie = {7.88, 0.58, 0.90, true};
+  return d;
+}
+
+FpgaDeviceProfile kintex_ku115() {
+  FpgaDeviceProfile d;
+  d.name = "Xilinx Kintex KU115-2 (ADM-PCIE-8K5)";
+  d.vendor = Vendor::kXilinx;
+  d.resources = {663'360, std::size_t{53} * kMiB / 10, 0, 5520};
+  // Refs [6,7]: the previous-generation port clocked lower and needed
+  // eight kernels for 18.8 GFLOPS.
+  d.clock_single_hz = 210e6;
+  d.clock_multi_hz = 210e6;
+  d.paper_kernel_count = 8;
+
+  MemoryTech ddr;
+  ddr.name = "DDR-DRAM";
+  ddr.kind = MemoryKind::kDdr;
+  ddr.capacity_bytes = 16 * kGiB;
+  ddr.per_kernel_sustained_gbps = 5.6;
+  ddr.system_sustained_gbps = 15.8;
+  ddr.burst_knee_doubles = 96.0;
+  d.memories = {ddr};
+
+  d.pcie = {7.88, 0.30, 0.55, true};
+  return d;
+}
+
+}  // namespace pw::fpga

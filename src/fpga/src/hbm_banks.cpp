@@ -1,0 +1,62 @@
+#include "pw/fpga/hbm_banks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pw::fpga {
+
+std::string to_string(BankMapping mapping) {
+  switch (mapping) {
+    case BankMapping::kSpread:
+      return "spread across all banks";
+    case BankMapping::kPerKernel:
+      return "one bank per kernel";
+    case BankMapping::kSingleBank:
+      return "single bank";
+  }
+  return "?";
+}
+
+BankMappingResult evaluate_mapping(const HbmBankSystem& system,
+                                   BankMapping mapping, std::size_t kernels,
+                                   std::size_t ports_per_kernel,
+                                   double port_demand_gbps) {
+  if (system.banks == 0 || kernels == 0 || ports_per_kernel == 0) {
+    throw std::invalid_argument("evaluate_mapping: empty configuration");
+  }
+  const std::size_t total_ports = kernels * ports_per_kernel;
+
+  std::vector<std::size_t> ports_on_bank(system.banks, 0);
+  switch (mapping) {
+    case BankMapping::kSpread:
+      // Round-robin every port over every bank.
+      for (std::size_t p = 0; p < total_ports; ++p) {
+        ++ports_on_bank[p % system.banks];
+      }
+      break;
+    case BankMapping::kPerKernel:
+      for (std::size_t kernel = 0; kernel < kernels; ++kernel) {
+        ports_on_bank[kernel % system.banks] += ports_per_kernel;
+      }
+      break;
+    case BankMapping::kSingleBank:
+      ports_on_bank[0] = total_ports;
+      break;
+  }
+
+  BankMappingResult result;
+  result.busiest_bank_ports =
+      *std::max_element(ports_on_bank.begin(), ports_on_bank.end());
+  result.busiest_bank_demand_gbps =
+      static_cast<double>(result.busiest_bank_ports) * port_demand_gbps;
+  result.port_throughput_fraction =
+      result.busiest_bank_demand_gbps <= system.per_bank_sustained_gbps
+          ? 1.0
+          : system.per_bank_sustained_gbps / result.busiest_bank_demand_gbps;
+  result.per_kernel_effective_gbps = static_cast<double>(ports_per_kernel) *
+                                     port_demand_gbps *
+                                     result.port_throughput_fraction;
+  return result;
+}
+
+}  // namespace pw::fpga

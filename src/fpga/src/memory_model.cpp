@@ -1,0 +1,35 @@
+#include "pw/fpga/memory_model.hpp"
+
+#include <stdexcept>
+
+namespace pw::fpga {
+
+MemoryRateLimiter::MemoryRateLimiter(const MemoryTech& tech, double clock_hz,
+                                     std::size_t contiguous_run_doubles,
+                                     double bandwidth_share) {
+  if (clock_hz <= 0.0 || bandwidth_share <= 0.0) {
+    throw std::invalid_argument("MemoryRateLimiter: bad parameters");
+  }
+  const double sustained =
+      tech.per_kernel_sustained_gbps * 1e9 *
+      tech.burst_efficiency(contiguous_run_doubles) * bandwidth_share;
+  bytes_per_cycle_ = sustained / clock_hz;
+  // Allow short bursts of up to ~one memory word beyond steady state.
+  max_balance_ = bytes_per_cycle_ + 64.0;
+  balance_ = max_balance_;
+}
+
+bool MemoryRateLimiter::request(std::size_t /*port*/, std::size_t bytes) {
+  const double need = static_cast<double>(bytes);
+  if (balance_ < need) {
+    return false;
+  }
+  balance_ -= need;
+  return true;
+}
+
+void MemoryRateLimiter::advance_cycle() {
+  balance_ = std::min(max_balance_, balance_ + bytes_per_cycle_);
+}
+
+}  // namespace pw::fpga

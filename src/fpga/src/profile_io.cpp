@@ -1,0 +1,118 @@
+#include "pw/fpga/profile_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pw::fpga {
+
+namespace {
+
+MemoryTech memory_from(const util::Config& config, const std::string& prefix) {
+  MemoryTech memory;
+  memory.name = config.require(prefix + ".name");
+  const std::string kind = config.require(prefix + ".kind");
+  if (kind == "hbm2") {
+    memory.kind = MemoryKind::kHbm2;
+  } else if (kind == "ddr") {
+    memory.kind = MemoryKind::kDdr;
+  } else {
+    throw std::runtime_error("profile: unknown memory kind '" + kind + "'");
+  }
+  memory.per_kernel_sustained_gbps =
+      config.require_double(prefix + ".per_kernel_gbps");
+  memory.system_sustained_gbps =
+      config.require_double(prefix + ".system_gbps");
+  memory.capacity_bytes = static_cast<std::size_t>(
+      config.require_double(prefix + ".capacity_gb") * 1024.0 * 1024.0 *
+      1024.0);
+  memory.burst_knee_doubles = config.get_double(prefix + ".burst_knee", 64.0);
+  return memory;
+}
+
+}  // namespace
+
+FpgaDeviceProfile profile_from_config(const util::Config& config) {
+  FpgaDeviceProfile profile;
+  profile.name = config.require("name");
+
+  const std::string vendor = config.require("vendor");
+  if (vendor == "xilinx") {
+    profile.vendor = Vendor::kXilinx;
+  } else if (vendor == "intel") {
+    profile.vendor = Vendor::kIntel;
+  } else {
+    throw std::runtime_error("profile: unknown vendor '" + vendor + "'");
+  }
+
+  profile.resources.logic_cells =
+      static_cast<std::uint64_t>(config.require_double("logic_cells"));
+  profile.resources.block_ram_bytes =
+      static_cast<std::uint64_t>(config.require_double("bram_kb") * 1024.0);
+  profile.resources.large_ram_bytes =
+      static_cast<std::uint64_t>(config.get_double("uram_kb", 0.0) * 1024.0);
+  profile.resources.dsp =
+      static_cast<std::uint64_t>(config.require_double("dsp"));
+
+  profile.clock_single_hz = config.require_double("clock_single_mhz") * 1e6;
+  profile.clock_multi_hz = config.require_double("clock_multi_mhz") * 1e6;
+  profile.paper_kernel_count =
+      static_cast<std::size_t>(config.get_int("kernels", 1));
+
+  profile.pcie.peak_gbps = config.require_double("pcie.peak_gbps");
+  profile.pcie.single_stream_utilisation =
+      config.require_double("pcie.single_util");
+  profile.pcie.overlapped_utilisation =
+      config.require_double("pcie.overlap_util");
+  profile.pcie.full_duplex = config.get_bool("pcie.duplex", true);
+
+  profile.memories.clear();
+  for (const std::string prefix : {"memory0", "memory1"}) {
+    if (config.has(prefix + ".name")) {
+      profile.memories.push_back(memory_from(config, prefix));
+    }
+  }
+  if (profile.memories.empty()) {
+    throw std::runtime_error("profile: at least [memory0] is required");
+  }
+  return profile;
+}
+
+FpgaDeviceProfile load_profile(const std::string& path) {
+  return profile_from_config(util::Config::load(path));
+}
+
+std::string profile_to_config_text(const FpgaDeviceProfile& profile) {
+  std::ostringstream os;
+  os << "name = " << profile.name << "\n"
+     << "vendor = "
+     << (profile.vendor == Vendor::kXilinx ? "xilinx" : "intel") << "\n"
+     << "logic_cells = " << profile.resources.logic_cells << "\n"
+     << "bram_kb = " << profile.resources.block_ram_bytes / 1024 << "\n"
+     << "uram_kb = " << profile.resources.large_ram_bytes / 1024 << "\n"
+     << "dsp = " << profile.resources.dsp << "\n"
+     << "clock_single_mhz = " << profile.clock_single_hz / 1e6 << "\n"
+     << "clock_multi_mhz = " << profile.clock_multi_hz / 1e6 << "\n"
+     << "kernels = " << profile.paper_kernel_count << "\n\n"
+     << "[pcie]\n"
+     << "peak_gbps = " << profile.pcie.peak_gbps << "\n"
+     << "single_util = " << profile.pcie.single_stream_utilisation << "\n"
+     << "overlap_util = " << profile.pcie.overlapped_utilisation << "\n"
+     << "duplex = " << (profile.pcie.full_duplex ? "true" : "false") << "\n";
+  for (std::size_t m = 0; m < profile.memories.size() && m < 2; ++m) {
+    const MemoryTech& memory = profile.memories[m];
+    os << "\n[memory" << m << "]\n"
+       << "name = " << memory.name << "\n"
+       << "kind = " << (memory.kind == MemoryKind::kHbm2 ? "hbm2" : "ddr")
+       << "\n"
+       << "per_kernel_gbps = " << memory.per_kernel_sustained_gbps << "\n"
+       << "system_gbps = " << memory.system_sustained_gbps << "\n"
+       << "capacity_gb = "
+       << static_cast<double>(memory.capacity_bytes) / (1024.0 * 1024.0 *
+                                                        1024.0)
+       << "\n"
+       << "burst_knee = " << memory.burst_knee_doubles << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pw::fpga

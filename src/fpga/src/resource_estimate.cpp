@@ -1,0 +1,137 @@
+#include "pw/fpga/resource_estimate.hpp"
+
+#include <stdexcept>
+
+#include "pw/kernel/shift_buffer.hpp"
+
+namespace pw::fpga {
+
+namespace {
+
+// Double-precision operator costs (fabric DSP blocks per operator), from
+// the vendors' floating-point operator guides. Per advection stage the
+// scheme has 10 multiplies and 11 adds/subtracts (21 FLOPs).
+struct DspCosts {
+  std::uint64_t per_dmul;
+  std::uint64_t per_dadd;
+};
+
+constexpr DspCosts kXilinxDsp{10, 3};
+constexpr DspCosts kIntelDsp{8, 4};
+// Single precision: Xilinx fmul ~3 / fadd ~2 DSPs; the Stratix 10 DSP
+// block implements a hard SP multiply-add, so one each.
+constexpr DspCosts kXilinxDspF32{3, 2};
+constexpr DspCosts kIntelDspF32{1, 1};
+
+constexpr std::uint64_t kMulsPerStage = 10;
+constexpr std::uint64_t kAddsPerStage = 11;
+constexpr std::uint64_t kStages = 3;  // advect U, V, W
+
+// BRAM is allocated in blocks; round each array up.
+constexpr std::size_t kXilinxBramBlockBytes = 36 * 1024 / 8;  // BRAM36
+constexpr std::size_t kIntelBramBlockBytes = 20 * 1024 / 8;   // M20K
+
+std::size_t round_up(std::size_t bytes, std::size_t block) {
+  return (bytes + block - 1) / block * block;
+}
+
+}  // namespace
+
+ResourceVector estimate_kernel(const kernel::KernelConfig& config,
+                               const KernelEstimateOptions& options,
+                               Vendor vendor) {
+  if (options.value_bits != 64 && options.value_bits != 32) {
+    throw std::invalid_argument("estimate_kernel: value_bits must be 64 or 32");
+  }
+  const bool f32 = options.value_bits == 32;
+  const std::size_t value_bytes = options.value_bits / 8;
+  const std::size_t chunk_y = config.chunk_y == 0 ? 64 : config.chunk_y;
+  const std::size_t ny_padded = chunk_y + 2;
+  const std::size_t nz_padded = options.nz + 2;
+
+  ResourceVector usage;
+
+  // --- on-chip memory ---------------------------------------------------
+  const std::size_t block =
+      vendor == Vendor::kXilinx ? kXilinxBramBlockBytes : kIntelBramBlockBytes;
+
+  std::size_t buffer_bytes = 0;
+  if (options.bespoke_cache) {
+    // Refs [6,7]: only the 8 unique stencil values per field are cached and
+    // forwarded; storage is two z-columns plus one y-line per field.
+    const std::size_t per_field =
+        (2 * nz_padded + ny_padded + 16) * value_bytes;
+    buffer_bytes = 3 * round_up(per_field, block);
+  } else {
+    // Full 3D shift buffer (Fig. 3): per field a 3-slice slab plus three
+    // 3-wide column windows; the 3x3 arrays become registers, not RAM.
+    kernel::ShiftBuffer3D probe(ny_padded, nz_padded);
+    const std::size_t slab = probe.slab_doubles() * value_bytes;
+    const std::size_t window = probe.window_doubles() * value_bytes;
+    // array_partition by slice: each slice is its own (dual-ported) array.
+    buffer_bytes = 3 * (3 * round_up(slab / 3, block) +
+                        3 * round_up(window / 3, block));
+  }
+
+  // Inter-stage FIFOs: the stencil streams dominate (27 taps x 3 fields).
+  const std::size_t stencil_packet_bytes = 27 * 3 * value_bytes + 8;
+  const std::size_t fifo_bytes =
+      round_up(4 * config.stream_depth * stencil_packet_bytes +
+                   4 * config.stream_depth * 4 * value_bytes,
+               block);
+
+  if (options.shift_buffer_in_uram && vendor == Vendor::kXilinx) {
+    usage.large_ram_bytes = buffer_bytes;
+    usage.block_ram_bytes = fifo_bytes;
+  } else {
+    usage.block_ram_bytes = buffer_bytes + fifo_bytes;
+  }
+
+  // --- arithmetic --------------------------------------------------------
+  const DspCosts dsp = vendor == Vendor::kXilinx
+                           ? (f32 ? kXilinxDspF32 : kXilinxDsp)
+                           : (f32 ? kIntelDspF32 : kIntelDsp);
+  usage.dsp = kStages * (kMulsPerStage * dsp.per_dmul +
+                         kAddsPerStage * dsp.per_dadd);
+
+  // --- logic --------------------------------------------------------------
+  // Calibrated decomposition (paper §IV: one kernel ~15% of the chip):
+  //   control/host interface 30k; 7 pipeline stages' FSMs ~6k each;
+  //   shift-buffer address generation 8k per field; load-store units 30k;
+  //   FP operator glue ~400 cells per FLOP.
+  const std::uint64_t control = 30'000;
+  const std::uint64_t stage_fsms = 7 * 6'000;
+  const std::uint64_t addressing = 3 * 8'000;
+  const std::uint64_t lsu = 30'000;
+  const std::uint64_t fp_glue = 63 * (f32 ? 150 : 400);
+  usage.logic_cells = control + stage_fsms + addressing + lsu + fp_glue;
+  if (f32) {
+    // Narrower datapaths shrink the LSUs and stage plumbing too.
+    usage.logic_cells -= lsu / 3 + stage_fsms / 4;
+  }
+  if (vendor == Vendor::kIntel) {
+    // Each stage is a separate OpenCL kernel with its own interface logic.
+    usage.logic_cells += 7 * 1'000;
+  }
+  if (options.bespoke_cache) {
+    // The bespoke cache trades RAM for considerably more selection logic
+    // (the code-complexity cost §II.A describes).
+    usage.logic_cells += 18'000;
+  }
+  return usage;
+}
+
+std::size_t max_kernels(const FpgaDeviceProfile& device,
+                        const ResourceVector& per_kernel,
+                        double routing_margin) {
+  std::size_t n = 0;
+  while (device.resources.fits(per_kernel * (n + 1), routing_margin)) {
+    ++n;
+    if (n > 1024) {
+      break;  // degenerate estimate guard
+    }
+  }
+  return n;
+}
+
+}  // namespace pw::fpga

@@ -1,0 +1,22 @@
+#include "pw/fpga/resources.hpp"
+
+#include <algorithm>
+
+namespace pw::fpga {
+
+double ResourceVector::utilisation(const ResourceVector& usage) const noexcept {
+  double worst = 0.0;
+  auto frac = [](std::uint64_t use, std::uint64_t cap) {
+    if (cap == 0) {
+      return use == 0 ? 0.0 : 1e9;  // demand on an absent resource
+    }
+    return static_cast<double>(use) / static_cast<double>(cap);
+  };
+  worst = std::max(worst, frac(usage.logic_cells, logic_cells));
+  worst = std::max(worst, frac(usage.block_ram_bytes, block_ram_bytes));
+  worst = std::max(worst, frac(usage.large_ram_bytes, large_ram_bytes));
+  worst = std::max(worst, frac(usage.dsp, dsp));
+  return worst;
+}
+
+}  // namespace pw::fpga

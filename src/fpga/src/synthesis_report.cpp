@@ -1,0 +1,95 @@
+#include "pw/fpga/synthesis_report.hpp"
+
+#include <algorithm>
+
+namespace pw::fpga {
+
+double estimate_fmax_hz(const FpgaDeviceProfile& device, double utilisation) {
+  utilisation = std::clamp(utilisation, 0.0, 1.0);
+  if (device.vendor == Vendor::kXilinx) {
+    // Vitis closes the U280 design at its 300 MHz target across the whole
+    // kernel range the paper explored.
+    return device.clock_single_hz;
+  }
+  // Intel: linear congestion model through the paper's two data points
+  // (398 MHz at one kernel ~17% utilisation; 250 MHz at five, ~85%).
+  const double f0 = 437e6;
+  const double slope = 220e6;
+  return std::max(150e6, f0 - slope * utilisation);
+}
+
+SynthesisReport synthesize_kernel(const kernel::KernelConfig& config,
+                                  const KernelEstimateOptions& options,
+                                  const FpgaDeviceProfile& device) {
+  SynthesisReport report;
+  report.device = device.name;
+  report.vendor = device.vendor;
+  report.total = estimate_kernel(config, options, device.vendor);
+  report.target_clock_mhz = device.clock_single_hz / 1e6;
+
+  // Decompose the kernel total into the Fig. 2 stages. Fractions follow
+  // the estimator's internal make-up: buffers belong to the shift stage,
+  // DSPs to the advect stages, LSU logic to the read/write stages.
+  const auto& t = report.total;
+  auto stage = [&](std::string name, double logic_frac, double bram_frac,
+                   double dsp_frac, unsigned ii, unsigned depth) {
+    StageReport s;
+    s.stage = std::move(name);
+    s.initiation_interval = ii;
+    s.pipeline_depth = depth;
+    s.usage.logic_cells =
+        static_cast<std::uint64_t>(logic_frac * static_cast<double>(t.logic_cells));
+    s.usage.block_ram_bytes = static_cast<std::uint64_t>(
+        bram_frac * static_cast<double>(t.block_ram_bytes));
+    s.usage.large_ram_bytes = static_cast<std::uint64_t>(
+        bram_frac * static_cast<double>(t.large_ram_bytes));
+    s.usage.dsp =
+        static_cast<std::uint64_t>(dsp_frac * static_cast<double>(t.dsp));
+    report.stages.push_back(std::move(s));
+  };
+
+  const unsigned shift_ii = options.shift_buffer_in_uram ? 2 : 1;
+  // Depths: memory read latency for the IO stages; the advect stages chain
+  // ~5 double operators (mul ~8 cycles, add ~11 on Xilinx fabric).
+  stage("read_data", 0.16, 0.03, 0.0, 1, 4);
+  stage("shift_buffer", 0.24, 0.88, 0.0, shift_ii, 3);
+  stage("replicate", 0.06, 0.03, 0.0, 1, 1);
+  stage("advect_u", 0.13, 0.01, 1.0 / 3, 1, 46);
+  stage("advect_v", 0.13, 0.01, 1.0 / 3, 1, 46);
+  stage("advect_w", 0.13, 0.01, 1.0 / 3, 1, 46);
+  stage("write_data", 0.15, 0.02, 0.0, 1, 4);
+
+  const std::size_t fit = max_kernels(device, report.total);
+  report.kernels_fit = fit;
+  const double utilisation =
+      device.resources.utilisation(report.total * std::max<std::size_t>(1, fit));
+  report.estimated_fmax_mhz = estimate_fmax_hz(device, utilisation) / 1e6;
+  return report;
+}
+
+util::Table SynthesisReport::to_table() const {
+  util::Table t("Synthesis report: " + top + " on " + device);
+  t.header({"Stage", "II", "Depth", "Logic", "BRAM (KB)", "URAM (KB)",
+            "DSP"});
+  auto row = [&t](const std::string& name, unsigned ii, unsigned depth,
+                  const ResourceVector& usage) {
+    t.row({name, std::to_string(ii), std::to_string(depth),
+           std::to_string(usage.logic_cells),
+           util::format_double(static_cast<double>(usage.block_ram_bytes) /
+                                   1024.0, 0),
+           util::format_double(static_cast<double>(usage.large_ram_bytes) /
+                                   1024.0, 0),
+           std::to_string(usage.dsp)});
+  };
+  for (const StageReport& s : stages) {
+    row(s.stage, s.initiation_interval, s.pipeline_depth, s.usage);
+  }
+  row("TOTAL (kernel)", 1, 0, total);
+  t.row({"device fit", std::to_string(kernels_fit) + " kernels",
+         "Fmax " + util::format_double(estimated_fmax_mhz, 0) + " MHz",
+         "(target " + util::format_double(target_clock_mhz, 0) + ")", "", "",
+         ""});
+  return t;
+}
+
+}  // namespace pw::fpga

@@ -1,0 +1,50 @@
+#include "pw/fpga/versal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pw/advect/flops.hpp"
+
+namespace pw::fpga {
+
+VersalProjection project_versal(const VersalProfile& profile,
+                                std::size_t shift_buffer_instances,
+                                bool fp32) {
+  if (shift_buffer_instances == 0) {
+    throw std::invalid_argument("project_versal: need at least one instance");
+  }
+  VersalProjection p;
+
+  const double engine_flops = static_cast<double>(profile.ai_engines) *
+                              profile.flops_per_engine_per_cycle *
+                              profile.engine_clock_hz;
+  p.ai_peak_gflops = engine_flops / 1e9;
+
+  // fp64 on AI engines is emulated: ~4x the instruction count.
+  const double usable_flops = fp32 ? engine_flops : engine_flops / 4.0;
+  p.arithmetic_cells_per_s = usable_flops / advect::kFlopsPerCell;
+
+  p.fabric_cells_per_s =
+      static_cast<double>(shift_buffer_instances) * profile.fabric_clock_hz;
+
+  // Per cell: three field values in, three source terms out.
+  const double bytes_per_cell = 6.0 * (fp32 ? 4.0 : 8.0);
+  p.feed_cells_per_s = static_cast<double>(profile.stream_ports) *
+                       profile.stream_gbps_per_port * 1e9 / bytes_per_cell;
+
+  p.projected_cells_per_s = std::min(
+      {p.arithmetic_cells_per_s, p.fabric_cells_per_s, p.feed_cells_per_s});
+  p.projected_gflops =
+      p.projected_cells_per_s * advect::kFlopsPerCell / 1e9;
+
+  if (p.projected_cells_per_s == p.arithmetic_cells_per_s) {
+    p.binding_constraint = "AI-engine arithmetic";
+  } else if (p.projected_cells_per_s == p.fabric_cells_per_s) {
+    p.binding_constraint = "fabric shift-buffer instances";
+  } else {
+    p.binding_constraint = "PL->AIE stream bandwidth";
+  }
+  return p;
+}
+
+}  // namespace pw::fpga

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/grid/geometry.hpp"
+
+namespace pw::gpu {
+
+/// Model of the paper's GPU comparator: an NVIDIA Tesla V100 running the
+/// OpenACC MONC advection port of ref [13] (PGI 20.9), using CUDA streams
+/// for transfer/compute overlap.
+struct GpuProfile {
+  std::string name = "NVIDIA Tesla V100";
+  /// Kernel-only throughput, paper Table I (whole-GPU, 16M cells).
+  double kernel_gflops = 367.2;
+  std::size_t memory_bytes = std::size_t{16} * 1024 * 1024 * 1024;
+  fpga::PcieSpec pcie{15.75, 0.72, 0.90, true};
+  double launch_overhead_s = 4e-3;   ///< context + first-launch cost per run
+  double kernel_dispatch_s = 1e-4;   ///< per chunk kernel launch
+  double dma_setup_s = 3e-5;         ///< per chunk cudaMemcpyAsync
+};
+
+GpuProfile tesla_v100();
+
+/// Device footprint: six resident fields (no halo padding in the OpenACC
+/// port's data region). The 536M-cell case needs 25.8GB and does not fit —
+/// the missing bar in the paper's Figs. 5/6.
+std::size_t gpu_footprint_bytes(const grid::GridDims& dims);
+
+bool fits_on_gpu(const GpuProfile& gpu, const grid::GridDims& dims);
+
+/// Kernel-only seconds for one advection pass of `dims`.
+double gpu_compute_seconds(const GpuProfile& gpu, const grid::GridDims& dims);
+
+}  // namespace pw::gpu

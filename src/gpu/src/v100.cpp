@@ -1,0 +1,23 @@
+#include "pw/gpu/v100.hpp"
+
+#include "pw/advect/flops.hpp"
+
+namespace pw::gpu {
+
+GpuProfile tesla_v100() { return {}; }
+
+std::size_t gpu_footprint_bytes(const grid::GridDims& dims) {
+  return 6 * dims.cells() * sizeof(double);
+}
+
+bool fits_on_gpu(const GpuProfile& gpu, const grid::GridDims& dims) {
+  return gpu_footprint_bytes(dims) <= gpu.memory_bytes;
+}
+
+double gpu_compute_seconds(const GpuProfile& gpu,
+                           const grid::GridDims& dims) {
+  return static_cast<double>(advect::total_flops(dims)) /
+         (gpu.kernel_gflops * 1e9);
+}
+
+}  // namespace pw::gpu

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+
+#include "pw/grid/field3d.hpp"
+
+namespace pw::grid {
+
+/// Result of comparing two fields' interiors.
+struct FieldDiff {
+  double max_abs = 0.0;       ///< max |a - b|
+  double max_rel = 0.0;       ///< max |a - b| / max(|a|, |b|, 1e-300)
+  std::size_t mismatches = 0; ///< cells where the values are not bit-equal
+  std::size_t first_i = 0, first_j = 0, first_k = 0;  ///< first mismatch
+
+  bool bit_equal() const noexcept { return mismatches == 0; }
+};
+
+/// Compares interiors (halos excluded). Shapes must match.
+FieldDiff compare_interior(const FieldD& a, const FieldD& b);
+
+/// Sum over the interior (used by conservation property tests).
+double interior_sum(const FieldD& f);
+
+/// Order-independent interior checksum (sum of bit patterns), useful for
+/// detecting any change at all regardless of FP reassociation.
+std::uint64_t interior_checksum(const FieldD& f);
+
+}  // namespace pw::grid

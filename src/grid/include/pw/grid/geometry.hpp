@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pw::grid {
+
+/// Interior dimensions of a MONC-style grid. The coordinate system follows
+/// the paper (Fig. 4): z is vertical (fastest-varying in memory, index k),
+/// y horizontal (index j), x "diagonal" (slowest, index i).
+struct GridDims {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 0;
+
+  std::size_t cells() const noexcept { return nx * ny * nz; }
+  bool operator==(const GridDims&) const = default;
+};
+
+/// Standard evaluation grids from the paper. MONC's default column height is
+/// 64, which all the paper's problem sizes use; the horizontal extent grows.
+///   1M   = 128x128x64        16M  = 512x512x64
+///   4M   = 256x256x64        67M  = 1024x1024x64
+///   268M = 2048x2048x64      536M = 4096x2048x64
+GridDims paper_grid(std::size_t approx_million_cells);
+
+/// Vertical column description: level spacings and a reference density
+/// profile (MONC uses an anelastic reference state; a constant profile
+/// reduces the z coefficients to 0.25/dz).
+class VerticalGrid {
+public:
+  /// Uniform spacing `dz` over `nz` levels with constant unit density.
+  static VerticalGrid uniform(std::size_t nz, double dz);
+
+  /// Smoothly stretched spacing (grid refined near the surface, as LES
+  /// configurations commonly are): dz(k) = dz0 * (1 + stretch * k / nz).
+  static VerticalGrid stretched(std::size_t nz, double dz0, double stretch);
+
+  std::size_t nz() const noexcept { return dz_.size(); }
+  double dz(std::size_t k) const { return dz_.at(k); }
+  double rho(std::size_t k) const { return rho_.at(k); }      ///< at w levels
+  double rhon(std::size_t k) const { return rhon_.at(k); }    ///< at p levels
+
+  /// Replaces the density profiles (sizes must equal nz).
+  void set_density(std::vector<double> rho, std::vector<double> rhon);
+
+private:
+  std::vector<double> dz_;
+  std::vector<double> rho_;
+  std::vector<double> rhon_;
+};
+
+/// Full grid geometry: interior dims plus horizontal spacings and the
+/// vertical column.
+struct Geometry {
+  GridDims dims;
+  double dx = 1.0;
+  double dy = 1.0;
+  VerticalGrid vertical = VerticalGrid::uniform(1, 1.0);
+
+  static Geometry uniform(GridDims dims, double dx, double dy, double dz) {
+    Geometry g;
+    g.dims = dims;
+    g.dx = dx;
+    g.dy = dy;
+    g.vertical = VerticalGrid::uniform(dims.nz, dz);
+    return g;
+  }
+};
+
+}  // namespace pw::grid

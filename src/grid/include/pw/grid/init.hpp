@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pw/grid/field3d.hpp"
+#include "pw/grid/geometry.hpp"
+
+namespace pw::grid {
+
+/// A full prognostic wind state: the three velocity components the PW
+/// advection scheme reads (on an Arakawa-C staggering, which only affects
+/// which neighbours the scheme combines, not the storage layout).
+struct WindState {
+  FieldD u;
+  FieldD v;
+  FieldD w;
+
+  explicit WindState(GridDims dims, std::size_t halo = 1)
+      : u(dims, halo), v(dims, halo), w(dims, halo) {}
+};
+
+/// Fills u/v/w interiors with uniform random values in [-1, 1); deterministic
+/// in `seed`. Halos are then made periodic in x/y and zeroed in z.
+void init_random(WindState& state, std::uint64_t seed);
+
+/// Smooth, fully periodic, divergence-free field (a Taylor–Green-like
+/// vortex extruded with a vertical mode). Because the continuous field is
+/// divergence-free and periodic, the PW scheme's conservation property is
+/// testable on it.
+void init_taylor_green(WindState& state, double amplitude = 1.0);
+
+/// Constant wind everywhere (advection of a uniform field must produce
+/// zero horizontal source terms; a useful analytic check).
+void init_constant(WindState& state, double u0, double v0, double w0);
+
+/// Refreshes halos: periodic in x and y, zero above the lid and below the
+/// surface (the scheme's vertical boundary treatment).
+void refresh_halos(WindState& state);
+
+}  // namespace pw::grid

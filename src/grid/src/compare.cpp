@@ -1,0 +1,70 @@
+#include "pw/grid/compare.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "pw/util/stats.hpp"
+
+namespace pw::grid {
+
+FieldDiff compare_interior(const FieldD& a, const FieldD& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("compare_interior: shape mismatch");
+  }
+  FieldDiff diff;
+  for (std::size_t i = 0; i < a.nx(); ++i) {
+    for (std::size_t j = 0; j < a.ny(); ++j) {
+      for (std::size_t k = 0; k < a.nz(); ++k) {
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        const double va = a.at(ii, jj, kk);
+        const double vb = b.at(ii, jj, kk);
+        if (std::bit_cast<std::uint64_t>(va) !=
+            std::bit_cast<std::uint64_t>(vb)) {
+          if (diff.mismatches == 0) {
+            diff.first_i = i;
+            diff.first_j = j;
+            diff.first_k = k;
+          }
+          ++diff.mismatches;
+        }
+        diff.max_abs = std::max(diff.max_abs, std::fabs(va - vb));
+        diff.max_rel =
+            std::max(diff.max_rel, util::relative_difference(va, vb));
+      }
+    }
+  }
+  return diff;
+}
+
+double interior_sum(const FieldD& f) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < f.nx(); ++i) {
+    for (std::size_t j = 0; j < f.ny(); ++j) {
+      for (std::size_t k = 0; k < f.nz(); ++k) {
+        sum += f.at(static_cast<std::ptrdiff_t>(i),
+                    static_cast<std::ptrdiff_t>(j),
+                    static_cast<std::ptrdiff_t>(k));
+      }
+    }
+  }
+  return sum;
+}
+
+std::uint64_t interior_checksum(const FieldD& f) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < f.nx(); ++i) {
+    for (std::size_t j = 0; j < f.ny(); ++j) {
+      for (std::size_t k = 0; k < f.nz(); ++k) {
+        sum += std::bit_cast<std::uint64_t>(
+            f.at(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j),
+                 static_cast<std::ptrdiff_t>(k)));
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace pw::grid

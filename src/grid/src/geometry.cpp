@@ -1,0 +1,62 @@
+#include "pw/grid/geometry.hpp"
+
+namespace pw::grid {
+
+GridDims paper_grid(std::size_t approx_million_cells) {
+  // All paper configurations use MONC's default column height of 64.
+  switch (approx_million_cells) {
+    case 1:
+      return {128, 128, 64};
+    case 4:
+      return {256, 256, 64};
+    case 16:
+      return {512, 512, 64};
+    case 67:
+      return {1024, 1024, 64};
+    case 268:
+      return {2048, 2048, 64};
+    case 536:
+      return {4096, 2048, 64};
+    default:
+      throw std::invalid_argument(
+          "paper_grid: expected one of 1, 4, 16, 67, 268, 536 (million cells)");
+  }
+}
+
+VerticalGrid VerticalGrid::uniform(std::size_t nz, double dz) {
+  if (nz == 0 || dz <= 0.0) {
+    throw std::invalid_argument("VerticalGrid::uniform: invalid parameters");
+  }
+  VerticalGrid g;
+  g.dz_.assign(nz, dz);
+  g.rho_.assign(nz, 1.0);
+  g.rhon_.assign(nz, 1.0);
+  return g;
+}
+
+VerticalGrid VerticalGrid::stretched(std::size_t nz, double dz0,
+                                     double stretch) {
+  if (nz == 0 || dz0 <= 0.0 || stretch < 0.0) {
+    throw std::invalid_argument("VerticalGrid::stretched: invalid parameters");
+  }
+  VerticalGrid g;
+  g.dz_.resize(nz);
+  for (std::size_t k = 0; k < nz; ++k) {
+    g.dz_[k] = dz0 * (1.0 + stretch * static_cast<double>(k) /
+                                static_cast<double>(nz));
+  }
+  g.rho_.assign(nz, 1.0);
+  g.rhon_.assign(nz, 1.0);
+  return g;
+}
+
+void VerticalGrid::set_density(std::vector<double> rho,
+                               std::vector<double> rhon) {
+  if (rho.size() != dz_.size() || rhon.size() != dz_.size()) {
+    throw std::invalid_argument("VerticalGrid::set_density: size mismatch");
+  }
+  rho_ = std::move(rho);
+  rhon_ = std::move(rhon);
+}
+
+}  // namespace pw::grid

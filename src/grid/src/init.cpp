@@ -1,0 +1,99 @@
+#include "pw/grid/init.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "pw/util/rng.hpp"
+
+namespace pw::grid {
+
+namespace {
+
+void zero_z_halo(FieldD& f) {
+  const auto h = static_cast<std::ptrdiff_t>(f.halo());
+  const auto nx = static_cast<std::ptrdiff_t>(f.nx());
+  const auto ny = static_cast<std::ptrdiff_t>(f.ny());
+  const auto nz = static_cast<std::ptrdiff_t>(f.nz());
+  for (std::ptrdiff_t i = -h; i < nx + h; ++i) {
+    for (std::ptrdiff_t j = -h; j < ny + h; ++j) {
+      for (std::ptrdiff_t d = 1; d <= h; ++d) {
+        f.at(i, j, -d) = 0.0;
+        f.at(i, j, nz + d - 1) = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void refresh_halos(WindState& state) {
+  for (FieldD* f : {&state.u, &state.v, &state.w}) {
+    f->exchange_halo_periodic_xy();
+    zero_z_halo(*f);
+  }
+}
+
+void init_random(WindState& state, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (FieldD* f : {&state.u, &state.v, &state.w}) {
+    for (std::size_t i = 0; i < f->nx(); ++i) {
+      for (std::size_t j = 0; j < f->ny(); ++j) {
+        for (std::size_t k = 0; k < f->nz(); ++k) {
+          f->at(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j),
+                static_cast<std::ptrdiff_t>(k)) = rng.uniform(-1.0, 1.0);
+        }
+      }
+    }
+  }
+  refresh_halos(state);
+}
+
+void init_taylor_green(WindState& state, double amplitude) {
+  using std::numbers::pi;
+  const auto nx = state.u.nx();
+  const auto ny = state.u.ny();
+  const auto nz = state.u.nz();
+  // u =  A cos(2*pi*x) sin(2*pi*y) g(z)
+  // v = -A sin(2*pi*x) cos(2*pi*y) g(z)
+  // w = 0
+  // => du/dx + dv/dy + dw/dz = 0 in the continuum.
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double x = (static_cast<double>(i) + 0.5) / static_cast<double>(nx);
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double y =
+          (static_cast<double>(j) + 0.5) / static_cast<double>(ny);
+      for (std::size_t k = 0; k < nz; ++k) {
+        const double z =
+            (static_cast<double>(k) + 0.5) / static_cast<double>(nz);
+        const double gz = 1.0 + 0.5 * std::sin(2.0 * pi * z);
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        state.u.at(ii, jj, kk) =
+            amplitude * std::cos(2.0 * pi * x) * std::sin(2.0 * pi * y) * gz;
+        state.v.at(ii, jj, kk) =
+            -amplitude * std::sin(2.0 * pi * x) * std::cos(2.0 * pi * y) * gz;
+        state.w.at(ii, jj, kk) = 0.0;
+      }
+    }
+  }
+  refresh_halos(state);
+}
+
+void init_constant(WindState& state, double u0, double v0, double w0) {
+  for (std::size_t i = 0; i < state.u.nx(); ++i) {
+    for (std::size_t j = 0; j < state.u.ny(); ++j) {
+      for (std::size_t k = 0; k < state.u.nz(); ++k) {
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        state.u.at(ii, jj, kk) = u0;
+        state.v.at(ii, jj, kk) = v0;
+        state.w.at(ii, jj, kk) = w0;
+      }
+    }
+  }
+  refresh_halos(state);
+}
+
+}  // namespace pw::grid

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace pw::hls {
+
+/// Signed Q-format fixed-point value in a 64-bit word with `FracBits`
+/// fractional bits — the `ap_fixed`-style arithmetic of the paper's §V
+/// future-work item ("exploring the role of reduced precision and fixed
+/// point arithmetic"). Multiplication uses a 128-bit intermediate with
+/// truncation toward negative infinity (the FPGA-cheap rounding mode).
+template <int FracBits>
+class Fixed {
+  static_assert(FracBits > 0 && FracBits < 63);
+
+public:
+  static constexpr int kFracBits = FracBits;
+  static constexpr int kIntBits = 63 - FracBits;
+
+  constexpr Fixed() = default;
+
+  /// Converts from double (saturating at the representable range).
+  static Fixed from_double(double value) {
+    const double scaled = value * scale();
+    constexpr double max_raw =
+        static_cast<double>(std::numeric_limits<std::int64_t>::max());
+    if (scaled >= max_raw) {
+      return from_raw(std::numeric_limits<std::int64_t>::max());
+    }
+    if (scaled <= -max_raw) {
+      return from_raw(std::numeric_limits<std::int64_t>::min());
+    }
+    return from_raw(static_cast<std::int64_t>(std::llround(scaled)));
+  }
+
+  static constexpr Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  double to_double() const { return static_cast<double>(raw_) / scale(); }
+  std::int64_t raw() const noexcept { return raw_; }
+
+  /// Smallest representable step.
+  static double epsilon() { return 1.0 / scale(); }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  constexpr Fixed operator-() const { return from_raw(-raw_); }
+
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    const __int128 wide =
+        static_cast<__int128>(a.raw_) * static_cast<__int128>(b.raw_);
+    return from_raw(static_cast<std::int64_t>(wide >> FracBits));
+  }
+
+  Fixed& operator+=(Fixed other) {
+    raw_ += other.raw_;
+    return *this;
+  }
+  Fixed& operator-=(Fixed other) {
+    raw_ -= other.raw_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+private:
+  static constexpr double scale() {
+    return static_cast<double>(std::int64_t{1} << FracBits);
+  }
+  std::int64_t raw_ = 0;
+};
+
+/// Q20.43: +/-2^20 range with ~1.1e-13 resolution — comfortably covers
+/// atmospheric wind speeds and the PW scheme's intermediate products.
+using FixedQ43 = Fixed<43>;
+
+/// Q31.32: the classic 32.32 split; coarser (2.3e-10) but cheap to route.
+using FixedQ32 = Fixed<32>;
+
+}  // namespace pw::hls

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <type_traits>
+
+namespace pw::hls {
+
+/// Uniform conversions between the host's double fields and a kernel's
+/// internal value type (double, float, or a Fixed<> format) — the casts an
+/// FPGA kernel performs at its load and store units.
+template <typename T>
+T to_value(double value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(value);
+  } else {
+    return T::from_double(value);
+  }
+}
+
+template <typename T>
+double from_value(T value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<double>(value);
+  } else {
+    return value.to_double();
+  }
+}
+
+}  // namespace pw::hls

@@ -1,0 +1,43 @@
+#pragma once
+
+/// HLS pragma annotations.
+///
+/// On a real toolchain these lines are `#pragma HLS ...` (Vitis) or
+/// attribute/qualifier spellings (Quartus OpenCL). Here they expand to
+/// nothing but keep the kernel sources carrying the same tuning intent the
+/// paper describes, in greppable form — the documentation value of pragmas
+/// without a synthesiser. Each macro names the vendor construct it stands
+/// for.
+
+// Vitis HLS style ---------------------------------------------------------
+
+/// #pragma HLS dataflow — every function in scope runs concurrently.
+#define PW_HLS_DATAFLOW
+
+/// #pragma HLS pipeline II=<n>
+#define PW_HLS_PIPELINE_II(n)
+
+/// #pragma HLS array_partition variable=<v> <kind> factor=<f> dim=<d>
+#define PW_HLS_ARRAY_PARTITION(v, kind, f, d)
+
+/// #pragma HLS bind_storage variable=<v> type=ram_2p impl=<bram|uram>
+#define PW_HLS_BIND_STORAGE(v, impl)
+
+/// #pragma HLS interface m_axi port=<p> bundle=<b> — external port mapping
+/// (the paper binds bundles across all HBM2 banks).
+#define PW_HLS_INTERFACE_M_AXI(p, bundle)
+
+/// #pragma HLS stream variable=<v> depth=<d>
+#define PW_HLS_STREAM(v, d)
+
+// Intel OpenCL style ------------------------------------------------------
+
+/// __attribute__((numbanks(n), bankwidth(w))) — the banking qualifiers the
+/// paper tried before splitting the dimension-3 arrays manually (§III.B).
+#define PW_INTEL_NUMBANKS(n, w)
+
+/// channel declaration depth hint.
+#define PW_INTEL_CHANNEL_DEPTH(d)
+
+/// #pragma ivdep — assert no loop-carried memory dependency.
+#define PW_INTEL_IVDEP

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace pw::hls {
+
+/// A length-N shift register of T. HLS tools map small fixed arrays with
+/// shift access patterns onto registers (the paper notes the 3x3 arrays of
+/// the shift buffer are implemented as registers by both Vitis and Quartus).
+template <typename T, std::size_t N>
+class ShiftRegister {
+public:
+  static_assert(N > 0);
+
+  /// Shifts every element one place towards index N-1 and inserts `value`
+  /// at index 0. Returns the element shifted out.
+  T shift_in(T value) {
+    T out = data_[N - 1];
+    for (std::size_t i = N - 1; i > 0; --i) {
+      data_[i] = data_[i - 1];
+    }
+    data_[0] = value;
+    return out;
+  }
+
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) { return data_[i]; }
+
+  static constexpr std::size_t size() { return N; }
+
+private:
+  std::array<T, N> data_{};
+};
+
+}  // namespace pw::hls

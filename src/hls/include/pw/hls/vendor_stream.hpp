@@ -1,0 +1,85 @@
+#pragma once
+
+#include <optional>
+
+#include "pw/dataflow/stream.hpp"
+
+namespace pw::hls {
+
+/// Xilinx-HLS-flavoured stream facade: the `hls::stream<T>` API surface
+/// (read/write/empty) over the library's blocking Stream. Used by the
+/// Xilinx-style kernel frontend so that frontend reads like Vitis HLS code.
+template <typename T>
+class XilinxStream {
+public:
+  explicit XilinxStream(std::size_t depth = 16) : stream_(depth) {}
+
+  void write(T value) { stream_.push(std::move(value)); }
+
+  /// Blocking read; throws once end-of-stream is reached (HLS streams have
+  /// no EOS — our frontends send exact element counts so this never fires
+  /// in a correct design).
+  T read() {
+    auto value = stream_.pop();
+    if (!value) {
+      throw std::logic_error("XilinxStream::read past end of stream");
+    }
+    return std::move(*value);
+  }
+
+  bool read_nb(T& out) {
+    auto value = stream_.try_pop();
+    if (!value) {
+      return false;
+    }
+    out = std::move(*value);
+    return true;
+  }
+
+  bool empty() const { return stream_.size() == 0; }
+
+  void close() { stream_.close(); }
+
+private:
+  dataflow::Stream<T> stream_;
+};
+
+/// Intel-OpenCL-flavoured channel facade: `read_channel_intel` /
+/// `write_channel_intel` free functions over a channel object. Used by the
+/// Intel-style kernel frontend so that frontend reads like Quartus OpenCL.
+template <typename T>
+class IntelChannel {
+public:
+  explicit IntelChannel(std::size_t depth = 16) : stream_(depth) {}
+
+  dataflow::Stream<T>& raw() { return stream_; }
+
+private:
+  dataflow::Stream<T> stream_;
+};
+
+template <typename T>
+void write_channel_intel(IntelChannel<T>& channel, T value) {
+  channel.raw().push(std::move(value));
+}
+
+template <typename T>
+T read_channel_intel(IntelChannel<T>& channel) {
+  auto value = channel.raw().pop();
+  if (!value) {
+    throw std::logic_error("read_channel_intel past end of channel");
+  }
+  return std::move(*value);
+}
+
+template <typename T>
+bool read_channel_nb_intel(IntelChannel<T>& channel, T& out) {
+  auto value = channel.raw().try_pop();
+  if (!value) {
+    return false;
+  }
+  out = std::move(*value);
+  return true;
+}
+
+}  // namespace pw::hls

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+namespace pw::hls {
+
+/// A fixed-width external-memory word holding `Lanes` doubles. The paper's
+/// Xilinx implementation packs accesses to 512 bits (8 doubles) following
+/// Vitis best practice; the count of partially filled words models the
+/// wasted bandwidth of unaligned chunk faces.
+template <std::size_t Lanes>
+struct WideWord {
+  static_assert(Lanes > 0);
+  static constexpr std::size_t kLanes = Lanes;
+  static constexpr std::size_t kBits = Lanes * 64;
+
+  std::array<double, Lanes> lane{};
+  /// Number of valid lanes (< Lanes only for the final word of a burst).
+  std::size_t valid = Lanes;
+
+  double& operator[](std::size_t i) { return lane[i]; }
+  double operator[](std::size_t i) const { return lane[i]; }
+};
+
+/// 512-bit word, the Alveo external-access width used in the paper.
+using Word512 = WideWord<8>;
+
+/// Packs a contiguous run of doubles into wide words; the last word may be
+/// partially valid. Returns the number of words written.
+template <std::size_t Lanes>
+std::size_t pack_words(std::span<const double> values,
+                       std::span<WideWord<Lanes>> out) {
+  const std::size_t words = (values.size() + Lanes - 1) / Lanes;
+  if (out.size() < words) {
+    throw std::invalid_argument("pack_words: output too small");
+  }
+  for (std::size_t w = 0; w < words; ++w) {
+    WideWord<Lanes>& word = out[w];
+    word.valid = std::min(Lanes, values.size() - w * Lanes);
+    for (std::size_t l = 0; l < Lanes; ++l) {
+      word.lane[l] = l < word.valid ? values[w * Lanes + l] : 0.0;
+    }
+  }
+  return words;
+}
+
+/// Unpacks wide words back into a contiguous run. Returns doubles written.
+template <std::size_t Lanes>
+std::size_t unpack_words(std::span<const WideWord<Lanes>> words,
+                         std::span<double> out) {
+  std::size_t n = 0;
+  for (const auto& word : words) {
+    if (word.valid > Lanes) {
+      throw std::invalid_argument("unpack_words: corrupt word");
+    }
+    if (out.size() < n + word.valid) {
+      throw std::invalid_argument("unpack_words: output too small");
+    }
+    for (std::size_t l = 0; l < word.valid; ++l) {
+      out[n + l] = word.lane[l];
+    }
+    n += word.valid;
+  }
+  return n;
+}
+
+/// Number of wide words needed to carry `count` doubles.
+template <std::size_t Lanes>
+constexpr std::size_t words_for(std::size_t count) {
+  return (count + Lanes - 1) / Lanes;
+}
+
+}  // namespace pw::hls

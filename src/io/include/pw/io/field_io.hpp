@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pw/grid/field3d.hpp"
+#include "pw/grid/init.hpp"
+
+namespace pw::io {
+
+/// Simple versioned binary snapshot format for fields ("PWF1"): header
+/// (magic, dims, halo) followed by the raw padded data. Used for
+/// checkpointing model runs and for golden-file regression tests.
+/// Little-endian host order (this is a single-machine format, not an
+/// archival one).
+
+/// Serialises a field (including halos) to a stream.
+void write_field(const grid::FieldD& field, std::ostream& os);
+
+/// Deserialises a field; throws std::runtime_error on bad magic,
+/// truncation, or absurd dimensions.
+grid::FieldD read_field(std::istream& is);
+
+/// File wrappers.
+void save_field(const grid::FieldD& field, const std::string& path);
+grid::FieldD load_field(const std::string& path);
+
+/// Wind-state snapshots: three fields in one stream (u, v, w).
+void write_state(const grid::WindState& state, std::ostream& os);
+grid::WindState read_state(std::istream& is);
+void save_state(const grid::WindState& state, const std::string& path);
+grid::WindState load_state(const std::string& path);
+
+}  // namespace pw::io

@@ -1,0 +1,123 @@
+#include "pw/io/field_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace pw::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'W', 'F', '1'};
+constexpr std::uint64_t kMaxDim = 1ull << 40;
+
+struct Header {
+  char magic[4];
+  std::uint64_t nx, ny, nz, halo;
+};
+
+void write_header(const grid::FieldD& field, std::ostream& os) {
+  Header h;
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.nx = field.nx();
+  h.ny = field.ny();
+  h.nz = field.nz();
+  h.halo = field.halo();
+  os.write(reinterpret_cast<const char*>(&h), sizeof h);
+}
+
+Header read_header(std::istream& is) {
+  Header h;
+  is.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!is || std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("field_io: bad magic or truncated header");
+  }
+  if (h.nx == 0 || h.ny == 0 || h.nz == 0 || h.nx > kMaxDim ||
+      h.ny > kMaxDim || h.nz > kMaxDim || h.halo > 16) {
+    throw std::runtime_error("field_io: implausible header");
+  }
+  return h;
+}
+
+}  // namespace
+
+void write_field(const grid::FieldD& field, std::ostream& os) {
+  write_header(field, os);
+  const auto raw = field.raw();
+  os.write(reinterpret_cast<const char*>(raw.data()),
+           static_cast<std::streamsize>(raw.size() * sizeof(double)));
+  if (!os) {
+    throw std::runtime_error("field_io: write failed");
+  }
+}
+
+grid::FieldD read_field(std::istream& is) {
+  const Header h = read_header(is);
+  grid::FieldD field(
+      {static_cast<std::size_t>(h.nx), static_cast<std::size_t>(h.ny),
+       static_cast<std::size_t>(h.nz)},
+      static_cast<std::size_t>(h.halo));
+  auto raw = field.raw();
+  is.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size() * sizeof(double)));
+  if (!is || is.gcount() !=
+                 static_cast<std::streamsize>(raw.size() * sizeof(double))) {
+    throw std::runtime_error("field_io: truncated data");
+  }
+  return field;
+}
+
+void save_field(const grid::FieldD& field, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("field_io: cannot open " + path);
+  }
+  write_field(field, os);
+}
+
+grid::FieldD load_field(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("field_io: cannot open " + path);
+  }
+  return read_field(is);
+}
+
+void write_state(const grid::WindState& state, std::ostream& os) {
+  write_field(state.u, os);
+  write_field(state.v, os);
+  write_field(state.w, os);
+}
+
+grid::WindState read_state(std::istream& is) {
+  grid::FieldD u = read_field(is);
+  grid::FieldD v = read_field(is);
+  grid::FieldD w = read_field(is);
+  if (!u.same_shape(v) || !u.same_shape(w)) {
+    throw std::runtime_error("field_io: state fields have mixed shapes");
+  }
+  grid::WindState state(u.dims(), u.halo());
+  state.u = std::move(u);
+  state.v = std::move(v);
+  state.w = std::move(w);
+  return state;
+}
+
+void save_state(const grid::WindState& state, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("field_io: cannot open " + path);
+  }
+  write_state(state, os);
+}
+
+grid::WindState load_state(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("field_io: cannot open " + path);
+  }
+  return read_state(is);
+}
+
+}  // namespace pw::io

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/dataflow/engine.hpp"
+#include "pw/dataflow/rate_limiter.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::kernel {
+
+/// Configuration of the cycle-accurate pipeline simulation.
+struct CycleSimConfig {
+  KernelConfig kernel;
+
+  /// Initiation interval of the shift-buffer stage. 1 models BRAM (the
+  /// production design); 2 models the URAM experiment of paper §III.A,
+  /// where the two-cycle access latency forced a new iteration only every
+  /// other cycle and halved throughput.
+  unsigned shift_ii = 1;
+
+  /// Optional external-memory gate (nullptr = ideal memory). Port 0 is the
+  /// read stage; port 1 the write stage. Each beat moves 24 bytes per port
+  /// (three double-precision fields).
+  dataflow::IRateLimiter* memory = nullptr;
+
+  std::size_t fifo_depth = 4;
+
+  /// Capture a per-stage waveform for the first N cycles (0 = off); see
+  /// dataflow::render_trace.
+  std::uint64_t trace_cycles = 0;
+};
+
+/// Result of a cycle simulation: the engine report plus throughput derived
+/// from it. The functional output lands in the SourceTerms passed in, so
+/// correctness and timing come from one run.
+struct CycleSimResult {
+  dataflow::SimReport report;
+  std::size_t cells = 0;
+
+  /// Cells retired per cycle (1.0 = the design goal of II=1).
+  double cells_per_cycle() const {
+    return report.cycles == 0
+               ? 0.0
+               : static_cast<double>(cells) / static_cast<double>(report.cycles);
+  }
+};
+
+/// Runs the Fig. 2 pipeline one clock cycle at a time through the
+/// CycleEngine: read -> shift buffer -> replicate -> advect U/V/W -> write,
+/// each hop a depth-bounded SimStream. Validates the analytic performance
+/// model and reproduces the II ablations. Intended for small grids (it is
+/// ~100x slower than the fused path).
+CycleSimResult run_kernel_cycle_sim(const grid::WindState& state,
+                                    const advect::PwCoefficients& coefficients,
+                                    advect::SourceTerms& out,
+                                    const CycleSimConfig& config,
+                                    std::optional<XRange> xrange = std::nullopt);
+
+/// Multi-kernel cycle simulation: `kernels` complete pipelines, each owning
+/// an x-slab, all ticked in the same simulated clock domain and (when
+/// `config.memory` is set) contending for the *same* rate limiter — the
+/// cycle-level ground truth for the perf model's system-bandwidth sharing
+/// (the Fig. 5/6 DDR behaviour). Functionally bit-exact as ever.
+CycleSimResult run_multi_kernel_cycle_sim(
+    const grid::WindState& state,
+    const advect::PwCoefficients& coefficients, advect::SourceTerms& out,
+    const CycleSimConfig& config, std::size_t kernels);
+
+}  // namespace pw::kernel

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::kernel {
+
+/// Single-threaded execution of the full dataflow design: the read raster,
+/// the three shift buffers, the three advection computations and the write-
+/// back run as one fused loop. This is the exact datapath of the vendor
+/// frontends without thread scheduling — the fast functional path used for
+/// larger grids and for chunk-equivalence testing.
+///
+/// `xrange` restricts the kernel to a slab of interior x-planes (multi-
+/// kernel decomposition); nullopt means the whole domain.
+KernelRunStats run_kernel_fused(const grid::WindState& state,
+                                const advect::PwCoefficients& coefficients,
+                                advect::SourceTerms& out,
+                                const KernelConfig& config,
+                                std::optional<XRange> xrange = std::nullopt);
+
+}  // namespace pw::kernel

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::kernel {
+
+/// Intel-Quartus-OpenCL-style implementation of the Fig. 2 design: each box
+/// is an explicit OpenCL kernel, all launched from the host at once and
+/// connected by Intel channels (`read_channel_intel`/`write_channel_intel`).
+/// More verbose than the Xilinx dataflow-region form (paper §III.B), but the
+/// computation is character-for-character the same scheme — the paper's
+/// portability claim, asserted bit-exactly by the tests.
+KernelRunStats run_kernel_intel(const grid::WindState& state,
+                                const advect::PwCoefficients& coefficients,
+                                advect::SourceTerms& out,
+                                const KernelConfig& config,
+                                std::optional<XRange> xrange = std::nullopt);
+
+/// Float32-datapath variant (paper §V reduced precision); casts at the
+/// read/write kernels, bit-identical to the Xilinx f32 frontend.
+KernelRunStats run_kernel_intel_f32(
+    const grid::WindState& state, const advect::PwCoefficients& coefficients,
+    advect::SourceTerms& out, const KernelConfig& config,
+    std::optional<XRange> xrange = std::nullopt);
+
+}  // namespace pw::kernel

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pw/advect/scheme.hpp"
+
+namespace pw::kernel {
+
+/// One raster beat from the *read data* stage: the co-located values of the
+/// three wind fields (the stage reads all three buffers each cycle).
+/// Generic over the datapath value type (§V reduced-precision variants).
+template <typename T>
+struct CellInputT {
+  T u{};
+  T v{};
+  T w{};
+};
+using CellInput = CellInputT<double>;
+
+/// One beat from the shift-buffer stage to the replicate/advect stages: the
+/// full 27-point stencils of all three fields plus the vertical position
+/// (the advect stages need k for the tz coefficients and the top flag).
+template <typename T>
+struct StencilPacketT {
+  advect::CellStencilsT<T> stencils;
+  std::uint32_t k = 0;  ///< interior level index of the centre cell
+  bool top = false;     ///< centre is the column-top cell
+};
+using StencilPacket = StencilPacketT<double>;
+
+}  // namespace pw::kernel

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::kernel {
+
+/// Xilinx-Vitis-style implementation of the paper's Fig. 2 design: one HLS
+/// `dataflow` region whose boxes — read data, shift buffer, replicate,
+/// advect U/V/W, write data — are separate functions connected by
+/// `hls::stream`-like FIFOs and all *actually run concurrently* (one thread
+/// per stage, the execution model the pragma requests from the tooling).
+///
+/// Bit-identical to run_kernel_fused and to the Intel frontend: all three
+/// inline the same advect_cell arithmetic and the same shift buffer.
+KernelRunStats run_kernel_xilinx(const grid::WindState& state,
+                                 const advect::PwCoefficients& coefficients,
+                                 advect::SourceTerms& out,
+                                 const KernelConfig& config,
+                                 std::optional<XRange> xrange = std::nullopt);
+
+/// The same pipeline with a float32 datapath (paper §V reduced precision):
+/// inputs are cast at the read stage and results widened at the write
+/// stage, exactly where an FPGA kernel's load/store units would convert.
+KernelRunStats run_kernel_xilinx_f32(
+    const grid::WindState& state, const advect::PwCoefficients& coefficients,
+    advect::SourceTerms& out, const KernelConfig& config,
+    std::optional<XRange> xrange = std::nullopt);
+
+}  // namespace pw::kernel

@@ -1,0 +1,71 @@
+#include "pw/kernel/fused.hpp"
+
+#include <stdexcept>
+
+#include "pw/advect/scheme.hpp"
+#include "pw/kernel/chunking.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+
+namespace pw::kernel {
+
+KernelRunStats run_kernel_fused(const grid::WindState& state,
+                                const advect::PwCoefficients& c,
+                                advect::SourceTerms& out,
+                                const KernelConfig& config,
+                                std::optional<XRange> xrange) {
+  const grid::GridDims dims = state.u.dims();
+  const XRange xr = xrange.value_or(XRange{0, dims.nx});
+  if (xr.end > dims.nx || xr.begin >= xr.end) {
+    throw std::invalid_argument("run_kernel_fused: bad x-range");
+  }
+  if (state.u.halo() < 1) {
+    throw std::invalid_argument("run_kernel_fused: halo >= 1 required");
+  }
+
+  const ChunkPlan plan(dims, config.chunk_y);
+  const auto nz = dims.nz;
+
+  KernelRunStats stats;
+  stats.chunks = plan.chunks().size();
+
+  for (const YChunk& chunk : plan.chunks()) {
+    TripleShiftBuffer buffer(chunk.padded_width(), nz + 2);
+    const auto jb = static_cast<std::ptrdiff_t>(chunk.j_begin);
+    const auto x_lo = static_cast<std::ptrdiff_t>(xr.begin) - 1;
+    const auto x_hi = static_cast<std::ptrdiff_t>(xr.end) + 1;  // exclusive
+    const auto j_lo = jb - 1;
+    const auto j_hi = static_cast<std::ptrdiff_t>(chunk.j_end) + 1;
+
+    for (std::ptrdiff_t i = x_lo; i < x_hi; ++i) {
+      for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+        for (std::ptrdiff_t k = -1; k <= static_cast<std::ptrdiff_t>(nz);
+             ++k) {
+          ++stats.values_streamed_per_field;
+          auto emitted = buffer.push(state.u.at(i, j, k), state.v.at(i, j, k),
+                                     state.w.at(i, j, k));
+          if (!emitted) {
+            continue;
+          }
+          ++stats.stencils_emitted;
+          // Padded centre coordinates -> global interior coordinates.
+          const auto gi = x_lo + static_cast<std::ptrdiff_t>(emitted->ci);
+          const auto gj = j_lo + static_cast<std::ptrdiff_t>(emitted->cj);
+          const auto gk = static_cast<std::ptrdiff_t>(emitted->ck) - 1;
+          const bool top = gk == static_cast<std::ptrdiff_t>(nz) - 1;
+          const advect::ZCoeffs z{c.tzc1[static_cast<std::size_t>(gk)],
+                                  c.tzc2[static_cast<std::size_t>(gk)],
+                                  c.tzd1[static_cast<std::size_t>(gk)],
+                                  c.tzd2[static_cast<std::size_t>(gk)]};
+          const advect::CellSources sources =
+              advect::advect_cell(emitted->stencils, c.tcx, c.tcy, z, top);
+          out.su.at(gi, gj, gk) = sources.su;
+          out.sv.at(gi, gj, gk) = sources.sv;
+          out.sw.at(gi, gj, gk) = sources.sw;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace pw::kernel

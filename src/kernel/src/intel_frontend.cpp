@@ -1,0 +1,247 @@
+#include "pw/kernel/intel_frontend.hpp"
+
+#include <stdexcept>
+
+#include "pw/advect/scheme.hpp"
+#include "pw/dataflow/threaded.hpp"
+#include "pw/hls/numeric_cast.hpp"
+#include "pw/hls/vendor_stream.hpp"
+#include "pw/kernel/chunking.hpp"
+#include "pw/kernel/packets.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+
+namespace pw::kernel {
+
+namespace {
+
+/// The channel topology of the design — in OpenCL these are file-scope
+/// channel declarations; here they live in one struct created by the host.
+/// Generic over the datapath value type (double in the paper; float for
+/// the §V reduced-precision variant).
+template <typename T>
+struct Channels {
+  explicit Channels(std::size_t depth)
+      : raster(depth), stencils(depth), rep_u(depth), rep_v(depth),
+        rep_w(depth), out_u(depth), out_v(depth), out_w(depth) {}
+
+  hls::IntelChannel<CellInputT<T>> raster;
+  hls::IntelChannel<StencilPacketT<T>> stencils;
+  hls::IntelChannel<StencilPacketT<T>> rep_u;
+  hls::IntelChannel<StencilPacketT<T>> rep_v;
+  hls::IntelChannel<StencilPacketT<T>> rep_w;
+  hls::IntelChannel<T> out_u;
+  hls::IntelChannel<T> out_v;
+  hls::IntelChannel<T> out_w;
+};
+
+struct Trip {
+  ChunkPlan plan;
+  XRange xr;
+  std::size_t nz;
+
+  std::size_t emitted() const {
+    std::size_t total = 0;
+    for (const auto& c : plan.chunks()) {
+      total += xr.width() * c.width() * nz;
+    }
+    return total;
+  }
+};
+
+// --- OpenCL kernels ---------------------------------------------------
+// Unlike the Xilinx frontend there is no data packing: the Intel tooling
+// selects load-store units (bursting/prefetching) automatically, so the
+// read kernel simply loads values (paper §III.C).
+
+template <typename T>
+void kernel_read_data(const grid::WindState& state, const Trip& t,
+                      Channels<T>& ch) {
+  const auto nz = static_cast<std::ptrdiff_t>(t.nz);
+  for (const YChunk& chunk : t.plan.chunks()) {
+    const auto x_lo = static_cast<std::ptrdiff_t>(t.xr.begin) - 1;
+    const auto x_hi = static_cast<std::ptrdiff_t>(t.xr.end) + 1;
+    const auto j_lo = static_cast<std::ptrdiff_t>(chunk.j_begin) - 1;
+    const auto j_hi = static_cast<std::ptrdiff_t>(chunk.j_end) + 1;
+    for (std::ptrdiff_t i = x_lo; i < x_hi; ++i) {
+      for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+        for (std::ptrdiff_t k = -1; k <= nz; ++k) {
+          hls::write_channel_intel(
+              ch.raster,
+              CellInputT<T>{hls::to_value<T>(state.u.at(i, j, k)),
+                            hls::to_value<T>(state.v.at(i, j, k)),
+                            hls::to_value<T>(state.w.at(i, j, k))});
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void kernel_shift_buffer(const Trip& t, Channels<T>& ch) {
+  for (const YChunk& chunk : t.plan.chunks()) {
+    // The II=1 fix from paper §III.B: the dimension-3 window rows are kept
+    // as single elements (equivalently, split into separate banks) so the
+    // dual-ported memory sees one read + one write per cycle.
+    BasicTripleShiftBuffer<T> buffer(chunk.padded_width(), t.nz + 2);
+    const std::size_t beats =
+        (t.xr.width() + 2) * chunk.padded_width() * (t.nz + 2);
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+      const CellInputT<T> cell = hls::read_channel_intel(ch.raster);
+      auto emitted = buffer.push(cell.u, cell.v, cell.w);
+      if (emitted) {
+        StencilPacketT<T> packet;
+        packet.stencils = emitted->stencils;
+        packet.k = static_cast<std::uint32_t>(emitted->ck - 1);
+        packet.top = packet.k + 1 == t.nz;
+        hls::write_channel_intel(ch.stencils, packet);
+      }
+    }
+  }
+}
+
+template <typename T>
+void kernel_replicate(const Trip& t, Channels<T>& ch) {
+  const std::size_t beats = t.emitted();
+  for (std::size_t beat = 0; beat < beats; ++beat) {
+    const StencilPacketT<T> packet = hls::read_channel_intel(ch.stencils);
+    hls::write_channel_intel(ch.rep_u, packet);
+    hls::write_channel_intel(ch.rep_v, packet);
+    hls::write_channel_intel(ch.rep_w, packet);
+  }
+}
+
+template <typename T>
+advect::ZCoeffsT<T> z_at(const advect::PwCoefficients& c, std::uint32_t k) {
+  return {hls::to_value<T>(c.tzc1[k]), hls::to_value<T>(c.tzc2[k]),
+          hls::to_value<T>(c.tzd1[k]), hls::to_value<T>(c.tzd2[k])};
+}
+
+template <typename T>
+void kernel_advect_u(const advect::PwCoefficients& c, const Trip& t,
+                     Channels<T>& ch) {
+  const T tcx = hls::to_value<T>(c.tcx);
+  const T tcy = hls::to_value<T>(c.tcy);
+  const std::size_t beats = t.emitted();
+  for (std::size_t beat = 0; beat < beats; ++beat) {
+    const StencilPacketT<T> p = hls::read_channel_intel(ch.rep_u);
+    hls::write_channel_intel(
+        ch.out_u,
+        advect::advect_u_cell<T>(p.stencils, tcx, tcy, z_at<T>(c, p.k),
+                                 p.top));
+  }
+}
+
+template <typename T>
+void kernel_advect_v(const advect::PwCoefficients& c, const Trip& t,
+                     Channels<T>& ch) {
+  const T tcx = hls::to_value<T>(c.tcx);
+  const T tcy = hls::to_value<T>(c.tcy);
+  const std::size_t beats = t.emitted();
+  for (std::size_t beat = 0; beat < beats; ++beat) {
+    const StencilPacketT<T> p = hls::read_channel_intel(ch.rep_v);
+    hls::write_channel_intel(
+        ch.out_v,
+        advect::advect_v_cell<T>(p.stencils, tcx, tcy, z_at<T>(c, p.k),
+                                 p.top));
+  }
+}
+
+template <typename T>
+void kernel_advect_w(const advect::PwCoefficients& c, const Trip& t,
+                     Channels<T>& ch) {
+  const T tcx = hls::to_value<T>(c.tcx);
+  const T tcy = hls::to_value<T>(c.tcy);
+  const std::size_t beats = t.emitted();
+  for (std::size_t beat = 0; beat < beats; ++beat) {
+    const StencilPacketT<T> p = hls::read_channel_intel(ch.rep_w);
+    hls::write_channel_intel(
+        ch.out_w,
+        advect::advect_w_cell<T>(p.stencils, tcx, tcy, z_at<T>(c, p.k)));
+  }
+}
+
+template <typename T>
+void kernel_write_data(const Trip& t, advect::SourceTerms& out,
+                       Channels<T>& ch) {
+  const auto nz = static_cast<std::ptrdiff_t>(t.nz);
+  for (const YChunk& chunk : t.plan.chunks()) {
+    for (std::size_t iu = t.xr.begin; iu < t.xr.end; ++iu) {
+      for (std::size_t ju = chunk.j_begin; ju < chunk.j_end; ++ju) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          const auto i = static_cast<std::ptrdiff_t>(iu);
+          const auto j = static_cast<std::ptrdiff_t>(ju);
+          out.su.at(i, j, k) =
+              hls::from_value<T>(hls::read_channel_intel(ch.out_u));
+          out.sv.at(i, j, k) =
+              hls::from_value<T>(hls::read_channel_intel(ch.out_v));
+          out.sw.at(i, j, k) =
+              hls::from_value<T>(hls::read_channel_intel(ch.out_w));
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+KernelRunStats run_intel_impl(const grid::WindState& state,
+                              const advect::PwCoefficients& c,
+                              advect::SourceTerms& out,
+                              const KernelConfig& config,
+                              std::optional<XRange> xrange) {
+  const grid::GridDims dims = state.u.dims();
+  const XRange xr = xrange.value_or(XRange{0, dims.nx});
+  if (xr.end > dims.nx || xr.begin >= xr.end) {
+    throw std::invalid_argument("run_kernel_intel: bad x-range");
+  }
+  const Trip trip{ChunkPlan(dims, config.chunk_y), xr, dims.nz};
+  Channels<T> channels(config.stream_depth);
+
+  // The host launches every kernel of the pipeline at once (paper §III.B:
+  // "all the kernels are launched from the host").
+  dataflow::ThreadedPipeline host_launch;
+  host_launch.add_stage("read_data",
+                        [&] { kernel_read_data<T>(state, trip, channels); });
+  host_launch.add_stage("shift_buffer",
+                        [&] { kernel_shift_buffer<T>(trip, channels); });
+  host_launch.add_stage("replicate",
+                        [&] { kernel_replicate<T>(trip, channels); });
+  host_launch.add_stage("advect_u",
+                        [&] { kernel_advect_u<T>(c, trip, channels); });
+  host_launch.add_stage("advect_v",
+                        [&] { kernel_advect_v<T>(c, trip, channels); });
+  host_launch.add_stage("advect_w",
+                        [&] { kernel_advect_w<T>(c, trip, channels); });
+  host_launch.add_stage("write_data",
+                        [&] { kernel_write_data<T>(trip, out, channels); });
+  host_launch.run();
+
+  KernelRunStats stats;
+  stats.values_streamed_per_field = 0;
+  for (const auto& chunk : trip.plan.chunks()) {
+    stats.values_streamed_per_field +=
+        (xr.width() + 2) * chunk.padded_width() * (trip.nz + 2);
+  }
+  stats.stencils_emitted = trip.emitted();
+  stats.chunks = trip.plan.chunks().size();
+  return stats;
+}
+
+}  // namespace
+
+KernelRunStats run_kernel_intel(const grid::WindState& state,
+                                const advect::PwCoefficients& c,
+                                advect::SourceTerms& out,
+                                const KernelConfig& config,
+                                std::optional<XRange> xrange) {
+  return run_intel_impl<double>(state, c, out, config, xrange);
+}
+
+KernelRunStats run_kernel_intel_f32(const grid::WindState& state,
+                                    const advect::PwCoefficients& c,
+                                    advect::SourceTerms& out,
+                                    const KernelConfig& config,
+                                    std::optional<XRange> xrange) {
+  return run_intel_impl<float>(state, c, out, config, xrange);
+}
+
+}  // namespace pw::kernel

@@ -1,0 +1,55 @@
+#include "pw/kernel/multi_kernel.hpp"
+
+#include <stdexcept>
+
+#include "pw/dataflow/threaded.hpp"
+#include "pw/kernel/fused.hpp"
+
+namespace pw::kernel {
+
+std::vector<XRange> partition_x(std::size_t nx, std::size_t kernels) {
+  if (kernels == 0) {
+    throw std::invalid_argument("partition_x: need at least one kernel");
+  }
+  kernels = std::min(kernels, nx);
+  std::vector<XRange> ranges;
+  ranges.reserve(kernels);
+  const std::size_t base = nx / kernels;
+  const std::size_t extra = nx % kernels;
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < kernels; ++p) {
+    const std::size_t width = base + (p < extra ? 1 : 0);
+    ranges.push_back({begin, begin + width});
+    begin += width;
+  }
+  return ranges;
+}
+
+KernelRunStats run_multi_kernel(const grid::WindState& state,
+                                const advect::PwCoefficients& coefficients,
+                                advect::SourceTerms& out,
+                                const KernelConfig& config,
+                                std::size_t kernels) {
+  const auto ranges = partition_x(state.u.nx(), kernels);
+  std::vector<KernelRunStats> stats(ranges.size());
+
+  dataflow::ThreadedPipeline instances;
+  for (std::size_t p = 0; p < ranges.size(); ++p) {
+    instances.add_stage(
+        "kernel_" + std::to_string(p), [&, p] {
+          stats[p] = run_kernel_fused(state, coefficients, out, config,
+                                      ranges[p]);
+        });
+  }
+  instances.run();
+
+  KernelRunStats total;
+  for (const auto& s : stats) {
+    total.values_streamed_per_field += s.values_streamed_per_field;
+    total.stencils_emitted += s.stencils_emitted;
+    total.chunks += s.chunks;
+  }
+  return total;
+}
+
+}  // namespace pw::kernel

@@ -1,0 +1,10 @@
+#include "pw/kernel/shift_buffer.hpp"
+
+namespace pw::kernel {
+
+template class BasicShiftBuffer3D<double>;
+template class BasicShiftBuffer3D<float>;
+template class BasicTripleShiftBuffer<double>;
+template class BasicTripleShiftBuffer<float>;
+
+}  // namespace pw::kernel

@@ -1,0 +1,222 @@
+#include "pw/kernel/xilinx_frontend.hpp"
+
+#include <stdexcept>
+
+#include "pw/advect/scheme.hpp"
+#include "pw/dataflow/threaded.hpp"
+#include "pw/hls/numeric_cast.hpp"
+#include "pw/hls/pragmas.hpp"
+#include "pw/hls/vendor_stream.hpp"
+#include "pw/kernel/chunking.hpp"
+#include "pw/kernel/packets.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+
+namespace pw::kernel {
+
+namespace {
+
+// The trip counts every stage loops over (HLS kernels use static trip
+// counts rather than end-of-stream markers).
+struct TripCounts {
+  ChunkPlan plan;
+  XRange xr;
+  std::size_t nz;
+
+  std::size_t streamed() const {
+    std::size_t total = 0;
+    for (const auto& c : plan.chunks()) {
+      total += (xr.width() + 2) * c.padded_width() * (nz + 2);
+    }
+    return total;
+  }
+  std::size_t emitted() const {
+    std::size_t total = 0;
+    for (const auto& c : plan.chunks()) {
+      total += xr.width() * c.width() * nz;
+    }
+    return total;
+  }
+};
+
+// --- stage bodies -----------------------------------------------------
+// Generic over the datapath value type T: the paper's production kernel is
+// T = double; the §V reduced-precision variant runs the same code with
+// T = float. Casts sit exactly where an FPGA kernel's load/store units
+// would place them.
+
+template <typename T>
+void read_data(const grid::WindState& state, const TripCounts& t,
+               hls::XilinxStream<CellInputT<T>>& out) {
+  const auto nz = static_cast<std::ptrdiff_t>(t.nz);
+  for (const YChunk& chunk : t.plan.chunks()) {
+    const auto x_lo = static_cast<std::ptrdiff_t>(t.xr.begin) - 1;
+    const auto x_hi = static_cast<std::ptrdiff_t>(t.xr.end) + 1;
+    const auto j_lo = static_cast<std::ptrdiff_t>(chunk.j_begin) - 1;
+    const auto j_hi = static_cast<std::ptrdiff_t>(chunk.j_end) + 1;
+    for (std::ptrdiff_t i = x_lo; i < x_hi; ++i) {
+      for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+        for (std::ptrdiff_t k = -1; k <= nz; ++k) {
+          out.write({hls::to_value<T>(state.u.at(i, j, k)),
+                     hls::to_value<T>(state.v.at(i, j, k)),
+                     hls::to_value<T>(state.w.at(i, j, k))});
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void shift_stage(const TripCounts& t, hls::XilinxStream<CellInputT<T>>& in,
+                 hls::XilinxStream<StencilPacketT<T>>& out) {
+  for (const YChunk& chunk : t.plan.chunks()) {
+    BasicTripleShiftBuffer<T> buffer(chunk.padded_width(), t.nz + 2);
+    const std::size_t beats =
+        (t.xr.width() + 2) * chunk.padded_width() * (t.nz + 2);
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+      const CellInputT<T> cell = in.read();
+      auto emitted = buffer.push(cell.u, cell.v, cell.w);
+      if (emitted) {
+        StencilPacketT<T> packet;
+        packet.stencils = emitted->stencils;
+        packet.k = static_cast<std::uint32_t>(emitted->ck - 1);
+        packet.top = packet.k + 1 == t.nz;
+        out.write(packet);
+      }
+    }
+  }
+}
+
+template <typename T>
+void replicate(const TripCounts& t, hls::XilinxStream<StencilPacketT<T>>& in,
+               hls::XilinxStream<StencilPacketT<T>>& to_u,
+               hls::XilinxStream<StencilPacketT<T>>& to_v,
+               hls::XilinxStream<StencilPacketT<T>>& to_w) {
+  const std::size_t beats = t.emitted();
+  for (std::size_t beat = 0; beat < beats; ++beat) {
+    const StencilPacketT<T> packet = in.read();
+    to_u.write(packet);
+    to_v.write(packet);
+    to_w.write(packet);
+  }
+}
+
+template <typename T>
+advect::ZCoeffsT<T> z_at(const advect::PwCoefficients& c, std::uint32_t k) {
+  return {hls::to_value<T>(c.tzc1[k]), hls::to_value<T>(c.tzc2[k]),
+          hls::to_value<T>(c.tzd1[k]), hls::to_value<T>(c.tzd2[k])};
+}
+
+enum class Which { kU, kV, kW };
+
+template <typename T, Which which>
+void advect_stage(const advect::PwCoefficients& c, const TripCounts& t,
+                  hls::XilinxStream<StencilPacketT<T>>& in,
+                  hls::XilinxStream<T>& out) {
+  const T tcx = hls::to_value<T>(c.tcx);
+  const T tcy = hls::to_value<T>(c.tcy);
+  const std::size_t beats = t.emitted();
+  for (std::size_t beat = 0; beat < beats; ++beat) {
+    const StencilPacketT<T> p = in.read();
+    const advect::ZCoeffsT<T> z = z_at<T>(c, p.k);
+    if constexpr (which == Which::kU) {
+      out.write(advect::advect_u_cell<T>(p.stencils, tcx, tcy, z, p.top));
+    } else if constexpr (which == Which::kV) {
+      out.write(advect::advect_v_cell<T>(p.stencils, tcx, tcy, z, p.top));
+    } else {
+      out.write(advect::advect_w_cell<T>(p.stencils, tcx, tcy, z));
+    }
+  }
+}
+
+template <typename T>
+void write_data(const TripCounts& t, advect::SourceTerms& out,
+                hls::XilinxStream<T>& su, hls::XilinxStream<T>& sv,
+                hls::XilinxStream<T>& sw) {
+  const auto nz = static_cast<std::ptrdiff_t>(t.nz);
+  for (const YChunk& chunk : t.plan.chunks()) {
+    for (std::size_t iu = t.xr.begin; iu < t.xr.end; ++iu) {
+      for (std::size_t ju = chunk.j_begin; ju < chunk.j_end; ++ju) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          const auto i = static_cast<std::ptrdiff_t>(iu);
+          const auto j = static_cast<std::ptrdiff_t>(ju);
+          out.su.at(i, j, k) = hls::from_value<T>(su.read());
+          out.sv.at(i, j, k) = hls::from_value<T>(sv.read());
+          out.sw.at(i, j, k) = hls::from_value<T>(sw.read());
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+KernelRunStats run_xilinx_impl(const grid::WindState& state,
+                               const advect::PwCoefficients& c,
+                               advect::SourceTerms& out,
+                               const KernelConfig& config,
+                               std::optional<XRange> xrange) {
+  const grid::GridDims dims = state.u.dims();
+  const XRange xr = xrange.value_or(XRange{0, dims.nx});
+  if (xr.end > dims.nx || xr.begin >= xr.end) {
+    throw std::invalid_argument("run_kernel_xilinx: bad x-range");
+  }
+  const TripCounts trips{ChunkPlan(dims, config.chunk_y), xr, dims.nz};
+
+  hls::XilinxStream<CellInputT<T>> raster(config.stream_depth);
+  hls::XilinxStream<StencilPacketT<T>> stencils(config.stream_depth);
+  hls::XilinxStream<StencilPacketT<T>> rep_u(config.stream_depth);
+  hls::XilinxStream<StencilPacketT<T>> rep_v(config.stream_depth);
+  hls::XilinxStream<StencilPacketT<T>> rep_w(config.stream_depth);
+  hls::XilinxStream<T> out_u(config.stream_depth);
+  hls::XilinxStream<T> out_v(config.stream_depth);
+  hls::XilinxStream<T> out_w(config.stream_depth);
+
+  // The HLS dataflow region: every box of Fig. 2 runs concurrently.
+  PW_HLS_DATAFLOW;
+  PW_HLS_INTERFACE_M_AXI(state, hbm_banks_0_to_15);
+  PW_HLS_INTERFACE_M_AXI(out, hbm_banks_16_to_31);
+  dataflow::ThreadedPipeline region;
+  region.add_stage("read_data", [&] { read_data<T>(state, trips, raster); });
+  region.add_stage("shift_buffer",
+                   [&] { shift_stage<T>(trips, raster, stencils); });
+  region.add_stage("replicate", [&] {
+    replicate<T>(trips, stencils, rep_u, rep_v, rep_w);
+  });
+  region.add_stage("advect_u", [&] {
+    advect_stage<T, Which::kU>(c, trips, rep_u, out_u);
+  });
+  region.add_stage("advect_v", [&] {
+    advect_stage<T, Which::kV>(c, trips, rep_v, out_v);
+  });
+  region.add_stage("advect_w", [&] {
+    advect_stage<T, Which::kW>(c, trips, rep_w, out_w);
+  });
+  region.add_stage("write_data",
+                   [&] { write_data<T>(trips, out, out_u, out_v, out_w); });
+  region.run();
+
+  KernelRunStats stats;
+  stats.values_streamed_per_field = trips.streamed();
+  stats.stencils_emitted = trips.emitted();
+  stats.chunks = trips.plan.chunks().size();
+  return stats;
+}
+
+}  // namespace
+
+KernelRunStats run_kernel_xilinx(const grid::WindState& state,
+                                 const advect::PwCoefficients& c,
+                                 advect::SourceTerms& out,
+                                 const KernelConfig& config,
+                                 std::optional<XRange> xrange) {
+  return run_xilinx_impl<double>(state, c, out, config, xrange);
+}
+
+KernelRunStats run_kernel_xilinx_f32(const grid::WindState& state,
+                                     const advect::PwCoefficients& c,
+                                     advect::SourceTerms& out,
+                                     const KernelConfig& config,
+                                     std::optional<XRange> xrange) {
+  return run_xilinx_impl<float>(state, c, out, config, xrange);
+}
+
+}  // namespace pw::kernel

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+
+#include "pw/kernel/config.hpp"
+#include "pw/monc/model.hpp"
+#include "pw/util/thread_pool.hpp"
+
+namespace pw::monc {
+
+/// Which engine computes the PW wind advection inside the model.
+enum class AdvectionBackend {
+  kReference,   ///< serial scalar reference
+  kCpuThreads,  ///< the threaded CPU baseline
+  kDataflow,    ///< the FPGA dataflow datapath (fused, software-executed)
+};
+
+/// The paper's kernel as a model component: PW advection of U, V and W.
+/// ~63 FLOPs per cell — the dominant share of the step.
+std::unique_ptr<IComponent> make_pw_advection(
+    const advect::PwCoefficients& coefficients, AdvectionBackend backend,
+    util::ThreadPool* pool = nullptr,
+    kernel::KernelConfig config = kernel::KernelConfig{16});
+
+/// PW-style advection of the scalar theta field by the wind.
+std::unique_ptr<IComponent> make_scalar_advection(
+    const advect::PwCoefficients& coefficients);
+
+/// Buoyancy: w tendency from the potential-temperature anomaly
+/// (g * theta' / theta_ref on the interior).
+std::unique_ptr<IComponent> make_buoyancy(double gravity = 9.81,
+                                          double theta_ref = 300.0);
+
+/// Coriolis rotation of the horizontal wind about geostrophic values.
+std::unique_ptr<IComponent> make_coriolis(double f = 1e-4, double u_geo = 0.0,
+                                          double v_geo = 0.0);
+
+/// Second-order diffusion of all prognostic fields (a stand-in for the
+/// subgrid scheme), 7-point Laplacian.
+std::unique_ptr<IComponent> make_diffusion(double viscosity,
+                                           const grid::Geometry& geometry);
+
+/// Rayleigh damping towards zero in the top `levels` of the column
+/// (MONC's gravity-wave absorber).
+std::unique_ptr<IComponent> make_damping(std::size_t levels,
+                                         double timescale_s);
+
+}  // namespace pw::monc

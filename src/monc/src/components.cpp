@@ -1,0 +1,290 @@
+#include "pw/monc/components.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pw/advect/cpu_baseline.hpp"
+#include "pw/kernel/fused.hpp"
+
+namespace pw::monc {
+
+namespace {
+
+class PwAdvectionComponent final : public IComponent {
+public:
+  PwAdvectionComponent(const advect::PwCoefficients& coefficients,
+                       AdvectionBackend backend, util::ThreadPool* pool,
+                       kernel::KernelConfig config)
+      : coefficients_(&coefficients), backend_(backend), pool_(pool),
+        config_(config) {
+    if (backend_ == AdvectionBackend::kCpuThreads && pool_ == nullptr) {
+      throw std::invalid_argument(
+          "PW advection: CPU-threads backend needs a thread pool");
+    }
+  }
+
+  std::string name() const override { return "pw_advection"; }
+
+  void compute(const ModelState& state, Tendencies& tendencies) override {
+    // The kernels assign rather than accumulate, so run into a scratch
+    // buffer and add — keeping this component order-independent.
+    if (!scratch_ || !scratch_->su.same_shape(tendencies.wind.su)) {
+      scratch_ =
+          std::make_unique<advect::SourceTerms>(state.wind.u.dims());
+    }
+    switch (backend_) {
+      case AdvectionBackend::kReference:
+        advect::advect_reference(state.wind, *coefficients_, *scratch_);
+        break;
+      case AdvectionBackend::kCpuThreads: {
+        advect::CpuAdvectorBaseline baseline(*pool_);
+        baseline.run(state.wind, *coefficients_, *scratch_);
+        break;
+      }
+      case AdvectionBackend::kDataflow:
+        kernel::run_kernel_fused(state.wind, *coefficients_, *scratch_,
+                                 config_);
+        break;
+    }
+    const auto nx = static_cast<std::ptrdiff_t>(state.wind.u.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(state.wind.u.ny());
+    const auto nz = static_cast<std::ptrdiff_t>(state.wind.u.nz());
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      for (std::ptrdiff_t j = 0; j < ny; ++j) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          tendencies.wind.su.at(i, j, k) += scratch_->su.at(i, j, k);
+          tendencies.wind.sv.at(i, j, k) += scratch_->sv.at(i, j, k);
+          tendencies.wind.sw.at(i, j, k) += scratch_->sw.at(i, j, k);
+        }
+      }
+    }
+  }
+
+private:
+  const advect::PwCoefficients* coefficients_;
+  AdvectionBackend backend_;
+  util::ThreadPool* pool_;
+  kernel::KernelConfig config_;
+  std::unique_ptr<advect::SourceTerms> scratch_;
+};
+
+/// PW-flavoured flux-form advection of theta: the same quarter-weighted
+/// differences, one field (21-ish FLOPs per cell vs the wind's 63).
+class ScalarAdvectionComponent final : public IComponent {
+public:
+  explicit ScalarAdvectionComponent(const advect::PwCoefficients& c)
+      : c_(&c) {}
+
+  std::string name() const override { return "scalar_advection"; }
+
+  void compute(const ModelState& state, Tendencies& tendencies) override {
+    const auto& u = state.wind.u;
+    const auto& v = state.wind.v;
+    const auto& w = state.wind.w;
+    const auto& th = state.theta;
+    const auto nx = static_cast<std::ptrdiff_t>(th.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(th.ny());
+    const auto nz = static_cast<std::ptrdiff_t>(th.nz());
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      for (std::ptrdiff_t j = 0; j < ny; ++j) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          const auto ku = static_cast<std::size_t>(k);
+          double s =
+              2.0 * c_->tcx *
+              (u.at(i - 1, j, k) * (th.at(i, j, k) + th.at(i - 1, j, k)) -
+               u.at(i, j, k) * (th.at(i, j, k) + th.at(i + 1, j, k)));
+          s += 2.0 * c_->tcy *
+               (v.at(i, j - 1, k) * (th.at(i, j, k) + th.at(i, j - 1, k)) -
+                v.at(i, j, k) * (th.at(i, j, k) + th.at(i, j + 1, k)));
+          s += 2.0 * c_->tzc1[ku] * w.at(i, j, k - 1) *
+                   (th.at(i, j, k) + th.at(i, j, k - 1)) -
+               2.0 * c_->tzc2[ku] * w.at(i, j, k) *
+                   (th.at(i, j, k) + th.at(i, j, k + 1));
+          tendencies.theta.at(i, j, k) += s;
+        }
+      }
+    }
+  }
+
+private:
+  const advect::PwCoefficients* c_;
+};
+
+class BuoyancyComponent final : public IComponent {
+public:
+  BuoyancyComponent(double gravity, double theta_ref)
+      : gravity_(gravity), theta_ref_(theta_ref) {}
+
+  std::string name() const override { return "buoyancy"; }
+
+  void compute(const ModelState& state, Tendencies& tendencies) override {
+    const auto& th = state.theta;
+    const auto nx = static_cast<std::ptrdiff_t>(th.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(th.ny());
+    const auto nz = static_cast<std::ptrdiff_t>(th.nz());
+    // Horizontal-mean theta per level defines the anomaly.
+    std::vector<double> mean(static_cast<std::size_t>(nz), 0.0);
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      for (std::ptrdiff_t j = 0; j < ny; ++j) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          mean[static_cast<std::size_t>(k)] += th.at(i, j, k);
+        }
+      }
+    }
+    const double inv_cells = 1.0 / static_cast<double>(nx * ny);
+    for (double& m : mean) {
+      m *= inv_cells;
+    }
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      for (std::ptrdiff_t j = 0; j < ny; ++j) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          const double anomaly =
+              th.at(i, j, k) - mean[static_cast<std::size_t>(k)];
+          tendencies.wind.sw.at(i, j, k) +=
+              gravity_ * anomaly / theta_ref_;
+        }
+      }
+    }
+  }
+
+private:
+  double gravity_;
+  double theta_ref_;
+};
+
+class CoriolisComponent final : public IComponent {
+public:
+  CoriolisComponent(double f, double u_geo, double v_geo)
+      : f_(f), u_geo_(u_geo), v_geo_(v_geo) {}
+
+  std::string name() const override { return "coriolis"; }
+
+  void compute(const ModelState& state, Tendencies& tendencies) override {
+    const auto& wind = state.wind;
+    const auto nx = static_cast<std::ptrdiff_t>(wind.u.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(wind.u.ny());
+    const auto nz = static_cast<std::ptrdiff_t>(wind.u.nz());
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      for (std::ptrdiff_t j = 0; j < ny; ++j) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          tendencies.wind.su.at(i, j, k) +=
+              f_ * (wind.v.at(i, j, k) - v_geo_);
+          tendencies.wind.sv.at(i, j, k) -=
+              f_ * (wind.u.at(i, j, k) - u_geo_);
+        }
+      }
+    }
+  }
+
+private:
+  double f_, u_geo_, v_geo_;
+};
+
+class DiffusionComponent final : public IComponent {
+public:
+  DiffusionComponent(double viscosity, const grid::Geometry& geometry)
+      : nu_(viscosity), rdx2_(1.0 / (geometry.dx * geometry.dx)),
+        rdy2_(1.0 / (geometry.dy * geometry.dy)),
+        rdz2_(1.0 /
+              (geometry.vertical.dz(0) * geometry.vertical.dz(0))) {}
+
+  std::string name() const override { return "diffusion"; }
+
+  void compute(const ModelState& state, Tendencies& tendencies) override {
+    laplacian(state.wind.u, tendencies.wind.su);
+    laplacian(state.wind.v, tendencies.wind.sv);
+    laplacian(state.wind.w, tendencies.wind.sw);
+    laplacian(state.theta, tendencies.theta);
+  }
+
+private:
+  void laplacian(const grid::FieldD& f, grid::FieldD& out) const {
+    const auto nx = static_cast<std::ptrdiff_t>(f.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(f.ny());
+    const auto nz = static_cast<std::ptrdiff_t>(f.nz());
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      for (std::ptrdiff_t j = 0; j < ny; ++j) {
+        for (std::ptrdiff_t k = 0; k < nz; ++k) {
+          const double centre = f.at(i, j, k);
+          out.at(i, j, k) +=
+              nu_ *
+              ((f.at(i - 1, j, k) - 2.0 * centre + f.at(i + 1, j, k)) * rdx2_ +
+               (f.at(i, j - 1, k) - 2.0 * centre + f.at(i, j + 1, k)) * rdy2_ +
+               (f.at(i, j, k - 1) - 2.0 * centre + f.at(i, j, k + 1)) * rdz2_);
+        }
+      }
+    }
+  }
+
+  double nu_, rdx2_, rdy2_, rdz2_;
+};
+
+class DampingComponent final : public IComponent {
+public:
+  DampingComponent(std::size_t levels, double timescale)
+      : levels_(levels), rate_(1.0 / timescale) {}
+
+  std::string name() const override { return "damping"; }
+
+  void compute(const ModelState& state, Tendencies& tendencies) override {
+    const auto& wind = state.wind;
+    const auto nx = static_cast<std::ptrdiff_t>(wind.u.nx());
+    const auto ny = static_cast<std::ptrdiff_t>(wind.u.ny());
+    const auto nz = static_cast<std::ptrdiff_t>(wind.u.nz());
+    const auto first =
+        std::max<std::ptrdiff_t>(0, nz - static_cast<std::ptrdiff_t>(levels_));
+    for (std::ptrdiff_t i = 0; i < nx; ++i) {
+      for (std::ptrdiff_t j = 0; j < ny; ++j) {
+        for (std::ptrdiff_t k = first; k < nz; ++k) {
+          // Linear ramp from 0 at the absorber base to full rate at the lid.
+          const double weight =
+              static_cast<double>(k - first + 1) /
+              static_cast<double>(nz - first);
+          const double r = rate_ * weight;
+          tendencies.wind.su.at(i, j, k) -= r * wind.u.at(i, j, k);
+          tendencies.wind.sv.at(i, j, k) -= r * wind.v.at(i, j, k);
+          tendencies.wind.sw.at(i, j, k) -= r * wind.w.at(i, j, k);
+        }
+      }
+    }
+  }
+
+private:
+  std::size_t levels_;
+  double rate_;
+};
+
+}  // namespace
+
+std::unique_ptr<IComponent> make_pw_advection(
+    const advect::PwCoefficients& coefficients, AdvectionBackend backend,
+    util::ThreadPool* pool, kernel::KernelConfig config) {
+  return std::make_unique<PwAdvectionComponent>(coefficients, backend, pool,
+                                                config);
+}
+
+std::unique_ptr<IComponent> make_scalar_advection(
+    const advect::PwCoefficients& coefficients) {
+  return std::make_unique<ScalarAdvectionComponent>(coefficients);
+}
+
+std::unique_ptr<IComponent> make_buoyancy(double gravity, double theta_ref) {
+  return std::make_unique<BuoyancyComponent>(gravity, theta_ref);
+}
+
+std::unique_ptr<IComponent> make_coriolis(double f, double u_geo,
+                                          double v_geo) {
+  return std::make_unique<CoriolisComponent>(f, u_geo, v_geo);
+}
+
+std::unique_ptr<IComponent> make_diffusion(double viscosity,
+                                           const grid::Geometry& geometry) {
+  return std::make_unique<DiffusionComponent>(viscosity, geometry);
+}
+
+std::unique_ptr<IComponent> make_damping(std::size_t levels,
+                                         double timescale_s) {
+  return std::make_unique<DampingComponent>(levels, timescale_s);
+}
+
+}  // namespace pw::monc

@@ -1,0 +1,173 @@
+#include "pw/monc/model.hpp"
+
+#include <stdexcept>
+
+#include "pw/util/rng.hpp"
+#include "pw/util/timer.hpp"
+
+namespace pw::monc {
+
+void Tendencies::zero() {
+  wind.su.fill(0.0);
+  wind.sv.fill(0.0);
+  wind.sw.fill(0.0);
+  theta.fill(0.0);
+}
+
+Model::Model(const grid::Geometry& geometry, std::uint64_t seed)
+    : geometry_(geometry),
+      coefficients_(advect::PwCoefficients::from_geometry(geometry)),
+      state_(geometry.dims),
+      tendencies_(geometry.dims) {
+  grid::init_random(state_.wind, seed);
+  // A weakly stratified theta profile with random perturbations.
+  util::Rng rng(seed ^ 0xBADC0FFEULL);
+  const auto dims = geometry.dims;
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k) {
+        state_.theta.at(static_cast<std::ptrdiff_t>(i),
+                        static_cast<std::ptrdiff_t>(j),
+                        static_cast<std::ptrdiff_t>(k)) =
+            300.0 + 0.003 * static_cast<double>(k) * geometry.vertical.dz(0) +
+            rng.uniform(-0.1, 0.1);
+      }
+    }
+  }
+  state_.theta.exchange_halo_periodic_xy();
+}
+
+void Model::add_component(std::unique_ptr<IComponent> component) {
+  if (!component) {
+    throw std::invalid_argument("Model::add_component: null component");
+  }
+  profiles_.push_back({component->name(), 0.0, 0});
+  components_.push_back(std::move(component));
+}
+
+void Model::evaluate_tendencies() {
+  tendencies_.zero();
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    util::WallTimer component_timer;
+    components_[c]->compute(state_, tendencies_);
+    profiles_[c].seconds += component_timer.seconds();
+    ++profiles_[c].calls;
+  }
+}
+
+void Model::apply_increment(const ModelState& base, double weighted_dt) {
+  const auto dims = geometry_.dims;
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k) {
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        state_.wind.u.at(ii, jj, kk) =
+            base.wind.u.at(ii, jj, kk) +
+            weighted_dt * tendencies_.wind.su.at(ii, jj, kk);
+        state_.wind.v.at(ii, jj, kk) =
+            base.wind.v.at(ii, jj, kk) +
+            weighted_dt * tendencies_.wind.sv.at(ii, jj, kk);
+        state_.wind.w.at(ii, jj, kk) =
+            base.wind.w.at(ii, jj, kk) +
+            weighted_dt * tendencies_.wind.sw.at(ii, jj, kk);
+        state_.theta.at(ii, jj, kk) =
+            base.theta.at(ii, jj, kk) +
+            weighted_dt * tendencies_.theta.at(ii, jj, kk);
+      }
+    }
+  }
+  grid::refresh_halos(state_.wind);
+  state_.theta.exchange_halo_periodic_xy();
+}
+
+StepStats Model::step(double dt, Integrator integrator) {
+  if (components_.empty()) {
+    throw std::logic_error("Model::step: no components registered");
+  }
+  StepStats stats;
+  util::WallTimer step_timer;
+
+  if (integrator == Integrator::kForwardEuler) {
+    evaluate_tendencies();
+    util::WallTimer integrate_timer;
+    apply_increment(state_, dt);
+    stats.integrate_seconds = integrate_timer.seconds();
+    stats.tendency_evaluations = 1;
+  } else {
+    // Wicker–Skamarock three-stage RK: each stage restarts from the step's
+    // initial state with tendencies from the latest provisional state.
+    const ModelState initial = state_;
+    util::WallTimer integrate_timer;
+    double integrate_seconds = 0.0;
+    for (double fraction : {1.0 / 3.0, 0.5, 1.0}) {
+      evaluate_tendencies();
+      integrate_timer.reset();
+      apply_increment(initial, fraction * dt);
+      integrate_seconds += integrate_timer.seconds();
+    }
+    stats.integrate_seconds = integrate_seconds;
+    stats.tendency_evaluations = 3;
+  }
+  stats.step_seconds = step_timer.seconds();
+  return stats;
+}
+
+double Model::max_courant(double dt) const {
+  double worst = 0.0;
+  const auto dims = geometry_.dims;
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k) {
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        worst = std::max(
+            worst,
+            std::abs(state_.wind.u.at(ii, jj, kk)) * dt / geometry_.dx);
+        worst = std::max(
+            worst,
+            std::abs(state_.wind.v.at(ii, jj, kk)) * dt / geometry_.dy);
+        worst = std::max(worst, std::abs(state_.wind.w.at(ii, jj, kk)) * dt /
+                                    geometry_.vertical.dz(k));
+      }
+    }
+  }
+  return worst;
+}
+
+std::vector<ComponentProfile> Model::profile() const { return profiles_; }
+
+double Model::runtime_share(const std::string& component_name) const {
+  double total = 0.0;
+  double named = 0.0;
+  for (const auto& profile : profiles_) {
+    total += profile.seconds;
+    if (profile.name == component_name) {
+      named += profile.seconds;
+    }
+  }
+  return total <= 0.0 ? 0.0 : named / total;
+}
+
+double Model::kinetic_energy() const {
+  double ke = 0.0;
+  const auto dims = geometry_.dims;
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k) {
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        const double u = state_.wind.u.at(ii, jj, kk);
+        const double v = state_.wind.v.at(ii, jj, kk);
+        const double w = state_.wind.w.at(ii, jj, kk);
+        ke += 0.5 * (u * u + v * v + w * w);
+      }
+    }
+  }
+  return ke;
+}
+
+}  // namespace pw::monc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+#include "pw/ocl/runtime.hpp"
+
+namespace pw::ocl {
+
+/// Host-side driver reproducing the paper's §IV pattern with the OpenCL
+/// shim: the domain is chunked in X; for every chunk the three input
+/// slabs are written to device buffers, the kernel is launched with an
+/// event dependency on those writes (and on the previous chunk's kernel —
+/// the device runs one chunk at a time), and the three result slabs are
+/// read back dependent on the kernel. All commands are bulk-registered up
+/// front; finish() then realises both the computation and the modelled
+/// timeline, overlapping transfers with compute exactly as OpenCL events
+/// on in-order queues do.
+struct HostDriverConfig {
+  std::size_t x_chunks = 8;
+  bool overlapped = true;  ///< false: one write / one kernel / one read
+  DeviceTiming timing;
+  kernel::KernelConfig kernel;
+  /// Simulated kernel duration for a slab of the given dims (e.g. from
+  /// fpga::model_kernel_only). Defaults to zero-time kernels.
+  std::function<double(const grid::GridDims&)> kernel_time_model;
+};
+
+struct HostDriverResult {
+  xfer::Timeline timeline;
+  double seconds = 0.0;
+  std::size_t chunks = 0;
+  std::size_t bytes_written = 0;
+  std::size_t bytes_read = 0;
+};
+
+/// Runs a full advection pass through simulated device buffers. The
+/// results land in `out` and are bit-identical to the direct kernel run
+/// (tested); the returned timeline carries the modelled schedule.
+HostDriverResult advect_via_host(const grid::WindState& state,
+                                 const advect::PwCoefficients& coefficients,
+                                 advect::SourceTerms& out,
+                                 const HostDriverConfig& config);
+
+}  // namespace pw::ocl

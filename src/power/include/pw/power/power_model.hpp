@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace pw::power {
+
+/// Which external-memory technology is exercised during the run (only
+/// meaningful for the Alveo, which hosts both; the paper measured a +12W
+/// step moving its kernels from HBM2 to DDR).
+enum class ActiveMemory { kNone, kHbm2, kDdr };
+
+/// Linear activity-based power model for one device, standing in for the
+/// paper's RAPL / nvidia-smi / XRT / aocl_mmd_card_info_fn counters.
+///
+///   P = idle + compute * u_compute + transfer * u_transfer + memory term
+///
+/// Utilisations come from the scheduler timeline (busy fraction per
+/// engine), so power varies with grid size the way the measured figures do.
+struct PowerProfile {
+  std::string device;
+  double idle_w = 0.0;      ///< board/package powered and configured
+  double compute_w = 0.0;   ///< full-tilt kernel/core power above idle
+  double transfer_w = 0.0;  ///< PCIe DMA engines active
+  double hbm_w = 0.0;       ///< adder while HBM2 is the working memory
+  double ddr_w = 0.0;       ///< adder while DDR is the working memory
+};
+
+/// Activity observed during a run.
+struct Activity {
+  double compute_utilisation = 0.0;   ///< kernel-engine busy fraction
+  double transfer_utilisation = 0.0;  ///< max of the DMA engines' fractions
+  ActiveMemory memory = ActiveMemory::kNone;
+};
+
+/// Average power during the run.
+double average_power_w(const PowerProfile& profile, const Activity& activity);
+
+/// Energy for a run of `seconds`, in joules.
+double energy_j(const PowerProfile& profile, const Activity& activity,
+                double seconds);
+
+/// GFLOPS per watt.
+double power_efficiency(double gflops, double watts);
+
+// Calibrated device profiles (see EXPERIMENTS.md for targets: the paper's
+// Fig. 7 orderings — CPU and GPU far above the FPGAs, the Stratix ~50%
+// above the Alveo, +12W on the Alveo when DDR replaces HBM2).
+PowerProfile xeon_8260m_power();   ///< 24-core Cascade Lake (RAPL)
+PowerProfile v100_power();         ///< Tesla V100 (nvidia-smi)
+PowerProfile alveo_u280_power();   ///< U280 (XRT)
+PowerProfile stratix10_power();    ///< 520N (aocl_mmd_card_info_fn)
+
+}  // namespace pw::power

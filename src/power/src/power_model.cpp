@@ -1,0 +1,62 @@
+#include "pw/power/power_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pw::power {
+
+double average_power_w(const PowerProfile& profile, const Activity& activity) {
+  const double uc = std::clamp(activity.compute_utilisation, 0.0, 1.0);
+  const double ux = std::clamp(activity.transfer_utilisation, 0.0, 1.0);
+  double power = profile.idle_w + profile.compute_w * uc +
+                 profile.transfer_w * ux;
+  switch (activity.memory) {
+    case ActiveMemory::kHbm2:
+      power += profile.hbm_w;
+      break;
+    case ActiveMemory::kDdr:
+      power += profile.ddr_w;
+      break;
+    case ActiveMemory::kNone:
+      break;
+  }
+  return power;
+}
+
+double energy_j(const PowerProfile& profile, const Activity& activity,
+                double seconds) {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("energy_j: negative duration");
+  }
+  return average_power_w(profile, activity) * seconds;
+}
+
+double power_efficiency(double gflops, double watts) {
+  return watts <= 0.0 ? 0.0 : gflops / watts;
+}
+
+PowerProfile xeon_8260m_power() {
+  // A 165W-TDP part: near its TDP with 24 cores in a vectorised stencil,
+  // plus uncore/DRAM.
+  return {"Xeon Platinum 8260M", 85.0, 95.0, 0.0, 0.0, 0.0};
+}
+
+PowerProfile v100_power() {
+  // Sustained double-precision advection uses a fraction of the 300W cap;
+  // HBM2 and PCIe activity keep the board well above idle even when
+  // transfer-bound.
+  return {"NVIDIA Tesla V100", 88.0, 160.0, 42.0, 0.0, 0.0};
+}
+
+PowerProfile alveo_u280_power() {
+  // XRT-reported board power: ~30W configured, kernels add ~2.5W each at
+  // 300MHz, DDR adds 12W over HBM2 (the paper's measured step).
+  return {"Xilinx Alveo U280", 32.0, 14.0, 4.0, 4.0, 14.0};
+}
+
+PowerProfile stratix10_power() {
+  // The 520N draws roughly 50% more than the U280 throughout (paper §IV).
+  return {"Intel Stratix 10", 50.0, 17.0, 4.0, 0.0, 12.0};
+}
+
+}  // namespace pw::power

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+
+namespace pw::precision {
+
+/// Error of a reduced-precision pass against the double-precision kernel.
+struct ErrorStats {
+  double max_abs = 0.0;
+  double max_rel = 0.0;   ///< relative to max(|ref|, 1e-30)
+  double rms = 0.0;
+  std::size_t cells = 0;
+};
+
+/// Which reduced representation to evaluate (paper §V future work).
+enum class Representation {
+  kFloat32,   ///< IEEE single precision
+  kFixedQ43,  ///< 64-bit fixed point, 43 fractional bits
+  kFixedQ32,  ///< 64-bit fixed point, 32 fractional bits
+};
+
+std::string to_string(Representation representation);
+
+/// Runs the full dataflow datapath (shift buffers + advection) in the
+/// reduced representation and compares every source term against the
+/// double-precision kernel. Inputs and coefficients are converted once at
+/// the read stage, results converted back at the write stage — exactly
+/// where an FPGA kernel would place the casts.
+ErrorStats evaluate(Representation representation,
+                    const grid::WindState& state,
+                    const advect::PwCoefficients& coefficients,
+                    const kernel::KernelConfig& config = {});
+
+/// Optionally returns the reduced-precision results themselves (converted
+/// to double) for downstream inspection.
+ErrorStats evaluate(Representation representation,
+                    const grid::WindState& state,
+                    const advect::PwCoefficients& coefficients,
+                    const kernel::KernelConfig& config,
+                    advect::SourceTerms* reduced_out);
+
+/// On-chip memory factor of a representation relative to double (0.5 for
+/// float32, 1.0 for the 64-bit fixed formats).
+double storage_factor(Representation representation);
+
+}  // namespace pw::precision

@@ -1,0 +1,164 @@
+#include "pw/precision/reduced.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pw/hls/fixed_point.hpp"
+#include "pw/hls/numeric_cast.hpp"
+#include "pw/kernel/chunking.hpp"
+#include "pw/kernel/fused.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+
+namespace pw::precision {
+
+namespace {
+
+using hls::from_value;
+using hls::to_value;
+
+template <typename T>
+T convert(double value) {
+  return to_value<T>(value);
+}
+
+template <typename T>
+double back(T value) {
+  return from_value<T>(value);
+}
+
+/// The fused datapath generic over the value type: identical structure to
+/// kernel::run_kernel_fused, with casts at the read and write stages only.
+template <typename T>
+void run_reduced(const grid::WindState& state,
+                 const advect::PwCoefficients& c,
+                 const kernel::KernelConfig& config,
+                 advect::SourceTerms& out) {
+  const grid::GridDims dims = state.u.dims();
+  const kernel::ChunkPlan plan(dims, config.chunk_y);
+  const auto nz = dims.nz;
+
+  const T tcx = convert<T>(c.tcx);
+  const T tcy = convert<T>(c.tcy);
+  std::vector<advect::ZCoeffsT<T>> zc(nz);
+  for (std::size_t k = 0; k < nz; ++k) {
+    zc[k] = {convert<T>(c.tzc1[k]), convert<T>(c.tzc2[k]),
+             convert<T>(c.tzd1[k]), convert<T>(c.tzd2[k])};
+  }
+
+  for (const kernel::YChunk& chunk : plan.chunks()) {
+    kernel::BasicTripleShiftBuffer<T> buffer(chunk.padded_width(), nz + 2);
+    const auto x_lo = -1;
+    const auto x_hi = static_cast<std::ptrdiff_t>(dims.nx) + 1;
+    const auto j_lo = static_cast<std::ptrdiff_t>(chunk.j_begin) - 1;
+    const auto j_hi = static_cast<std::ptrdiff_t>(chunk.j_end) + 1;
+
+    for (std::ptrdiff_t i = x_lo; i < x_hi; ++i) {
+      for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+        for (std::ptrdiff_t k = -1; k <= static_cast<std::ptrdiff_t>(nz);
+             ++k) {
+          auto emitted = buffer.push(convert<T>(state.u.at(i, j, k)),
+                                     convert<T>(state.v.at(i, j, k)),
+                                     convert<T>(state.w.at(i, j, k)));
+          if (!emitted) {
+            continue;
+          }
+          const auto gi = x_lo + static_cast<std::ptrdiff_t>(emitted->ci);
+          const auto gj = j_lo + static_cast<std::ptrdiff_t>(emitted->cj);
+          const auto gk = static_cast<std::ptrdiff_t>(emitted->ck) - 1;
+          const bool top = gk == static_cast<std::ptrdiff_t>(nz) - 1;
+          const auto sources = advect::advect_cell<T>(
+              emitted->stencils, tcx, tcy,
+              zc[static_cast<std::size_t>(gk)], top);
+          out.su.at(gi, gj, gk) = back<T>(sources.su);
+          out.sv.at(gi, gj, gk) = back<T>(sources.sv);
+          out.sw.at(gi, gj, gk) = back<T>(sources.sw);
+        }
+      }
+    }
+  }
+}
+
+void accumulate(const grid::FieldD& reference, const grid::FieldD& reduced,
+                ErrorStats& stats, double& sum_sq) {
+  for (std::size_t i = 0; i < reference.nx(); ++i) {
+    for (std::size_t j = 0; j < reference.ny(); ++j) {
+      for (std::size_t k = 0; k < reference.nz(); ++k) {
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        const double ref = reference.at(ii, jj, kk);
+        const double got = reduced.at(ii, jj, kk);
+        const double abs_err = std::fabs(ref - got);
+        stats.max_abs = std::max(stats.max_abs, abs_err);
+        stats.max_rel = std::max(
+            stats.max_rel, abs_err / std::max(std::fabs(ref), 1e-30));
+        sum_sq += abs_err * abs_err;
+        ++stats.cells;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(Representation representation) {
+  switch (representation) {
+    case Representation::kFloat32:
+      return "float32";
+    case Representation::kFixedQ43:
+      return "fixed Q20.43";
+    case Representation::kFixedQ32:
+      return "fixed Q31.32";
+  }
+  return "?";
+}
+
+double storage_factor(Representation representation) {
+  return representation == Representation::kFloat32 ? 0.5 : 1.0;
+}
+
+ErrorStats evaluate(Representation representation,
+                    const grid::WindState& state,
+                    const advect::PwCoefficients& coefficients,
+                    const kernel::KernelConfig& config,
+                    advect::SourceTerms* reduced_out) {
+  const grid::GridDims dims = state.u.dims();
+
+  advect::SourceTerms reference(dims);
+  kernel::run_kernel_fused(state, coefficients, reference, config);
+
+  advect::SourceTerms reduced(dims);
+  switch (representation) {
+    case Representation::kFloat32:
+      run_reduced<float>(state, coefficients, config, reduced);
+      break;
+    case Representation::kFixedQ43:
+      run_reduced<hls::FixedQ43>(state, coefficients, config, reduced);
+      break;
+    case Representation::kFixedQ32:
+      run_reduced<hls::FixedQ32>(state, coefficients, config, reduced);
+      break;
+  }
+
+  ErrorStats stats;
+  double sum_sq = 0.0;
+  accumulate(reference.su, reduced.su, stats, sum_sq);
+  accumulate(reference.sv, reduced.sv, stats, sum_sq);
+  accumulate(reference.sw, reduced.sw, stats, sum_sq);
+  stats.rms = stats.cells == 0
+                  ? 0.0
+                  : std::sqrt(sum_sq / static_cast<double>(stats.cells));
+  if (reduced_out != nullptr) {
+    *reduced_out = std::move(reduced);
+  }
+  return stats;
+}
+
+ErrorStats evaluate(Representation representation,
+                    const grid::WindState& state,
+                    const advect::PwCoefficients& coefficients,
+                    const kernel::KernelConfig& config) {
+  return evaluate(representation, state, coefficients, config, nullptr);
+}
+
+}  // namespace pw::precision

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pw::util {
+
+/// Minimal `--key=value` / `--flag` command-line parser used by examples and
+/// bench binaries. Unknown keys are collected so callers can reject them.
+class Cli {
+public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_string(const std::string& key, std::string fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  /// Keys present on the command line that were never queried.
+  std::vector<std::string> unqueried() const;
+
+private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace pw::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pw::util {
+
+/// INI-flavoured key=value configuration:
+///
+///   # comment
+///   name = My Board
+///   [pcie]
+///   peak_gbps = 15.75
+///
+/// Section headers prefix subsequent keys ("pcie.peak_gbps"). Values keep
+/// internal whitespace; surrounding whitespace is trimmed. Used to load
+/// user-defined device profiles into the explorer tools.
+class Config {
+public:
+  static Config parse(std::istream& is);
+  static Config parse_string(const std::string& text);
+  static Config load(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_string(const std::string& key, std::string fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// A required key: throws std::runtime_error naming the key if absent.
+  std::string require(const std::string& key) const;
+  double require_double(const std::string& key) const;
+
+  std::vector<std::string> keys() const;
+  void set(const std::string& key, std::string value);
+
+private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pw::util

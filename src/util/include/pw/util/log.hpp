@@ -1,0 +1,45 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pw::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level (default kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe line logger to stderr; no-op below the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename Head, typename... Tail>
+void append(std::ostringstream& os, Head&& head, Tail&&... tail) {
+  os << std::forward<Head>(head);
+  append(os, std::forward<Tail>(tail)...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) {
+    return;
+  }
+  std::ostringstream os;
+  detail::append(os, std::forward<Args>(args)...);
+  log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+
+}  // namespace pw::util

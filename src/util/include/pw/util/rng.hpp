@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pw::util {
+
+/// Deterministic xoshiro256** generator; seeded reproducibly so tests,
+/// examples and benches generate identical synthetic fields across runs.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    auto next = [&seed] {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) {
+      word = next();
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace pw::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace pw::util {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double median = 0.0;
+};
+
+/// Computes summary statistics; an empty span yields a zeroed Summary.
+Summary summarize(std::span<const double> values);
+
+/// Relative difference |a-b| / max(|a|, |b|, eps); 0 when both are ~0.
+double relative_difference(double a, double b, double eps = 1e-300);
+
+/// Geometric mean of strictly positive values (0 if the span is empty or
+/// contains a non-positive value).
+double geometric_mean(std::span<const double> values);
+
+}  // namespace pw::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pw::util {
+
+/// Paper-style ASCII table: a caption, a header row, and data rows, rendered
+/// with column alignment. Also serialisable as CSV so bench binaries can feed
+/// plotting scripts.
+class Table {
+public:
+  explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+  Table& header(std::vector<std::string> columns);
+  Table& row(std::vector<std::string> cells);
+
+  const std::string& caption() const noexcept { return caption_; }
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+  const std::vector<std::string>& row_at(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Renders as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows); cells containing commas or quotes are
+  /// quoted per RFC 4180.
+  void write_csv(std::ostream& os) const;
+
+private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant-looking decimal places,
+/// trimming trailing zeros ("14.50" stays "14.50" only if trim=false).
+std::string format_double(double value, int decimals, bool trim = false);
+
+/// Formats bytes using binary units (e.g. "800.0 MB", "3.2 GB").
+std::string format_bytes(double bytes);
+
+/// Formats a cell count like the paper ("1M", "16M", "536M", "4096").
+std::string format_cells(std::size_t cells);
+
+}  // namespace pw::util

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace pw::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pw::util

@@ -1,0 +1,83 @@
+#include "pw/util/cli.hpp"
+
+#include <stdexcept>
+
+namespace pw::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      options_[arg.substr(2)] = "true";
+    } else {
+      options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    queried_[key] = false;
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) {
+    return false;
+  }
+  queried_[key] = true;
+  return true;
+}
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) {
+    return std::nullopt;
+  }
+  queried_[key] = true;
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& key, std::string fallback) const {
+  if (auto v = get(key)) {
+    return *v;
+  }
+  return fallback;
+}
+
+long long Cli::get_int(const std::string& key, long long fallback) const {
+  if (auto v = get(key)) {
+    return std::stoll(*v);
+  }
+  return fallback;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  if (auto v = get(key)) {
+    return std::stod(*v);
+  }
+  return fallback;
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  if (auto v = get(key)) {
+    return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  }
+  return fallback;
+}
+
+std::vector<std::string> Cli::unqueried() const {
+  std::vector<std::string> out;
+  for (const auto& [key, seen] : queried_) {
+    if (!seen) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace pw::util

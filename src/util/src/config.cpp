@@ -1,0 +1,138 @@
+#include "pw/util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pw::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    return {};
+  }
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& is) {
+  Config config;
+  std::string line;
+  std::string section;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string text = trim(line);
+    if (text.empty() || text.front() == '#' || text.front() == ';') {
+      continue;
+    }
+    if (text.front() == '[') {
+      if (text.back() != ']') {
+        throw std::runtime_error("Config: malformed section at line " +
+                                 std::to_string(line_number));
+      }
+      section = trim(text.substr(1, text.size() - 2));
+      continue;
+    }
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("Config: missing '=' at line " +
+                               std::to_string(line_number));
+    }
+    std::string key = trim(text.substr(0, eq));
+    if (key.empty()) {
+      throw std::runtime_error("Config: empty key at line " +
+                               std::to_string(line_number));
+    }
+    if (!section.empty()) {
+      key = section + "." + key;
+    }
+    config.values_[key] = trim(text.substr(eq + 1));
+  }
+  return config;
+}
+
+Config Config::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("Config: cannot open " + path);
+  }
+  return parse(is);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               std::string fallback) const {
+  if (auto v = get(key)) {
+    return *v;
+  }
+  return fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  if (auto v = get(key)) {
+    return std::stod(*v);
+  }
+  return fallback;
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  if (auto v = get(key)) {
+    return std::stoll(*v);
+  }
+  return fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (auto v = get(key)) {
+    return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  }
+  return fallback;
+}
+
+std::string Config::require(const std::string& key) const {
+  if (auto v = get(key)) {
+    return *v;
+  }
+  throw std::runtime_error("Config: missing required key '" + key + "'");
+}
+
+double Config::require_double(const std::string& key) const {
+  return std::stod(require(key));
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+}  // namespace pw::util

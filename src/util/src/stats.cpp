@@ -1,0 +1,59 @@
+#include "pw/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace pw::util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+
+  double sum = 0.0;
+  for (double v : sorted) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+
+  if (s.count > 1) {
+    double sq = 0.0;
+    for (double v : sorted) {
+      sq += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+  }
+
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1) ? sorted[mid]
+                                : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double relative_difference(double a, double b, double eps) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / scale;
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      return 0.0;
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace pw::util

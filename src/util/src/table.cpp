@@ -1,0 +1,137 @@
+#include "pw/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace pw::util {
+
+Table& Table::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw std::invalid_argument("Table row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c >= widths.size()) {
+        widths.resize(c + 1, 0);
+      }
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    widen(r);
+  }
+
+  os << "== " << caption_ << " ==\n";
+  auto print_row = [&os, &widths](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&os, &widths] {
+    os << "+";
+    for (std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  for (const auto& r : rows_) {
+    print_row(r);
+  }
+  print_rule();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+  }
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+}
+
+std::string format_double(double value, int decimals, bool trim) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << value;
+  std::string s = ss.str();
+  if (trim && s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return format_double(bytes, 1) + " " + units[unit];
+}
+
+std::string format_cells(std::size_t cells) {
+  if (cells >= 1'000'000) {
+    // The paper truncates to whole millions (536870912 -> "536M").
+    return std::to_string(cells / 1'000'000) + "M";
+  }
+  return std::to_string(cells);
+}
+
+}  // namespace pw::util

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "pw/grid/field3d.hpp"
+
+namespace pw::viz {
+
+/// Which plane of the 3D field to render.
+enum class SliceAxis { kZ, kY, kX };
+
+/// Renders one slice of a field as an ASCII heat map (terminal-friendly
+/// model output for the examples). Values are mapped linearly onto a
+/// density ramp between the slice's min and max; a legend line carries the
+/// numeric range. `max_width`/`max_height` downsample large grids by
+/// cell-averaging.
+struct AsciiRenderOptions {
+  SliceAxis axis = SliceAxis::kZ;
+  std::size_t index = 0;        ///< plane index along the axis
+  std::size_t max_width = 72;   ///< output columns
+  std::size_t max_height = 24;  ///< output rows
+};
+
+std::string render_slice(const grid::FieldD& field,
+                         const AsciiRenderOptions& options);
+
+void render_slice(const grid::FieldD& field, const AsciiRenderOptions& options,
+                  std::ostream& os);
+
+}  // namespace pw::viz

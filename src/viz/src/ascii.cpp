@@ -1,0 +1,130 @@
+#include "pw/viz/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "pw/util/table.hpp"
+
+namespace pw::viz {
+
+namespace {
+
+constexpr const char* kRamp = " .:-=+*#%@";
+constexpr std::size_t kRampSize = 10;
+
+/// Extracts the slice as a dense row-major (rows x cols) matrix.
+std::vector<double> extract(const grid::FieldD& field,
+                            const AsciiRenderOptions& options,
+                            std::size_t& rows, std::size_t& cols) {
+  const auto nx = field.nx();
+  const auto ny = field.ny();
+  const auto nz = field.nz();
+  auto at = [&](std::size_t a, std::size_t b) {
+    const auto index = static_cast<std::ptrdiff_t>(options.index);
+    switch (options.axis) {
+      case SliceAxis::kZ:  // rows = y, cols = x
+        return field.at(static_cast<std::ptrdiff_t>(b),
+                        static_cast<std::ptrdiff_t>(a), index);
+      case SliceAxis::kY:  // rows = z, cols = x
+        return field.at(static_cast<std::ptrdiff_t>(b), index,
+                        static_cast<std::ptrdiff_t>(a));
+      case SliceAxis::kX:  // rows = z, cols = y
+        return field.at(index, static_cast<std::ptrdiff_t>(b),
+                        static_cast<std::ptrdiff_t>(a));
+    }
+    return 0.0;
+  };
+  std::size_t limit = 0;
+  switch (options.axis) {
+    case SliceAxis::kZ:
+      rows = ny;
+      cols = nx;
+      limit = nz;
+      break;
+    case SliceAxis::kY:
+      rows = nz;
+      cols = nx;
+      limit = ny;
+      break;
+    case SliceAxis::kX:
+      rows = nz;
+      cols = ny;
+      limit = nx;
+      break;
+  }
+  if (options.index >= limit) {
+    throw std::out_of_range("render_slice: plane index out of range");
+  }
+  std::vector<double> data(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      data[r * cols + c] = at(r, c);
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+std::string render_slice(const grid::FieldD& field,
+                         const AsciiRenderOptions& options) {
+  std::size_t rows = 0, cols = 0;
+  const std::vector<double> data = extract(field, options, rows, cols);
+
+  const std::size_t out_rows = std::min(rows, std::max<std::size_t>(
+                                                  1, options.max_height));
+  const std::size_t out_cols =
+      std::min(cols, std::max<std::size_t>(1, options.max_width));
+
+  // Downsample by box averaging.
+  std::vector<double> shrunk(out_rows * out_cols, 0.0);
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    const std::size_t r0 = r * rows / out_rows;
+    const std::size_t r1 = std::max(r0 + 1, (r + 1) * rows / out_rows);
+    for (std::size_t c = 0; c < out_cols; ++c) {
+      const std::size_t c0 = c * cols / out_cols;
+      const std::size_t c1 = std::max(c0 + 1, (c + 1) * cols / out_cols);
+      double sum = 0.0;
+      for (std::size_t rr = r0; rr < r1; ++rr) {
+        for (std::size_t cc = c0; cc < c1; ++cc) {
+          sum += data[rr * cols + cc];
+        }
+      }
+      shrunk[r * out_cols + c] =
+          sum / static_cast<double>((r1 - r0) * (c1 - c0));
+    }
+  }
+
+  const auto [lo_it, hi_it] = std::minmax_element(shrunk.begin(), shrunk.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double span = hi - lo;
+
+  std::ostringstream os;
+  // Render top row last so "up" on screen is increasing row index.
+  for (std::size_t r = out_rows; r-- > 0;) {
+    for (std::size_t c = 0; c < out_cols; ++c) {
+      const double v = shrunk[r * out_cols + c];
+      const std::size_t level =
+          span <= 0.0 ? 0
+                      : std::min(kRampSize - 1,
+                                 static_cast<std::size_t>(
+                                     (v - lo) / span * (kRampSize - 1) + 0.5));
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+  os << "[" << util::format_double(lo, 4) << " '" << kRamp[0] << "' .. '"
+     << kRamp[kRampSize - 1] << "' " << util::format_double(hi, 4) << "]\n";
+  return os.str();
+}
+
+void render_slice(const grid::FieldD& field, const AsciiRenderOptions& options,
+                  std::ostream& os) {
+  os << render_slice(field, options);
+}
+
+}  // namespace pw::viz

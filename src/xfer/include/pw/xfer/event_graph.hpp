@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pw::xfer {
+
+/// The serialised execution resources of an accelerator board, as the
+/// paper's host code drives them: one DMA engine per PCIe direction (full
+/// duplex) and the kernel complement executing chunks in order.
+enum class Engine : std::size_t {
+  kHostToDevice = 0,
+  kKernel = 1,
+  kDeviceToHost = 2,
+};
+inline constexpr std::size_t kEngineCount = 3;
+
+/// One enqueued command (an OpenCL event in the paper's host code).
+struct Command {
+  std::string label;
+  Engine engine = Engine::kKernel;
+  double duration_s = 0.0;
+  std::vector<std::size_t> depends;  ///< indices of earlier commands
+};
+
+/// The realised schedule of one command.
+struct Scheduled {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::string label;
+  Engine engine = Engine::kKernel;
+};
+
+/// Simulation result for a whole command graph.
+struct Timeline {
+  std::vector<Scheduled> commands;
+  double makespan_s = 0.0;
+  double engine_busy_s[kEngineCount] = {0.0, 0.0, 0.0};
+
+  /// Busy fraction of an engine over the makespan.
+  double utilisation(Engine engine) const {
+    return makespan_s <= 0.0
+               ? 0.0
+               : engine_busy_s[static_cast<std::size_t>(engine)] / makespan_s;
+  }
+};
+
+/// List-scheduling simulator of an in-order command queue per engine:
+/// a command starts when its engine is free *and* all dependencies have
+/// completed — exactly the semantics of OpenCL events on in-order queues
+/// (and of CUDA streams with one stream per engine).
+class EventScheduler {
+public:
+  /// Adds a command; returns its index for use in later `depends` lists.
+  /// Dependencies must reference earlier commands (DAG by construction).
+  std::size_t add(Command command);
+
+  std::size_t size() const noexcept { return commands_.size(); }
+
+  /// Simulates the queue and returns the timeline.
+  Timeline run() const;
+
+private:
+  std::vector<Command> commands_;
+};
+
+}  // namespace pw::xfer

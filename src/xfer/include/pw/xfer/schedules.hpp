@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+#include "pw/xfer/event_graph.hpp"
+
+namespace pw::xfer {
+
+/// Transfer behaviour of one device for schedule building. Rates are the
+/// *effective* DMA rates for the mode in question (a blocking migration vs
+/// many registered chunk DMAs); per-command setup costs model DMA descriptor
+/// and kernel-dispatch latency, which is what makes very small chunks (and
+/// small grids) proportionally expensive.
+struct TransferModel {
+  double h2d_gbps = 0.0;
+  double d2h_gbps = 0.0;
+  bool full_duplex = true;
+  double dma_setup_s = 2e-5;       ///< per transfer command
+  double kernel_dispatch_s = 5e-5; ///< per kernel command
+};
+
+/// A whole-run description.
+struct RunShape {
+  std::size_t bytes_in = 0;      ///< host -> device, total
+  std::size_t bytes_out = 0;     ///< device -> host, total
+  double compute_seconds = 0.0;  ///< whole-grid kernel time, all kernels
+  std::size_t chunks = 1;        ///< X-dimension chunks (overlap mode)
+  double fixed_overhead_s = 0.0; ///< context/bitstream/warm-up once per run
+};
+
+/// Result of scheduling one run.
+struct RunResult {
+  Timeline timeline;
+  double seconds = 0.0;  ///< makespan + fixed overhead
+};
+
+/// Fig. 5 mode: one blocking H2D of everything, the full kernel execution,
+/// one blocking D2H. No concurrency between engines.
+RunResult schedule_sequential(const RunShape& shape, const TransferModel& xfer);
+
+/// Fig. 6 mode: the domain is chunked in X; every chunk's H2D, kernel and
+/// D2H commands are bulk-registered with event dependencies
+/// (h2d_c -> kernel_c -> d2h_c, kernels serialised on the device), so
+/// transfers for chunk c+1 fly while chunk c computes (paper §IV).
+/// Without full duplex, D2H commands share the H2D engine.
+RunResult schedule_overlapped(const RunShape& shape, const TransferModel& xfer);
+
+}  // namespace pw::xfer

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <ostream>
+
+#include "pw/xfer/event_graph.hpp"
+
+namespace pw::xfer {
+
+/// Writes a timeline as CSV (label, engine, start_s, end_s) for plotting a
+/// Gantt chart of the overlap schedule (the picture the paper's §IV
+/// describes in prose).
+void write_timeline_csv(const Timeline& timeline, std::ostream& os);
+
+/// Renders an ASCII Gantt chart: one lane per engine, `width` character
+/// columns spanning the makespan.
+void render_timeline_ascii(const Timeline& timeline, std::ostream& os,
+                           std::size_t width = 72);
+
+}  // namespace pw::xfer

@@ -1,0 +1,49 @@
+#include "pw/xfer/event_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pw::xfer {
+
+std::size_t EventScheduler::add(Command command) {
+  const std::size_t index = commands_.size();
+  for (std::size_t dep : command.depends) {
+    if (dep >= index) {
+      throw std::invalid_argument(
+          "EventScheduler: dependency on a not-yet-added command");
+    }
+  }
+  if (command.duration_s < 0.0) {
+    throw std::invalid_argument("EventScheduler: negative duration");
+  }
+  commands_.push_back(std::move(command));
+  return index;
+}
+
+Timeline EventScheduler::run() const {
+  Timeline timeline;
+  timeline.commands.resize(commands_.size());
+  double engine_free[kEngineCount] = {0.0, 0.0, 0.0};
+
+  // Commands were added in enqueue order and dependencies always point
+  // backwards, so a single in-order pass realises the schedule.
+  for (std::size_t i = 0; i < commands_.size(); ++i) {
+    const Command& cmd = commands_[i];
+    const auto engine = static_cast<std::size_t>(cmd.engine);
+    double ready = engine_free[engine];
+    for (std::size_t dep : cmd.depends) {
+      ready = std::max(ready, timeline.commands[dep].end_s);
+    }
+    timeline.commands[i].start_s = ready;
+    timeline.commands[i].end_s = ready + cmd.duration_s;
+    timeline.commands[i].label = cmd.label;
+    timeline.commands[i].engine = cmd.engine;
+    engine_free[engine] = timeline.commands[i].end_s;
+    timeline.engine_busy_s[engine] += cmd.duration_s;
+    timeline.makespan_s =
+        std::max(timeline.makespan_s, timeline.commands[i].end_s);
+  }
+  return timeline;
+}
+
+}  // namespace pw::xfer

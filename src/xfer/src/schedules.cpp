@@ -1,0 +1,82 @@
+#include "pw/xfer/schedules.hpp"
+
+#include <stdexcept>
+
+namespace pw::xfer {
+
+namespace {
+
+double seconds_for(std::size_t bytes, double gbps) {
+  if (gbps <= 0.0) {
+    throw std::invalid_argument("schedule: non-positive transfer rate");
+  }
+  return static_cast<double>(bytes) / (gbps * 1e9);
+}
+
+}  // namespace
+
+RunResult schedule_sequential(const RunShape& shape,
+                              const TransferModel& xfer) {
+  EventScheduler scheduler;
+  const std::size_t h2d = scheduler.add(
+      {"h2d", Engine::kHostToDevice,
+       seconds_for(shape.bytes_in, xfer.h2d_gbps) + xfer.dma_setup_s,
+       {}});
+  const std::size_t kernel = scheduler.add(
+      {"kernel", Engine::kKernel,
+       shape.compute_seconds + xfer.kernel_dispatch_s,
+       {h2d}});
+  scheduler.add({"d2h", Engine::kDeviceToHost,
+                 seconds_for(shape.bytes_out, xfer.d2h_gbps) +
+                     xfer.dma_setup_s,
+                 {kernel}});
+
+  RunResult result;
+  result.timeline = scheduler.run();
+  result.seconds = result.timeline.makespan_s + shape.fixed_overhead_s;
+  return result;
+}
+
+RunResult schedule_overlapped(const RunShape& shape,
+                              const TransferModel& xfer) {
+  if (shape.chunks == 0) {
+    throw std::invalid_argument("schedule_overlapped: zero chunks");
+  }
+  EventScheduler scheduler;
+  const Engine d2h_engine =
+      xfer.full_duplex ? Engine::kDeviceToHost : Engine::kHostToDevice;
+
+  std::size_t previous_kernel = SIZE_MAX;
+  for (std::size_t c = 0; c < shape.chunks; ++c) {
+    // Split remainders over the first chunks so totals are exact.
+    auto share = [&](std::size_t total) {
+      const std::size_t base = total / shape.chunks;
+      return base + (c < total % shape.chunks ? 1 : 0);
+    };
+    const std::size_t h2d = scheduler.add(
+        {"h2d_" + std::to_string(c), Engine::kHostToDevice,
+         seconds_for(share(shape.bytes_in), xfer.h2d_gbps) + xfer.dma_setup_s,
+         {}});
+    std::vector<std::size_t> kernel_deps{h2d};
+    if (previous_kernel != SIZE_MAX) {
+      kernel_deps.push_back(previous_kernel);
+    }
+    const std::size_t kernel = scheduler.add(
+        {"kernel_" + std::to_string(c), Engine::kKernel,
+         shape.compute_seconds / static_cast<double>(shape.chunks) +
+             xfer.kernel_dispatch_s,
+         std::move(kernel_deps)});
+    previous_kernel = kernel;
+    scheduler.add({"d2h_" + std::to_string(c), d2h_engine,
+                   seconds_for(share(shape.bytes_out), xfer.d2h_gbps) +
+                       xfer.dma_setup_s,
+                   {kernel}});
+  }
+
+  RunResult result;
+  result.timeline = scheduler.run();
+  result.seconds = result.timeline.makespan_s + shape.fixed_overhead_s;
+  return result;
+}
+
+}  // namespace pw::xfer

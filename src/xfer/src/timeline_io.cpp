@@ -1,0 +1,62 @@
+#include "pw/xfer/timeline_io.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace pw::xfer {
+
+namespace {
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kHostToDevice:
+      return "h2d";
+    case Engine::kKernel:
+      return "kernel";
+    case Engine::kDeviceToHost:
+      return "d2h";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_timeline_csv(const Timeline& timeline, std::ostream& os) {
+  os << "label,engine,start_s,end_s\n";
+  for (const Scheduled& s : timeline.commands) {
+    os << s.label << ',' << engine_name(s.engine) << ',' << s.start_s << ','
+       << s.end_s << '\n';
+  }
+}
+
+void render_timeline_ascii(const Timeline& timeline, std::ostream& os,
+                           std::size_t width) {
+  if (timeline.makespan_s <= 0.0 || width == 0) {
+    os << "(empty timeline)\n";
+    return;
+  }
+  const char lane_marks[kEngineCount] = {'v', '#', '^'};
+  for (std::size_t lane = 0; lane < kEngineCount; ++lane) {
+    std::string row(width, '.');
+    for (const Scheduled& s : timeline.commands) {
+      if (static_cast<std::size_t>(s.engine) != lane) {
+        continue;
+      }
+      auto column = [&](double t) {
+        return std::min(width - 1,
+                        static_cast<std::size_t>(t / timeline.makespan_s *
+                                                 static_cast<double>(width)));
+      };
+      for (std::size_t c = column(s.start_s); c <= column(s.end_s); ++c) {
+        row[c] = lane_marks[lane];
+      }
+    }
+    os << (lane == 0 ? "h2d    " : lane == 1 ? "kernel " : "d2h    ") << row
+       << '\n';
+  }
+  os << "        0" << std::string(width > 20 ? width - 10 : 0, ' ')
+     << timeline.makespan_s << "s\n";
+}
+
+}  // namespace pw::xfer

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "pw/baseline/delay_line.hpp"
+#include "pw/baseline/ku115.hpp"
+#include "pw/kernel/shift_buffer.hpp"
+#include "pw/util/rng.hpp"
+
+namespace pw::baseline {
+namespace {
+
+/// Property: the previous-generation delay line and the paper's 3D shift
+/// buffer are interchangeable stencil providers — identical emissions in
+/// identical order for any raster.
+void expect_equivalent(std::size_t nxp, std::size_t nyp, std::size_t nzp,
+                       std::uint64_t seed) {
+  kernel::ShiftBuffer3D shift(nyp, nzp);
+  DelayLineStencil delay(nyp, nzp);
+  util::Rng rng(seed);
+
+  std::size_t emissions = 0;
+  for (std::size_t n = 0; n < nxp * nyp * nzp; ++n) {
+    const double value = rng.uniform(-5.0, 5.0);
+    const auto a = shift.push(value);
+    const auto b = delay.push(value);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "beat " << n;
+    if (!a) {
+      continue;
+    }
+    ++emissions;
+    EXPECT_EQ(a->ci, b->ci);
+    EXPECT_EQ(a->cj, b->cj);
+    EXPECT_EQ(a->ck, b->ck);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          ASSERT_EQ(a->stencil.at(dx, dy, dz), b->stencil.at(dx, dy, dz))
+              << "beat " << n << " offset (" << dx << "," << dy << "," << dz
+              << ")";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(emissions, (nxp - 2) * (nyp - 2) * (nzp - 2));
+}
+
+TEST(DelayLine, EquivalentToShiftBufferSmall) {
+  expect_equivalent(4, 4, 4, 1);
+}
+
+TEST(DelayLine, EquivalentToShiftBufferTall) {
+  expect_equivalent(5, 3, 12, 2);
+}
+
+TEST(DelayLine, EquivalentToShiftBufferWide) {
+  expect_equivalent(3, 11, 5, 3);
+}
+
+class DelayLineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DelayLineSweep, MatchesShiftBuffer) {
+  const auto [x, y, z] = GetParam();
+  expect_equivalent(static_cast<std::size_t>(x), static_cast<std::size_t>(y),
+                    static_cast<std::size_t>(z),
+                    static_cast<std::uint64_t>(x * 31 + y * 7 + z));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DelayLineSweep,
+    ::testing::Values(std::tuple{3, 3, 3}, std::tuple{6, 5, 4},
+                      std::tuple{4, 6, 8}, std::tuple{8, 4, 6},
+                      std::tuple{7, 7, 7}, std::tuple{3, 9, 3}));
+
+TEST(DelayLine, UsesLessStorageThanShiftBuffer) {
+  // The old design's selling point: ~2 faces instead of 3 (plus windows).
+  const std::size_t nyp = 66, nzp = 66;
+  kernel::ShiftBuffer3D shift(nyp, nzp);
+  DelayLineStencil delay(nyp, nzp);
+  const std::size_t shift_total = shift.slab_doubles() +
+                                  shift.window_doubles() +
+                                  kernel::ShiftBuffer3D::register_doubles();
+  EXPECT_LT(delay.storage_doubles(), shift_total * 2 / 3 + nzp * 3);
+}
+
+TEST(DelayLine, ResetRestartsEmission) {
+  DelayLineStencil delay(3, 3);
+  for (int n = 0; n < 27; ++n) {
+    delay.push(1.0);
+  }
+  delay.reset();
+  std::size_t emissions = 0;
+  for (int n = 0; n < 18; ++n) {
+    if (delay.push(2.0)) {
+      ++emissions;
+    }
+  }
+  EXPECT_EQ(emissions, 0u);
+}
+
+TEST(DelayLine, RejectsTinyFace) {
+  EXPECT_THROW(DelayLineStencil(2, 5), std::invalid_argument);
+}
+
+TEST(Ku115, PreviousGenerationComparison) {
+  const auto summary = ku115_comparison(grid::paper_grid(16));
+  // [7]: eight kernels delivered 18.8 GFLOPS on the KU115.
+  EXPECT_NEAR(summary.modelled_gflops, 18.8, 1.5);
+  // §III: a single Alveo kernel reaches ~77% of that figure...
+  EXPECT_NEAR(summary.alveo_single_kernel_fraction, 0.77, 0.05);
+  // ...and a single Stratix 10 kernel outperforms it by ~10%.
+  EXPECT_NEAR(summary.stratix_single_kernel_fraction, 1.10, 0.06);
+}
+
+}  // namespace
+}  // namespace pw::baseline

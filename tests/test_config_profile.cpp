@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "pw/fpga/perf_model.hpp"
+#include "pw/fpga/profile_io.hpp"
+#include "pw/util/config.hpp"
+
+namespace pw {
+namespace {
+
+TEST(Config, ParsesKeysSectionsAndComments) {
+  const auto config = util::Config::parse_string(R"(
+# a comment
+name = My Board
+empty_ok = with spaces inside
+
+[pcie]
+peak_gbps = 15.75
+duplex = true
+; another comment style
+)");
+  EXPECT_EQ(config.get_string("name", ""), "My Board");
+  EXPECT_EQ(config.get_string("empty_ok", ""), "with spaces inside");
+  EXPECT_DOUBLE_EQ(config.get_double("pcie.peak_gbps", 0.0), 15.75);
+  EXPECT_TRUE(config.get_bool("pcie.duplex", false));
+  EXPECT_FALSE(config.has("missing"));
+  EXPECT_EQ(config.get_int("missing", 42), 42);
+}
+
+TEST(Config, MalformedInputRejected) {
+  EXPECT_THROW(util::Config::parse_string("[unterminated\n"),
+               std::runtime_error);
+  EXPECT_THROW(util::Config::parse_string("no equals sign\n"),
+               std::runtime_error);
+  EXPECT_THROW(util::Config::parse_string("= value without key\n"),
+               std::runtime_error);
+}
+
+TEST(Config, RequireThrowsNamingKey) {
+  const auto config = util::Config::parse_string("a = 1\n");
+  EXPECT_EQ(config.require("a"), "1");
+  try {
+    config.require("absent_key");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("absent_key"), std::string::npos);
+  }
+}
+
+TEST(Config, SetAndKeys) {
+  util::Config config;
+  config.set("x", "1");
+  config.set("y", "2");
+  EXPECT_EQ(config.keys().size(), 2u);
+  EXPECT_EQ(config.get_int("x", 0), 1);
+}
+
+TEST(ProfileIo, BuiltinsRoundTrip) {
+  for (const auto& original :
+       {fpga::alveo_u280(), fpga::stratix10_520n(), fpga::kintex_ku115()}) {
+    const std::string text = fpga::profile_to_config_text(original);
+    const auto loaded =
+        fpga::profile_from_config(util::Config::parse_string(text));
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.vendor, original.vendor);
+    EXPECT_EQ(loaded.resources.logic_cells, original.resources.logic_cells);
+    EXPECT_EQ(loaded.resources.dsp, original.resources.dsp);
+    EXPECT_DOUBLE_EQ(loaded.clock_single_hz, original.clock_single_hz);
+    EXPECT_DOUBLE_EQ(loaded.clock_multi_hz, original.clock_multi_hz);
+    EXPECT_EQ(loaded.paper_kernel_count, original.paper_kernel_count);
+    ASSERT_EQ(loaded.memories.size(), original.memories.size());
+    for (std::size_t m = 0; m < loaded.memories.size(); ++m) {
+      EXPECT_EQ(loaded.memories[m].kind, original.memories[m].kind);
+      EXPECT_DOUBLE_EQ(loaded.memories[m].per_kernel_sustained_gbps,
+                       original.memories[m].per_kernel_sustained_gbps);
+      EXPECT_EQ(loaded.memories[m].capacity_bytes,
+                original.memories[m].capacity_bytes);
+    }
+    EXPECT_DOUBLE_EQ(loaded.pcie.peak_gbps, original.pcie.peak_gbps);
+  }
+}
+
+TEST(ProfileIo, CustomBoardUsableByPerfModel) {
+  // A hypothetical next-gen board defined purely by config.
+  const auto config = util::Config::parse_string(R"(
+name = Hypothetical U55C
+vendor = xilinx
+logic_cells = 1300000
+bram_kb = 4600
+uram_kb = 35000
+dsp = 9024
+clock_single_mhz = 350
+clock_multi_mhz = 350
+kernels = 8
+
+[pcie]
+peak_gbps = 31.5
+single_util = 0.3
+overlap_util = 0.85
+
+[memory0]
+name = HBM2e
+kind = hbm2
+per_kernel_gbps = 18
+system_gbps = 400
+capacity_gb = 16
+)");
+  const auto board = fpga::profile_from_config(config);
+  EXPECT_EQ(board.memory_for(1ull << 30).name, "HBM2e");
+
+  fpga::KernelOnlyInput input;
+  input.dims = grid::paper_grid(16);
+  input.config.chunk_y = 64;
+  input.kernels = board.paper_kernel_count;
+  input.clock_hz = board.clock_hz(input.kernels);
+  input.memory = board.memories.front();
+  const auto result = fpga::model_kernel_only(input);
+  // 8 kernels at 350 MHz with fat HBM2e: comfortably past the U280.
+  EXPECT_GT(result.gflops, 100.0);
+}
+
+TEST(ProfileIo, MissingSectionsRejected) {
+  EXPECT_THROW(
+      fpga::profile_from_config(util::Config::parse_string("name = x\n")),
+      std::runtime_error);
+  const auto no_memory = util::Config::parse_string(R"(
+name = x
+vendor = intel
+logic_cells = 1
+bram_kb = 1
+dsp = 1
+clock_single_mhz = 1
+clock_multi_mhz = 1
+[pcie]
+peak_gbps = 1
+single_util = 0.5
+overlap_util = 0.5
+)");
+  EXPECT_THROW(fpga::profile_from_config(no_memory), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pw/exp/experiments.hpp"
+
+namespace pw::exp {
+namespace {
+
+class ExperimentsFixture : public ::testing::Test {
+protected:
+  Devices devices = paper_devices();
+
+  /// Indexes runs as [device name][million cells].
+  std::map<std::string, std::map<std::size_t, DeviceRun>> index(
+      bool overlapped) {
+    std::map<std::string, std::map<std::size_t, DeviceRun>> by;
+    const auto sizes = figure_grid_sizes();
+    const auto runs = overall_runs(devices, overlapped);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      for (std::size_t d = 0; d < 4; ++d) {
+        const DeviceRun& run = runs[s * 4 + d];
+        by[run.device][grid::paper_grid(sizes[s]).cells() / 1'000'000] = run;
+      }
+    }
+    return by;
+  }
+};
+
+TEST_F(ExperimentsFixture, Table1MatchesPaperStructure) {
+  const auto t = table1(devices);
+  ASSERT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.row_at(0)[0], "1 core of Xeon CPU");
+  EXPECT_EQ(t.row_at(0)[1], "2.09");
+  EXPECT_EQ(t.row_at(1)[1], "15.2");
+  EXPECT_EQ(t.row_at(2)[1], "367.2");
+  // Alveo within a few % of 14.50 at 77%; Stratix of 20.8 at 83%.
+  EXPECT_NEAR(std::stod(t.row_at(3)[1]), 14.50, 0.45);
+  EXPECT_EQ(t.row_at(3)[2], "77%");
+  EXPECT_NEAR(std::stod(t.row_at(4)[1]), 20.8, 0.6);
+  EXPECT_EQ(t.row_at(4)[2], "83%");
+}
+
+TEST_F(ExperimentsFixture, Table2MatchesPaperStructure) {
+  const auto t = table2(devices);
+  ASSERT_EQ(t.rows(), 4u);
+  EXPECT_EQ(t.row_at(0)[0], "1M");
+  EXPECT_EQ(t.row_at(3)[0], "67M");
+  // Paper: HBM2 ~12.98-14.94, DDR ~8.98-10.55, overhead 39-46%.
+  for (std::size_t r = 0; r < 4; ++r) {
+    const double hbm = std::stod(t.row_at(r)[1]);
+    const double ddr = std::stod(t.row_at(r)[2]);
+    EXPECT_GT(hbm, 12.5);
+    EXPECT_LT(hbm, 15.2);
+    EXPECT_GT(ddr, 8.9);
+    EXPECT_LT(ddr, 10.9);
+    EXPECT_GT(hbm, 1.3 * ddr);
+  }
+}
+
+TEST_F(ExperimentsFixture, Fig5Orderings) {
+  auto runs = index(/*overlapped=*/false);
+  for (std::size_t m : {16u, 67u, 268u}) {
+    const auto& cpu = runs["24 core Xeon CPU"][m];
+    const auto& gpu = runs["NVIDIA Tesla V100"][m];
+    const auto& alveo = runs["Xilinx Alveo U280"][m];
+    const auto& stratix = runs["Intel Stratix 10"][m];
+
+    // Without overlap the accelerators are PCIe-dominated: the CPU leads,
+    // the GPU falls far below its kernel-only 367 GFLOPS, the Stratix
+    // beats the Alveo (transfers ~2x faster), both FPGAs trail the CPU.
+    EXPECT_GT(cpu.gflops, gpu.gflops) << m << "M";
+    EXPECT_GT(gpu.gflops, stratix.gflops) << m << "M";
+    EXPECT_GT(stratix.gflops, 1.5 * alveo.gflops) << m << "M";
+    EXPECT_LT(gpu.gflops, 0.1 * devices.v100.kernel_gflops) << m << "M";
+  }
+}
+
+TEST_F(ExperimentsFixture, Fig6Orderings) {
+  auto runs = index(/*overlapped=*/true);
+
+  // HBM2 sizes: V100 > Alveo > Stratix > CPU.
+  for (std::size_t m : {16u, 67u}) {
+    const auto& cpu = runs["24 core Xeon CPU"][m];
+    const auto& gpu = runs["NVIDIA Tesla V100"][m];
+    const auto& alveo = runs["Xilinx Alveo U280"][m];
+    const auto& stratix = runs["Intel Stratix 10"][m];
+    EXPECT_GT(gpu.gflops, alveo.gflops) << m << "M";
+    EXPECT_GT(alveo.gflops, stratix.gflops) << m << "M";
+    EXPECT_GT(stratix.gflops, cpu.gflops) << m << "M";
+    EXPECT_EQ(alveo.memory, power::ActiveMemory::kHbm2) << m << "M";
+  }
+
+  // DDR sizes: the Alveo drops sharply and the Stratix overtakes it.
+  for (std::size_t m : {268u, 536u}) {
+    const auto& alveo = runs["Xilinx Alveo U280"][m];
+    const auto& stratix = runs["Intel Stratix 10"][m];
+    EXPECT_EQ(alveo.memory, power::ActiveMemory::kDdr) << m << "M";
+    EXPECT_GT(stratix.gflops, alveo.gflops) << m << "M";
+  }
+  EXPECT_LT(runs["Xilinx Alveo U280"][268].gflops,
+            0.6 * runs["Xilinx Alveo U280"][67].gflops);
+
+  // The V100 has no 536M configuration (16GB memory).
+  EXPECT_FALSE(runs["NVIDIA Tesla V100"][536].available);
+  EXPECT_TRUE(runs["NVIDIA Tesla V100"][268].available);
+}
+
+TEST_F(ExperimentsFixture, OverlapConsiderablyImprovesAccelerators) {
+  auto fig5_runs = index(false);
+  auto fig6_runs = index(true);
+  for (const char* device :
+       {"NVIDIA Tesla V100", "Xilinx Alveo U280", "Intel Stratix 10"}) {
+    const double before = fig5_runs[device][16].gflops;
+    const double after = fig6_runs[device][16].gflops;
+    EXPECT_GT(after, 1.8 * before) << device;
+  }
+}
+
+TEST_F(ExperimentsFixture, Fig7PowerOrderings) {
+  auto runs = index(true);
+  for (std::size_t m : {16u, 67u, 268u}) {
+    const auto& cpu = runs["24 core Xeon CPU"][m];
+    const auto& gpu = runs["NVIDIA Tesla V100"][m];
+    const auto& alveo = runs["Xilinx Alveo U280"][m];
+    const auto& stratix = runs["Intel Stratix 10"][m];
+    // CPU and GPU consume significantly more than the FPGAs.
+    EXPECT_GT(cpu.power_w, 2.0 * stratix.power_w) << m << "M";
+    EXPECT_GT(gpu.power_w, 1.8 * alveo.power_w) << m << "M";
+    // The Stratix draws ~50% more than the Alveo (at HBM sizes).
+    if (m <= 67) {
+      EXPECT_NEAR(stratix.power_w / alveo.power_w, 1.5, 0.2) << m << "M";
+    }
+  }
+  // Moving the Alveo from HBM2 (67M) to DDR (268M) raises power ~12W
+  // (paper: "an increase of only 12 Watts").
+  const double step = runs["Xilinx Alveo U280"][268].power_w -
+                      runs["Xilinx Alveo U280"][67].power_w;
+  EXPECT_NEAR(step, 12.0, 6.0);
+}
+
+TEST_F(ExperimentsFixture, Fig8EfficiencyOrderings) {
+  auto runs = index(true);
+
+  for (std::size_t m : {16u, 67u, 268u}) {
+    const auto& cpu = runs["24 core Xeon CPU"][m];
+    const auto& alveo = runs["Xilinx Alveo U280"][m];
+    const auto& stratix = runs["Intel Stratix 10"][m];
+    // CPU is the least efficient throughout.
+    EXPECT_LT(cpu.gflops_per_watt, stratix.gflops_per_watt) << m << "M";
+    EXPECT_LT(cpu.gflops_per_watt, alveo.gflops_per_watt) << m << "M";
+  }
+
+  // Alveo ~2x the Stratix until the DDR point...
+  for (std::size_t m : {16u, 67u}) {
+    const double ratio = runs["Xilinx Alveo U280"][m].gflops_per_watt /
+                         runs["Intel Stratix 10"][m].gflops_per_watt;
+    EXPECT_NEAR(ratio, 2.0, 0.5) << m << "M";
+  }
+  // ...then it decreases, coming close to the others.
+  EXPECT_LT(runs["Xilinx Alveo U280"][268].gflops_per_watt,
+            0.5 * runs["Xilinx Alveo U280"][67].gflops_per_watt);
+
+  // Stratix is more efficient than the V100 at small sizes; the V100 is
+  // slightly better at larger configurations.
+  EXPECT_GT(runs["Intel Stratix 10"][16].gflops_per_watt,
+            runs["NVIDIA Tesla V100"][16].gflops_per_watt);
+  EXPECT_GT(runs["NVIDIA Tesla V100"][268].gflops_per_watt,
+            runs["Intel Stratix 10"][268].gflops_per_watt * 0.99);
+}
+
+TEST_F(ExperimentsFixture, CpuRunIsTransferFree) {
+  const auto run = run_cpu_overall(devices.cpu, devices.cpu_power,
+                                   grid::paper_grid(16));
+  EXPECT_DOUBLE_EQ(run.gflops, devices.cpu.gflops_all_cores);
+  EXPECT_DOUBLE_EQ(run.transfer_utilisation, 0.0);
+}
+
+TEST_F(ExperimentsFixture, FigureTablesWellFormed) {
+  for (const auto& t :
+       {fig5(devices), fig6(devices), fig7(devices), fig8(devices)}) {
+    EXPECT_EQ(t.columns(), 5u);
+    EXPECT_EQ(t.rows(), 4u);
+  }
+  // 536M V100 cell is n/a in every figure.
+  EXPECT_EQ(fig6(devices).row_at(1)[4], "n/a");
+  EXPECT_EQ(fig8(devices).row_at(1)[4], "n/a");
+}
+
+
+TEST_F(ExperimentsFixture, DdrContentionFixedPointBehaviour) {
+  // On HBM2 (16M/67M, or any no-overlap run) the kernels keep the full
+  // memory bandwidth; only overlapped runs on DDR converge to a reduced
+  // share (the PCIe DMA stealing DDR bandwidth, Fig. 6's cliff mechanism).
+  const auto hbm = run_fpga_overall(devices.alveo, devices.alveo_power,
+                                    grid::paper_grid(16), true);
+  EXPECT_DOUBLE_EQ(hbm.memory_share, 1.0);
+
+  const auto ddr_sequential = run_fpga_overall(
+      devices.alveo, devices.alveo_power, grid::paper_grid(268), false);
+  EXPECT_DOUBLE_EQ(ddr_sequential.memory_share, 1.0);
+
+  const auto ddr_overlapped = run_fpga_overall(
+      devices.alveo, devices.alveo_power, grid::paper_grid(268), true);
+  EXPECT_LT(ddr_overlapped.memory_share, 0.9);
+  EXPECT_GE(ddr_overlapped.memory_share, 0.15);  // clamp floor respected
+}
+
+}  // namespace
+}  // namespace pw::exp

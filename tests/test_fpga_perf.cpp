@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/fpga/memory_model.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/chunking.hpp"
+#include "pw/kernel/cycle_stages.hpp"
+
+namespace pw::fpga {
+namespace {
+
+TEST(TheoreticalPeak, PaperValues) {
+  // §III: 300 MHz, 64-level column -> 18.86 GFLOPS; 398 MHz -> 25.02.
+  EXPECT_NEAR(theoretical_gflops(64, 300e6), 18.86, 0.005);
+  EXPECT_NEAR(theoretical_gflops(64, 398e6), 25.02, 0.01);
+  // Scales linearly in kernels, inversely in II.
+  EXPECT_NEAR(theoretical_gflops(64, 300e6, 6), 6 * 18.86, 0.05);
+  EXPECT_NEAR(theoretical_gflops(64, 300e6, 1, 2), 18.86 / 2, 0.01);
+}
+
+TEST(TransferBytes, PaperDataVolumes) {
+  // §IV: ~800MB at 16M cells; 3.2GB, 12.8GB, 25.8GB for the larger grids.
+  EXPECT_NEAR(static_cast<double>(transfer_bytes(grid::paper_grid(16)).total()) /
+                  1e6,
+              805.3, 1.0);
+  EXPECT_NEAR(static_cast<double>(transfer_bytes(grid::paper_grid(67)).total()) /
+                  1e9,
+              3.22, 0.01);
+  EXPECT_NEAR(
+      static_cast<double>(transfer_bytes(grid::paper_grid(268)).total()) / 1e9,
+      12.9, 0.1);
+  EXPECT_NEAR(
+      static_cast<double>(transfer_bytes(grid::paper_grid(536)).total()) / 1e9,
+      25.8, 0.1);
+}
+
+TEST(Footprint, HbmHoldsAllButTwoLargest) {
+  // §III.A: HBM2 (8GB) is large enough for all but the two largest grids.
+  const auto alveo = alveo_u280();
+  for (std::size_t m : {1, 4, 16, 67}) {
+    EXPECT_EQ(alveo.memory_for(device_footprint_bytes(grid::paper_grid(m))).kind,
+              MemoryKind::kHbm2)
+        << m << "M";
+  }
+  for (std::size_t m : {268, 536}) {
+    EXPECT_EQ(alveo.memory_for(device_footprint_bytes(grid::paper_grid(m))).kind,
+              MemoryKind::kDdr)
+        << m << "M";
+  }
+}
+
+KernelOnlyInput paper_input(const FpgaDeviceProfile& device,
+                            std::size_t million_cells, std::size_t kernels,
+                            std::size_t memory_index = 0) {
+  KernelOnlyInput input;
+  input.dims = grid::paper_grid(million_cells);
+  input.config.chunk_y = 64;
+  input.kernels = kernels;
+  input.clock_hz = device.clock_hz(kernels);
+  input.memory = device.memories.at(memory_index);
+  input.launch_overhead_s = device.launch_overhead_s;
+  return input;
+}
+
+TEST(KernelOnlyModel, TableOneWithinTolerance) {
+  // Paper Table I: Alveo 14.50 (77%), Stratix 20.8 (83%) at 16M cells.
+  const auto alveo = model_kernel_only(paper_input(alveo_u280(), 16, 1));
+  EXPECT_NEAR(alveo.gflops, 14.50, 0.45);
+  EXPECT_NEAR(alveo.efficiency, 0.77, 0.025);
+  EXPECT_TRUE(alveo.memory_bound);
+
+  const auto stratix = model_kernel_only(paper_input(stratix10_520n(), 16, 1));
+  EXPECT_NEAR(stratix.gflops, 20.8, 0.6);
+  EXPECT_NEAR(stratix.efficiency, 0.83, 0.025);
+}
+
+TEST(KernelOnlyModel, TableTwoShape) {
+  // Paper Table II: HBM2 beats DDR by ~39-46% at every size; both rise
+  // from 1M and plateau.
+  const auto alveo = alveo_u280();
+  double previous_hbm = 0.0;
+  for (std::size_t m : {1, 4, 16, 67}) {
+    const auto hbm = model_kernel_only(paper_input(alveo, m, 1, 0));
+    const auto ddr = model_kernel_only(paper_input(alveo, m, 1, 1));
+    EXPECT_GT(hbm.gflops, ddr.gflops) << m << "M";
+    const double overhead = hbm.gflops / ddr.gflops - 1.0;
+    EXPECT_GT(overhead, 0.30) << m << "M";
+    EXPECT_LT(overhead, 0.50) << m << "M";
+    EXPECT_GE(hbm.gflops, previous_hbm * 0.99) << m << "M";
+    previous_hbm = hbm.gflops;
+  }
+  // Plateau values near the paper's.
+  const auto ddr16 = model_kernel_only(paper_input(alveo, 16, 1, 1));
+  EXPECT_NEAR(ddr16.gflops, 10.43, 0.4);
+}
+
+TEST(KernelOnlyModel, MultiKernelScaling) {
+  // Six Alveo kernels on HBM scale nearly linearly (bandwidth headroom).
+  const auto one = model_kernel_only(paper_input(alveo_u280(), 16, 1));
+  const auto six = model_kernel_only(paper_input(alveo_u280(), 16, 6));
+  EXPECT_GT(six.gflops, 5.5 * one.gflops);
+
+  // Five Stratix kernels drop to 250 MHz and near the DDR system limit.
+  const auto five = model_kernel_only(paper_input(stratix10_520n(), 16, 5));
+  EXPECT_LT(five.theoretical_gflops, 5 * 25.1);  // clock dropped
+  EXPECT_GT(five.gflops, 60.0);
+  EXPECT_LT(five.gflops, 79.0);
+}
+
+TEST(KernelOnlyModel, DdrSystemLimitCapsMultiKernel) {
+  // Six kernels on the Alveo DDR hit the system cap far below 6x single.
+  const auto one = model_kernel_only(paper_input(alveo_u280(), 16, 1, 1));
+  const auto six = model_kernel_only(paper_input(alveo_u280(), 16, 6, 1));
+  EXPECT_LT(six.gflops, 3.0 * one.gflops);
+}
+
+TEST(KernelOnlyModel, IiTwoHalvesThroughput) {
+  // With unconstrained memory the design is clock-bound and II=2 exactly
+  // halves it (the URAM finding of §III.A).
+  auto input = paper_input(alveo_u280(), 16, 1);
+  input.memory.per_kernel_sustained_gbps = 1e6;  // effectively unlimited
+  input.memory.system_sustained_gbps = 1e6;
+  const auto ii1 = model_kernel_only(input);
+  EXPECT_FALSE(ii1.memory_bound);
+  input.shift_ii = 2;
+  const auto ii2 = model_kernel_only(input);
+  EXPECT_NEAR(ii2.gflops / ii1.gflops, 0.5, 0.02);
+  EXPECT_NEAR(ii2.theoretical_gflops, ii1.theoretical_gflops / 2, 1e-9);
+
+  // On the real (memory-bound) HBM2 profile the hit is smaller but still
+  // severe — the paper judged it unacceptable either way.
+  auto real = paper_input(alveo_u280(), 16, 1);
+  const auto real_ii1 = model_kernel_only(real);
+  real.shift_ii = 2;
+  const auto real_ii2 = model_kernel_only(real);
+  EXPECT_LT(real_ii2.gflops, 0.65 * real_ii1.gflops);
+}
+
+TEST(KernelOnlyModel, SmallChunksHurt) {
+  // §III: negligible impact except for chunks of 8 or below.
+  auto input = paper_input(alveo_u280(), 16, 1);
+  input.config.chunk_y = 64;
+  const auto base = model_kernel_only(input);
+  input.config.chunk_y = 8;
+  const auto chunk8 = model_kernel_only(input);
+  input.config.chunk_y = 2;
+  const auto chunk2 = model_kernel_only(input);
+  EXPECT_LT(chunk8.gflops, 0.92 * base.gflops);
+  EXPECT_LT(chunk2.gflops, 0.75 * base.gflops);
+  // ... and 32 vs 64 is within a few percent.
+  input.config.chunk_y = 32;
+  EXPECT_GT(model_kernel_only(input).gflops, 0.95 * base.gflops);
+}
+
+TEST(KernelOnlyModel, MemoryShareReducesThroughput) {
+  auto input = paper_input(alveo_u280(), 16, 6, 1);  // DDR, system-bound
+  const auto full = model_kernel_only(input);
+  input.memory_share = 0.5;
+  const auto half = model_kernel_only(input);
+  EXPECT_NEAR(half.gflops / full.gflops, 0.5, 0.05);
+}
+
+TEST(KernelOnlyModel, InvalidInputsThrow) {
+  KernelOnlyInput input;
+  input.dims = {4, 4, 4};
+  input.kernels = 0;
+  EXPECT_THROW(model_kernel_only(input), std::invalid_argument);
+}
+
+TEST(ModelVsCycleSim, AgreeOnIdealMemory) {
+  // The analytic model and the cycle-level simulator must agree closely
+  // when memory is not a constraint.
+  const grid::GridDims dims{8, 16, 16};
+  grid::WindState state(dims);
+  grid::init_random(state, 3);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+
+  advect::SourceTerms out(dims);
+  kernel::CycleSimConfig sim;
+  sim.kernel.chunk_y = 8;
+  const auto cycle = kernel::run_kernel_cycle_sim(state, coefficients, out, sim);
+  ASSERT_TRUE(cycle.report.completed);
+
+  KernelOnlyInput input;
+  input.dims = dims;
+  input.config.chunk_y = 8;
+  input.kernels = 1;
+  input.clock_hz = 300e6;
+  input.memory.per_kernel_sustained_gbps = 1e9;  // effectively unlimited
+  input.memory.system_sustained_gbps = 1e9;
+  input.memory.burst_knee_doubles = 0.0;
+  const auto model = model_kernel_only(input);
+
+  const double model_cycles = model.seconds * input.clock_hz;
+  const double sim_cycles = static_cast<double>(cycle.report.cycles);
+  EXPECT_NEAR(model_cycles / sim_cycles, 1.0, 0.02);
+}
+
+TEST(ModelVsCycleSim, AgreeUnderMemoryBackPressure) {
+  const grid::GridDims dims{8, 12, 12};
+  grid::WindState state(dims);
+  grid::init_random(state, 5);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+
+  // A memory that sustains half the beat demand.
+  MemoryTech tech;
+  tech.per_kernel_sustained_gbps = 300e6 * 24.0 / 1e9;  // reads alone saturate
+  tech.system_sustained_gbps = 1e6;                     // (per-kernel binds)
+  tech.burst_knee_doubles = 0.0;
+  tech.system_sustained_gbps = tech.per_kernel_sustained_gbps * 8;
+
+  const kernel::ChunkPlan plan(dims, 0);
+  MemoryRateLimiter limiter(tech, 300e6, plan.contiguous_run_doubles());
+
+  advect::SourceTerms out(dims);
+  kernel::CycleSimConfig sim;
+  sim.kernel.chunk_y = 0;
+  sim.memory = &limiter;
+  const auto cycle = kernel::run_kernel_cycle_sim(state, coefficients, out, sim);
+  ASSERT_TRUE(cycle.report.completed);
+
+  KernelOnlyInput input;
+  input.dims = dims;
+  input.config.chunk_y = 0;
+  input.kernels = 1;
+  input.clock_hz = 300e6;
+  input.memory = tech;
+  const auto model = model_kernel_only(input);
+  EXPECT_TRUE(model.memory_bound);
+
+  const double model_cycles = model.seconds * input.clock_hz;
+  const double sim_cycles = static_cast<double>(cycle.report.cycles);
+  EXPECT_NEAR(model_cycles / sim_cycles, 1.0, 0.08);
+}
+
+TEST(MemoryRateLimiter, GrantsAtConfiguredRate) {
+  MemoryTech tech;
+  tech.per_kernel_sustained_gbps = 2.4;  // 8 bytes/cycle at 300MHz
+  tech.burst_knee_doubles = 0.0;
+  MemoryRateLimiter limiter(tech, 300e6, 1024);
+
+  // Over many cycles, exactly ~8 bytes/cycle should be granted.
+  std::size_t granted = 0;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    limiter.advance_cycle();
+    if (limiter.request(0, 24)) {
+      granted += 24;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(granted) / 1000.0, 8.0, 0.5);
+}
+
+TEST(MemoryRateLimiter, InvalidParametersThrow) {
+  MemoryTech tech;
+  EXPECT_THROW(MemoryRateLimiter(tech, 0.0, 100), std::invalid_argument);
+  EXPECT_THROW(MemoryRateLimiter(tech, 300e6, 100, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pw::fpga

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+
+namespace pw::fpga {
+namespace {
+
+TEST(ResourceVector, ArithmeticAndFits) {
+  const ResourceVector a{100, 200, 300, 4};
+  const ResourceVector b{10, 20, 30, 1};
+  const ResourceVector sum = a + b;
+  EXPECT_EQ(sum.logic_cells, 110u);
+  EXPECT_EQ(sum.dsp, 5u);
+  const ResourceVector tripled = b * 3;
+  EXPECT_EQ(tripled.block_ram_bytes, 60u);
+
+  EXPECT_TRUE(a.fits(b));
+  EXPECT_TRUE(a.fits(a));
+  EXPECT_FALSE(a.fits(a + b));
+  EXPECT_FALSE(a.fits(a, 0.9));
+}
+
+TEST(ResourceVector, UtilisationPicksBindingResource) {
+  const ResourceVector capacity{1000, 1000, 1000, 1000};
+  const ResourceVector usage{100, 900, 50, 10};
+  EXPECT_DOUBLE_EQ(capacity.utilisation(usage), 0.9);
+}
+
+TEST(ResourceVector, DemandOnAbsentResource) {
+  const ResourceVector no_uram{1000, 1000, 0, 1000};
+  const ResourceVector wants_uram{10, 10, 5, 10};
+  EXPECT_FALSE(no_uram.fits(wants_uram));
+  EXPECT_GT(no_uram.utilisation(wants_uram), 100.0);
+}
+
+TEST(DeviceProfiles, PaperHardwareFacts) {
+  const auto alveo = alveo_u280();
+  EXPECT_EQ(alveo.vendor, Vendor::kXilinx);
+  EXPECT_DOUBLE_EQ(alveo.clock_single_hz, 300e6);
+  EXPECT_DOUBLE_EQ(alveo.clock_multi_hz, 300e6);
+  EXPECT_EQ(alveo.paper_kernel_count, 6u);
+  ASSERT_EQ(alveo.memories.size(), 2u);
+  EXPECT_EQ(alveo.memories[0].kind, MemoryKind::kHbm2);
+  EXPECT_EQ(alveo.memories[0].capacity_bytes, 8ull << 30);
+  EXPECT_EQ(alveo.memories[1].capacity_bytes, 32ull << 30);
+
+  const auto stratix = stratix10_520n();
+  EXPECT_EQ(stratix.vendor, Vendor::kIntel);
+  EXPECT_DOUBLE_EQ(stratix.clock_single_hz, 398e6);
+  EXPECT_DOUBLE_EQ(stratix.clock_multi_hz, 250e6);  // multi-kernel Fmax drop
+  EXPECT_EQ(stratix.paper_kernel_count, 5u);
+  ASSERT_EQ(stratix.memories.size(), 1u);
+  EXPECT_EQ(stratix.memories[0].kind, MemoryKind::kDdr);
+}
+
+TEST(DeviceProfiles, MemoryForSelectsByCapacity) {
+  const auto alveo = alveo_u280();
+  EXPECT_EQ(alveo.memory_for(1ull << 30).name, "HBM2");
+  EXPECT_EQ(alveo.memory_for(12ull << 30).name, "DDR-DRAM");
+  EXPECT_THROW(alveo.memory_for(64ull << 30), std::runtime_error);
+}
+
+TEST(DeviceProfiles, PaperPcieObservation) {
+  // Single blocking transfers take about twice as long on the U280 as on
+  // the Stratix 10 (paper §IV).
+  const double alveo = alveo_u280().pcie.single_stream_gbps();
+  const double stratix = stratix10_520n().pcie.single_stream_gbps();
+  EXPECT_NEAR(stratix / alveo, 2.0, 0.25);
+  // With overlapped chunked DMA the Alveo's x16 link pulls ahead.
+  EXPECT_GT(alveo_u280().pcie.overlapped_gbps(),
+            stratix10_520n().pcie.overlapped_gbps());
+}
+
+TEST(BurstEfficiency, SaturatesWithRunLength) {
+  MemoryTech tech;
+  tech.burst_knee_doubles = 64.0;
+  EXPECT_LT(tech.burst_efficiency(64), 0.55);
+  EXPECT_GT(tech.burst_efficiency(4096), 0.98);
+  EXPECT_GT(tech.burst_efficiency(128), tech.burst_efficiency(64));
+  EXPECT_DOUBLE_EQ(tech.burst_efficiency(0), 0.0);
+}
+
+TEST(ResourceEstimate, PaperKernelCountsReproduced) {
+  kernel::KernelConfig config;
+  config.chunk_y = 64;
+  KernelEstimateOptions options;
+  options.nz = 64;
+
+  const auto xilinx = estimate_kernel(config, options, Vendor::kXilinx);
+  const auto intel = estimate_kernel(config, options, Vendor::kIntel);
+  EXPECT_EQ(max_kernels(alveo_u280(), xilinx), 6u);
+  EXPECT_EQ(max_kernels(stratix10_520n(), intel), 5u);
+
+  // One kernel is ~15% of the U280 (paper §IV).
+  EXPECT_NEAR(alveo_u280().resources.utilisation(xilinx), 0.15, 0.03);
+}
+
+TEST(ResourceEstimate, UramVariantMovesBuffer) {
+  kernel::KernelConfig config;
+  KernelEstimateOptions bram;
+  bram.nz = 64;
+  KernelEstimateOptions uram = bram;
+  uram.shift_buffer_in_uram = true;
+
+  const auto with_bram = estimate_kernel(config, bram, Vendor::kXilinx);
+  const auto with_uram = estimate_kernel(config, uram, Vendor::kXilinx);
+  EXPECT_EQ(with_bram.large_ram_bytes, 0u);
+  EXPECT_GT(with_uram.large_ram_bytes, 0u);
+  EXPECT_LT(with_uram.block_ram_bytes, with_bram.block_ram_bytes);
+  // Intel has no URAM: the option is ignored there.
+  const auto intel = estimate_kernel(config, uram, Vendor::kIntel);
+  EXPECT_EQ(intel.large_ram_bytes, 0u);
+}
+
+TEST(ResourceEstimate, BespokeCacheTradesRamForLogic) {
+  kernel::KernelConfig config;
+  config.chunk_y = 64;
+  KernelEstimateOptions shift;
+  shift.nz = 64;
+  KernelEstimateOptions bespoke = shift;
+  bespoke.bespoke_cache = true;
+
+  const auto general = estimate_kernel(config, shift, Vendor::kXilinx);
+  const auto minimal = estimate_kernel(config, bespoke, Vendor::kXilinx);
+  EXPECT_LT(minimal.block_ram_bytes, general.block_ram_bytes / 2);
+  EXPECT_GT(minimal.logic_cells, general.logic_cells);
+}
+
+TEST(ResourceEstimate, BufferScalesWithChunk) {
+  KernelEstimateOptions options;
+  options.nz = 64;
+  kernel::KernelConfig small;
+  small.chunk_y = 16;
+  kernel::KernelConfig large;
+  large.chunk_y = 256;
+  EXPECT_LT(estimate_kernel(small, options, Vendor::kXilinx).block_ram_bytes,
+            estimate_kernel(large, options, Vendor::kXilinx).block_ram_bytes);
+}
+
+TEST(ResourceEstimate, MaxKernelsZeroWhenTooBig) {
+  FpgaDeviceProfile tiny = alveo_u280();
+  tiny.resources.logic_cells = 1000;
+  kernel::KernelConfig config;
+  KernelEstimateOptions options;
+  EXPECT_EQ(max_kernels(tiny, estimate_kernel(config, options,
+                                              Vendor::kXilinx)),
+            0u);
+}
+
+}  // namespace
+}  // namespace pw::fpga

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "pw/gpu/v100.hpp"
+#include "pw/power/power_model.hpp"
+
+namespace pw {
+namespace {
+
+TEST(GpuModel, PaperKernelRate) {
+  const auto v100 = gpu::tesla_v100();
+  EXPECT_DOUBLE_EQ(v100.kernel_gflops, 367.2);  // Table I
+  EXPECT_EQ(v100.memory_bytes, 16ull << 30);
+}
+
+TEST(GpuModel, FitsAllButLargestGrid) {
+  const auto v100 = gpu::tesla_v100();
+  for (std::size_t m : {16, 67, 268}) {
+    EXPECT_TRUE(gpu::fits_on_gpu(v100, grid::paper_grid(m))) << m << "M";
+  }
+  // §IV: the 25.8GB data set of the 536M grid exceeds the 16GB board.
+  EXPECT_FALSE(gpu::fits_on_gpu(v100, grid::paper_grid(536)));
+}
+
+TEST(GpuModel, FootprintIsSixFields) {
+  EXPECT_EQ(gpu::gpu_footprint_bytes({100, 10, 10}),
+            6ull * 100 * 10 * 10 * 8);
+}
+
+TEST(GpuModel, ComputeSecondsFollowFlops) {
+  const auto v100 = gpu::tesla_v100();
+  const double t16 = gpu::gpu_compute_seconds(v100, grid::paper_grid(16));
+  const double t67 = gpu::gpu_compute_seconds(v100, grid::paper_grid(67));
+  EXPECT_NEAR(t67 / t16, 4.0, 0.01);
+  EXPECT_NEAR(t16, 1.0549e9 * 16.777216 / 16.777216 / 367.2e9 * 1.0,
+              t16 * 0.05);
+}
+
+TEST(PowerModel, LinearInActivity) {
+  const power::PowerProfile p{"test", 10.0, 20.0, 5.0, 2.0, 7.0};
+  EXPECT_DOUBLE_EQ(power::average_power_w(p, {0.0, 0.0,
+                                              power::ActiveMemory::kNone}),
+                   10.0);
+  EXPECT_DOUBLE_EQ(power::average_power_w(p, {1.0, 1.0,
+                                              power::ActiveMemory::kNone}),
+                   35.0);
+  EXPECT_DOUBLE_EQ(power::average_power_w(p, {0.5, 0.0,
+                                              power::ActiveMemory::kHbm2}),
+                   22.0);
+  EXPECT_DOUBLE_EQ(power::average_power_w(p, {0.5, 0.0,
+                                              power::ActiveMemory::kDdr}),
+                   27.0);
+}
+
+TEST(PowerModel, ClampsUtilisation) {
+  const power::PowerProfile p{"test", 10.0, 20.0, 5.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(power::average_power_w(p, {2.0, -1.0,
+                                              power::ActiveMemory::kNone}),
+                   30.0);
+}
+
+TEST(PowerModel, EnergyAndEfficiency) {
+  const power::PowerProfile p{"test", 50.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(
+      power::energy_j(p, {0, 0, power::ActiveMemory::kNone}, 2.0), 100.0);
+  EXPECT_THROW(power::energy_j(p, {0, 0, power::ActiveMemory::kNone}, -1.0),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(power::power_efficiency(30.0, 60.0), 0.5);
+  EXPECT_DOUBLE_EQ(power::power_efficiency(30.0, 0.0), 0.0);
+}
+
+TEST(PowerProfiles, PaperOrderings) {
+  // Fig. 7: CPU and GPU draw far more than either FPGA; the Stratix draws
+  // ~50% more than the Alveo; DDR adds ~12W on the Alveo.
+  const auto cpu = power::xeon_8260m_power();
+  const auto gpu = power::v100_power();
+  const auto alveo = power::alveo_u280_power();
+  const auto stratix = power::stratix10_power();
+
+  const power::Activity busy{0.5, 0.9, power::ActiveMemory::kHbm2};
+  const double p_cpu = power::average_power_w(
+      cpu, {1.0, 0.0, power::ActiveMemory::kNone});
+  const double p_gpu = power::average_power_w(gpu, busy);
+  const double p_alveo = power::average_power_w(alveo, busy);
+  const double p_stratix = power::average_power_w(
+      stratix, {0.5, 0.9, power::ActiveMemory::kDdr});
+
+  EXPECT_GT(p_cpu, 2.0 * p_alveo);
+  EXPECT_GT(p_gpu, 2.0 * p_alveo);
+  EXPECT_NEAR(p_stratix / p_alveo, 1.5, 0.25);
+
+  const double alveo_hbm = power::average_power_w(
+      alveo, {0.5, 0.9, power::ActiveMemory::kHbm2});
+  const double alveo_ddr = power::average_power_w(
+      alveo, {0.5, 0.9, power::ActiveMemory::kDdr});
+  EXPECT_NEAR(alveo_ddr - alveo_hbm, 12.0, 4.0);
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "pw/grid/compare.hpp"
+#include "pw/grid/field3d.hpp"
+#include "pw/grid/geometry.hpp"
+#include "pw/grid/init.hpp"
+
+namespace pw::grid {
+namespace {
+
+TEST(GridDims, CellsProduct) {
+  EXPECT_EQ((GridDims{4, 5, 6}.cells()), 120u);
+}
+
+TEST(PaperGrid, MatchesPaperSizes) {
+  EXPECT_EQ(paper_grid(1).cells(), 1'048'576u);
+  EXPECT_EQ(paper_grid(4).cells(), 4'194'304u);
+  EXPECT_EQ(paper_grid(16).cells(), 16'777'216u);
+  EXPECT_EQ(paper_grid(67).cells(), 67'108'864u);
+  EXPECT_EQ(paper_grid(268).cells(), 268'435'456u);
+  EXPECT_EQ(paper_grid(536).cells(), 536'870'912u);
+  // All configurations use MONC's default 64-level column (paper §III).
+  for (std::size_t m : {1, 4, 16, 67, 268, 536}) {
+    EXPECT_EQ(paper_grid(m).nz, 64u);
+  }
+  EXPECT_THROW(paper_grid(2), std::invalid_argument);
+}
+
+TEST(VerticalGrid, UniformProfile) {
+  const auto g = VerticalGrid::uniform(8, 25.0);
+  EXPECT_EQ(g.nz(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_DOUBLE_EQ(g.dz(k), 25.0);
+    EXPECT_DOUBLE_EQ(g.rho(k), 1.0);
+    EXPECT_DOUBLE_EQ(g.rhon(k), 1.0);
+  }
+}
+
+TEST(VerticalGrid, StretchedIncreases) {
+  const auto g = VerticalGrid::stretched(10, 10.0, 1.0);
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_GT(g.dz(k), g.dz(k - 1));
+  }
+}
+
+TEST(VerticalGrid, SetDensityValidatesSize) {
+  auto g = VerticalGrid::uniform(4, 1.0);
+  EXPECT_THROW(g.set_density({1.0}, {1.0}), std::invalid_argument);
+  g.set_density({1, 2, 3, 4}, {5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(g.rho(2), 3.0);
+  EXPECT_DOUBLE_EQ(g.rhon(3), 8.0);
+}
+
+TEST(Field3D, InteriorAndHaloAccess) {
+  Field3D<double> f({3, 4, 5}, 1, 0.5);
+  EXPECT_EQ(f.nx(), 3u);
+  EXPECT_EQ(f.halo(), 1u);
+  f.at(-1, -1, -1) = 7.0;
+  f.at(2, 3, 4) = 9.0;
+  EXPECT_DOUBLE_EQ(f.at(-1, -1, -1), 7.0);
+  EXPECT_DOUBLE_EQ(f.at(2, 3, 4), 9.0);
+  EXPECT_DOUBLE_EQ(f.at(0, 0, 0), 0.5);
+}
+
+TEST(Field3D, CheckedThrowsOutsideHalo) {
+  Field3D<double> f({2, 2, 2}, 1);
+  EXPECT_NO_THROW(f.checked(-1, 0, 0));
+  EXPECT_THROW(f.checked(-2, 0, 0), std::out_of_range);
+  EXPECT_THROW(f.checked(0, 3, 0), std::out_of_range);
+}
+
+TEST(Field3D, ZeroDimensionRejected) {
+  EXPECT_THROW(Field3D<double>({0, 1, 1}), std::invalid_argument);
+}
+
+TEST(Field3D, ZIsFastestVarying) {
+  Field3D<double> f({2, 2, 4}, 1);
+  // Two k-adjacent interior cells must be adjacent in raw storage.
+  auto raw = f.raw();
+  f.at(0, 0, 0) = 1.0;
+  f.at(0, 0, 1) = 2.0;
+  for (std::size_t n = 0; n + 1 < raw.size(); ++n) {
+    if (raw[n] == 1.0 && raw[n + 1] == 2.0) {
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << "k+1 neighbour not adjacent in memory";
+}
+
+TEST(Field3D, PeriodicHaloExchange) {
+  Field3D<double> f({4, 3, 2}, 1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        f.at(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j),
+             static_cast<std::ptrdiff_t>(k)) =
+            static_cast<double>(100 * i + 10 * j + k);
+      }
+    }
+  }
+  f.exchange_halo_periodic_xy();
+  EXPECT_DOUBLE_EQ(f.at(-1, 0, 0), f.at(3, 0, 0));
+  EXPECT_DOUBLE_EQ(f.at(4, 1, 1), f.at(0, 1, 1));
+  EXPECT_DOUBLE_EQ(f.at(2, -1, 0), f.at(2, 2, 0));
+  EXPECT_DOUBLE_EQ(f.at(2, 3, 1), f.at(2, 0, 1));
+  // Corners are consistent too (x exchange then y exchange).
+  EXPECT_DOUBLE_EQ(f.at(-1, -1, 0), f.at(3, 2, 0));
+}
+
+TEST(Field3D, FillHaloLeavesInterior) {
+  Field3D<double> f({2, 2, 2}, 1, 3.0);
+  f.fill_halo(-1.0);
+  EXPECT_DOUBLE_EQ(f.at(0, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(-1, 0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(f.at(1, 1, 2), -1.0);
+}
+
+TEST(Init, RandomIsDeterministic) {
+  WindState a({4, 4, 4}), b({4, 4, 4});
+  init_random(a, 123);
+  init_random(b, 123);
+  EXPECT_TRUE(compare_interior(a.u, b.u).bit_equal());
+  EXPECT_TRUE(compare_interior(a.w, b.w).bit_equal());
+}
+
+TEST(Init, RandomSeedChangesField) {
+  WindState a({4, 4, 4}), b({4, 4, 4});
+  init_random(a, 1);
+  init_random(b, 2);
+  EXPECT_FALSE(compare_interior(a.u, b.u).bit_equal());
+}
+
+TEST(Init, HalosArePeriodicXYAndZeroZ) {
+  WindState s({4, 4, 4});
+  init_random(s, 9);
+  EXPECT_DOUBLE_EQ(s.u.at(-1, 2, 2), s.u.at(3, 2, 2));
+  EXPECT_DOUBLE_EQ(s.v.at(1, 4, 0), s.v.at(1, 0, 0));
+  EXPECT_DOUBLE_EQ(s.w.at(1, 1, -1), 0.0);
+  EXPECT_DOUBLE_EQ(s.w.at(1, 1, 4), 0.0);
+}
+
+TEST(Init, ConstantField) {
+  WindState s({3, 3, 3});
+  init_constant(s, 1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.u.at(1, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s.v.at(0, 2, 2), 2.0);
+  EXPECT_DOUBLE_EQ(s.w.at(2, 0, 1), 3.0);
+  // Periodic halo carries the constant; z halo is zero.
+  EXPECT_DOUBLE_EQ(s.u.at(-1, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s.u.at(1, 1, -1), 0.0);
+}
+
+TEST(Init, TaylorGreenIsDiscretelyReasonable) {
+  WindState s({16, 16, 8});
+  init_taylor_green(s, 2.0);
+  // w is identically zero and u/v are bounded by amplitude * 1.5.
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      for (std::size_t k = 0; k < 8; ++k) {
+        const auto ii = static_cast<std::ptrdiff_t>(i);
+        const auto jj = static_cast<std::ptrdiff_t>(j);
+        const auto kk = static_cast<std::ptrdiff_t>(k);
+        EXPECT_DOUBLE_EQ(s.w.at(ii, jj, kk), 0.0);
+        EXPECT_LE(std::abs(s.u.at(ii, jj, kk)), 3.0 + 1e-12);
+        EXPECT_LE(std::abs(s.v.at(ii, jj, kk)), 3.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Compare, DetectsMismatch) {
+  FieldD a({2, 2, 2}), b({2, 2, 2});
+  a.fill(1.0);
+  b.fill(1.0);
+  EXPECT_TRUE(compare_interior(a, b).bit_equal());
+  b.at(1, 0, 1) = 1.5;
+  const auto diff = compare_interior(a, b);
+  EXPECT_EQ(diff.mismatches, 1u);
+  EXPECT_DOUBLE_EQ(diff.max_abs, 0.5);
+  EXPECT_EQ(diff.first_i, 1u);
+  EXPECT_EQ(diff.first_k, 1u);
+}
+
+TEST(Compare, ShapeMismatchThrows) {
+  FieldD a({2, 2, 2}), b({2, 2, 3});
+  EXPECT_THROW(compare_interior(a, b), std::invalid_argument);
+}
+
+TEST(Compare, InteriorSumIgnoresHalo) {
+  FieldD f({2, 2, 2}, 1, 0.0);
+  f.fill_halo(100.0);
+  f.at(0, 0, 0) = 1.0;
+  f.at(1, 1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(interior_sum(f), 3.0);
+}
+
+TEST(Compare, ChecksumSensitiveToAnyBit) {
+  FieldD a({3, 3, 3});
+  a.fill(1.25);
+  const auto before = interior_checksum(a);
+  a.at(2, 2, 2) = 1.2500000000000002;
+  EXPECT_NE(interior_checksum(a), before);
+}
+
+}  // namespace
+}  // namespace pw::grid

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "pw/hls/shift_register.hpp"
+#include "pw/hls/vendor_stream.hpp"
+#include "pw/hls/wide_word.hpp"
+
+namespace pw::hls {
+namespace {
+
+TEST(WideWord, PackUnpackRoundTrip) {
+  std::vector<double> values(21);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i) * 0.5;
+  }
+  std::vector<Word512> words(words_for<8>(values.size()));
+  const std::size_t written = pack_words<8>(values, words);
+  EXPECT_EQ(written, 3u);
+  EXPECT_EQ(words[2].valid, 5u);  // 21 = 8 + 8 + 5
+
+  std::vector<double> out(values.size());
+  const std::size_t unpacked =
+      unpack_words<8>(std::span<const Word512>(words), out);
+  EXPECT_EQ(unpacked, values.size());
+  EXPECT_EQ(out, values);
+}
+
+TEST(WideWord, ExactMultipleHasAllLanesValid) {
+  std::vector<double> values(16, 1.0);
+  std::vector<Word512> words(2);
+  pack_words<8>(values, words);
+  EXPECT_EQ(words[0].valid, 8u);
+  EXPECT_EQ(words[1].valid, 8u);
+}
+
+TEST(WideWord, PackRejectsSmallOutput) {
+  std::vector<double> values(9, 0.0);
+  std::vector<Word512> words(1);
+  EXPECT_THROW(pack_words<8>(values, words), std::invalid_argument);
+}
+
+TEST(WideWord, UnpackRejectsCorruptValidCount) {
+  std::vector<Word512> words(1);
+  words[0].valid = 99;
+  std::vector<double> out(8);
+  EXPECT_THROW(unpack_words<8>(std::span<const Word512>(words), out),
+               std::invalid_argument);
+}
+
+TEST(WideWord, BitWidthIs512) {
+  EXPECT_EQ(Word512::kBits, 512u);
+  EXPECT_EQ(Word512::kLanes, 8u);
+}
+
+TEST(ShiftRegister, ShiftsAndReturnsEvicted) {
+  ShiftRegister<int, 3> reg;
+  EXPECT_EQ(reg.shift_in(1), 0);
+  EXPECT_EQ(reg.shift_in(2), 0);
+  EXPECT_EQ(reg.shift_in(3), 0);
+  // Register now holds [3, 2, 1]; next shift evicts 1.
+  EXPECT_EQ(reg[0], 3);
+  EXPECT_EQ(reg[1], 2);
+  EXPECT_EQ(reg[2], 1);
+  EXPECT_EQ(reg.shift_in(4), 1);
+}
+
+TEST(XilinxStream, ReadWriteOrder) {
+  XilinxStream<int> s(4);
+  s.write(1);
+  s.write(2);
+  EXPECT_EQ(s.read(), 1);
+  EXPECT_EQ(s.read(), 2);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(XilinxStream, NonBlockingRead) {
+  XilinxStream<int> s(2);
+  int out = 0;
+  EXPECT_FALSE(s.read_nb(out));
+  s.write(5);
+  EXPECT_TRUE(s.read_nb(out));
+  EXPECT_EQ(out, 5);
+}
+
+TEST(XilinxStream, ReadPastEndThrows) {
+  XilinxStream<int> s(2);
+  s.close();
+  EXPECT_THROW(s.read(), std::logic_error);
+}
+
+TEST(IntelChannel, ChannelApiRoundTrip) {
+  IntelChannel<double> ch(4);
+  write_channel_intel(ch, 2.5);
+  write_channel_intel(ch, 3.5);
+  EXPECT_DOUBLE_EQ(read_channel_intel(ch), 2.5);
+  double out = 0.0;
+  EXPECT_TRUE(read_channel_nb_intel(ch, out));
+  EXPECT_DOUBLE_EQ(out, 3.5);
+  EXPECT_FALSE(read_channel_nb_intel(ch, out));
+}
+
+TEST(IntelChannel, BlocksProducerAtDepth) {
+  IntelChannel<int> ch(1);
+  write_channel_intel(ch, 1);
+  std::thread consumer([&ch] {
+    // Give the producer a moment to block, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(read_channel_intel(ch), 1);
+    EXPECT_EQ(read_channel_intel(ch), 2);
+  });
+  write_channel_intel(ch, 2);  // must block until the consumer drains
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace pw::hls

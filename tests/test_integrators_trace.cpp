@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pw/dataflow/engine.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/cycle_stages.hpp"
+#include "pw/monc/components.hpp"
+#include "pw/monc/model.hpp"
+
+namespace pw {
+namespace {
+
+grid::Geometry tiny_geometry() {
+  return grid::Geometry::uniform({8, 8, 8}, 100.0, 100.0, 50.0);
+}
+
+TEST(Integrators, Rk3EvaluatesTendenciesThreeTimes) {
+  monc::Model model(tiny_geometry());
+  model.add_component(monc::make_coriolis(0.1));
+  const auto euler_stats = model.step(0.1, monc::Integrator::kForwardEuler);
+  EXPECT_EQ(euler_stats.tendency_evaluations, 1u);
+  const auto rk3_stats = model.step(0.1, monc::Integrator::kRk3);
+  EXPECT_EQ(rk3_stats.tendency_evaluations, 3u);
+  const auto profile = model.profile();
+  EXPECT_EQ(profile[0].calls, 4u);
+}
+
+TEST(Integrators, Rk3PreservesRotationAmplitudeBetterThanEuler) {
+  // Pure Coriolis rotation: d(u,v)/dt = f(v, -u) preserves u^2 + v^2.
+  // Forward Euler amplifies by sqrt(1 + (f dt)^2) per step; RK3's growth
+  // is O((f dt)^4) — orders of magnitude closer to neutral.
+  const double f = 0.5;
+  const double dt = 0.5;  // f*dt = 0.25, a harsh test
+
+  auto energy_after = [&](monc::Integrator integrator) {
+    monc::Model model(tiny_geometry(), 3);
+    grid::init_constant(model.state().wind, 1.0, 0.0, 0.0);
+    model.add_component(monc::make_coriolis(f));
+    for (int step = 0; step < 20; ++step) {
+      model.step(dt, integrator);
+    }
+    return model.kinetic_energy();
+  };
+
+  const double initial = 0.5 * 8 * 8 * 8;  // u=1 everywhere
+  const double euler = energy_after(monc::Integrator::kForwardEuler);
+  const double rk3 = energy_after(monc::Integrator::kRk3);
+
+  EXPECT_GT(euler, 1.5 * initial);               // visibly amplified
+  EXPECT_NEAR(rk3, initial, 0.02 * initial);     // nearly neutral
+  EXPECT_LT(std::fabs(rk3 - initial), 0.1 * std::fabs(euler - initial));
+}
+
+TEST(Integrators, Rk3MatchesEulerAsDtShrinks) {
+  // Both integrators converge to the same trajectory.
+  auto theta_after = [&](monc::Integrator integrator, double dt, int steps) {
+    monc::Model model(tiny_geometry(), 5);
+    model.add_component(monc::make_pw_advection(
+        model.coefficients(), monc::AdvectionBackend::kReference));
+    for (int step = 0; step < steps; ++step) {
+      model.step(dt, integrator);
+    }
+    return model.kinetic_energy();
+  };
+  const double coarse_gap = std::fabs(
+      theta_after(monc::Integrator::kForwardEuler, 0.4, 4) -
+      theta_after(monc::Integrator::kRk3, 0.4, 4));
+  const double fine_gap = std::fabs(
+      theta_after(monc::Integrator::kForwardEuler, 0.1, 16) -
+      theta_after(monc::Integrator::kRk3, 0.1, 16));
+  EXPECT_LT(fine_gap, coarse_gap);
+}
+
+TEST(Trace, CycleSimWaveformShowsFillThenSteadyState) {
+  const grid::GridDims dims{4, 4, 6};
+  grid::WindState state(dims);
+  grid::init_random(state, 11);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+
+  advect::SourceTerms out(dims);
+  kernel::CycleSimConfig config;
+  config.kernel.chunk_y = 0;
+  config.trace_cycles = 128;
+  const auto result =
+      kernel::run_kernel_cycle_sim(state, coefficients, out, config);
+  ASSERT_TRUE(result.report.completed);
+  ASSERT_FALSE(result.report.trace.empty());
+
+  // The read stage fires from cycle 0; the write stage must stall through
+  // the pipeline-fill prefix before its first fire.
+  const auto& names = result.report.stage_names;
+  std::size_t read_lane = 0, write_lane = 0;
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    if (names[s] == "read_data") {
+      read_lane = s;
+    }
+    if (names[s] == "write_data") {
+      write_lane = s;
+    }
+  }
+  EXPECT_EQ(result.report.trace[read_lane].front(), 'F');
+  const auto first_write_fire =
+      result.report.trace[write_lane].find('F');
+  ASSERT_NE(first_write_fire, std::string::npos);
+  // Fill = roughly two padded faces + two columns of the shift buffer.
+  EXPECT_GT(first_write_fire, 60u);   // 2*(6*8) = 96 minus FIFO slack
+  EXPECT_LT(first_write_fire, 128u);
+
+  const std::string rendered = dataflow::render_trace(result.report);
+  EXPECT_NE(rendered.find("read_data"), std::string::npos);
+  EXPECT_NE(rendered.find('F'), std::string::npos);
+}
+
+TEST(Trace, DisabledByDefault) {
+  dataflow::CycleEngine engine;
+  const auto report = engine.run(4);
+  EXPECT_TRUE(report.trace.empty());
+  EXPECT_NE(dataflow::render_trace(report).find("no trace"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pw

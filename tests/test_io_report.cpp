@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pw/fpga/synthesis_report.hpp"
+#include "pw/grid/compare.hpp"
+#include "pw/io/field_io.hpp"
+#include "pw/util/rng.hpp"
+
+namespace pw {
+namespace {
+
+grid::FieldD random_field(grid::GridDims dims, std::uint64_t seed) {
+  grid::FieldD f(dims, 1);
+  util::Rng rng(seed);
+  for (double& v : f.raw()) {
+    v = rng.uniform(-5.0, 5.0);  // includes halos
+  }
+  return f;
+}
+
+TEST(FieldIo, RoundTripBitExactIncludingHalos) {
+  const grid::FieldD original = random_field({5, 7, 3}, 42);
+  std::stringstream buffer;
+  io::write_field(original, buffer);
+  const grid::FieldD loaded = io::read_field(buffer);
+  ASSERT_TRUE(loaded.same_shape(original));
+  const auto raw_a = original.raw();
+  const auto raw_b = loaded.raw();
+  for (std::size_t n = 0; n < raw_a.size(); ++n) {
+    ASSERT_EQ(raw_a[n], raw_b[n]) << "element " << n;
+  }
+}
+
+TEST(FieldIo, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOTAFIELDNOTAFIELDNOTAFIELDNOTAFIELD";
+  EXPECT_THROW(io::read_field(buffer), std::runtime_error);
+}
+
+TEST(FieldIo, TruncatedDataRejected) {
+  const grid::FieldD original = random_field({4, 4, 4}, 1);
+  std::stringstream buffer;
+  io::write_field(original, buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(io::read_field(cut), std::runtime_error);
+}
+
+TEST(FieldIo, EmptyStreamRejected) {
+  std::stringstream buffer;
+  EXPECT_THROW(io::read_field(buffer), std::runtime_error);
+}
+
+TEST(FieldIo, StateRoundTrip) {
+  grid::WindState state({4, 5, 6});
+  grid::init_random(state, 31);
+  std::stringstream buffer;
+  io::write_state(state, buffer);
+  const grid::WindState loaded = io::read_state(buffer);
+  EXPECT_TRUE(grid::compare_interior(state.u, loaded.u).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(state.v, loaded.v).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(state.w, loaded.w).bit_equal());
+}
+
+TEST(FieldIo, FileRoundTrip) {
+  const std::string path = "/tmp/pw_field_io_test.bin";
+  const grid::FieldD original = random_field({3, 3, 3}, 7);
+  io::save_field(original, path);
+  const grid::FieldD loaded = io::load_field(path);
+  EXPECT_TRUE(grid::compare_interior(original, loaded).bit_equal());
+  EXPECT_THROW(io::load_field("/nonexistent/dir/f.bin"), std::runtime_error);
+}
+
+TEST(Fmax, XilinxPinnedAtTarget) {
+  const auto alveo = fpga::alveo_u280();
+  EXPECT_DOUBLE_EQ(fpga::estimate_fmax_hz(alveo, 0.1), 300e6);
+  EXPECT_DOUBLE_EQ(fpga::estimate_fmax_hz(alveo, 0.9), 300e6);
+}
+
+TEST(Fmax, IntelDegradesWithUtilisation) {
+  const auto stratix = fpga::stratix10_520n();
+  // Through the paper's two points: ~398 MHz at one kernel's ~17%
+  // utilisation, ~250 MHz at five kernels' ~85%.
+  EXPECT_NEAR(fpga::estimate_fmax_hz(stratix, 0.17) / 1e6, 398.0, 10.0);
+  EXPECT_NEAR(fpga::estimate_fmax_hz(stratix, 0.85) / 1e6, 250.0, 10.0);
+  EXPECT_GT(fpga::estimate_fmax_hz(stratix, 0.2),
+            fpga::estimate_fmax_hz(stratix, 0.8));
+  // Floor holds for absurd utilisation.
+  EXPECT_GE(fpga::estimate_fmax_hz(stratix, 1.0), 150e6);
+}
+
+TEST(SynthesisReport, StagesSumToKernelTotal) {
+  kernel::KernelConfig config;
+  config.chunk_y = 64;
+  fpga::KernelEstimateOptions options;
+  options.nz = 64;
+  const auto report =
+      fpga::synthesize_kernel(config, options, fpga::alveo_u280());
+
+  ASSERT_EQ(report.stages.size(), 7u);  // the Fig. 2 boxes
+  fpga::ResourceVector sum;
+  for (const auto& stage : report.stages) {
+    sum = sum + stage.usage;
+  }
+  // Within rounding of the fractional split.
+  EXPECT_NEAR(static_cast<double>(sum.logic_cells),
+              static_cast<double>(report.total.logic_cells),
+              0.02 * static_cast<double>(report.total.logic_cells));
+  EXPECT_NEAR(static_cast<double>(sum.dsp),
+              static_cast<double>(report.total.dsp), 3.0);
+  EXPECT_EQ(report.kernels_fit, 6u);
+}
+
+TEST(SynthesisReport, UramVariantReportsIiTwo) {
+  kernel::KernelConfig config;
+  fpga::KernelEstimateOptions options;
+  options.shift_buffer_in_uram = true;
+  const auto report =
+      fpga::synthesize_kernel(config, options, fpga::alveo_u280());
+  bool found = false;
+  for (const auto& stage : report.stages) {
+    if (stage.stage == "shift_buffer") {
+      EXPECT_EQ(stage.initiation_interval, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SynthesisReport, TableRenderable) {
+  kernel::KernelConfig config;
+  fpga::KernelEstimateOptions options;
+  const auto report =
+      fpga::synthesize_kernel(config, options, fpga::stratix10_520n());
+  const auto table = report.to_table();
+  EXPECT_GE(table.rows(), 8u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("shift_buffer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pw

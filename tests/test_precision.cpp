@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/fpga/device_profiles.hpp"
+#include "pw/fpga/resource_estimate.hpp"
+#include "pw/grid/compare.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/hls/fixed_point.hpp"
+#include "pw/kernel/intel_frontend.hpp"
+#include "pw/kernel/xilinx_frontend.hpp"
+#include "pw/precision/reduced.hpp"
+#include "pw/util/rng.hpp"
+
+namespace pw {
+namespace {
+
+TEST(FixedPoint, RoundTripsRepresentableValues) {
+  using Q = hls::FixedQ43;
+  for (double v : {0.0, 1.0, -1.0, 3.25, -1000.5, 0.001953125}) {
+    EXPECT_NEAR(Q::from_double(v).to_double(), v, Q::epsilon());
+  }
+}
+
+TEST(FixedPoint, ArithmeticMatchesDoubleForExactValues) {
+  using Q = hls::FixedQ32;
+  const Q a = Q::from_double(3.5);
+  const Q b = Q::from_double(-1.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 2.25);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 4.75);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -4.375);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -3.5);
+  Q c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.to_double(), 2.25);
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.to_double(), 3.5);
+}
+
+TEST(FixedPoint, MultiplicationErrorBoundedByEpsilon) {
+  using Q = hls::FixedQ43;
+  util::Rng rng(3);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double x = rng.uniform(-100.0, 100.0);
+    const double y = rng.uniform(-100.0, 100.0);
+    const double product = (Q::from_double(x) * Q::from_double(y)).to_double();
+    // Inputs are quantised to eps; product error ~ |x|+|y| quantisations
+    // plus one truncation.
+    const double bound = (std::abs(x) + std::abs(y) + 2.0) * Q::epsilon();
+    EXPECT_NEAR(product, x * y, bound) << x << " * " << y;
+  }
+}
+
+TEST(FixedPoint, SaturatesOnOverflowFromDouble) {
+  using Q = hls::FixedQ43;
+  // Values beyond +/-2^20 saturate rather than wrap.
+  EXPECT_GT(Q::from_double(1e300).to_double(), 1e6 - 1);
+  EXPECT_LT(Q::from_double(-1e300).to_double(), -(1e6 - 1));
+}
+
+TEST(FixedPoint, Ordering) {
+  using Q = hls::FixedQ32;
+  EXPECT_LT(Q::from_double(1.0), Q::from_double(2.0));
+  EXPECT_EQ(Q::from_double(0.5), Q::from_double(0.5));
+}
+
+struct PrecisionHarness {
+  grid::GridDims dims{10, 10, 12};
+  std::unique_ptr<grid::WindState> state;
+  advect::PwCoefficients coefficients;
+
+  PrecisionHarness() {
+    state = std::make_unique<grid::WindState>(dims);
+    grid::init_random(*state, 99);
+    coefficients = advect::PwCoefficients::from_geometry(
+        grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  }
+};
+
+TEST(ReducedPrecision, FloatErrorSmallButNonzero) {
+  PrecisionHarness h;
+  const auto stats = precision::evaluate(precision::Representation::kFloat32,
+                                         *h.state, h.coefficients);
+  EXPECT_EQ(stats.cells, 3 * h.dims.cells());
+  EXPECT_GT(stats.max_abs, 0.0);  // it IS reduced precision
+  // Absolute errors stay at float-epsilon scale; relative error can grow
+  // where source terms cancel towards zero but stays far below O(1).
+  EXPECT_LT(stats.max_abs, 1e-6);
+  EXPECT_LT(stats.max_rel, 0.1);
+  EXPECT_LT(stats.rms, stats.max_abs);
+}
+
+TEST(ReducedPrecision, FixedQ43TighterThanFloat) {
+  PrecisionHarness h;
+  const auto f32 = precision::evaluate(precision::Representation::kFloat32,
+                                       *h.state, h.coefficients);
+  const auto q43 = precision::evaluate(precision::Representation::kFixedQ43,
+                                       *h.state, h.coefficients);
+  // 43 fractional bits resolve far below float's 24-bit mantissa at these
+  // magnitudes.
+  EXPECT_LT(q43.max_abs, f32.max_abs);
+}
+
+TEST(ReducedPrecision, CoarserFixedFormatIsWorse) {
+  PrecisionHarness h;
+  const auto q43 = precision::evaluate(precision::Representation::kFixedQ43,
+                                       *h.state, h.coefficients);
+  const auto q32 = precision::evaluate(precision::Representation::kFixedQ32,
+                                       *h.state, h.coefficients);
+  EXPECT_GT(q32.max_abs, q43.max_abs);
+}
+
+TEST(ReducedPrecision, ChunkingDoesNotChangeReducedResults) {
+  PrecisionHarness h;
+  advect::SourceTerms a(h.dims), b(h.dims);
+  kernel::KernelConfig whole;
+  whole.chunk_y = 0;
+  kernel::KernelConfig chunked;
+  chunked.chunk_y = 3;
+  precision::evaluate(precision::Representation::kFloat32, *h.state,
+                      h.coefficients, whole, &a);
+  precision::evaluate(precision::Representation::kFloat32, *h.state,
+                      h.coefficients, chunked, &b);
+  EXPECT_TRUE(grid::compare_interior(a.su, b.su).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(a.sw, b.sw).bit_equal());
+}
+
+TEST(ReducedPrecision, StorageFactor) {
+  EXPECT_DOUBLE_EQ(
+      precision::storage_factor(precision::Representation::kFloat32), 0.5);
+  EXPECT_DOUBLE_EQ(
+      precision::storage_factor(precision::Representation::kFixedQ43), 1.0);
+}
+
+TEST(ReducedPrecision, Fp32ResourceEstimateEnablesMoreKernels) {
+  // The motivation of the paper's §V: reduced precision shrinks the shift
+  // buffers and operators, so more kernels fit.
+  kernel::KernelConfig config;
+  config.chunk_y = 64;
+  fpga::KernelEstimateOptions f64;
+  f64.nz = 64;
+  fpga::KernelEstimateOptions f32 = f64;
+  f32.value_bits = 32;
+
+  for (auto vendor : {fpga::Vendor::kXilinx, fpga::Vendor::kIntel}) {
+    const auto big = fpga::estimate_kernel(config, f64, vendor);
+    const auto small = fpga::estimate_kernel(config, f32, vendor);
+    EXPECT_LT(small.block_ram_bytes, big.block_ram_bytes);
+    EXPECT_LT(small.dsp, big.dsp);
+    EXPECT_LT(small.logic_cells, big.logic_cells);
+  }
+  const auto device = fpga::alveo_u280();
+  EXPECT_GT(fpga::max_kernels(device,
+                              fpga::estimate_kernel(config, f32,
+                                                    fpga::Vendor::kXilinx)),
+            fpga::max_kernels(device,
+                              fpga::estimate_kernel(config, f64,
+                                                    fpga::Vendor::kXilinx)));
+}
+
+TEST(ReducedPrecision, InvalidValueBitsThrow) {
+  kernel::KernelConfig config;
+  fpga::KernelEstimateOptions options;
+  options.value_bits = 16;
+  EXPECT_THROW(fpga::estimate_kernel(config, options, fpga::Vendor::kXilinx),
+               std::invalid_argument);
+}
+
+
+TEST(ReducedPrecision, F32VendorFrontendsBitIdentical) {
+  // The portability claim extended to the reduced-precision datapath: both
+  // vendor-style threaded pipelines in float32 agree bit-exactly with each
+  // other and with the fused reduced path.
+  PrecisionHarness h;
+  advect::SourceTerms xilinx_out(h.dims), intel_out(h.dims),
+      fused_out(h.dims);
+  kernel::KernelConfig config;
+  config.chunk_y = 4;
+  kernel::run_kernel_xilinx_f32(*h.state, h.coefficients, xilinx_out, config);
+  kernel::run_kernel_intel_f32(*h.state, h.coefficients, intel_out, config);
+  precision::evaluate(precision::Representation::kFloat32, *h.state,
+                      h.coefficients, config, &fused_out);
+
+  EXPECT_TRUE(grid::compare_interior(xilinx_out.su, intel_out.su).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(xilinx_out.sv, intel_out.sv).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(xilinx_out.sw, intel_out.sw).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(xilinx_out.su, fused_out.su).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(xilinx_out.sw, fused_out.sw).bit_equal());
+}
+
+TEST(ReducedPrecision, F32FrontendDiffersFromF64ButOnlySlightly) {
+  PrecisionHarness h;
+  advect::SourceTerms f64(h.dims), f32(h.dims);
+  kernel::KernelConfig config;
+  kernel::run_kernel_xilinx(*h.state, h.coefficients, f64, config);
+  kernel::run_kernel_xilinx_f32(*h.state, h.coefficients, f32, config);
+  const auto diff = grid::compare_interior(f64.su, f32.su);
+  EXPECT_FALSE(diff.bit_equal());  // genuinely reduced precision
+  EXPECT_LT(diff.max_abs, 1e-6);   // but tiny at wind scales
+}
+
+}  // namespace
+}  // namespace pw

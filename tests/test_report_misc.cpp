@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pw/decomp/decomposition.hpp"
+#include "pw/exp/report.hpp"
+#include "pw/grid/compare.hpp"
+#include "pw/kernel/intel_frontend.hpp"
+#include "pw/kernel/xilinx_frontend.hpp"
+#include "pw/monc/components.hpp"
+#include "pw/monc/model.hpp"
+
+namespace pw {
+namespace {
+
+TEST(MarkdownReport, ContainsEveryArtefact) {
+  const std::string md = exp::markdown_report(exp::paper_devices());
+  EXPECT_NE(md.find("Table I"), std::string::npos);
+  EXPECT_NE(md.find("Table II"), std::string::npos);
+  EXPECT_NE(md.find("Fig. 5"), std::string::npos);
+  EXPECT_NE(md.find("Fig. 6"), std::string::npos);
+  EXPECT_NE(md.find("Fig. 7"), std::string::npos);
+  EXPECT_NE(md.find("Fig. 8"), std::string::npos);
+  // Markdown table separators present.
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+  // Headline values present.
+  EXPECT_NE(md.find("367.2"), std::string::npos);
+  EXPECT_NE(md.find("n/a"), std::string::npos);
+}
+
+TEST(Courant, ScalesWithWindAndDt) {
+  monc::Model model(
+      grid::Geometry::uniform({6, 6, 6}, 100.0, 100.0, 50.0), 2);
+  grid::init_constant(model.state().wind, 10.0, 0.0, 0.0);
+  EXPECT_NEAR(model.max_courant(1.0), 0.1, 1e-12);
+  EXPECT_NEAR(model.max_courant(2.0), 0.2, 1e-12);
+  // w dominates through the smaller dz.
+  grid::init_constant(model.state().wind, 0.0, 0.0, 10.0);
+  EXPECT_NEAR(model.max_courant(1.0), 0.2, 1e-12);
+}
+
+TEST(HaloBytes, PerimeterTimesColumns) {
+  decomp::Decomposition d({8, 8, 4}, 2, 2);
+  // Each of 4 ranks: perimeter 2*(4+4)+4 = 20 columns x 4 levels x 8B.
+  EXPECT_EQ(d.halo_exchange_bytes_per_field(), 4u * 20 * 4 * 8);
+}
+
+TEST(VendorFrontends, XRangeSlabsSupported) {
+  const grid::GridDims dims{10, 6, 6};
+  grid::WindState state(dims);
+  grid::init_random(state, 77);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  advect::SourceTerms reference(dims);
+  advect::advect_reference(state, coefficients, reference);
+
+  advect::SourceTerms xilinx_out(dims), intel_out(dims);
+  xilinx_out.su.fill(-1.0);
+  intel_out.su.fill(-1.0);
+  kernel::run_kernel_xilinx(state, coefficients, xilinx_out,
+                            kernel::KernelConfig{3}, kernel::XRange{2, 7});
+  kernel::run_kernel_intel(state, coefficients, intel_out,
+                           kernel::KernelConfig{4}, kernel::XRange{2, 7});
+  for (std::ptrdiff_t i = 2; i < 7; ++i) {
+    for (std::ptrdiff_t j = 0; j < 6; ++j) {
+      for (std::ptrdiff_t k = 0; k < 6; ++k) {
+        ASSERT_DOUBLE_EQ(xilinx_out.su.at(i, j, k),
+                         reference.su.at(i, j, k));
+        ASSERT_DOUBLE_EQ(intel_out.su.at(i, j, k),
+                         reference.su.at(i, j, k));
+      }
+    }
+  }
+  // Outside the slab: untouched.
+  EXPECT_DOUBLE_EQ(xilinx_out.su.at(0, 0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(intel_out.su.at(9, 5, 5), -1.0);
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "pw/util/cli.hpp"
+#include "pw/util/parallel_for.hpp"
+#include "pw/util/rng.hpp"
+#include "pw/util/stats.hpp"
+#include "pw/util/table.hpp"
+#include "pw/util/thread_pool.hpp"
+
+namespace pw::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilEmpty) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++hits[i];
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, RespectsMinGrain) {
+  ThreadPool pool(8);
+  std::atomic<int> invocations{0};
+  parallel_for(
+      pool, 0, 10,
+      [&](std::size_t, std::size_t) { ++invocations; }, /*min_grain=*/100);
+  EXPECT_EQ(invocations.load(), 1);
+}
+
+TEST(Stats, SummaryBasics) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const double values[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(values).median, 2.5);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_difference(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const double values[] = {2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(values), 4.0, 1e-12);
+  const double bad[] = {2.0, -1.0};
+  EXPECT_EQ(geometric_mean(bad), 0.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (a.next_u64() != b.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  Table t("Demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22,3"});
+  std::ostringstream ascii;
+  t.print(ascii);
+  EXPECT_NE(ascii.str().find("Demo"), std::string::npos);
+  EXPECT_NE(ascii.str().find("alpha"), std::string::npos);
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"22,3\""), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t("X");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 2, /*trim=*/true), "3");
+  EXPECT_EQ(format_cells(16'777'216), "16M");
+  EXPECT_EQ(format_cells(536'870'912), "536M");  // paper's naming: 536M
+  EXPECT_EQ(format_cells(4096), "4096");
+  EXPECT_EQ(format_bytes(800.0 * 1024 * 1024), "800.0 MB");
+}
+
+TEST(Cli, ParsesOptionsAndPositional) {
+  const char* argv[] = {"prog", "--cells=16", "--verbose", "input.dat"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("cells", 0), 16);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_string("missing", "fallback"), "fallback");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.dat");
+}
+
+TEST(Cli, TracksUnqueriedKeys) {
+  const char* argv[] = {"prog", "--used=1", "--unused=2"};
+  Cli cli(3, argv);
+  (void)cli.get_int("used", 0);
+  const auto stray = cli.unqueried();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "unused");
+}
+
+}  // namespace
+}  // namespace pw::util

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/grid/compare.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/vectorized.hpp"
+#include "pw/kernel/xilinx_frontend.hpp"
+#include "pw/precision/reduced.hpp"
+
+namespace pw::kernel {
+namespace {
+
+struct Harness {
+  grid::GridDims dims{10, 9, 8};
+  std::unique_ptr<grid::WindState> state;
+  advect::PwCoefficients coefficients;
+
+  Harness() {
+    state = std::make_unique<grid::WindState>(dims);
+    grid::init_random(*state, 41);
+    coefficients = advect::PwCoefficients::from_geometry(
+        grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  }
+};
+
+TEST(Vectorized, BitExactWithScalarF32AcrossLaneCounts) {
+  Harness h;
+  advect::SourceTerms scalar(h.dims);
+  run_kernel_xilinx_f32(*h.state, h.coefficients, scalar,
+                        KernelConfig{4});
+
+  for (std::size_t lanes : {1u, 2u, 7u, 8u, 16u, 1024u}) {
+    advect::SourceTerms vectorized(h.dims);
+    const auto stats = run_kernel_vectorized_f32(
+        *h.state, h.coefficients, vectorized, KernelConfig{4}, lanes);
+    EXPECT_EQ(stats.kernel.stencils_emitted, h.dims.cells()) << lanes;
+    EXPECT_TRUE(
+        grid::compare_interior(scalar.su, vectorized.su).bit_equal())
+        << lanes << " lanes";
+    EXPECT_TRUE(
+        grid::compare_interior(scalar.sv, vectorized.sv).bit_equal())
+        << lanes << " lanes";
+    EXPECT_TRUE(
+        grid::compare_interior(scalar.sw, vectorized.sw).bit_equal())
+        << lanes << " lanes";
+  }
+}
+
+TEST(Vectorized, BatchAccounting) {
+  Harness h;
+  advect::SourceTerms out(h.dims);
+  // Unchunked: one drain at the end; cells = 720, lanes = 8 -> 90 batches.
+  const auto stats = run_kernel_vectorized_f32(
+      *h.state, h.coefficients, out, KernelConfig{0}, 8);
+  EXPECT_EQ(stats.batches, h.dims.cells() / 8);
+  EXPECT_EQ(stats.remainder_cells, h.dims.cells() % 8);
+
+  // Chunked: each chunk drains its partial vector.
+  advect::SourceTerms out2(h.dims);
+  const auto chunked = run_kernel_vectorized_f32(
+      *h.state, h.coefficients, out2, KernelConfig{4}, 8);
+  EXPECT_GE(chunked.remainder_cells, stats.remainder_cells);
+  EXPECT_EQ(chunked.batches * 8 + chunked.remainder_cells, h.dims.cells());
+}
+
+TEST(Vectorized, MatchesReducedEvaluatePath) {
+  Harness h;
+  advect::SourceTerms vectorized(h.dims);
+  run_kernel_vectorized_f32(*h.state, h.coefficients, vectorized,
+                            KernelConfig{3}, 8);
+  advect::SourceTerms reduced(h.dims);
+  precision::evaluate(precision::Representation::kFloat32, *h.state,
+                      h.coefficients, KernelConfig{3}, &reduced);
+  EXPECT_TRUE(grid::compare_interior(vectorized.su, reduced.su).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(vectorized.sw, reduced.sw).bit_equal());
+}
+
+TEST(Vectorized, ZeroLanesRejected) {
+  Harness h;
+  advect::SourceTerms out(h.dims);
+  EXPECT_THROW(run_kernel_vectorized_f32(*h.state, h.coefficients, out,
+                                         KernelConfig{}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pw::kernel

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pw/fpga/versal.hpp"
+#include "pw/xfer/event_graph.hpp"
+#include "pw/xfer/schedules.hpp"
+#include "pw/xfer/timeline_io.hpp"
+
+namespace pw {
+namespace {
+
+TEST(Versal, PeakMatchesPaperArithmetic) {
+  // §V: up to 400 AI engines x 8 SP FLOPs x ~1 GHz.
+  const fpga::VersalProfile profile;
+  const auto p = fpga::project_versal(profile, 1, true);
+  EXPECT_DOUBLE_EQ(p.ai_peak_gflops, 3200.0);
+}
+
+TEST(Versal, FabricBindsAtFewInstances) {
+  const fpga::VersalProfile profile;
+  const auto p = fpga::project_versal(profile, 1, true);
+  EXPECT_EQ(p.binding_constraint, "fabric shift-buffer instances");
+  // One instance at 500 MHz: 0.5 Gcell/s -> 31.5 GFLOPS.
+  EXPECT_NEAR(p.projected_gflops, 31.5, 0.1);
+}
+
+TEST(Versal, FeedingTheEnginesIsTheKey) {
+  // The paper's own caveat: with ample fabric instances the PL->AIE
+  // streams bind long before the engines' arithmetic does.
+  const fpga::VersalProfile profile;
+  const auto p = fpga::project_versal(profile, 64, true);
+  EXPECT_EQ(p.binding_constraint, "PL->AIE stream bandwidth");
+  EXPECT_LT(p.projected_gflops, p.ai_peak_gflops / 2.0);
+}
+
+TEST(Versal, Fp64EmulationQuartersArithmetic) {
+  const fpga::VersalProfile profile;
+  const auto fp32 = fpga::project_versal(profile, 64, true);
+  const auto fp64 = fpga::project_versal(profile, 64, false);
+  EXPECT_LT(fp64.projected_gflops, fp32.projected_gflops);
+  EXPECT_DOUBLE_EQ(fp64.arithmetic_cells_per_s * 4.0,
+                   fp32.arithmetic_cells_per_s);
+}
+
+TEST(Versal, MoreInstancesNeverSlower) {
+  const fpga::VersalProfile profile;
+  double previous = 0.0;
+  for (std::size_t instances : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto p = fpga::project_versal(profile, instances, true);
+    EXPECT_GE(p.projected_gflops, previous);
+    previous = p.projected_gflops;
+  }
+}
+
+TEST(Versal, ZeroInstancesRejected) {
+  EXPECT_THROW(fpga::project_versal(fpga::VersalProfile{}, 0, true),
+               std::invalid_argument);
+}
+
+TEST(TimelineIo, CsvContainsEveryCommand) {
+  xfer::EventScheduler scheduler;
+  const auto a = scheduler.add({"h2d_0", xfer::Engine::kHostToDevice, 1.0, {}});
+  const auto k = scheduler.add({"kernel_0", xfer::Engine::kKernel, 2.0, {a}});
+  scheduler.add({"d2h_0", xfer::Engine::kDeviceToHost, 0.5, {k}});
+  const auto timeline = scheduler.run();
+
+  std::ostringstream csv;
+  xfer::write_timeline_csv(timeline, csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("label,engine,start_s,end_s"), std::string::npos);
+  EXPECT_NE(text.find("h2d_0,h2d,0,1"), std::string::npos);
+  EXPECT_NE(text.find("kernel_0,kernel,1,3"), std::string::npos);
+  EXPECT_NE(text.find("d2h_0,d2h,3,3.5"), std::string::npos);
+}
+
+TEST(TimelineIo, AsciiGanttHasThreeLanes) {
+  xfer::RunShape shape;
+  shape.bytes_in = 100'000'000;
+  shape.bytes_out = 100'000'000;
+  shape.compute_seconds = 0.05;
+  shape.chunks = 4;
+  xfer::TransferModel xfer_model;
+  xfer_model.h2d_gbps = 5.0;
+  xfer_model.d2h_gbps = 5.0;
+  const auto run = xfer::schedule_overlapped(shape, xfer_model);
+
+  std::ostringstream out;
+  xfer::render_timeline_ascii(run.timeline, out, 40);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("h2d"), std::string::npos);
+  EXPECT_NE(text.find("kernel"), std::string::npos);
+  EXPECT_NE(text.find("d2h"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);  // kernel activity drawn
+}
+
+TEST(TimelineIo, EmptyTimelineHandled) {
+  xfer::Timeline timeline;
+  std::ostringstream out;
+  xfer::render_timeline_ascii(timeline, out);
+  EXPECT_NE(out.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pw

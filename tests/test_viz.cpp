@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "pw/grid/field3d.hpp"
+#include "pw/viz/ascii.hpp"
+
+namespace pw::viz {
+namespace {
+
+grid::FieldD gradient_field(grid::GridDims dims) {
+  grid::FieldD f(dims, 1);
+  for (std::size_t i = 0; i < dims.nx; ++i) {
+    for (std::size_t j = 0; j < dims.ny; ++j) {
+      for (std::size_t k = 0; k < dims.nz; ++k) {
+        f.at(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j),
+             static_cast<std::ptrdiff_t>(k)) = static_cast<double>(i);
+      }
+    }
+  }
+  return f;
+}
+
+TEST(AsciiViz, GradientRendersFullRamp) {
+  const auto f = gradient_field({32, 8, 4});
+  AsciiRenderOptions options;
+  options.axis = SliceAxis::kZ;
+  options.index = 2;
+  const std::string art = render_slice(f, options);
+  // Left edge is the minimum (space), right edge the maximum ('@').
+  EXPECT_NE(art.find(' '), std::string::npos);
+  EXPECT_NE(art.find('@'), std::string::npos);
+  // Legend carries the numeric range.
+  EXPECT_NE(art.find("0.0000"), std::string::npos);
+  EXPECT_NE(art.find("31.0000"), std::string::npos);
+}
+
+TEST(AsciiViz, ConstantFieldIsUniform) {
+  grid::FieldD f({6, 6, 3}, 1, 2.5);
+  AsciiRenderOptions options;
+  const std::string art = render_slice(f, options);
+  // Every map character is the ramp's lowest (span == 0).
+  const auto first_newline = art.find('\n');
+  const std::string first_row = art.substr(0, first_newline);
+  for (char c : first_row) {
+    EXPECT_EQ(c, ' ');
+  }
+}
+
+TEST(AsciiViz, RowAndColumnCountsRespectLimits) {
+  const auto f = gradient_field({100, 50, 4});
+  AsciiRenderOptions options;
+  options.max_width = 20;
+  options.max_height = 10;
+  const std::string art = render_slice(f, options);
+  std::size_t rows = 0;
+  std::size_t first_row_len = 0;
+  std::size_t pos = 0;
+  while (true) {
+    const auto nl = art.find('\n', pos);
+    if (nl == std::string::npos) {
+      break;
+    }
+    if (rows == 0) {
+      first_row_len = nl - pos;
+    }
+    ++rows;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(first_row_len, 20u);
+  EXPECT_EQ(rows, 10u + 1);  // + legend line
+}
+
+TEST(AsciiViz, AxesSelectCorrectPlanes) {
+  const auto f = gradient_field({8, 6, 4});  // value = x everywhere
+  AsciiRenderOptions x_slice;
+  x_slice.axis = SliceAxis::kX;
+  x_slice.index = 5;
+  // A constant-x slice of a value=x field is uniform.
+  const std::string art = render_slice(f, x_slice);
+  EXPECT_NE(art.find("5.0000"), std::string::npos);
+
+  AsciiRenderOptions y_slice;
+  y_slice.axis = SliceAxis::kY;
+  y_slice.index = 0;
+  EXPECT_NE(render_slice(f, y_slice).find("7.0000"), std::string::npos);
+}
+
+TEST(AsciiViz, OutOfRangePlaneRejected) {
+  const auto f = gradient_field({4, 4, 4});
+  AsciiRenderOptions options;
+  options.axis = SliceAxis::kZ;
+  options.index = 4;
+  EXPECT_THROW(render_slice(f, options), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pw::viz

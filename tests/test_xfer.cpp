@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "pw/xfer/event_graph.hpp"
+#include "pw/xfer/schedules.hpp"
+
+namespace pw::xfer {
+namespace {
+
+TEST(EventScheduler, SerialisesWithinAnEngine) {
+  EventScheduler s;
+  s.add({"a", Engine::kKernel, 1.0, {}});
+  s.add({"b", Engine::kKernel, 2.0, {}});
+  const Timeline t = s.run();
+  EXPECT_DOUBLE_EQ(t.commands[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.commands[1].start_s, 1.0);
+  EXPECT_DOUBLE_EQ(t.makespan_s, 3.0);
+}
+
+TEST(EventScheduler, EnginesRunConcurrently) {
+  EventScheduler s;
+  s.add({"h2d", Engine::kHostToDevice, 2.0, {}});
+  s.add({"kernel", Engine::kKernel, 2.0, {}});
+  const Timeline t = s.run();
+  EXPECT_DOUBLE_EQ(t.commands[1].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.makespan_s, 2.0);
+}
+
+TEST(EventScheduler, DependenciesDelayStart) {
+  EventScheduler s;
+  const auto a = s.add({"h2d", Engine::kHostToDevice, 1.5, {}});
+  const auto b = s.add({"kernel", Engine::kKernel, 1.0, {a}});
+  s.add({"d2h", Engine::kDeviceToHost, 0.5, {b}});
+  const Timeline t = s.run();
+  EXPECT_DOUBLE_EQ(t.commands[1].start_s, 1.5);
+  EXPECT_DOUBLE_EQ(t.commands[2].start_s, 2.5);
+  EXPECT_DOUBLE_EQ(t.makespan_s, 3.0);
+}
+
+TEST(EventScheduler, UtilisationAccounting) {
+  EventScheduler s;
+  const auto a = s.add({"x", Engine::kHostToDevice, 1.0, {}});
+  s.add({"y", Engine::kKernel, 3.0, {a}});
+  const Timeline t = s.run();
+  EXPECT_DOUBLE_EQ(t.utilisation(Engine::kHostToDevice), 0.25);
+  EXPECT_DOUBLE_EQ(t.utilisation(Engine::kKernel), 0.75);
+  EXPECT_DOUBLE_EQ(t.utilisation(Engine::kDeviceToHost), 0.0);
+}
+
+TEST(EventScheduler, ForwardDependencyRejected) {
+  EventScheduler s;
+  EXPECT_THROW(s.add({"bad", Engine::kKernel, 1.0, {0}}),
+               std::invalid_argument);
+}
+
+TEST(EventScheduler, NegativeDurationRejected) {
+  EventScheduler s;
+  EXPECT_THROW(s.add({"bad", Engine::kKernel, -1.0, {}}),
+               std::invalid_argument);
+}
+
+TEST(ScheduleSequential, SumsPhases) {
+  RunShape shape;
+  shape.bytes_in = 1'000'000'000;   // 1 GB
+  shape.bytes_out = 500'000'000;    // 0.5 GB
+  shape.compute_seconds = 0.25;
+  shape.fixed_overhead_s = 0.01;
+  TransferModel xfer;
+  xfer.h2d_gbps = 2.0;
+  xfer.d2h_gbps = 1.0;
+  xfer.dma_setup_s = 0.0;
+  xfer.kernel_dispatch_s = 0.0;
+  const auto result = schedule_sequential(shape, xfer);
+  // 0.5s in + 0.25s compute + 0.5s out + 0.01 overhead.
+  EXPECT_NEAR(result.seconds, 1.26, 1e-9);
+}
+
+TEST(ScheduleOverlapped, HidesTransfersBehindLongCompute) {
+  RunShape shape;
+  shape.bytes_in = 800'000'000;
+  shape.bytes_out = 800'000'000;
+  shape.compute_seconds = 10.0;  // compute-dominated
+  shape.chunks = 16;
+  TransferModel xfer;
+  xfer.h2d_gbps = 8.0;  // 0.1s total each way
+  xfer.d2h_gbps = 8.0;
+  xfer.dma_setup_s = 0.0;
+  xfer.kernel_dispatch_s = 0.0;
+  const auto result = schedule_overlapped(shape, xfer);
+  // Only the first chunk's H2D and last chunk's D2H stick out.
+  EXPECT_NEAR(result.seconds, 10.0 + 2 * 0.1 / 16, 1e-6);
+}
+
+TEST(ScheduleOverlapped, TransferBoundPipelines) {
+  RunShape shape;
+  shape.bytes_in = 1'600'000'000;
+  shape.bytes_out = 1'600'000'000;
+  shape.compute_seconds = 0.01;  // negligible
+  shape.chunks = 16;
+  TransferModel xfer;
+  xfer.h2d_gbps = 8.0;  // 0.2s each direction
+  xfer.d2h_gbps = 8.0;
+  xfer.dma_setup_s = 0.0;
+  xfer.kernel_dispatch_s = 0.0;
+  const auto result = schedule_overlapped(shape, xfer);
+  // Full duplex: in and out stream concurrently; makespan ~ one direction
+  // plus the tail of the last chunk.
+  EXPECT_LT(result.seconds, 0.25);
+  EXPECT_GT(result.seconds, 0.2);
+}
+
+TEST(ScheduleOverlapped, BeatsSequentialWhenBalanced) {
+  RunShape shape;
+  shape.bytes_in = 400'000'000;
+  shape.bytes_out = 400'000'000;
+  shape.compute_seconds = 0.1;
+  shape.chunks = 16;
+  TransferModel xfer;
+  xfer.h2d_gbps = 4.0;
+  xfer.d2h_gbps = 4.0;
+  const auto overlapped = schedule_overlapped(shape, xfer);
+  shape.chunks = 1;
+  const auto sequential = schedule_sequential(shape, xfer);
+  EXPECT_LT(overlapped.seconds, 0.75 * sequential.seconds);
+}
+
+TEST(ScheduleOverlapped, HalfDuplexSerialisesDirections) {
+  RunShape shape;
+  shape.bytes_in = 800'000'000;
+  shape.bytes_out = 800'000'000;
+  shape.compute_seconds = 0.001;
+  shape.chunks = 8;
+  TransferModel duplex;
+  duplex.h2d_gbps = 8.0;
+  duplex.d2h_gbps = 8.0;
+  duplex.dma_setup_s = 0.0;
+  duplex.kernel_dispatch_s = 0.0;
+  TransferModel half = duplex;
+  half.full_duplex = false;
+  const auto with_duplex = schedule_overlapped(shape, duplex);
+  const auto without = schedule_overlapped(shape, half);
+  EXPECT_GT(without.seconds, 1.7 * with_duplex.seconds);
+}
+
+TEST(ScheduleOverlapped, SetupCostsPunishManyChunks) {
+  RunShape shape;
+  shape.bytes_in = 100'000'000;
+  shape.bytes_out = 100'000'000;
+  shape.compute_seconds = 0.001;
+  TransferModel xfer;
+  xfer.h2d_gbps = 10.0;
+  xfer.d2h_gbps = 10.0;
+  xfer.dma_setup_s = 1e-3;
+  xfer.kernel_dispatch_s = 1e-3;
+  shape.chunks = 4;
+  const auto few = schedule_overlapped(shape, xfer);
+  shape.chunks = 256;
+  const auto many = schedule_overlapped(shape, xfer);
+  EXPECT_GT(many.seconds, 2.0 * few.seconds);
+}
+
+TEST(ScheduleOverlapped, ChunkByteTotalsExact) {
+  // Ragged division must still move every byte: compare against an
+  // equal-rate sequential run.
+  RunShape shape;
+  shape.bytes_in = 1'000'000'007;  // prime
+  shape.bytes_out = 999'999'937;   // prime
+  shape.compute_seconds = 0.0;
+  shape.chunks = 13;
+  TransferModel xfer;
+  xfer.h2d_gbps = 1.0;
+  xfer.d2h_gbps = 1.0;
+  xfer.dma_setup_s = 0.0;
+  xfer.kernel_dispatch_s = 0.0;
+  const auto result = schedule_overlapped(shape, xfer);
+  double h2d_busy =
+      result.timeline.engine_busy_s[static_cast<std::size_t>(
+          Engine::kHostToDevice)];
+  EXPECT_NEAR(h2d_busy, 1.000000007, 1e-9);
+}
+
+TEST(ScheduleErrors, ZeroChunksAndZeroRate) {
+  RunShape shape;
+  shape.chunks = 0;
+  TransferModel xfer;
+  xfer.h2d_gbps = 1.0;
+  xfer.d2h_gbps = 1.0;
+  EXPECT_THROW(schedule_overlapped(shape, xfer), std::invalid_argument);
+  shape.chunks = 1;
+  xfer.h2d_gbps = 0.0;
+  EXPECT_THROW(schedule_sequential(shape, xfer), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pw::xfer
