@@ -4,6 +4,8 @@
 #include <iostream>
 #include <string>
 
+#include "pw/obs/export.hpp"
+#include "pw/obs/metrics.hpp"
 #include "pw/util/cli.hpp"
 #include "pw/util/table.hpp"
 
@@ -22,6 +24,31 @@ inline int emit(const util::Table& table, const util::Cli& cli) {
     table.write_csv(out);
     std::cout << "csv written to " << *path << "\n";
   }
+  return 0;
+}
+
+/// Dumps a bench's MetricsRegistry as a machine-readable JSON artefact —
+/// the registry-backed successor to hand-rolled timing printouts. The
+/// default path (e.g. "BENCH_table1.json", repo root when run through
+/// scripts/reproduce.sh) can be overridden with --json=<path>; --json=-
+/// prints to stdout instead. Returns 0 on success for use as an exit
+/// status.
+inline int emit_registry(const obs::MetricsRegistry& registry,
+                         const std::string& default_path,
+                         const util::Cli& cli) {
+  const std::string path = cli.get_string("json", default_path);
+  const std::string json = obs::to_json(registry);
+  if (path == "-") {
+    std::cout << json;
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  out << json;
+  std::cout << "metrics json written to " << path << "\n";
   return 0;
 }
 

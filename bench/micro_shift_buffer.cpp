@@ -1,10 +1,19 @@
 // Measured-on-host throughput of the stencil providers: the paper's 3D
 // shift buffer versus the previous-generation delay line, and the full
 // fused kernel datapath.
+//
+// This bench owns its main: before handing over to google-benchmark it runs
+// a short instrumented sweep of the shift buffer and fused kernel through a
+// pw::obs::MetricsRegistry and dumps the result as BENCH_micro_shift_buffer
+// .json (override with --json=<path>), so reproduce.sh gets a
+// machine-readable artefact even when the full benchmark run is skipped.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "pw/advect/coefficients.hpp"
 #include "pw/advect/reference.hpp"
 #include "pw/baseline/delay_line.hpp"
@@ -13,6 +22,7 @@
 #include "pw/kernel/shift_buffer.hpp"
 #include "pw/kernel/vectorized.hpp"
 #include "pw/util/rng.hpp"
+#include "pw/util/timer.hpp"
 
 namespace {
 
@@ -88,4 +98,65 @@ void BM_VectorizedKernelF32(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorizedKernelF32)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
+/// One quick instrumented pass per shift-buffer face size plus one fused
+/// kernel run, feeding the registry that becomes the JSON artefact. Kept
+/// deliberately small (a few ms per face) so the artefact is produced even
+/// on smoke runs.
+void record_instrumented_sweep(pw::obs::MetricsRegistry& registry) {
+  using namespace pw;
+  for (const std::size_t face : {std::size_t{10}, std::size_t{18},
+                                 std::size_t{34}, std::size_t{66}}) {
+    kernel::ShiftBuffer3D buffer(face, 66);
+    util::Rng rng(1);
+    std::vector<double> inputs(face * 66 * 4);
+    for (auto& v : inputs) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    const std::size_t pushes = 1u << 20;
+    std::size_t n = 0;
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < pushes; ++i) {
+      auto out = buffer.push(inputs[n]);
+      benchmark::DoNotOptimize(out);
+      n = (n + 1) % inputs.size();
+    }
+    const double seconds = timer.seconds();
+    const std::string prefix =
+        "micro.shift_buffer.face_" + std::to_string(face);
+    registry.counter_add(prefix + ".pushes", pushes);
+    registry.gauge_set(prefix + ".pushes_per_s",
+                       static_cast<double>(pushes) / seconds);
+    registry.observe("micro.shift_buffer.pass_seconds", seconds);
+  }
+
+  // The fused kernel reports its own kernel.* counters and stencils/sec
+  // histogram once the registry is attached to its config.
+  const grid::GridDims dims{32, 32, 64};
+  grid::WindState wind(dims);
+  grid::init_random(wind, 3);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+  advect::SourceTerms out(dims);
+  kernel::KernelConfig config{64};
+  config.metrics = &registry;
+  kernel::run_kernel_fused(wind, coefficients, out, config);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const pw::util::Cli cli(argc, argv);
+
+  pw::obs::MetricsRegistry registry;
+  record_instrumented_sweep(registry);
+  const int json_status =
+      pw::bench::emit_registry(registry, "BENCH_micro_shift_buffer.json", cli);
+  if (json_status != 0) {
+    return json_status;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

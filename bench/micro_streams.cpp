@@ -15,7 +15,7 @@ void BM_StreamPushPop(benchmark::State& state) {
       static_cast<std::size_t>(state.range(0)));
   double x = 1.0;
   for (auto _ : state) {
-    stream.push(x);
+    benchmark::DoNotOptimize(stream.push(x));
     auto v = stream.try_pop();
     benchmark::DoNotOptimize(v);
     x += 1.0;
@@ -31,7 +31,7 @@ void BM_StreamThreaded(benchmark::State& state) {
     constexpr int kCount = 100000;
     std::thread producer([&stream] {
       for (int i = 0; i < kCount; ++i) {
-        stream.push(static_cast<double>(i));
+        benchmark::DoNotOptimize(stream.push(static_cast<double>(i)));
       }
       stream.close();
     });

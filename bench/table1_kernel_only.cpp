@@ -2,6 +2,11 @@
 // the CPU (1 and 24 cores), the V100, and a single HLS kernel on the Alveo
 // U280 and Stratix 10. Pass --measure to additionally run the real threaded
 // CPU baseline and the real dataflow kernel on this host (scaled-down grid).
+//
+// Alongside the ASCII table, the run dumps a registry-backed JSON artefact
+// (default BENCH_table1.json, override with --json=): GFLOPS and % of
+// theoretical peak come straight from fpga::record_kernel_only, not hand
+// math.
 #include <iostream>
 #include <memory>
 
@@ -10,20 +15,56 @@
 #include "pw/advect/cpu_baseline.hpp"
 #include "pw/advect/flops.hpp"
 #include "pw/exp/experiments.hpp"
+#include "pw/fpga/perf_model.hpp"
 #include "pw/kernel/fused.hpp"
 #include "pw/util/thread_pool.hpp"
 #include "pw/util/timer.hpp"
+
+namespace {
+
+pw::fpga::KernelOnlyInput single_kernel_input(
+    const pw::fpga::FpgaDeviceProfile& device, const pw::grid::GridDims& dims) {
+  pw::fpga::KernelOnlyInput input;
+  input.dims = dims;
+  input.config.chunk_y = 64;
+  input.kernels = 1;
+  input.clock_hz = device.clock_hz(1);
+  input.memory = device.memories.front();
+  input.launch_overhead_s = device.launch_overhead_s;
+  return input;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pw;
   const util::Cli cli(argc, argv);
   const auto devices = exp::paper_devices();
+  const grid::GridDims paper_dims = grid::paper_grid(16);
+
+  obs::MetricsRegistry registry;
+
+  // The two modelled FPGA rows, published through the registry (gauges
+  // table1.<device>.gflops / .pct_of_theoretical_peak / ...).
+  for (const auto* device : {&devices.alveo, &devices.stratix}) {
+    const auto input = single_kernel_input(*device, paper_dims);
+    const auto result = fpga::model_kernel_only(input);
+    const std::string prefix =
+        device == &devices.alveo ? "table1.alveo" : "table1.stratix";
+    fpga::record_kernel_only(input, result, registry, prefix);
+  }
+  registry.gauge_set("table1.cpu_1core.gflops",
+                     devices.cpu.gflops_single_core);
+  registry.gauge_set("table1.cpu_24core.gflops", devices.cpu.gflops_all_cores);
+  registry.gauge_set("table1.v100.gflops", devices.v100.kernel_gflops);
+  registry.gauge_set("table1.cells", static_cast<double>(paper_dims.cells()));
 
   const int status = bench::emit(exp::table1(devices), cli);
 
   if (cli.get_bool("measure", false)) {
     // A host-measured sanity row: the real threaded baseline and the real
-    // dataflow kernel on a 4M grid (milder memory footprint than 16M).
+    // dataflow kernel on a 4M grid (milder memory footprint than 16M),
+    // both instrumented through the same registry.
     const grid::GridDims dims = grid::paper_grid(4);
     auto state = std::make_unique<grid::WindState>(dims);
     grid::init_random(*state, 2026);
@@ -34,12 +75,19 @@ int main(int argc, char** argv) {
     util::ThreadPool pool;
     advect::CpuAdvectorBaseline baseline(pool);
     const auto cpu_stats = baseline.run(*state, coefficients, *out);
+    registry.gauge_set("table1.measured.cpu_baseline.gflops",
+                       cpu_stats.gflops);
+    registry.gauge_set("table1.measured.cpu_baseline.threads",
+                       static_cast<double>(pool.size()));
 
+    kernel::KernelConfig config{64};
+    config.metrics = &registry;
     util::WallTimer timer;
-    kernel::run_kernel_fused(*state, coefficients, *out, kernel::KernelConfig{64});
+    kernel::run_kernel_fused(*state, coefficients, *out, config);
     const double fused_s = timer.seconds();
     const double fused_gflops =
         static_cast<double>(advect::total_flops(dims)) / fused_s / 1e9;
+    registry.gauge_set("table1.measured.fused.gflops", fused_gflops);
 
     std::cout << "\n[measured on this host, 4M cells]\n"
               << "  threaded CPU baseline (" << pool.size()
@@ -48,5 +96,8 @@ int main(int argc, char** argv) {
               << "  dataflow kernel (fused, software): "
               << util::format_double(fused_gflops, 2) << " GFLOPS\n";
   }
-  return status;
+
+  const int json_status =
+      bench::emit_registry(registry, "BENCH_table1.json", cli);
+  return status != 0 ? status : json_status;
 }

@@ -1,15 +1,22 @@
 // pwadvect: the library's front door — one binary exposing the main
 // workflows as subcommands.
 //
-//   pwadvect run      [--nx --ny --nz --chunk --impl=fused|xilinx|intel|legacy]
+//   pwadvect run      [--nx --ny --nz --chunk --metrics --json=PATH
+//                      --impl=reference|cpu|fused|multi|host|vectorized|
+//                             xilinx|intel|legacy]
 //   pwadvect model    [--device --cells --kernels --chunk --overlap]
 //   pwadvect report   [--chunk --nz]
 //   pwadvect figures  [--csv-dir=DIR]
 //   pwadvect versal   [--instances]
+//
+// `run` goes through pw::api::AdvectionSolver, the recommended entry point:
+// one options struct, one solve() call, metrics snapshot included. The
+// xilinx/intel/legacy vendor frontends stay available as direct datapaths.
 #include <fstream>
 #include <iostream>
 
 #include "pw/advect/reference.hpp"
+#include "pw/api/solver.hpp"
 #include "pw/baseline/legacy_pipeline.hpp"
 #include "pw/exp/experiments.hpp"
 #include "pw/exp/report.hpp"
@@ -17,9 +24,9 @@
 #include "pw/fpga/synthesis_report.hpp"
 #include "pw/fpga/versal.hpp"
 #include "pw/grid/compare.hpp"
-#include "pw/kernel/fused.hpp"
 #include "pw/kernel/intel_frontend.hpp"
 #include "pw/kernel/xilinx_frontend.hpp"
+#include "pw/obs/export.hpp"
 #include "pw/util/cli.hpp"
 #include "pw/util/timer.hpp"
 
@@ -27,13 +34,18 @@ namespace {
 
 using namespace pw;
 
+bool matches_reference(const advect::SourceTerms& reference,
+                       const advect::SourceTerms& out) {
+  return grid::compare_interior(reference.su, out.su).bit_equal() &&
+         grid::compare_interior(reference.sv, out.sv).bit_equal() &&
+         grid::compare_interior(reference.sw, out.sw).bit_equal();
+}
+
 int cmd_run(const util::Cli& cli) {
   const grid::GridDims dims{
       static_cast<std::size_t>(cli.get_int("nx", 32)),
       static_cast<std::size_t>(cli.get_int("ny", 32)),
       static_cast<std::size_t>(cli.get_int("nz", 16))};
-  const kernel::KernelConfig config{
-      static_cast<std::size_t>(cli.get_int("chunk", 16)), 16};
   const std::string impl = cli.get_string("impl", "fused");
 
   grid::WindState state(dims);
@@ -43,27 +55,71 @@ int cmd_run(const util::Cli& cli) {
   advect::SourceTerms reference(dims);
   advect::advect_reference(state, coefficients, reference);
 
+  api::SolverOptions options;
+  options.kernel.chunk_y = static_cast<std::size_t>(cli.get_int("chunk", 16));
+  options.kernel.stream_depth = 16;
+
   advect::SourceTerms out(dims);
-  util::WallTimer timer;
-  if (impl == "fused") {
-    kernel::run_kernel_fused(state, coefficients, out, config);
-  } else if (impl == "xilinx") {
-    kernel::run_kernel_xilinx(state, coefficients, out, config);
-  } else if (impl == "intel") {
-    kernel::run_kernel_intel(state, coefficients, out, config);
-  } else if (impl == "legacy") {
-    baseline::run_legacy_pipeline(state, coefficients, out, config);
+  double ms = 0.0;
+  // The vendor frontends and the legacy pipeline are direct datapaths; all
+  // other implementations route through the unified solver API.
+  if (impl == "xilinx" || impl == "intel" || impl == "legacy") {
+    util::WallTimer timer;
+    if (impl == "xilinx") {
+      kernel::run_kernel_xilinx(state, coefficients, out, options.kernel);
+    } else if (impl == "intel") {
+      kernel::run_kernel_intel(state, coefficients, out, options.kernel);
+    } else {
+      baseline::run_legacy_pipeline(state, coefficients, out, options.kernel);
+    }
+    ms = timer.milliseconds();
   } else {
-    std::cerr << "unknown --impl\n";
-    return 1;
+    if (impl == "reference") {
+      options.backend = api::Backend::kReference;
+    } else if (impl == "cpu") {
+      options.backend = api::Backend::kCpuBaseline;
+    } else if (impl == "fused") {
+      options.backend = api::Backend::kFused;
+    } else if (impl == "multi") {
+      options.backend = api::Backend::kMultiKernel;
+    } else if (impl == "host") {
+      options.backend = api::Backend::kHostOverlap;
+    } else if (impl == "vectorized") {
+      options.backend = api::Backend::kVectorized;
+    } else {
+      std::cerr << "unknown --impl\n";
+      return 1;
+    }
+    auto result = api::AdvectionSolver(options).solve(state, coefficients);
+    if (!result.ok()) {
+      std::cerr << "solve failed: " << result.message << "\n";
+      return 1;
+    }
+    ms = result.seconds * 1e3;
+    out = std::move(*result.terms);
+    if (cli.get_bool("metrics", false)) {
+      obs::to_table(result.metrics).print(std::cout);
+    }
+    if (auto path = cli.get("json")) {
+      std::ofstream os(*path);
+      if (!os) {
+        std::cerr << "cannot write " << *path << "\n";
+        return 1;
+      }
+      os << obs::to_json(result.metrics);
+      std::cout << "metrics json written to " << *path << "\n";
+    }
   }
-  const double ms = timer.milliseconds();
-  const bool ok = grid::compare_interior(reference.su, out.su).bit_equal() &&
-                  grid::compare_interior(reference.sv, out.sv).bit_equal() &&
-                  grid::compare_interior(reference.sw, out.sw).bit_equal();
+  // The f32 datapath is not expected to be bit-identical to the double
+  // reference; everything else is.
+  const bool ok =
+      impl == "vectorized" || matches_reference(reference, out);
   std::cout << impl << " datapath on " << dims.nx << "x" << dims.ny << "x"
             << dims.nz << ": " << ms << " ms, "
-            << (ok ? "bit-exact vs reference" : "MISMATCH") << "\n";
+            << (impl == "vectorized"
+                    ? "f32 (tolerance-checked elsewhere)"
+                    : (ok ? "bit-exact vs reference" : "MISMATCH"))
+            << "\n";
   return ok ? 0 : 1;
 }
 
@@ -191,7 +247,9 @@ int main(int argc, char** argv) {
   }
   std::cout <<
       "pwadvect — PW advection on FPGAs, reproduced in C++\n"
-      "  pwadvect run            --impl=fused|xilinx|intel|legacy [--nx ...]\n"
+      "  pwadvect run            --impl=reference|cpu|fused|multi|host|\n"
+      "                                 vectorized|xilinx|intel|legacy\n"
+      "                          [--nx ... --metrics --json=PATH]\n"
       "  pwadvect model          --device=alveo|stratix --cells=16|67|268|536\n"
       "  pwadvect report         [--chunk --nz]\n"
       "  pwadvect figures        [--csv-dir=DIR]\n"

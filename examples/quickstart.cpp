@@ -1,21 +1,22 @@
-// Quickstart: build a wind field, run the PW advection scheme three ways —
-// the scalar reference, the Xilinx-style dataflow pipeline and the
-// Intel-style channel pipeline — and verify all three agree bit-exactly,
-// the paper's performance-portability claim in miniature.
+// Quickstart: the recommended entry point is pw::api::AdvectionSolver —
+// pick a backend, call solve(), get source terms plus a metrics snapshot.
+// This example runs the PW advection scheme through four backends (scalar
+// reference, threaded CPU baseline, the fused dataflow kernel and the
+// overlapped host driver), verifies the double-precision datapaths agree
+// bit-exactly — the paper's performance-portability claim in miniature —
+// and prints the observability table collected along the way.
 //
-//   ./quickstart [--nx=32 --ny=32 --nz=16 --chunk=8]
+//   ./quickstart [--nx=32 --ny=32 --nz=16 --chunk=8 --metrics]
 #include <cstdio>
 #include <iostream>
 
 #include "pw/advect/coefficients.hpp"
 #include "pw/advect/flops.hpp"
-#include "pw/advect/reference.hpp"
+#include "pw/api/solver.hpp"
 #include "pw/grid/compare.hpp"
 #include "pw/grid/init.hpp"
-#include "pw/kernel/intel_frontend.hpp"
-#include "pw/kernel/xilinx_frontend.hpp"
+#include "pw/obs/export.hpp"
 #include "pw/util/cli.hpp"
-#include "pw/util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace pw;
@@ -24,8 +25,6 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("nx", 32)),
       static_cast<std::size_t>(cli.get_int("ny", 32)),
       static_cast<std::size_t>(cli.get_int("nz", 16))};
-  kernel::KernelConfig config;
-  config.chunk_y = static_cast<std::size_t>(cli.get_int("chunk", 8));
 
   std::cout << "PW advection quickstart on a " << dims.nx << "x" << dims.ny
             << "x" << dims.nz << " grid (" << dims.cells() << " cells, "
@@ -40,38 +39,62 @@ int main(int argc, char** argv) {
   const auto coefficients = advect::PwCoefficients::from_geometry(
       grid::Geometry::uniform(dims, 100.0, 100.0, 50.0));
 
-  // 3. Reference source terms.
-  advect::SourceTerms reference(dims);
-  util::WallTimer timer;
-  advect::advect_reference(state, coefficients, reference);
-  std::cout << "reference kernel:      " << timer.milliseconds() << " ms\n";
+  // 3. One SolverOptions is the single construction point for the whole
+  //    pipeline: kernel chunking, host-driver chunking, metrics sink.
+  obs::MetricsRegistry registry;
+  api::SolverOptions options;
+  options.kernel.chunk_y = static_cast<std::size_t>(cli.get_int("chunk", 8));
+  options.host.x_chunks = 4;
+  options.metrics = &registry;
 
-  // 4. The dataflow design, Xilinx HLS style (one dataflow region).
-  advect::SourceTerms xilinx_out(dims);
-  timer.reset();
-  kernel::run_kernel_xilinx(state, coefficients, xilinx_out, config);
-  std::cout << "xilinx-style pipeline: " << timer.milliseconds() << " ms\n";
+  // 4. The scalar reference is just another backend.
+  options.backend = api::Backend::kReference;
+  const auto reference = api::AdvectionSolver(options).solve(state,
+                                                             coefficients);
+  if (!reference.ok()) {
+    std::cerr << "reference solve failed: " << reference.message << "\n";
+    return 1;
+  }
 
-  // 5. The same design, Intel OpenCL style (kernels joined by channels).
-  advect::SourceTerms intel_out(dims);
-  timer.reset();
-  kernel::run_kernel_intel(state, coefficients, intel_out, config);
-  std::cout << "intel-style pipeline:  " << timer.milliseconds() << " ms\n\n";
+  // 5. Every double-precision datapath must agree with it to the last bit.
+  bool all_exact = true;
+  for (const api::Backend backend :
+       {api::Backend::kCpuBaseline, api::Backend::kFused,
+        api::Backend::kMultiKernel, api::Backend::kHostOverlap}) {
+    options.backend = backend;
+    const auto result = api::AdvectionSolver(options).solve(state,
+                                                            coefficients);
+    if (!result.ok()) {
+      std::cerr << api::to_string(backend)
+                << " solve failed: " << result.message << "\n";
+      return 1;
+    }
+    const bool exact =
+        grid::compare_interior(reference.terms->su, result.terms->su)
+            .bit_equal() &&
+        grid::compare_interior(reference.terms->sv, result.terms->sv)
+            .bit_equal() &&
+        grid::compare_interior(reference.terms->sw, result.terms->sw)
+            .bit_equal();
+    all_exact = all_exact && exact;
+    std::printf("%-13s %8.2f ms   %s\n", api::to_string(backend),
+                result.seconds * 1e3,
+                exact ? "bit-exact vs reference" : "MISMATCH");
+  }
 
-  // 6. All three must agree to the last bit.
-  const auto xd = grid::compare_interior(reference.su, xilinx_out.su);
-  const auto id = grid::compare_interior(reference.su, intel_out.su);
-  std::cout << "xilinx vs reference: "
-            << (xd.bit_equal() ? "bit-exact" : "MISMATCH") << "\n"
-            << "intel  vs reference: "
-            << (id.bit_equal() ? "bit-exact" : "MISMATCH") << "\n\n";
-
-  std::cout << "sample source terms at the domain centre:\n";
+  std::cout << "\nsample source terms at the domain centre:\n";
   const auto ci = static_cast<std::ptrdiff_t>(dims.nx / 2);
   const auto cj = static_cast<std::ptrdiff_t>(dims.ny / 2);
   const auto ck = static_cast<std::ptrdiff_t>(dims.nz / 2);
   std::printf("  su = %+.6e\n  sv = %+.6e\n  sw = %+.6e\n",
-              reference.su.at(ci, cj, ck), reference.sv.at(ci, cj, ck),
-              reference.sw.at(ci, cj, ck));
-  return xd.bit_equal() && id.bit_equal() ? 0 : 1;
+              reference.terms->su.at(ci, cj, ck),
+              reference.terms->sv.at(ci, cj, ck),
+              reference.terms->sw.at(ci, cj, ck));
+
+  // 6. Everything the backends reported landed in one registry.
+  if (cli.get_bool("metrics", false)) {
+    std::cout << "\ncollected metrics:\n";
+    obs::to_table(registry.snapshot()).print(std::cout);
+  }
+  return all_exact ? 0 : 1;
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json artefacts produced by the instrumented benches.
+
+Usage: check_bench_json.py [--require-spans] FILE [FILE ...]
+
+Each file must be a pw::obs registry snapshot: a JSON object with
+"counters" / "gauges" / "histograms" objects and a "spans" array, at least
+one metric overall, and no non-finite numbers (the exporter writes null for
+those, which is accepted). Exits non-zero on the first malformed artefact.
+"""
+import json
+import math
+import sys
+
+
+def fail(path, message):
+    print(f"check_bench_json: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(path, name, value):
+    if value is None:  # exporter's encoding of NaN/Inf
+        return
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(path, f"{name}: expected a number, got {type(value).__name__}")
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(path, f"{name}: non-finite value {value!r}")
+
+
+def check_artefact(path, require_spans):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        fail(path, f"cannot read: {err}")
+    except json.JSONDecodeError as err:
+        fail(path, f"not valid JSON: {err}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(path, f'missing or non-object "{section}"')
+    if not isinstance(doc.get("spans"), list):
+        fail(path, 'missing or non-array "spans"')
+
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(path, f"counter {name}: expected a non-negative integer")
+    for name, value in doc["gauges"].items():
+        check_number(path, f"gauge {name}", value)
+    for name, summary in doc["histograms"].items():
+        if not isinstance(summary, dict):
+            fail(path, f"histogram {name}: expected an object")
+        for stat in ("count", "min", "max", "sum", "mean", "p50", "p95", "p99"):
+            if stat not in summary:
+                fail(path, f"histogram {name}: missing {stat}")
+            check_number(path, f"histogram {name}.{stat}", summary[stat])
+    for index, span in enumerate(doc["spans"]):
+        if not isinstance(span, dict) or "path" not in span:
+            fail(path, f"span #{index}: expected an object with a path")
+        check_number(path, f"span #{index}.start_s", span.get("start_s"))
+        check_number(path, f"span #{index}.duration_s", span.get("duration_s"))
+
+    metrics = len(doc["counters"]) + len(doc["gauges"]) + len(doc["histograms"])
+    if metrics == 0:
+        fail(path, "artefact contains no metrics at all")
+    if require_spans and not doc["spans"]:
+        fail(path, "artefact contains no spans (expected traced phases)")
+    print(f"check_bench_json: {path}: ok "
+          f"({metrics} metrics, {len(doc['spans'])} spans)")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--require-spans"]
+    require_spans = "--require-spans" in argv[1:]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in args:
+        check_artefact(path, require_spans)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,11 @@
 # Builds everything, runs the full test suite and every bench binary, and
 # leaves the transcript in test_output.txt / bench_output.txt at the repo
 # root — the one-command reproduction of the paper's evaluation.
+#
+# The instrumented benches additionally dump machine-readable metrics
+# registries (BENCH_table1.json, BENCH_fig6.json,
+# BENCH_micro_shift_buffer.json); the run fails if any artefact is missing
+# or malformed (validated by scripts/check_bench_json.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,4 +26,11 @@ for b in build/bench/*; do
     echo | tee -a bench_output.txt
   fi
 done
-echo "done: test_output.txt, bench_output.txt"
+
+# Registry-backed JSON artefacts: every instrumented bench must have left a
+# valid snapshot behind, or the reproduction run fails.
+python3 scripts/check_bench_json.py BENCH_table1.json
+python3 scripts/check_bench_json.py --require-spans BENCH_fig6.json
+python3 scripts/check_bench_json.py BENCH_micro_shift_buffer.json
+
+echo "done: test_output.txt, bench_output.txt, BENCH_*.json"

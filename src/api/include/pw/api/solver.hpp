@@ -1,0 +1,113 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/kernel/config.hpp"
+#include "pw/obs/metrics.hpp"
+#include "pw/ocl/runtime.hpp"
+
+namespace pw::api {
+
+/// Which implementation services a solve. Every backend computes the same
+/// PW advection source terms; they differ in execution strategy (and the
+/// metrics they emit along the way).
+enum class Backend {
+  kReference,    ///< serial oracle (advect_reference)
+  kCpuBaseline,  ///< threaded CPU comparator (paper's 24-core Xeon row)
+  kFused,        ///< single fused dataflow kernel (FPGA datapath, 1 thread)
+  kMultiKernel,  ///< N concurrent kernel instances (multi-compute-unit)
+  kHostOverlap,  ///< full host driver: chunked PCIe transfers + kernels
+  kVectorized,   ///< float32 vector-batch datapath (Versal AIE sketch)
+};
+
+const char* to_string(Backend backend);
+
+/// Typed validation failures — the facade rejects bad options with these
+/// instead of asserting deep inside a backend.
+enum class SolveError {
+  kNone,
+  kEmptyGrid,          ///< nx, ny or nz is zero
+  kHaloMismatch,       ///< fields must carry a halo of exactly 1
+  kInvalidChunking,    ///< chunk_y == 0 with an overlapped host driver
+  kNoKernelInstances,  ///< kMultiKernel with kernels == 0
+  kNoLanes,            ///< kVectorized with lanes == 0
+  kNoChunks,           ///< kHostOverlap overlapped with x_chunks == 0
+};
+
+std::string describe(SolveError error);
+
+/// Host-driver knobs for Backend::kHostOverlap. Deliberately *without* its
+/// own KernelConfig: SolverOptions.kernel is the single construction point
+/// for kernel configuration (previously HostDriverConfig.kernel and the
+/// free-floating KernelConfig could drift apart).
+struct HostOptions {
+  std::size_t x_chunks = 8;
+  bool overlapped = true;  ///< false: one write / one kernel / one read
+  ocl::DeviceTiming timing;
+  /// Simulated kernel duration per slab (e.g. from fpga::model_kernel_only);
+  /// defaults to zero-time kernels.
+  std::function<double(const grid::GridDims&)> kernel_time_model;
+};
+
+/// All options for every backend, in one place.
+struct SolverOptions {
+  Backend backend = Backend::kReference;
+  kernel::KernelConfig kernel;  ///< the one kernel config (all backends)
+  HostOptions host;             ///< kHostOverlap only
+  std::size_t kernels = 4;      ///< kMultiKernel instance count
+  std::size_t lanes = 8;        ///< kVectorized vector width
+  /// External metrics sink. When null the solver uses a private registry;
+  /// either way SolveResult.metrics carries the snapshot.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Outcome of one solve. `terms` is engaged iff ok(); `metrics` always
+/// carries the registry snapshot for the run (empty on validation errors).
+struct SolveResult {
+  SolveError error = SolveError::kNone;
+  std::string message;  ///< human-readable error detail ("" when ok)
+  Backend backend = Backend::kReference;
+  double seconds = 0.0;  ///< wall-clock solve time
+  double gflops = 0.0;   ///< total_flops / seconds
+  std::optional<advect::SourceTerms> terms;
+  obs::RegistrySnapshot metrics;
+
+  bool ok() const noexcept { return error == SolveError::kNone; }
+};
+
+/// Grid-independent validation (lane/kernel/chunk counts). Returns kNone
+/// when the options could be valid for some grid.
+SolveError validate(const SolverOptions& options);
+
+/// Full validation against a concrete grid.
+SolveError validate(const SolverOptions& options, const grid::GridDims& dims);
+
+/// The unified entry point: one object, one `solve`, any backend — every
+/// run instrumented through the same MetricsRegistry (a `solve/<backend>`
+/// span plus whatever the backend layers emit). The low-level entry points
+/// (advect_reference, run_kernel_fused, run_multi_kernel, advect_via_host)
+/// remain available for code that needs the raw stats structs.
+class AdvectionSolver {
+ public:
+  AdvectionSolver() = default;
+  explicit AdvectionSolver(SolverOptions options)
+      : options_(std::move(options)) {}
+
+  const SolverOptions& options() const noexcept { return options_; }
+  SolverOptions& options() noexcept { return options_; }
+
+  /// Computes source terms for `state`. Never throws on bad options —
+  /// returns a SolveResult with a typed error instead.
+  SolveResult solve(const grid::WindState& state,
+                    const advect::PwCoefficients& coefficients) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace pw::api

@@ -1,0 +1,176 @@
+#include "pw/api/solver.hpp"
+
+#include <chrono>
+
+#include "pw/advect/cpu_baseline.hpp"
+#include "pw/advect/flops.hpp"
+#include "pw/kernel/fused.hpp"
+#include "pw/kernel/multi_kernel.hpp"
+#include "pw/kernel/vectorized.hpp"
+#include "pw/obs/span.hpp"
+#include "pw/ocl/host_driver.hpp"
+#include "pw/util/thread_pool.hpp"
+
+namespace pw::api {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kReference:
+      return "reference";
+    case Backend::kCpuBaseline:
+      return "cpu_baseline";
+    case Backend::kFused:
+      return "fused";
+    case Backend::kMultiKernel:
+      return "multi_kernel";
+    case Backend::kHostOverlap:
+      return "host_overlap";
+    case Backend::kVectorized:
+      return "vectorized";
+  }
+  return "unknown";
+}
+
+std::string describe(SolveError error) {
+  switch (error) {
+    case SolveError::kNone:
+      return "ok";
+    case SolveError::kEmptyGrid:
+      return "grid has a zero-sized dimension";
+    case SolveError::kHaloMismatch:
+      return "wind fields must carry a halo of exactly 1";
+    case SolveError::kInvalidChunking:
+      return "chunk_y == 0 (unchunked) cannot be combined with an "
+             "overlapped host driver: X-chunk slabs require bounded "
+             "shift-buffer faces";
+    case SolveError::kNoKernelInstances:
+      return "multi-kernel backend needs at least one kernel instance";
+    case SolveError::kNoLanes:
+      return "vectorized backend needs at least one lane";
+    case SolveError::kNoChunks:
+      return "overlapped host driver needs at least one X-chunk";
+  }
+  return "unknown error";
+}
+
+SolveError validate(const SolverOptions& options) {
+  switch (options.backend) {
+    case Backend::kMultiKernel:
+      if (options.kernels == 0) {
+        return SolveError::kNoKernelInstances;
+      }
+      break;
+    case Backend::kVectorized:
+      if (options.lanes == 0) {
+        return SolveError::kNoLanes;
+      }
+      break;
+    case Backend::kHostOverlap:
+      if (options.host.overlapped && options.host.x_chunks == 0) {
+        return SolveError::kNoChunks;
+      }
+      if (options.host.overlapped && options.kernel.chunk_y == 0) {
+        return SolveError::kInvalidChunking;
+      }
+      break;
+    default:
+      break;
+  }
+  return SolveError::kNone;
+}
+
+SolveError validate(const SolverOptions& options,
+                    const grid::GridDims& dims) {
+  if (dims.nx == 0 || dims.ny == 0 || dims.nz == 0) {
+    return SolveError::kEmptyGrid;
+  }
+  return validate(options);
+}
+
+SolveResult AdvectionSolver::solve(
+    const grid::WindState& state,
+    const advect::PwCoefficients& coefficients) const {
+  const grid::GridDims dims = state.u.dims();
+
+  SolveResult result;
+  result.backend = options_.backend;
+  result.error = validate(options_, dims);
+  if (result.error == SolveError::kNone && state.u.halo() != 1) {
+    result.error = SolveError::kHaloMismatch;
+  }
+  if (result.error != SolveError::kNone) {
+    result.message = describe(result.error);
+    return result;
+  }
+
+  // One registry per solve unless the caller supplied a shared one; every
+  // backend reports through it identically.
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry& registry =
+      options_.metrics != nullptr ? *options_.metrics : local_registry;
+
+  kernel::KernelConfig kernel_config = options_.kernel;
+  kernel_config.metrics = &registry;
+
+  advect::SourceTerms terms(dims);
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    obs::Span solve_span(registry,
+                         std::string("solve/") + to_string(options_.backend));
+    switch (options_.backend) {
+      case Backend::kReference:
+        advect::advect_reference(state, coefficients, terms);
+        break;
+      case Backend::kCpuBaseline: {
+        util::ThreadPool pool;
+        const advect::CpuAdvectorBaseline baseline(pool);
+        const auto stats = baseline.run(state, coefficients, terms);
+        registry.gauge_set("cpu_baseline.threads",
+                           static_cast<double>(stats.threads));
+        registry.gauge_set("cpu_baseline.gflops", stats.gflops);
+        break;
+      }
+      case Backend::kFused:
+        kernel::run_kernel_fused(state, coefficients, terms, kernel_config);
+        break;
+      case Backend::kMultiKernel:
+        kernel::run_multi_kernel(state, coefficients, terms, kernel_config,
+                                 options_.kernels);
+        break;
+      case Backend::kHostOverlap: {
+        ocl::HostDriverConfig host_config;
+        host_config.x_chunks = options_.host.x_chunks;
+        host_config.overlapped = options_.host.overlapped;
+        host_config.timing = options_.host.timing;
+        host_config.kernel_time_model = options_.host.kernel_time_model;
+        host_config.kernel = kernel_config;  // the single construction point
+        host_config.metrics = &registry;
+        ocl::advect_via_host(state, coefficients, terms, host_config);
+        break;
+      }
+      case Backend::kVectorized:
+        kernel::run_kernel_vectorized_f32(state, coefficients, terms,
+                                          kernel_config, options_.lanes);
+        break;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.gflops = result.seconds > 0.0
+                      ? static_cast<double>(advect::total_flops(dims)) /
+                            result.seconds / 1e9
+                      : 0.0;
+
+  registry.counter_add("solve.count");
+  registry.gauge_set("solve.seconds", result.seconds);
+  registry.gauge_set("solve.gflops", result.gflops);
+  registry.gauge_set("solve.cells", static_cast<double>(dims.cells()));
+
+  result.terms.emplace(std::move(terms));
+  result.metrics = registry.snapshot();
+  return result;
+}
+
+}  // namespace pw::api

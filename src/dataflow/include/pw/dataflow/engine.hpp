@@ -7,6 +7,10 @@
 
 #include "pw/dataflow/stage.hpp"
 
+namespace pw::obs {
+class MetricsRegistry;
+}
+
 namespace pw::dataflow {
 
 /// Result of a cycle-level simulation run.
@@ -56,6 +60,15 @@ public:
   /// designs legitimately idle for short stretches).
   void set_deadlock_window(std::uint64_t window);
 
+  /// Publishes every run's results into `registry` (in addition to the
+  /// returned SimReport): per-stage fired/stalled/idle counters and
+  /// occupancy gauges under `<prefix>.stage.<name>.*`, plus run-level
+  /// `<prefix>.cycles` / `<prefix>.runs` counters and a
+  /// `<prefix>.completed` gauge. The registry must outlive the engine;
+  /// nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry,
+                   std::string prefix = "dataflow");
+
   /// Runs until all stages are done. `max_cycles` guards against deadlock
   /// (a stalled design is reported, not hung).
   SimReport run(std::uint64_t max_cycles = UINT64_MAX);
@@ -65,6 +78,8 @@ private:
   std::vector<ICycleStage*> stages_;
   std::uint64_t trace_cycles_ = 0;
   std::uint64_t deadlock_window_ = 4096;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_prefix_ = "dataflow";
 };
 
 }  // namespace pw::dataflow

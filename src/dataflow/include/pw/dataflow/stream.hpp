@@ -15,6 +15,15 @@ namespace pw::dataflow {
 /// push() blocks while full; pop() blocks while empty and returns nullopt
 /// once the stream is closed *and* drained. close() is how a producer
 /// signals end-of-stream.
+///
+/// Close-while-blocked contract: close() may be called from any thread at
+/// any time (including while a producer is blocked inside push()). A
+/// producer woken — or arriving — after close() gets `false` back and its
+/// value is discarded; it must NOT receive an exception, so pipeline stage
+/// threads shut down cleanly on early termination instead of propagating
+/// std::logic_error out of the stage body (tested in test_dataflow).
+/// Consumers drain whatever was accepted before the close, then see
+/// nullopt.
 template <typename T>
 class Stream {
 public:
@@ -24,22 +33,25 @@ public:
     }
   }
 
-  void push(T value) {
+  /// Blocking push. Returns true when the value was enqueued; false when
+  /// the stream is (or becomes, while blocked) closed — the value is then
+  /// discarded and the producer should wind down.
+  [[nodiscard]] bool push(T value) {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
     if (closed_) {
-      throw std::logic_error("push on closed Stream");
+      return false;
     }
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
+    return true;
   }
 
+  /// Non-blocking push: false when full or closed (closed is additionally
+  /// observable via closed()).
   bool try_push(T value) {
     std::lock_guard lock(mutex_);
-    if (closed_) {
-      throw std::logic_error("push on closed Stream");
-    }
-    if (queue_.size() >= capacity_) {
+    if (closed_ || queue_.size() >= capacity_) {
       return false;
     }
     queue_.push_back(std::move(value));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "pw/obs/metrics.hpp"
+
 namespace pw::dataflow {
 
 std::string render_trace(const SimReport& report) {
@@ -48,6 +50,12 @@ void CycleEngine::enable_trace(std::uint64_t max_cycles) {
 
 void CycleEngine::set_deadlock_window(std::uint64_t window) {
   deadlock_window_ = window;
+}
+
+void CycleEngine::set_metrics(obs::MetricsRegistry* registry,
+                              std::string prefix) {
+  metrics_ = registry;
+  metrics_prefix_ = std::move(prefix);
 }
 
 namespace {
@@ -110,6 +118,23 @@ SimReport CycleEngine::run(std::uint64_t max_cycles) {
   for (const ICycleStage* stage : stages_) {
     report.stage_names.push_back(stage->name());
     report.stage_stats.push_back(stage->stats());
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter_add(metrics_prefix_ + ".runs");
+    metrics_->counter_add(metrics_prefix_ + ".cycles", report.cycles);
+    metrics_->gauge_set(metrics_prefix_ + ".completed",
+                        report.completed ? 1.0 : 0.0);
+    metrics_->gauge_set(metrics_prefix_ + ".deadlocked",
+                        report.deadlocked ? 1.0 : 0.0);
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      const std::string base =
+          metrics_prefix_ + ".stage." + report.stage_names[s];
+      const StageStats& stats = report.stage_stats[s];
+      metrics_->counter_add(base + ".fired", stats.fired);
+      metrics_->counter_add(base + ".stalled", stats.stalled);
+      metrics_->counter_add(base + ".idle", stats.idle);
+      metrics_->gauge_set(base + ".occupancy", stats.occupancy());
+    }
   }
   return report;
 }

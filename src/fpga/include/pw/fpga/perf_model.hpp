@@ -3,9 +3,15 @@
 #include <cstddef>
 #include <cstdint>
 
+#include <string_view>
+
 #include "pw/fpga/device_profiles.hpp"
 #include "pw/grid/geometry.hpp"
 #include "pw/kernel/config.hpp"
+
+namespace pw::obs {
+class MetricsRegistry;
+}
 
 namespace pw::fpga {
 
@@ -44,6 +50,17 @@ struct KernelOnlyResult {
 /// rate min(clock/II, per-kernel memory limit, fair share of the system
 /// limit); time = beats / rate + per-chunk drain + launch overhead.
 KernelOnlyResult model_kernel_only(const KernelOnlyInput& input);
+
+/// Publishes one model evaluation into a MetricsRegistry so Table I-style
+/// numbers (GFLOPS, % of theoretical peak) come from the registry rather
+/// than hand math in each bench: gauges `<prefix>.gflops`,
+/// `<prefix>.theoretical_gflops`, `<prefix>.pct_of_theoretical_peak`,
+/// `<prefix>.seconds`, `<prefix>.beat_rate_hz`, `<prefix>.memory_bound`
+/// and counter `<prefix>.beats_per_kernel`.
+void record_kernel_only(const KernelOnlyInput& input,
+                        const KernelOnlyResult& result,
+                        obs::MetricsRegistry& registry,
+                        std::string_view prefix = "fpga.kernel_only");
 
 /// Theoretical best GFLOPS of the design (paper §III): one cell per cycle,
 /// 63 FLOPs usually, 55 at the column top.

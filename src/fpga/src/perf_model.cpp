@@ -6,6 +6,7 @@
 #include "pw/advect/flops.hpp"
 #include "pw/kernel/chunking.hpp"
 #include "pw/kernel/multi_kernel.hpp"
+#include "pw/obs/metrics.hpp"
 
 namespace pw::fpga {
 
@@ -87,6 +88,26 @@ KernelOnlyResult model_kernel_only(const KernelOnlyInput& input) {
                   result.seconds / 1e9;
   result.efficiency = result.gflops / result.theoretical_gflops;
   return result;
+}
+
+void record_kernel_only(const KernelOnlyInput& input,
+                        const KernelOnlyResult& result,
+                        obs::MetricsRegistry& registry,
+                        std::string_view prefix) {
+  const std::string base(prefix);
+  registry.gauge_set(base + ".gflops", result.gflops);
+  registry.gauge_set(base + ".theoretical_gflops",
+                     result.theoretical_gflops);
+  registry.gauge_set(base + ".pct_of_theoretical_peak",
+                     result.efficiency * 100.0);
+  registry.gauge_set(base + ".seconds", result.seconds);
+  registry.gauge_set(base + ".beat_rate_hz", result.beat_rate_hz);
+  registry.gauge_set(base + ".memory_bound",
+                     result.memory_bound ? 1.0 : 0.0);
+  registry.gauge_set(base + ".clock_mhz", input.clock_hz / 1e6);
+  registry.gauge_set(base + ".kernels",
+                     static_cast<double>(input.kernels));
+  registry.counter_add(base + ".beats_per_kernel", result.beats_per_kernel);
 }
 
 }  // namespace pw::fpga

@@ -14,7 +14,14 @@ class XilinxStream {
 public:
   explicit XilinxStream(std::size_t depth = 16) : stream_(depth) {}
 
-  void write(T value) { stream_.push(std::move(value)); }
+  /// Blocking write; a value arriving after close() is dropped (the
+  /// Stream close-while-blocked contract — real HLS streams cannot be
+  /// closed, so a correct design never hits this).
+  void write(T value) {
+    if (!stream_.push(std::move(value))) {
+      // Closed early: the consumer has gone away; nothing to do.
+    }
+  }
 
   /// Blocking read; throws once end-of-stream is reached (HLS streams have
   /// no EOS — our frontends send exact element counts so this never fires
@@ -60,7 +67,9 @@ private:
 
 template <typename T>
 void write_channel_intel(IntelChannel<T>& channel, T value) {
-  channel.raw().push(std::move(value));
+  if (!channel.raw().push(std::move(value))) {
+    // Channel closed early: the value is dropped (see Stream contract).
+  }
 }
 
 template <typename T>

@@ -5,6 +5,10 @@
 
 #include "pw/grid/geometry.hpp"
 
+namespace pw::obs {
+class MetricsRegistry;
+}
+
 namespace pw::kernel {
 
 /// Configuration of one advection kernel instance.
@@ -16,6 +20,12 @@ struct KernelConfig {
 
   /// Depth of the inter-stage FIFOs (HLS stream depth).
   std::size_t stream_depth = 16;
+
+  /// Optional metrics sink: kernel runs publish values-streamed /
+  /// stencils-emitted / chunk counters and stencils-per-second gauges
+  /// under `kernel.*` (thread-safe, so concurrent multi-kernel instances
+  /// may share one registry). Not owned; must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The interior x-planes one kernel instance owns; multi-kernel runs

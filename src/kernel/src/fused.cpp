@@ -1,10 +1,12 @@
 #include "pw/kernel/fused.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "pw/advect/scheme.hpp"
 #include "pw/kernel/chunking.hpp"
 #include "pw/kernel/shift_buffer.hpp"
+#include "pw/obs/metrics.hpp"
 
 namespace pw::kernel {
 
@@ -25,6 +27,7 @@ KernelRunStats run_kernel_fused(const grid::WindState& state,
   const ChunkPlan plan(dims, config.chunk_y);
   const auto nz = dims.nz;
 
+  const auto wall_start = std::chrono::steady_clock::now();
   KernelRunStats stats;
   stats.chunks = plan.chunks().size();
 
@@ -63,6 +66,24 @@ KernelRunStats run_kernel_fused(const grid::WindState& state,
           out.sw.at(gi, gj, gk) = sources.sw;
         }
       }
+    }
+  }
+  if (config.metrics != nullptr) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    config.metrics->counter_add("kernel.runs");
+    config.metrics->counter_add("kernel.values_streamed_per_field",
+                                stats.values_streamed_per_field);
+    config.metrics->counter_add("kernel.stencils_emitted",
+                                stats.stencils_emitted);
+    config.metrics->counter_add("kernel.chunks", stats.chunks);
+    config.metrics->observe("kernel.run_seconds", seconds);
+    if (seconds > 0.0) {
+      config.metrics->observe(
+          "kernel.stencils_per_s",
+          static_cast<double>(stats.stencils_emitted) / seconds);
     }
   }
   return stats;

@@ -1,9 +1,11 @@
 #include "pw/kernel/multi_kernel.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "pw/dataflow/threaded.hpp"
 #include "pw/kernel/fused.hpp"
+#include "pw/obs/metrics.hpp"
 
 namespace pw::kernel {
 
@@ -33,6 +35,7 @@ KernelRunStats run_multi_kernel(const grid::WindState& state,
   const auto ranges = partition_x(state.u.nx(), kernels);
   std::vector<KernelRunStats> stats(ranges.size());
 
+  const auto wall_start = std::chrono::steady_clock::now();
   dataflow::ThreadedPipeline instances;
   for (std::size_t p = 0; p < ranges.size(); ++p) {
     instances.add_stage(
@@ -48,6 +51,24 @@ KernelRunStats run_multi_kernel(const grid::WindState& state,
     total.values_streamed_per_field += s.values_streamed_per_field;
     total.stencils_emitted += s.stencils_emitted;
     total.chunks += s.chunks;
+  }
+  if (config.metrics != nullptr) {
+    // Per-instance counters were already accumulated by run_kernel_fused
+    // (the registry is thread-safe); add the aggregate view of this
+    // multi-compute-unit launch.
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    config.metrics->counter_add("multi_kernel.launches");
+    config.metrics->gauge_set("multi_kernel.instances",
+                              static_cast<double>(ranges.size()));
+    config.metrics->observe("multi_kernel.run_seconds", seconds);
+    if (seconds > 0.0) {
+      config.metrics->gauge_set(
+          "multi_kernel.stencils_per_s",
+          static_cast<double>(total.stencils_emitted) / seconds);
+    }
   }
   return total;
 }

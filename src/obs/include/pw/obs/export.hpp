@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "pw/obs/metrics.hpp"
+#include "pw/util/table.hpp"
+
+namespace pw::obs {
+
+/// Serialises a snapshot as a JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {count, min, max, sum, mean, p50, p95, p99}},
+///    "spans": [{path, start_s, duration_s, thread, modelled}, ...]}
+/// Non-finite gauge values are emitted as null (JSON has no NaN/Inf).
+std::string to_json(const RegistrySnapshot& snapshot);
+std::string to_json(const MetricsRegistry& registry);
+
+/// Parses JSON produced by to_json back into a snapshot; nullopt when the
+/// text is not a valid snapshot document. Powers the round-trip tests and
+/// lets tooling re-load BENCH_*.json artefacts without a JSON dependency.
+std::optional<RegistrySnapshot> from_json(const std::string& text);
+
+/// Flat CSV: one metric per row — kind,name,value columns, histograms
+/// expanded into one row per statistic and spans into per-span rows.
+void write_csv(const RegistrySnapshot& snapshot, std::ostream& os);
+
+/// Human-readable summary tables (rendered via pw::util::Table).
+util::Table to_table(const RegistrySnapshot& snapshot,
+                     std::string caption = "metrics");
+
+}  // namespace pw::obs

@@ -1,0 +1,477 @@
+#include "pw/obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace pw::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  out += os.str();
+}
+
+void append_histogram(std::string& out, const HistogramSummary& h) {
+  out += "{\"count\": " + std::to_string(h.count);
+  const std::pair<const char*, double> fields[] = {
+      {"min", h.min}, {"max", h.max}, {"sum", h.sum},  {"mean", h.mean},
+      {"p50", h.p50}, {"p95", h.p95}, {"p99", h.p99}};
+  for (const auto& [name, value] : fields) {
+    out += ", \"";
+    out += name;
+    out += "\": ";
+    append_number(out, value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_number(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, summary] : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_histogram(out, summary);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": [";
+  first = true;
+  for (const SpanRecord& span : snapshot.spans) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"path\": ";
+    append_escaped(out, span.path);
+    out += ", \"start_s\": ";
+    append_number(out, span.start_s);
+    out += ", \"duration_s\": ";
+    append_number(out, span.duration_s);
+    out += ", \"thread\": " + std::to_string(span.thread);
+    out += ", \"modelled\": ";
+    out += span.modelled ? "true" : "false";
+    out += '}';
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  return to_json(registry.snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent parser for the JSON subset to_json emits
+// (objects, arrays, strings, numbers, true/false/null). No external deps.
+
+namespace {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonObject> object;
+  std::shared_ptr<JsonArray> array;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto value = parse_value();
+    skip_ws();
+    if (!value || pos_ != text_.size()) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return std::nullopt;
+        }
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return std::nullopt;
+            }
+            const unsigned code =
+                static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            out += static_cast<char>(code);  // control chars only, per writer
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kObject;
+      value.object = std::make_shared<JsonObject>();
+      skip_ws();
+      if (consume('}')) {
+        return value;
+      }
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key || !consume(':')) {
+          return std::nullopt;
+        }
+        auto member = parse_value();
+        if (!member) {
+          return std::nullopt;
+        }
+        value.object->emplace(std::move(*key), std::move(*member));
+        if (consume(',')) {
+          continue;
+        }
+        if (consume('}')) {
+          return value;
+        }
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kArray;
+      value.array = std::make_shared<JsonArray>();
+      skip_ws();
+      if (consume(']')) {
+        return value;
+      }
+      while (true) {
+        auto element = parse_value();
+        if (!element) {
+          return std::nullopt;
+        }
+        value.array->push_back(std::move(*element));
+        if (consume(',')) {
+          continue;
+        }
+        if (consume(']')) {
+          return value;
+        }
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto text = parse_string();
+      if (!text) {
+        return std::nullopt;
+      }
+      value.kind = JsonValue::Kind::kString;
+      value.string = std::move(*text);
+      return value;
+    }
+    if (consume_word("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_word("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (consume_word("null")) {
+      return value;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return std::nullopt;
+    }
+    try {
+      value.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    value.kind = JsonValue::Kind::kNumber;
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double number_or(const JsonObject& object, const std::string& key,
+                 double fallback = 0.0) {
+  const auto it = object.find(key);
+  return it != object.end() && it->second.kind == JsonValue::Kind::kNumber
+             ? it->second.number
+             : fallback;
+}
+
+}  // namespace
+
+std::optional<RegistrySnapshot> from_json(const std::string& text) {
+  auto root = Parser(text).parse();
+  if (!root || root->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  RegistrySnapshot snapshot;
+  const JsonObject& top = *root->object;
+
+  if (const auto it = top.find("counters");
+      it != top.end() && it->second.kind == JsonValue::Kind::kObject) {
+    for (const auto& [name, value] : *it->second.object) {
+      if (value.kind != JsonValue::Kind::kNumber) {
+        return std::nullopt;
+      }
+      snapshot.counters.emplace(name,
+                                static_cast<std::uint64_t>(value.number));
+    }
+  }
+  if (const auto it = top.find("gauges");
+      it != top.end() && it->second.kind == JsonValue::Kind::kObject) {
+    for (const auto& [name, value] : *it->second.object) {
+      if (value.kind == JsonValue::Kind::kNull) {
+        snapshot.gauges.emplace(name, std::nan(""));
+      } else if (value.kind == JsonValue::Kind::kNumber) {
+        snapshot.gauges.emplace(name, value.number);
+      } else {
+        return std::nullopt;
+      }
+    }
+  }
+  if (const auto it = top.find("histograms");
+      it != top.end() && it->second.kind == JsonValue::Kind::kObject) {
+    for (const auto& [name, value] : *it->second.object) {
+      if (value.kind != JsonValue::Kind::kObject) {
+        return std::nullopt;
+      }
+      const JsonObject& h = *value.object;
+      HistogramSummary summary;
+      summary.count = static_cast<std::size_t>(number_or(h, "count"));
+      summary.min = number_or(h, "min");
+      summary.max = number_or(h, "max");
+      summary.sum = number_or(h, "sum");
+      summary.mean = number_or(h, "mean");
+      summary.p50 = number_or(h, "p50");
+      summary.p95 = number_or(h, "p95");
+      summary.p99 = number_or(h, "p99");
+      snapshot.histograms.emplace(name, summary);
+    }
+  }
+  if (const auto it = top.find("spans");
+      it != top.end() && it->second.kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& value : *it->second.array) {
+      if (value.kind != JsonValue::Kind::kObject) {
+        return std::nullopt;
+      }
+      const JsonObject& s = *value.object;
+      SpanRecord span;
+      if (const auto path = s.find("path");
+          path != s.end() && path->second.kind == JsonValue::Kind::kString) {
+        span.path = path->second.string;
+      } else {
+        return std::nullopt;
+      }
+      span.start_s = number_or(s, "start_s");
+      span.duration_s = number_or(s, "duration_s");
+      span.thread = static_cast<std::uint64_t>(number_or(s, "thread"));
+      if (const auto modelled = s.find("modelled");
+          modelled != s.end() &&
+          modelled->second.kind == JsonValue::Kind::kBool) {
+        span.modelled = modelled->second.boolean;
+      }
+      snapshot.spans.push_back(std::move(span));
+    }
+  }
+  return snapshot;
+}
+
+void write_csv(const RegistrySnapshot& snapshot, std::ostream& os) {
+  os << "kind,name,statistic,value\n";
+  os.precision(17);
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "counter," << name << ",value," << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "gauge," << name << ",value," << value << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "histogram," << name << ",count," << h.count << '\n';
+    os << "histogram," << name << ",min," << h.min << '\n';
+    os << "histogram," << name << ",max," << h.max << '\n';
+    os << "histogram," << name << ",mean," << h.mean << '\n';
+    os << "histogram," << name << ",p50," << h.p50 << '\n';
+    os << "histogram," << name << ",p95," << h.p95 << '\n';
+    os << "histogram," << name << ",p99," << h.p99 << '\n';
+  }
+  for (const SpanRecord& span : snapshot.spans) {
+    os << "span," << span.path << ",start_s," << span.start_s << '\n';
+    os << "span," << span.path << ",duration_s," << span.duration_s << '\n';
+  }
+}
+
+util::Table to_table(const RegistrySnapshot& snapshot, std::string caption) {
+  util::Table table(std::move(caption));
+  table.header({"kind", "name", "value", "p50", "p95", "p99"});
+  for (const auto& [name, value] : snapshot.counters) {
+    table.row({"counter", name, std::to_string(value), "-", "-", "-"});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    table.row({"gauge", name, util::format_double(value, 4), "-", "-", "-"});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    table.row({"histogram", name,
+               "n=" + std::to_string(h.count) + " mean=" +
+                   util::format_double(h.mean, 6),
+               util::format_double(h.p50, 6), util::format_double(h.p95, 6),
+               util::format_double(h.p99, 6)});
+  }
+  return table;
+}
+
+}  // namespace pw::obs

@@ -8,6 +8,10 @@
 #include "pw/kernel/config.hpp"
 #include "pw/ocl/runtime.hpp"
 
+namespace pw::obs {
+class MetricsRegistry;
+}
+
 namespace pw::ocl {
 
 /// Host-side driver reproducing the paper's §IV pattern with the OpenCL
@@ -27,6 +31,18 @@ struct HostDriverConfig {
   /// Simulated kernel duration for a slab of the given dims (e.g. from
   /// fpga::model_kernel_only). Defaults to zero-time kernels.
   std::function<double(const grid::GridDims&)> kernel_time_model;
+
+  /// Optional metrics sink. A run publishes:
+  ///  * wall-clock spans `host/advect` and `host/advect/{enqueue,finish,
+  ///    scatter}` (gather is part of the enqueue phase, as in the paper's
+  ///    host code);
+  ///  * modelled spans `host/chunk/write`, `host/chunk/kernel`,
+  ///    `host/chunk/read` (one per X-chunk, timed on the simulated
+  ///    device timeline, flagged `modelled`);
+  ///  * counters `host.bytes_written`, `host.bytes_read`, `host.chunks`;
+  ///  * gauge `host.makespan_s` (modelled end-to-end seconds).
+  /// Not owned; must outlive the call.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct HostDriverResult {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 
@@ -15,9 +17,9 @@ namespace {
 
 TEST(Stream, FifoOrderPreserved) {
   Stream<int> s(4);
-  s.push(1);
-  s.push(2);
-  s.push(3);
+  EXPECT_TRUE(s.push(1));
+  EXPECT_TRUE(s.push(2));
+  EXPECT_TRUE(s.push(3));
   EXPECT_EQ(*s.pop(), 1);
   EXPECT_EQ(*s.pop(), 2);
   EXPECT_EQ(*s.pop(), 3);
@@ -34,16 +36,65 @@ TEST(Stream, TryPushRespectsCapacity) {
 
 TEST(Stream, PopAfterCloseDrainsThenEnds) {
   Stream<int> s(4);
-  s.push(7);
+  EXPECT_TRUE(s.push(7));
   s.close();
   EXPECT_EQ(*s.pop(), 7);
   EXPECT_FALSE(s.pop().has_value());
 }
 
-TEST(Stream, PushOnClosedThrows) {
+TEST(Stream, PushOnClosedReturnsFalse) {
   Stream<int> s(4);
   s.close();
-  EXPECT_THROW(s.push(1), std::logic_error);
+  EXPECT_FALSE(s.push(1));
+  EXPECT_FALSE(s.try_push(1));
+  EXPECT_FALSE(s.pop().has_value());
+}
+
+// The close-while-blocked contract: a producer blocked in push() on a full
+// stream and then woken by close() must get a clean `false` back — not an
+// exception escaping its stage thread.
+TEST(Stream, CloseWakesBlockedProducerCleanly) {
+  Stream<int> s(1);
+  EXPECT_TRUE(s.push(1));  // stream now full
+  std::atomic<int> result{-1};
+  std::thread producer([&] {
+    // Blocks: the stream stays full until close() wakes us.
+    result = s.push(2) ? 1 : 0;
+  });
+  // Give the producer time to park inside push().
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(result.load(), -1);
+  s.close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);  // woken, value discarded, no throw
+  // Values accepted before the close still drain.
+  EXPECT_EQ(*s.pop(), 1);
+  EXPECT_FALSE(s.pop().has_value());
+}
+
+// A whole pipeline shuts down cleanly when a consumer abandons its input:
+// upstream stages get push() == false and terminate instead of throwing.
+TEST(Stream, PipelineShutsDownWhenConsumerAbandons) {
+  Stream<int> a_to_b(2);
+  std::atomic<int> produced{0};
+  ThreadedPipeline pipeline;
+  pipeline.add_stage("produce", [&] {
+    for (int i = 0; i < 100000; ++i) {
+      if (!a_to_b.push(i)) {
+        return;  // consumer gone; clean exit
+      }
+      ++produced;
+    }
+  });
+  pipeline.add_stage("abandon", [&] {
+    // Take a few values then walk away, closing the stream behind us.
+    for (int i = 0; i < 3; ++i) {
+      a_to_b.pop();
+    }
+    a_to_b.close();
+  });
+  EXPECT_NO_THROW(pipeline.run());
+  EXPECT_LT(produced.load(), 100000);
 }
 
 TEST(Stream, ZeroCapacityRejected) {
@@ -56,7 +107,7 @@ TEST(Stream, ProducerConsumerThreaded) {
   long long sum = 0;
   std::thread producer([&s] {
     for (int i = 0; i < kCount; ++i) {
-      s.push(i);
+      EXPECT_TRUE(s.push(i));
     }
     s.close();
   });
@@ -221,13 +272,13 @@ TEST(ThreadedPipeline, RunsAllStagesConcurrently) {
   ThreadedPipeline pipeline;
   pipeline.add_stage("produce", [&] {
     for (int i = 1; i <= 100; ++i) {
-      a_to_b.push(i);
+      EXPECT_TRUE(a_to_b.push(i));
     }
     a_to_b.close();
   });
   pipeline.add_stage("double", [&] {
     while (auto v = a_to_b.pop()) {
-      b_to_c.push(*v * 2);
+      EXPECT_TRUE(b_to_c.push(*v * 2));
     }
     b_to_c.close();
   });

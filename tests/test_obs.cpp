@@ -1,0 +1,233 @@
+// Tests for the observability layer: MetricsRegistry semantics, quantile
+// maths, concurrent writers, span nesting and the JSON export round-trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "pw/obs/export.hpp"
+#include "pw/obs/metrics.hpp"
+#include "pw/obs/span.hpp"
+
+namespace {
+
+using namespace pw;
+
+TEST(MetricsRegistry, CountersAccumulateAndDefaultToZero) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("absent"), 0u);
+  registry.counter_add("events");
+  registry.counter_add("events", 4);
+  EXPECT_EQ(registry.counter("events"), 5u);
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.count("events"), 1u);
+  EXPECT_EQ(snapshot.counters.at("events"), 5u);
+}
+
+TEST(MetricsRegistry, GaugesAreLastWriteWins) {
+  obs::MetricsRegistry registry;
+  EXPECT_FALSE(registry.gauge("gflops").has_value());
+  registry.gauge_set("gflops", 12.5);
+  registry.gauge_set("gflops", 14.25);
+  ASSERT_TRUE(registry.gauge("gflops").has_value());
+  EXPECT_DOUBLE_EQ(*registry.gauge("gflops"), 14.25);
+}
+
+TEST(MetricsRegistry, ClearEmptiesEverything) {
+  obs::MetricsRegistry registry;
+  registry.counter_add("c");
+  registry.gauge_set("g", 1.0);
+  registry.observe("h", 2.0);
+  registry.record_span("s", 0.0, 1.0);
+  EXPECT_FALSE(registry.snapshot().empty());
+  registry.clear();
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(Quantile, ExactOnKnownSamples) {
+  // 1..100: p50 interpolates to 50.5, extremes clamp to min/max.
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(obs::quantile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::quantile(samples, 1.0), 100.0);
+  EXPECT_NEAR(obs::quantile(samples, 0.5), 50.5, 1e-12);
+  EXPECT_NEAR(obs::quantile(samples, 0.95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(obs::quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(MetricsRegistry, HistogramSummaryMatchesQuantileHelper) {
+  obs::MetricsRegistry registry;
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>((i * 37) % 1000);
+    samples.push_back(v);
+    registry.observe("latency", v);
+  }
+  const auto summary = registry.histogram("latency");
+  EXPECT_EQ(summary.count, 1000u);
+  EXPECT_DOUBLE_EQ(summary.min, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max, 999.0);
+  EXPECT_NEAR(summary.mean, summary.sum / 1000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(summary.p50, obs::quantile(samples, 0.50));
+  EXPECT_DOUBLE_EQ(summary.p95, obs::quantile(samples, 0.95));
+  EXPECT_DOUBLE_EQ(summary.p99, obs::quantile(samples, 0.99));
+}
+
+TEST(MetricsRegistry, ConcurrentWritersDontLoseUpdates) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter_add("shared.counter");
+        registry.observe("shared.histogram", static_cast<double>(i));
+        if (i % 1000 == 0) {
+          registry.gauge_set("shared.gauge", static_cast<double>(t));
+          registry.record_span("shared/span", 0.0, 1e-6,
+                               static_cast<std::uint64_t>(t));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(registry.counter("shared.counter"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto summary = registry.histogram("shared.histogram");
+  EXPECT_EQ(summary.count, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.snapshot().spans.size(),
+            static_cast<std::size_t>(kThreads) * (kPerThread / 1000));
+}
+
+TEST(Span, NestsIntoSlashJoinedPaths) {
+  obs::MetricsRegistry registry;
+  {
+    obs::Span outer(registry, "solve");
+    EXPECT_EQ(outer.path(), "solve");
+    {
+      obs::Span inner(registry, "kernel");
+      EXPECT_EQ(inner.path(), "solve/kernel");
+    }
+    obs::Span sibling(registry, "gather");
+    EXPECT_EQ(sibling.path(), "solve/gather");
+  }
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 3u);
+  // Inner spans close first, outer last.
+  EXPECT_EQ(snapshot.spans[0].path, "solve/kernel");
+  EXPECT_EQ(snapshot.spans[1].path, "solve/gather");
+  EXPECT_EQ(snapshot.spans[2].path, "solve");
+  EXPECT_GE(snapshot.spans[2].duration_s, snapshot.spans[0].duration_s);
+  // Span durations also feed the same-named histograms.
+  EXPECT_EQ(registry.histogram("solve/kernel").count, 1u);
+}
+
+TEST(Span, ThreadsKeepIndependentNestingStacks) {
+  obs::MetricsRegistry registry;
+  obs::Span outer(registry, "main");
+  std::thread worker([&registry] {
+    // A span on another thread must not inherit this thread's stack.
+    obs::Span span(registry, "worker");
+    EXPECT_EQ(span.path(), "worker");
+  });
+  worker.join();
+  EXPECT_EQ(outer.path(), "main");
+}
+
+TEST(ObsExport, JsonRoundTripPreservesEverything) {
+  obs::MetricsRegistry registry;
+  registry.counter_add("host.chunks", 8);
+  registry.counter_add("host.bytes_written", 123456789);
+  registry.gauge_set("solve.gflops", 3.25);
+  registry.gauge_set("fpga.pct_of_theoretical_peak", 61.5);
+  for (int i = 0; i < 32; ++i) {
+    registry.observe("host/chunk/write", 1e-4 * (i + 1));
+  }
+  registry.record_span("solve", 0.0, 0.5, 42);
+  registry.record_span("solve/host/chunk/kernel", 0.125, 0.0625, 0, true);
+
+  const auto original = registry.snapshot();
+  const std::string json = obs::to_json(original);
+  const auto parsed = obs::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->counters, original.counters);
+  ASSERT_EQ(parsed->gauges.size(), original.gauges.size());
+  for (const auto& [name, value] : original.gauges) {
+    ASSERT_EQ(parsed->gauges.count(name), 1u);
+    EXPECT_DOUBLE_EQ(parsed->gauges.at(name), value);
+  }
+  ASSERT_EQ(parsed->histograms.size(), original.histograms.size());
+  for (const auto& [name, summary] : original.histograms) {
+    ASSERT_EQ(parsed->histograms.count(name), 1u) << name;
+    const auto& other = parsed->histograms.at(name);
+    EXPECT_EQ(other.count, summary.count);
+    EXPECT_DOUBLE_EQ(other.p50, summary.p50);
+    EXPECT_DOUBLE_EQ(other.p95, summary.p95);
+    EXPECT_DOUBLE_EQ(other.p99, summary.p99);
+  }
+  ASSERT_EQ(parsed->spans.size(), original.spans.size());
+  for (std::size_t i = 0; i < original.spans.size(); ++i) {
+    EXPECT_EQ(parsed->spans[i].path, original.spans[i].path);
+    EXPECT_DOUBLE_EQ(parsed->spans[i].start_s, original.spans[i].start_s);
+    EXPECT_DOUBLE_EQ(parsed->spans[i].duration_s,
+                     original.spans[i].duration_s);
+    EXPECT_EQ(parsed->spans[i].thread, original.spans[i].thread);
+    EXPECT_EQ(parsed->spans[i].modelled, original.spans[i].modelled);
+  }
+}
+
+TEST(ObsExport, NonFiniteGaugesSerialiseAsNull) {
+  obs::MetricsRegistry registry;
+  registry.gauge_set("bad", std::nan(""));
+  registry.gauge_set("good", 1.0);
+  const std::string json = obs::to_json(registry);
+  EXPECT_NE(json.find("null"), std::string::npos);
+  const auto parsed = obs::from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->gauges.count("good"), 1u);
+  EXPECT_DOUBLE_EQ(parsed->gauges.at("good"), 1.0);
+}
+
+TEST(ObsExport, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(obs::from_json("").has_value());
+  EXPECT_FALSE(obs::from_json("not json").has_value());
+  EXPECT_FALSE(obs::from_json("[1, 2, 3]").has_value());
+  EXPECT_FALSE(obs::from_json("{\"counters\": {\"x\": }}").has_value());
+}
+
+TEST(ObsExport, CsvHasOneRowPerStatistic) {
+  obs::MetricsRegistry registry;
+  registry.counter_add("c", 2);
+  registry.gauge_set("g", 0.5);
+  registry.observe("h", 1.0);
+  std::ostringstream os;
+  obs::write_csv(registry.snapshot(), os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("counter,c,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,"), std::string::npos);
+}
+
+TEST(ObsExport, TableRendersWithoutThrowing) {
+  obs::MetricsRegistry registry;
+  registry.counter_add("c");
+  registry.gauge_set("g", 2.0);
+  registry.observe("h", 3.0);
+  registry.record_span("s", 0.0, 1.0);
+  std::ostringstream os;
+  obs::to_table(registry.snapshot()).print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace

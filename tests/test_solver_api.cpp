@@ -1,0 +1,188 @@
+// Tests for the unified solver facade: every double-precision backend must
+// produce bit-identical source terms on a fixed grid, invalid options must
+// come back as typed errors (not asserts), and every solve must carry a
+// metrics snapshot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/api/solver.hpp"
+#include "pw/grid/compare.hpp"
+#include "pw/grid/init.hpp"
+
+namespace {
+
+using namespace pw;
+
+struct Fixture {
+  grid::GridDims dims{16, 16, 16};
+  grid::WindState state{dims};
+  advect::PwCoefficients coefficients;
+
+  Fixture()
+      : coefficients(advect::PwCoefficients::from_geometry(
+            grid::Geometry::uniform(dims, 100.0, 100.0, 50.0))) {
+    grid::init_random(state, 99);
+  }
+};
+
+api::SolveResult run(const Fixture& f, api::Backend backend,
+                     obs::MetricsRegistry* metrics = nullptr) {
+  api::SolverOptions options;
+  options.backend = backend;
+  options.kernel.chunk_y = 8;
+  options.host.x_chunks = 4;
+  options.metrics = metrics;
+  return api::AdvectionSolver(options).solve(f.state, f.coefficients);
+}
+
+TEST(SolverApi, DoubleBackendsAreBitIdentical) {
+  const Fixture f;
+  const auto reference = run(f, api::Backend::kReference);
+  ASSERT_TRUE(reference.ok()) << reference.message;
+  ASSERT_TRUE(reference.terms.has_value());
+
+  for (const api::Backend backend :
+       {api::Backend::kCpuBaseline, api::Backend::kFused,
+        api::Backend::kMultiKernel, api::Backend::kHostOverlap}) {
+    const auto result = run(f, backend);
+    ASSERT_TRUE(result.ok())
+        << api::to_string(backend) << ": " << result.message;
+    ASSERT_TRUE(result.terms.has_value()) << api::to_string(backend);
+    EXPECT_TRUE(grid::compare_interior(reference.terms->su, result.terms->su)
+                    .bit_equal())
+        << api::to_string(backend) << " su";
+    EXPECT_TRUE(grid::compare_interior(reference.terms->sv, result.terms->sv)
+                    .bit_equal())
+        << api::to_string(backend) << " sv";
+    EXPECT_TRUE(grid::compare_interior(reference.terms->sw, result.terms->sw)
+                    .bit_equal())
+        << api::to_string(backend) << " sw";
+  }
+}
+
+TEST(SolverApi, VectorizedBackendAgreesToF32Tolerance) {
+  const Fixture f;
+  const auto reference = run(f, api::Backend::kReference);
+  const auto result = run(f, api::Backend::kVectorized);
+  ASSERT_TRUE(result.ok()) << result.message;
+  const auto diff =
+      grid::compare_interior(reference.terms->su, result.terms->su);
+  EXPECT_LT(diff.max_abs, 1e-4);
+}
+
+TEST(SolverApi, EverySolveCarriesAMetricsSnapshot) {
+  const Fixture f;
+  for (const api::Backend backend :
+       {api::Backend::kReference, api::Backend::kCpuBaseline,
+        api::Backend::kFused, api::Backend::kMultiKernel,
+        api::Backend::kHostOverlap, api::Backend::kVectorized}) {
+    const auto result = run(f, backend);
+    ASSERT_TRUE(result.ok()) << api::to_string(backend);
+    EXPECT_FALSE(result.metrics.empty()) << api::to_string(backend);
+    EXPECT_EQ(result.metrics.counters.at("solve.count"), 1u);
+    EXPECT_GT(result.metrics.gauges.at("solve.cells"), 0.0);
+  }
+}
+
+TEST(SolverApi, KernelBackendsReportKernelCounters) {
+  const Fixture f;
+  const auto result = run(f, api::Backend::kFused);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.metrics.counters.at("kernel.stencils_emitted"), 0u);
+  EXPECT_EQ(result.metrics.counters.at("kernel.runs"), 1u);
+}
+
+TEST(SolverApi, HostOverlapReportsChunkSpansAndBytes) {
+  const Fixture f;
+  const auto result = run(f, api::Backend::kHostOverlap);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.metrics.counters.at("host.bytes_written"), 0u);
+  EXPECT_GT(result.metrics.counters.at("host.bytes_read"), 0u);
+  EXPECT_EQ(result.metrics.counters.at("host.chunks"), 4u);
+  bool saw_modelled_chunk_span = false;
+  for (const auto& span : result.metrics.spans) {
+    if (span.modelled && span.path.find("host/chunk/") != std::string::npos) {
+      saw_modelled_chunk_span = true;
+      EXPECT_GE(span.duration_s, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_modelled_chunk_span);
+}
+
+TEST(SolverApi, CallerSuppliedRegistryAccumulatesAcrossSolves) {
+  const Fixture f;
+  obs::MetricsRegistry registry;
+  ASSERT_TRUE(run(f, api::Backend::kReference, &registry).ok());
+  ASSERT_TRUE(run(f, api::Backend::kFused, &registry).ok());
+  EXPECT_EQ(registry.counter("solve.count"), 2u);
+}
+
+TEST(SolverApi, EmptyGridIsATypedError) {
+  api::SolverOptions options;
+  const grid::GridDims empty{0, 16, 16};
+  EXPECT_EQ(api::validate(options, empty), api::SolveError::kEmptyGrid);
+  EXPECT_FALSE(api::describe(api::SolveError::kEmptyGrid).empty());
+  // A WindState with a zero-sized dimension cannot even be constructed, so
+  // the dims overload is the first line of defence for callers that size
+  // grids from config before allocating.
+  EXPECT_THROW(grid::WindState state(empty), std::exception);
+}
+
+TEST(SolverApi, UnchunkedOverlappedHostDriverIsRejected) {
+  api::SolverOptions options;
+  options.backend = api::Backend::kHostOverlap;
+  options.kernel.chunk_y = 0;  // unchunked
+  options.host.overlapped = true;
+  EXPECT_EQ(api::validate(options), api::SolveError::kInvalidChunking);
+
+  const Fixture f;
+  const auto result =
+      api::AdvectionSolver(options).solve(f.state, f.coefficients);
+  EXPECT_EQ(result.error, api::SolveError::kInvalidChunking);
+  EXPECT_FALSE(result.ok());
+
+  // The sequential driver has no such constraint.
+  options.host.overlapped = false;
+  EXPECT_EQ(api::validate(options), api::SolveError::kNone);
+}
+
+TEST(SolverApi, ZeroResourceBackendsAreRejected) {
+  api::SolverOptions options;
+  options.backend = api::Backend::kMultiKernel;
+  options.kernels = 0;
+  EXPECT_EQ(api::validate(options), api::SolveError::kNoKernelInstances);
+
+  options = {};
+  options.backend = api::Backend::kVectorized;
+  options.lanes = 0;
+  EXPECT_EQ(api::validate(options), api::SolveError::kNoLanes);
+
+  options = {};
+  options.backend = api::Backend::kHostOverlap;
+  options.host.x_chunks = 0;
+  EXPECT_EQ(api::validate(options), api::SolveError::kNoChunks);
+}
+
+TEST(SolverApi, HaloMismatchIsATypedError) {
+  const grid::GridDims dims{8, 8, 8};
+  grid::WindState wide(dims, 2);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 50.0));
+  const auto result =
+      api::AdvectionSolver(api::SolverOptions{}).solve(wide, coefficients);
+  EXPECT_EQ(result.error, api::SolveError::kHaloMismatch);
+}
+
+TEST(SolverApi, DescribeCoversAllErrors) {
+  for (const api::SolveError error :
+       {api::SolveError::kNone, api::SolveError::kEmptyGrid,
+        api::SolveError::kHaloMismatch, api::SolveError::kInvalidChunking,
+        api::SolveError::kNoKernelInstances, api::SolveError::kNoLanes,
+        api::SolveError::kNoChunks}) {
+    EXPECT_FALSE(api::describe(error).empty());
+  }
+}
+
+}  // namespace
