@@ -1,0 +1,41 @@
+// Cost of the static verifier itself: graph construction plus the full
+// pw::lint battery for the shipped configurations. The checks run before
+// every enforced pipeline launch, so they must be (and are) microseconds —
+// this bench keeps that property measured.
+#include <benchmark/benchmark.h>
+
+#include "pw/kernel/pipeline_graph.hpp"
+#include "pw/lint/checks.hpp"
+
+namespace {
+
+void BM_LintFig2(benchmark::State& state) {
+  pw::kernel::PipelineGraphSpec spec;
+  spec.dims = {64, 64, 64};
+  spec.chunk_y = 16;
+  spec.kernels = static_cast<std::size_t>(state.range(0));
+  spec.with_cycle_advance = true;
+  for (auto _ : state) {
+    const auto graph = pw::kernel::describe_kernel_pipeline(spec);
+    const auto report = pw::lint::run_checks(graph);
+    benchmark::DoNotOptimize(report.diagnostics.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LintFig2)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_LintChecksOnly(benchmark::State& state) {
+  pw::kernel::PipelineGraphSpec spec;
+  spec.dims = {64, 64, 64};
+  spec.chunk_y = 16;
+  spec.kernels = 6;  // the paper's Alveo configuration
+  const auto graph = pw::kernel::describe_kernel_pipeline(spec);
+  for (auto _ : state) {
+    const auto report = pw::lint::run_checks(graph);
+    benchmark::DoNotOptimize(report.diagnostics.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LintChecksOnly);
+
+}  // namespace

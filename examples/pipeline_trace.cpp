@@ -36,6 +36,11 @@ int main(int argc, char** argv) {
   const auto result =
       kernel::run_kernel_cycle_sim(state, coefficients, out, config);
 
+  if (result.report.lint.has_value()) {
+    std::cout << "static verification (pw::lint) before cycle 0:\n"
+              << result.report.lint->summary() << "\n";
+  }
+
   std::cout << "cycle-level trace of the dataflow pipeline on a " << dims.nx
             << "x" << dims.ny << "x" << dims.nz << " grid ("
             << (uram ? "URAM shift buffer, II=2"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# The CI entry point: build, static analysis, tests, sanitizer job.
+#
+# Stages (fail-fast, in order):
+#   1. configure + build       (build/)
+#   2. lint                    scripts/lint.sh — pwlint over every
+#                              registered pipeline + clang-tidy when
+#                              installed; LINT_pipelines.json validated by
+#                              scripts/check_bench_json.py
+#   3. tests                   ctest over build/
+#   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest.
+#                              Skipped with PW_CI_SKIP_SANITIZERS=1 for
+#                              quick local iterations.
+#
+# TSan is not part of the default gate (it roughly 10x-es suite runtime);
+# run it on demand:  cmake -B build-tsan -DPW_SANITIZE=thread && ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==== ci: configure + build ===="
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build build -j "$JOBS"
+
+echo "==== ci: lint ===="
+scripts/lint.sh build
+
+echo "==== ci: tests ===="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${PW_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
+  echo "==== ci: sanitizers skipped (PW_CI_SKIP_SANITIZERS=1) ===="
+  exit 0
+fi
+
+echo "==== ci: ASan+UBSan build + tests ===="
+cmake -B build-asan -S . -DPW_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==== ci: all stages passed ===="

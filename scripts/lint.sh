@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Static analysis over the whole tree.
+#
+# Two layers, cheapest first:
+#   1. pwlint  — the pw::lint dataflow-graph verifier over every registered
+#                pipeline (connectivity, deadlock-freedom, throughput,
+#                shift-buffer geometry). Always available: it is built from
+#                this repo.
+#   2. clang-tidy — the .clang-tidy profile over the compile database.
+#                Skipped with a notice when clang-tidy is not installed
+#                (the reference container ships GCC only); install
+#                clang-tidy to enable it locally or in CI.
+#
+# Usage: scripts/lint.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "lint.sh: build directory '$BUILD_DIR' missing; configuring" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+# --- layer 1: pwlint over every registered pipeline -----------------------
+cmake --build "$BUILD_DIR" --target pwlint
+"$BUILD_DIR/tools/pwlint" --json=LINT_pipelines.json
+python3 scripts/check_bench_json.py LINT_pipelines.json
+echo "lint.sh: pwlint passed; snapshot in LINT_pipelines.json"
+
+# --- layer 2: clang-tidy (gated on availability) --------------------------
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not installed; skipping the .clang-tidy layer" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# run-clang-tidy parallelises nicely when present; fall back to a direct
+# file loop otherwise.
+mapfile -t sources < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$BUILD_DIR" -quiet "${sources[@]}"
+else
+  clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"
+fi
+echo "lint.sh: clang-tidy passed over ${#sources[@]} sources"

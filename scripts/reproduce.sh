@@ -13,6 +13,11 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 
+# Static verification first: every registered pipeline must pass the
+# pw::lint dataflow checks before anything simulates or benches.
+build/tools/pwlint --json=LINT_pipelines.json
+python3 scripts/check_bench_json.py LINT_pipelines.json
+
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
 : > bench_output.txt

@@ -8,6 +8,7 @@
 #include "pw/advect/reference.hpp"
 #include "pw/grid/init.hpp"
 #include "pw/kernel/config.hpp"
+#include "pw/lint/diagnostic.hpp"
 #include "pw/obs/metrics.hpp"
 #include "pw/ocl/runtime.hpp"
 
@@ -105,6 +106,15 @@ class AdvectionSolver {
   /// returns a SolveResult with a typed error instead.
   SolveResult solve(const grid::WindState& state,
                     const advect::PwCoefficients& coefficients) const;
+
+  /// Static verification of the configured backend's dataflow graph for
+  /// `dims`, before (and without) running anything: the option-level
+  /// validate() checks plus the full pw::lint battery over the pipeline
+  /// the backend would construct (connectivity, deadlock capacity,
+  /// throughput vs. the II=1 peak, shift-buffer geometry). A report with
+  /// passed() == false means solve() would either reject the options or
+  /// run a malformed pipeline.
+  lint::LintReport validate(const grid::GridDims& dims) const;
 
  private:
   SolverOptions options_;

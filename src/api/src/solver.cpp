@@ -6,7 +6,9 @@
 #include "pw/advect/flops.hpp"
 #include "pw/kernel/fused.hpp"
 #include "pw/kernel/multi_kernel.hpp"
+#include "pw/kernel/pipeline_graph.hpp"
 #include "pw/kernel/vectorized.hpp"
+#include "pw/lint/checks.hpp"
 #include "pw/obs/span.hpp"
 #include "pw/ocl/host_driver.hpp"
 #include "pw/util/thread_pool.hpp"
@@ -87,6 +89,58 @@ SolveError validate(const SolverOptions& options,
   return validate(options);
 }
 
+lint::LintReport AdvectionSolver::validate(const grid::GridDims& dims) const {
+  lint::LintReport report;
+
+  // Option-level validation first: a typed SolveError becomes a lint
+  // diagnostic so one report carries both layers.
+  const SolveError error = api::validate(options_, dims);
+  if (error != SolveError::kNone) {
+    lint::Diagnostic d;
+    d.severity = lint::Severity::kError;
+    d.check = "options.invalid";
+    d.message = describe(error);
+    d.fix_hint = "fix SolverOptions before constructing the pipeline";
+    report.diagnostics.push_back(std::move(d));
+    return report;
+  }
+
+  // Backends that construct a stream pipeline get the full graph battery;
+  // the serial/threaded-loop backends have no streams to verify.
+  kernel::PipelineGraphSpec spec;
+  spec.dims = dims;
+  spec.chunk_y = options_.kernel.chunk_y;
+  spec.fifo_depth = options_.kernel.stream_depth;
+  switch (options_.backend) {
+    case Backend::kFused:
+    case Backend::kHostOverlap:
+      break;
+    case Backend::kMultiKernel:
+      spec.kernels = options_.kernels;
+      break;
+    case Backend::kVectorized:
+      break;
+    case Backend::kReference:
+    case Backend::kCpuBaseline: {
+      lint::Diagnostic d;
+      d.severity = lint::Severity::kInfo;
+      d.check = "options.no_dataflow";
+      d.message = std::string(to_string(options_.backend)) +
+                  " backend has no stream pipeline; only option checks "
+                  "apply";
+      report.diagnostics.push_back(std::move(d));
+      return report;
+    }
+  }
+  const lint::PipelineGraph graph = kernel::describe_kernel_pipeline(spec);
+  lint::LintReport graph_report = lint::run_checks(graph);
+  for (lint::Diagnostic& d : graph_report.diagnostics) {
+    report.diagnostics.push_back(std::move(d));
+  }
+  report.predicted_peak_fraction = graph_report.predicted_peak_fraction;
+  return report;
+}
+
 SolveResult AdvectionSolver::solve(
     const grid::WindState& state,
     const advect::PwCoefficients& coefficients) const {
@@ -94,7 +148,7 @@ SolveResult AdvectionSolver::solve(
 
   SolveResult result;
   result.backend = options_.backend;
-  result.error = validate(options_, dims);
+  result.error = api::validate(options_, dims);
   if (result.error == SolveError::kNone && state.u.halo() != 1) {
     result.error = SolveError::kHaloMismatch;
   }

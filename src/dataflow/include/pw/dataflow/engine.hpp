@@ -2,10 +2,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "pw/dataflow/stage.hpp"
+#include "pw/lint/checks.hpp"
+#include "pw/lint/graph.hpp"
 
 namespace pw::obs {
 class MetricsRegistry;
@@ -13,14 +16,33 @@ class MetricsRegistry;
 
 namespace pw::dataflow {
 
+/// What to do with the static verifier's verdict before running a
+/// pipeline whose graph was declared (set_graph):
+///  - kEnforce: lint errors reject the run before the first cycle
+///    (fail-fast; SimReport.lint_rejected is set, nothing is simulated).
+///  - kWarn: diagnostics are attached to the report but the run proceeds
+///    — the override for deliberately malformed experiments.
+///  - kOff: skip the checks entirely.
+enum class LintPolicy {
+  kOff,
+  kWarn,
+  kEnforce,
+};
+
 /// Result of a cycle-level simulation run.
 struct SimReport {
   std::uint64_t cycles = 0;
   bool completed = false;  ///< false when the budget ran out or it deadlocked
   bool deadlocked = false; ///< no stage fired for the detection window
-  std::string deadlock_diagnosis;  ///< which stages were stalled/idle
+  std::string deadlock_diagnosis;  ///< stalled stages + blocking streams
   std::vector<std::string> stage_names;
   std::vector<StageStats> stage_stats;
+
+  /// Static verifier verdict (engaged when a graph was declared and the
+  /// policy was not kOff). `lint_rejected` means the run was refused
+  /// before the first cycle because the graph has errors.
+  std::optional<lint::LintReport> lint;
+  bool lint_rejected = false;
 
   /// Waveform capture (when tracing was enabled): one string per stage,
   /// one character per traced cycle — 'F' fired, 's' stalled, '.' idle,
@@ -69,6 +91,20 @@ public:
   void set_metrics(obs::MetricsRegistry* registry,
                    std::string prefix = "dataflow");
 
+  /// Declares the stream-connectivity graph of the registered stages.
+  /// run() then invokes the pw::lint battery before the first cycle
+  /// (policy kEnforce by default: a malformed graph is rejected, not
+  /// simulated) and deadlock diagnosis names the blocking streams via the
+  /// graph's probes.
+  void set_graph(lint::PipelineGraph graph);
+  void set_lint_policy(LintPolicy policy) { lint_policy_ = policy; }
+  void set_lint_options(lint::LintOptions options) {
+    lint_options_ = std::move(options);
+  }
+  const lint::PipelineGraph* graph() const noexcept {
+    return graph_.has_value() ? &*graph_ : nullptr;
+  }
+
   /// Runs until all stages are done. `max_cycles` guards against deadlock
   /// (a stalled design is reported, not hung).
   SimReport run(std::uint64_t max_cycles = UINT64_MAX);
@@ -80,6 +116,9 @@ private:
   std::uint64_t deadlock_window_ = 4096;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::string metrics_prefix_ = "dataflow";
+  std::optional<lint::PipelineGraph> graph_;
+  LintPolicy lint_policy_ = LintPolicy::kEnforce;
+  lint::LintOptions lint_options_;
 };
 
 }  // namespace pw::dataflow

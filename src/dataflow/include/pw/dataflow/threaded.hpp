@@ -2,10 +2,30 @@
 
 #include <exception>
 #include <functional>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "pw/dataflow/engine.hpp"
+#include "pw/lint/checks.hpp"
+#include "pw/lint/graph.hpp"
+
 namespace pw::dataflow {
+
+/// Thrown by ThreadedPipeline::run when the declared graph fails the
+/// static checks under LintPolicy::kEnforce. Carries the full report so
+/// callers can render or export the diagnostics.
+class LintError : public std::runtime_error {
+public:
+  explicit LintError(lint::LintReport report)
+      : std::runtime_error(report.summary()), report_(std::move(report)) {}
+
+  const lint::LintReport& report() const noexcept { return report_; }
+
+private:
+  lint::LintReport report_;
+};
 
 /// Runs a set of stage bodies truly concurrently, one thread each — the
 /// execution model of an HLS `dataflow` region (every box of the paper's
@@ -19,6 +39,20 @@ public:
   /// Adds a named stage body.
   void add_stage(std::string name, std::function<void()> body);
 
+  /// Declares the stream wiring of the stage bodies. run() then verifies
+  /// the graph statically before spawning any thread — a malformed region
+  /// is rejected as a LintError instead of deadlocking live threads
+  /// (policy kEnforce; kWarn/kOff override).
+  void set_graph(lint::PipelineGraph graph);
+  void set_lint_policy(LintPolicy policy) { lint_policy_ = policy; }
+  const lint::PipelineGraph* graph() const noexcept {
+    return graph_.has_value() ? &*graph_ : nullptr;
+  }
+
+  /// Runs the static checks without launching anything (empty report when
+  /// no graph was declared). The same verdict run() acts on.
+  lint::LintReport verify() const;
+
   /// Launches every stage, waits for completion, rethrows the first failure.
   void run();
 
@@ -30,6 +64,8 @@ private:
     std::function<void()> body;
   };
   std::vector<NamedBody> bodies_;
+  std::optional<lint::PipelineGraph> graph_;
+  LintPolicy lint_policy_ = LintPolicy::kEnforce;
 };
 
 }  // namespace pw::dataflow

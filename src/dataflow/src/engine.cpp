@@ -58,6 +58,10 @@ void CycleEngine::set_metrics(obs::MetricsRegistry* registry,
   metrics_prefix_ = std::move(prefix);
 }
 
+void CycleEngine::set_graph(lint::PipelineGraph graph) {
+  graph_ = std::move(graph);
+}
+
 namespace {
 char trace_mark(TickResult result) {
   switch (result) {
@@ -74,8 +78,54 @@ char trace_mark(TickResult result) {
 }
 }  // namespace
 
+namespace {
+
+/// Samples every probed stream of `graph` and names the ones whose state
+/// explains a stall: full FIFOs wedge their producer, empty ones starve
+/// their consumer. This is the edge-level half of deadlock diagnosis (the
+/// stage-level half lists which stages are blocked).
+std::string describe_blocking_streams(const lint::PipelineGraph& graph) {
+  std::ostringstream os;
+  bool any = false;
+  for (const lint::StreamEdge& edge : graph.streams()) {
+    if (!edge.probe) {
+      continue;
+    }
+    const lint::StreamProbe probe = edge.probe();
+    if (probe.size >= probe.capacity && probe.capacity > 0) {
+      os << (any ? ", " : "") << '\'' << edge.name << "' (depth "
+         << probe.capacity << ") full";
+      any = true;
+    } else if (probe.size == 0 && !probe.eos) {
+      os << (any ? ", " : "") << '\'' << edge.name << "' (depth "
+         << probe.capacity << ") empty";
+      any = true;
+    }
+  }
+  return any ? os.str() : std::string();
+}
+
+}  // namespace
+
 SimReport CycleEngine::run(std::uint64_t max_cycles) {
   SimReport report;
+  if (graph_.has_value() && lint_policy_ != LintPolicy::kOff) {
+    report.lint = lint::run_checks(*graph_, lint_options_);
+    if (!report.lint->passed() && lint_policy_ == LintPolicy::kEnforce) {
+      // Fail fast: a malformed graph is rejected before the first cycle
+      // instead of burning the budget to rediscover it as a deadlock.
+      report.lint_rejected = true;
+      report.deadlock_diagnosis = report.lint->summary();
+      for (const ICycleStage* stage : stages_) {
+        report.stage_names.push_back(stage->name());
+        report.stage_stats.push_back(stage->stats());
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter_add(metrics_prefix_ + ".lint_rejected");
+      }
+      return report;
+    }
+  }
   if (trace_cycles_ > 0) {
     report.trace.assign(stages_.size(), std::string());
   }
@@ -106,6 +156,12 @@ SimReport CycleEngine::run(std::uint64_t max_cycles) {
       for (const ICycleStage* stage : stages_) {
         diagnosis << ' ' << stage->name()
                   << (stage->done() ? "=done" : "=blocked");
+      }
+      if (graph_.has_value()) {
+        const std::string streams = describe_blocking_streams(*graph_);
+        if (!streams.empty()) {
+          diagnosis << "; blocking streams: " << streams;
+        }
       }
       report.deadlock_diagnosis = diagnosis.str();
       break;

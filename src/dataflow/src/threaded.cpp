@@ -10,7 +10,26 @@ void ThreadedPipeline::add_stage(std::string name,
   bodies_.push_back({std::move(name), std::move(body)});
 }
 
+void ThreadedPipeline::set_graph(lint::PipelineGraph graph) {
+  graph_ = std::move(graph);
+}
+
+lint::LintReport ThreadedPipeline::verify() const {
+  if (!graph_.has_value()) {
+    return {};
+  }
+  return lint::run_checks(*graph_);
+}
+
 void ThreadedPipeline::run() {
+  if (graph_.has_value() && lint_policy_ != LintPolicy::kOff) {
+    lint::LintReport report = lint::run_checks(*graph_);
+    if (!report.passed() && lint_policy_ == LintPolicy::kEnforce) {
+      // Reject before spawning: live stage threads blocked on a malformed
+      // stream graph cannot be safely torn down, a LintError can.
+      throw LintError(std::move(report));
+    }
+  }
   std::vector<std::thread> threads;
   threads.reserve(bodies_.size());
   std::exception_ptr first_error;

@@ -32,6 +32,12 @@ struct CycleSimConfig {
   /// Capture a per-stage waveform for the first N cycles (0 = off); see
   /// dataflow::render_trace.
   std::uint64_t trace_cycles = 0;
+
+  /// Static-verification policy: the simulator declares its stream graph
+  /// to the engine, which runs the pw::lint battery before cycle 0.
+  /// kEnforce (default) rejects malformed graphs fail-fast; kWarn attaches
+  /// diagnostics but simulates anyway; kOff skips the checks.
+  dataflow::LintPolicy lint = dataflow::LintPolicy::kEnforce;
 };
 
 /// Result of a cycle simulation: the engine report plus throughput derived

@@ -9,7 +9,9 @@
 #include "pw/kernel/chunking.hpp"
 #include "pw/kernel/multi_kernel.hpp"
 #include "pw/kernel/packets.hpp"
+#include "pw/kernel/pipeline_graph.hpp"
 #include "pw/kernel/shift_buffer.hpp"
+#include "pw/lint/graph.hpp"
 
 namespace pw::kernel {
 
@@ -392,6 +394,44 @@ CycleSimResult run_pipelines(const grid::WindState& state,
     fifos.push_back(std::make_unique<Fifos>(config.fifo_depth));
     add_pipeline(engine, state, c, plan, xr, out, config, *fifos.back(),
                  &retired);
+  }
+
+  // Declare the stream-connectivity graph the stages above were wired to
+  // and attach live probes, so (a) pw::lint verifies the pipeline before
+  // cycle 0 and (b) a deadlock diagnosis names the blocking FIFO.
+  {
+    PipelineGraphSpec spec;
+    spec.dims = dims;
+    spec.chunk_y = config.kernel.chunk_y;
+    spec.fifo_depth = config.fifo_depth;
+    spec.shift_ii = config.shift_ii;
+    lint::PipelineGraph graph;
+    lint::StageNode advance;
+    advance.name = "cycle_advance";
+    advance.detached = true;
+    graph.add_stage(std::move(advance));
+    const auto probe = [](const auto& stream) {
+      return [&stream] {
+        return lint::StreamProbe{stream.size(), stream.capacity(),
+                                 stream.eos()};
+      };
+    };
+    for (std::size_t p = 0; p < ranges.size(); ++p) {
+      const std::string prefix =
+          ranges.size() == 1 ? std::string() : "k" + std::to_string(p) + "/";
+      const Fig2Streams ids = add_fig2_pipeline(graph, prefix, spec);
+      const Fifos& f = *fifos[p];
+      graph.set_probe(ids.raster, probe(f.raster));
+      graph.set_probe(ids.stencils, probe(f.stencils));
+      graph.set_probe(ids.rep_u, probe(f.rep_u));
+      graph.set_probe(ids.rep_v, probe(f.rep_v));
+      graph.set_probe(ids.rep_w, probe(f.rep_w));
+      graph.set_probe(ids.out_u, probe(f.out_u));
+      graph.set_probe(ids.out_v, probe(f.out_v));
+      graph.set_probe(ids.out_w, probe(f.out_w));
+    }
+    engine.set_graph(std::move(graph));
+    engine.set_lint_policy(config.lint);
   }
 
   CycleSimResult result;

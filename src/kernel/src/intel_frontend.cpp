@@ -8,6 +8,7 @@
 #include "pw/hls/vendor_stream.hpp"
 #include "pw/kernel/chunking.hpp"
 #include "pw/kernel/packets.hpp"
+#include "pw/kernel/pipeline_graph.hpp"
 #include "pw/kernel/shift_buffer.hpp"
 
 namespace pw::kernel {
@@ -213,6 +214,15 @@ KernelRunStats run_intel_impl(const grid::WindState& state,
                         [&] { kernel_advect_w<T>(c, trip, channels); });
   host_launch.add_stage("write_data",
                         [&] { kernel_write_data<T>(trip, out, channels); });
+  {
+    // Same Fig. 2 topology as the Xilinx region, carried over channels;
+    // verified statically before the host launches any kernel thread.
+    PipelineGraphSpec spec;
+    spec.dims = dims;
+    spec.chunk_y = config.chunk_y;
+    spec.fifo_depth = config.stream_depth;
+    host_launch.set_graph(describe_kernel_pipeline(spec));
+  }
   host_launch.run();
 
   KernelRunStats stats;

@@ -5,6 +5,7 @@
 
 #include "pw/dataflow/threaded.hpp"
 #include "pw/kernel/fused.hpp"
+#include "pw/kernel/pipeline_graph.hpp"
 #include "pw/obs/metrics.hpp"
 
 namespace pw::kernel {
@@ -44,6 +45,7 @@ KernelRunStats run_multi_kernel(const grid::WindState& state,
                                       ranges[p]);
         });
   }
+  instances.set_graph(describe_multi_kernel_launch(ranges.size()));
   instances.run();
 
   KernelRunStats total;

@@ -1,0 +1,180 @@
+#include "pw/kernel/pipeline_graph.hpp"
+
+#include <algorithm>
+
+namespace pw::kernel {
+
+namespace {
+
+/// Padded chunk face the shift buffers are sized by (interior + 1 halo per
+/// side); chunk_y == 0 means the whole Y extent is one chunk.
+std::size_t padded_chunk_width(const PipelineGraphSpec& spec) {
+  const std::size_t interior =
+      spec.chunk_y == 0 ? spec.dims.ny
+                        : std::min(spec.chunk_y, spec.dims.ny);
+  return interior + 2;
+}
+
+/// Cycles between the shift buffer's first consumed value and its first
+/// emitted stencil: two full padded planes plus two columns plus two cells
+/// must be resident before the 27-point window closes (Fig. 3).
+std::uint64_t shift_fill_latency(const PipelineGraphSpec& spec) {
+  const std::uint64_t face =
+      static_cast<std::uint64_t>(padded_chunk_width(spec)) *
+      (spec.dims.nz + 2);
+  return 2 * face + 2 * (spec.dims.nz + 2) + 2;
+}
+
+}  // namespace
+
+Fig2Streams add_fig2_pipeline(lint::PipelineGraph& graph,
+                              const std::string& prefix,
+                              const PipelineGraphSpec& spec) {
+  const int read = graph.add_stage(prefix + "read_data");
+
+  lint::StageNode shift;
+  shift.name = prefix + "shift_buffer";
+  shift.ii = spec.shift_ii == 0 ? 1 : spec.shift_ii;
+  shift.latency = shift_fill_latency(spec);
+  shift.shift_buffer = lint::ShiftBufferGeometry{
+      padded_chunk_width(spec), spec.dims.nz + 2, 1};
+  const int shift_id = graph.add_stage(std::move(shift));
+
+  const int replicate = graph.add_stage(prefix + "replicate");
+  const int advect_u = graph.add_stage(prefix + "advect_u");
+  const int advect_v = graph.add_stage(prefix + "advect_v");
+  const int advect_w = graph.add_stage(prefix + "advect_w");
+  const int write = graph.add_stage(prefix + "write_data");
+
+  Fig2Streams s;
+  s.raster = graph.add_stream(prefix + "raster", spec.fifo_depth);
+  s.stencils = graph.add_stream(prefix + "stencils", spec.fifo_depth);
+  s.rep_u = graph.add_stream(prefix + "rep_u", spec.fifo_depth);
+  s.rep_v = graph.add_stream(prefix + "rep_v", spec.fifo_depth);
+  s.rep_w = graph.add_stream(prefix + "rep_w", spec.fifo_depth);
+  s.out_u = graph.add_stream(prefix + "out_u", spec.fifo_depth);
+  s.out_v = graph.add_stream(prefix + "out_v", spec.fifo_depth);
+  s.out_w = graph.add_stream(prefix + "out_w", spec.fifo_depth);
+
+  graph.bind_producer(s.raster, read);
+  graph.bind_consumer(s.raster, shift_id);
+  graph.bind_producer(s.stencils, shift_id);
+  graph.bind_consumer(s.stencils, replicate);
+  graph.bind_producer(s.rep_u, replicate);
+  graph.bind_consumer(s.rep_u, advect_u);
+  graph.bind_producer(s.rep_v, replicate);
+  graph.bind_consumer(s.rep_v, advect_v);
+  graph.bind_producer(s.rep_w, replicate);
+  graph.bind_consumer(s.rep_w, advect_w);
+  graph.bind_producer(s.out_u, advect_u);
+  graph.bind_consumer(s.out_u, write);
+  graph.bind_producer(s.out_v, advect_v);
+  graph.bind_consumer(s.out_v, write);
+  graph.bind_producer(s.out_w, advect_w);
+  graph.bind_consumer(s.out_w, write);
+  return s;
+}
+
+lint::PipelineGraph describe_kernel_pipeline(const PipelineGraphSpec& spec) {
+  lint::PipelineGraph graph;
+  if (spec.with_cycle_advance) {
+    lint::StageNode advance;
+    advance.name = "cycle_advance";
+    advance.detached = true;
+    graph.add_stage(std::move(advance));
+  }
+  const std::size_t kernels = std::max<std::size_t>(1, spec.kernels);
+  for (std::size_t k = 0; k < kernels; ++k) {
+    const std::string prefix =
+        kernels == 1 ? std::string() : "k" + std::to_string(k) + "/";
+    add_fig2_pipeline(graph, prefix, spec);
+  }
+  return graph;
+}
+
+lint::PipelineGraph describe_cycle_pipeline(const grid::GridDims& dims,
+                                            const CycleSimConfig& config,
+                                            std::size_t kernels) {
+  PipelineGraphSpec spec;
+  spec.dims = dims;
+  spec.chunk_y = config.kernel.chunk_y;
+  spec.fifo_depth = config.fifo_depth;
+  spec.shift_ii = config.shift_ii;
+  spec.kernels = kernels;
+  spec.with_cycle_advance = true;
+  return describe_kernel_pipeline(spec);
+}
+
+lint::PipelineGraph describe_multi_kernel_launch(std::size_t kernels) {
+  lint::PipelineGraph graph;
+  for (std::size_t k = 0; k < kernels; ++k) {
+    lint::StageNode node;
+    node.name = "kernel_" + std::to_string(k);
+    // Each body is a complete fused pipeline with no cross-instance
+    // streams; the launch graph only checks the stage level.
+    node.detached = true;
+    graph.add_stage(std::move(node));
+  }
+  return graph;
+}
+
+const std::vector<RegisteredPipeline>& registered_pipelines() {
+  static const std::vector<RegisteredPipeline> registry = [] {
+    // A representative geometry: big enough that chunking is exercised,
+    // small enough that graph construction is instant.
+    grid::GridDims dims{16, 64, 16};
+
+    std::vector<RegisteredPipeline> r;
+    r.push_back({"fused",
+                 "single fused dataflow kernel (threaded Fig. 2 region, "
+                 "stream depth 16)",
+                 [dims] {
+                   PipelineGraphSpec spec;
+                   spec.dims = dims;
+                   spec.chunk_y = 64;
+                   spec.fifo_depth = 16;
+                   return describe_kernel_pipeline(spec);
+                 }});
+    r.push_back({"intel_channels",
+                 "Intel OpenCL port: same topology over kernel-to-kernel "
+                 "channels",
+                 [dims] {
+                   PipelineGraphSpec spec;
+                   spec.dims = dims;
+                   spec.chunk_y = 64;
+                   spec.fifo_depth = 16;
+                   return describe_kernel_pipeline(spec);
+                 }});
+    r.push_back({"cycle_sim",
+                 "cycle-accurate single-kernel simulation (FIFO depth 4)",
+                 [dims] {
+                   CycleSimConfig config;
+                   config.kernel.chunk_y = 8;
+                   return describe_cycle_pipeline(dims, config, 1);
+                 }});
+    r.push_back({"multi_kernel_cycle_sim",
+                 "four cycle-simulated kernel instances sharing one clock "
+                 "domain",
+                 [dims] {
+                   CycleSimConfig config;
+                   config.kernel.chunk_y = 8;
+                   return describe_cycle_pipeline(dims, config, 4);
+                 }});
+    r.push_back({"multi_kernel_launch",
+                 "multi-compute-unit launch: N independent fused kernels",
+                 [] { return describe_multi_kernel_launch(4); }});
+    r.push_back({"uram_ii2",
+                 "the paper SIII.A URAM ablation: shift buffer at II=2 "
+                 "(lints with a throughput warning, no errors)",
+                 [dims] {
+                   CycleSimConfig config;
+                   config.kernel.chunk_y = 8;
+                   config.shift_ii = 2;
+                   return describe_cycle_pipeline(dims, config, 1);
+                 }});
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace pw::kernel

@@ -9,6 +9,7 @@
 #include "pw/hls/vendor_stream.hpp"
 #include "pw/kernel/chunking.hpp"
 #include "pw/kernel/packets.hpp"
+#include "pw/kernel/pipeline_graph.hpp"
 #include "pw/kernel/shift_buffer.hpp"
 
 namespace pw::kernel {
@@ -192,6 +193,15 @@ KernelRunStats run_xilinx_impl(const grid::WindState& state,
   });
   region.add_stage("write_data",
                    [&] { write_data<T>(trips, out, out_u, out_v, out_w); });
+  {
+    // Declare the region's stream wiring so run() statically verifies it
+    // before any stage thread is spawned.
+    PipelineGraphSpec spec;
+    spec.dims = dims;
+    spec.chunk_y = config.chunk_y;
+    spec.fifo_depth = config.stream_depth;
+    region.set_graph(describe_kernel_pipeline(spec));
+  }
   region.run();
 
   KernelRunStats stats;

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pw/lint/diagnostic.hpp"
+#include "pw/lint/graph.hpp"
+
+namespace pw::lint {
+
+/// Tuning knobs of the check battery. Defaults encode the paper's design
+/// goals: every chain targets II=1 and external-memory bursts shorter than
+/// 8 columns measurably hurt bandwidth (Fig. 4 discussion).
+struct LintOptions {
+  /// The initiation interval the design is expected to sustain; stages
+  /// above it are reported by the throughput check (error when
+  /// `enforce_target_ii`, warning otherwise).
+  unsigned target_ii = 1;
+  bool enforce_target_ii = false;
+
+  /// Interior chunk width below which the shift-buffer check warns about
+  /// short external-memory bursts.
+  std::size_t min_chunk_width = 8;
+
+  /// Check ids ("deadlock.reconverge_capacity") or id prefixes
+  /// ("deadlock.") to suppress — the documented escape hatch when a
+  /// pipeline is intentionally odd. Suppressed findings are dropped, and
+  /// one info diagnostic records that suppression happened.
+  std::vector<std::string> suppress;
+};
+
+/// Runs the full static battery over `graph`:
+///
+///   connectivity.*  — unbound producer/consumer, double writer/reader,
+///                     orphan stages
+///   deadlock.*      — cycles in the stage graph; fan-out/reconverge
+///                     capacity (total FIFO slack along each reconverging
+///                     path must cover the path-latency skew — the Fig. 2
+///                     replicate -> advect U/V/W -> write condition)
+///   throughput.*    — max II along every source->sink path, reported as
+///                     a predicted fraction of the II=1 peak
+///   shift_buffer.*  — halo width vs. padded-face geometry, chunk-width
+///                     burst warning
+///
+/// Never runs the pipeline; a report with passed() == false means the
+/// graph should be rejected before the first simulated or real cycle.
+LintReport run_checks(const PipelineGraph& graph,
+                      const LintOptions& options = {});
+
+}  // namespace pw::lint

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pw::lint {
+
+/// How bad a finding is. Errors make a pipeline rejectable (an enforcing
+/// caller refuses to run it); warnings flag throughput or robustness
+/// hazards that still execute correctly; infos carry derived facts (e.g.
+/// the predicted fraction of peak) worth surfacing alongside real findings.
+enum class Severity {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+const char* to_string(Severity severity);
+
+/// One finding of the static verifier. `check` is the dotted rule id
+/// ("connectivity.double_writer"); `stage` / `stream` attribute the finding
+/// to graph entities (empty when not applicable). `fix_hint` says what to
+/// change, not just what is wrong — the difference between a verifier and
+/// an error message.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string check;
+  std::string stage;
+  std::string stream;
+  std::string message;
+  std::string fix_hint;
+};
+
+/// Everything one lint pass produced. `predicted_peak_fraction` is the
+/// throughput check's estimate of achieved/theoretical II=1 throughput
+/// (1.0 for a clean II=1 chain), the static cross-check of
+/// pw::fpga::perf_model's dynamic prediction.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  double predicted_peak_fraction = 1.0;
+
+  std::size_t errors() const noexcept;
+  std::size_t warnings() const noexcept;
+  bool passed() const noexcept { return errors() == 0; }
+
+  /// Human-readable multi-line rendering ("pwlint: 2 errors ...").
+  std::string summary() const;
+};
+
+}  // namespace pw::lint

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "pw/lint/diagnostic.hpp"
+
+namespace pw::obs {
+class MetricsRegistry;
+}
+
+namespace pw::lint {
+
+/// Serialises a report as a JSON object:
+///   {"errors": N, "warnings": N, "predicted_peak_fraction": f,
+///    "diagnostics": [{severity, check, stage, stream, message,
+///                     fix_hint}, ...]}
+/// Uses the same escaping rules as the pw::obs exporter so tooling can
+/// treat LINT_*.json and BENCH_*.json uniformly.
+std::string to_json(const LintReport& report);
+
+/// Publishes a report into a MetricsRegistry (counters
+/// `<prefix>.errors` / `.warnings` / `.diagnostics`, gauges `<prefix>.passed`
+/// and `<prefix>.predicted_peak_fraction`, one `<prefix>/<check>` span per
+/// diagnostic) so lint results flow through the existing pw::obs JSON/CSV
+/// exporters and BENCH-style artefact validation.
+void publish(const LintReport& report, obs::MetricsRegistry& registry,
+             const std::string& prefix = "lint");
+
+}  // namespace pw::lint

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pw::lint {
+
+/// Shift-buffer geometry attached to a stage so the access-pattern checks
+/// can reason about halo width vs. chunk depth (paper Fig. 3/4) without
+/// seeing the buffer implementation.
+struct ShiftBufferGeometry {
+  std::size_t ny_padded = 0;  ///< chunk face width incl. halo
+  std::size_t nz_padded = 0;  ///< chunk face height incl. halo
+  std::size_t halo = 1;       ///< stencil reach per side (1 for 27-point)
+};
+
+/// A stage (node) of the declared dataflow graph. `latency` is the fill
+/// delay in cycles between the stage's first consume and first produce
+/// (a shift buffer holds ~2 planes before the first stencil emerges);
+/// `ii` is the initiation interval (cycles between accepted inputs).
+/// `detached` marks housekeeping stages that legitimately own no streams
+/// (e.g. the cycle-sim clock/rate-limiter stage) so the orphan check
+/// skips them.
+struct StageNode {
+  std::string name;
+  unsigned ii = 1;
+  std::uint64_t latency = 0;
+  bool detached = false;
+  std::optional<ShiftBufferGeometry> shift_buffer;
+};
+
+/// Live state of one stream, sampled through an optional probe when the
+/// graph is attached to a running engine — lets deadlock diagnosis name
+/// the blocking FIFO (full/empty + depth), not just the stalled stages.
+struct StreamProbe {
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+  bool eos = false;
+};
+
+/// A stream (edge) of the graph: a bounded FIFO with a declared depth and
+/// the stages bound to its ends. Well-formed pipelines bind exactly one
+/// producer and one consumer (HLS streams are point-to-point); the vectors
+/// exist so the connectivity check can report double bindings.
+struct StreamEdge {
+  std::string name;
+  std::size_t depth = 0;
+  std::vector<int> producers;
+  std::vector<int> consumers;
+  /// Optional live-state sampler (see StreamProbe); ignored by the static
+  /// checks, used by runtime deadlock diagnosis.
+  std::function<StreamProbe()> probe;
+};
+
+/// The declared stream-connectivity graph of one pipeline: stages as
+/// nodes, streams as edges. Purely descriptive — building one never
+/// touches the pipeline it describes, which is what makes the checks
+/// static. Indices returned by add_* are stable handles.
+class PipelineGraph {
+ public:
+  int add_stage(StageNode stage);
+  int add_stage(std::string name, unsigned ii = 1, std::uint64_t latency = 0);
+  int add_stream(std::string name, std::size_t depth);
+
+  void bind_producer(int stream, int stage);
+  void bind_consumer(int stream, int stage);
+  void set_probe(int stream, std::function<StreamProbe()> probe);
+
+  const std::vector<StageNode>& stages() const noexcept { return stages_; }
+  const std::vector<StreamEdge>& streams() const noexcept { return streams_; }
+
+  /// Index of the named stage / stream, -1 when absent.
+  int stage_index(const std::string& name) const noexcept;
+  int stream_index(const std::string& name) const noexcept;
+
+  /// Streams produced / consumed by stage `s`.
+  std::vector<int> out_streams(int s) const;
+  std::vector<int> in_streams(int s) const;
+
+  /// Downstream stage adjacency (producer -> every consumer of each of its
+  /// output streams), the view the cycle and path checks walk.
+  std::vector<int> successors(int s) const;
+
+  bool empty() const noexcept {
+    return stages_.empty() && streams_.empty();
+  }
+
+ private:
+  void check_stream(int stream) const;
+  void check_stage(int stage) const;
+
+  std::vector<StageNode> stages_;
+  std::vector<StreamEdge> streams_;
+};
+
+}  // namespace pw::lint

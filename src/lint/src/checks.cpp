@@ -1,0 +1,384 @@
+#include "pw/lint/checks.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pw::lint {
+
+namespace {
+
+std::string stage_name(const PipelineGraph& g, int s) {
+  if (s < 0 || s >= static_cast<int>(g.stages().size())) {
+    return "?";
+  }
+  return g.stages()[static_cast<std::size_t>(s)].name;
+}
+
+void add(LintReport& report, Severity severity, std::string check,
+         std::string stage, std::string stream, std::string message,
+         std::string fix_hint) {
+  Diagnostic d;
+  d.severity = severity;
+  d.check = std::move(check);
+  d.stage = std::move(stage);
+  d.stream = std::move(stream);
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  report.diagnostics.push_back(std::move(d));
+}
+
+// --- connectivity ------------------------------------------------------
+
+void check_connectivity(const PipelineGraph& g, LintReport& report) {
+  for (const StreamEdge& e : g.streams()) {
+    if (e.producers.empty()) {
+      add(report, Severity::kError, "connectivity.unbound_producer", "",
+          e.name, "stream has no producer bound: consumers would block on an "
+          "eternally empty FIFO",
+          "bind exactly one producing stage to '" + e.name + "'");
+    }
+    if (e.consumers.empty()) {
+      add(report, Severity::kError, "connectivity.unbound_consumer", "",
+          e.name, "stream has no consumer bound: the producer fills a FIFO "
+          "nothing drains, then stalls the whole chain",
+          "bind exactly one consuming stage to '" + e.name + "'");
+    }
+    if (e.producers.size() > 1) {
+      std::ostringstream msg;
+      msg << "stream has " << e.producers.size() << " writers (";
+      for (std::size_t i = 0; i < e.producers.size(); ++i) {
+        msg << (i ? ", " : "") << stage_name(g, e.producers[i]);
+      }
+      msg << "): HLS streams are point-to-point, interleaving is "
+             "non-deterministic";
+      add(report, Severity::kError, "connectivity.double_writer",
+          stage_name(g, e.producers[1]), e.name, msg.str(),
+          "give each writer its own stream and merge explicitly");
+    }
+    if (e.consumers.size() > 1) {
+      std::ostringstream msg;
+      msg << "stream has " << e.consumers.size() << " readers (";
+      for (std::size_t i = 0; i < e.consumers.size(); ++i) {
+        msg << (i ? ", " : "") << stage_name(g, e.consumers[i]);
+      }
+      msg << "): each value reaches only one of them";
+      add(report, Severity::kError, "connectivity.double_reader",
+          stage_name(g, e.consumers[1]), e.name, msg.str(),
+          "insert an explicit replicate stage (Fig. 2) instead of sharing "
+          "the stream");
+    }
+  }
+
+  for (std::size_t s = 0; s < g.stages().size(); ++s) {
+    const StageNode& node = g.stages()[s];
+    if (node.detached) {
+      continue;
+    }
+    const bool no_in = g.in_streams(static_cast<int>(s)).empty();
+    const bool no_out = g.out_streams(static_cast<int>(s)).empty();
+    if (no_in && no_out && !g.streams().empty()) {
+      add(report, Severity::kError, "connectivity.orphan_stage", node.name,
+          "", "stage is bound to no stream at all: it can neither receive "
+          "nor contribute work",
+          "wire the stage into the pipeline or mark it detached "
+          "(housekeeping stages only)");
+    }
+  }
+}
+
+// --- deadlock: cycles --------------------------------------------------
+
+bool find_cycle(const PipelineGraph& g, int s, std::vector<int>& colour,
+                std::vector<int>& path) {
+  colour[static_cast<std::size_t>(s)] = 1;
+  path.push_back(s);
+  for (int next : g.successors(s)) {
+    if (colour[static_cast<std::size_t>(next)] == 1) {
+      path.push_back(next);
+      return true;
+    }
+    if (colour[static_cast<std::size_t>(next)] == 0 &&
+        find_cycle(g, next, colour, path)) {
+      return true;
+    }
+  }
+  colour[static_cast<std::size_t>(s)] = 2;
+  path.pop_back();
+  return false;
+}
+
+/// Returns true when the stage graph is acyclic (required by the capacity
+/// and throughput checks, which walk it as a DAG).
+bool check_cycles(const PipelineGraph& g, LintReport& report) {
+  std::vector<int> colour(g.stages().size(), 0);
+  for (std::size_t s = 0; s < g.stages().size(); ++s) {
+    if (colour[s] != 0) {
+      continue;
+    }
+    std::vector<int> path;
+    if (find_cycle(g, static_cast<int>(s), colour, path)) {
+      std::ostringstream msg;
+      msg << "stage graph contains a cycle: ";
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        msg << (i ? " -> " : "") << stage_name(g, path[i]);
+      }
+      msg << "; a blocking-FIFO loop with no initial tokens deadlocks on "
+             "the first beat";
+      add(report, Severity::kError, "deadlock.cycle",
+          stage_name(g, path.back()), "", msg.str(),
+          "break the feedback edge or prime it with enough initial tokens "
+          "outside the dataflow region");
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- deadlock: fan-out / reconverge capacity ---------------------------
+
+struct PathInfo {
+  std::vector<int> stages;   ///< fork .. join inclusive
+  std::vector<int> streams;  ///< edges walked
+  std::uint64_t latency = 0; ///< fill delay of interior stages
+  std::size_t capacity = 0;  ///< total FIFO slots along the path
+};
+
+void enumerate_paths(const PipelineGraph& g, int at, int join,
+                     PathInfo& current, std::vector<PathInfo>& out) {
+  if (at == join) {
+    out.push_back(current);
+    return;
+  }
+  for (int e : g.out_streams(at)) {
+    const StreamEdge& edge = g.streams()[static_cast<std::size_t>(e)];
+    for (int next : edge.consumers) {
+      bool revisit = false;
+      for (int s : current.stages) {
+        revisit = revisit || s == next;
+      }
+      if (revisit) {
+        continue;
+      }
+      const StageNode& node = g.stages()[static_cast<std::size_t>(next)];
+      PathInfo extended = current;
+      extended.stages.push_back(next);
+      extended.streams.push_back(e);
+      extended.capacity += edge.depth;
+      if (next != join) {
+        extended.latency += node.latency + (node.ii - 1);
+      }
+      enumerate_paths(g, next, join, extended, out);
+    }
+  }
+}
+
+void check_reconverge(const PipelineGraph& g, LintReport& report) {
+  for (std::size_t fork = 0; fork < g.stages().size(); ++fork) {
+    if (g.out_streams(static_cast<int>(fork)).size() < 2) {
+      continue;
+    }
+    for (std::size_t join = 0; join < g.stages().size(); ++join) {
+      if (join == fork || g.in_streams(static_cast<int>(join)).size() < 2) {
+        continue;
+      }
+      PathInfo seed;
+      seed.stages.push_back(static_cast<int>(fork));
+      std::vector<PathInfo> paths;
+      enumerate_paths(g, static_cast<int>(fork), static_cast<int>(join),
+                      seed, paths);
+      if (paths.size() < 2) {
+        continue;
+      }
+      std::uint64_t max_latency = 0;
+      for (const PathInfo& p : paths) {
+        max_latency = std::max(max_latency, p.latency);
+      }
+      for (const PathInfo& p : paths) {
+        const std::uint64_t skew = max_latency - p.latency;
+        if (skew == 0) {
+          continue;
+        }
+        std::ostringstream route;
+        for (std::size_t i = 0; i < p.stages.size(); ++i) {
+          route << (i ? " -> " : "") << stage_name(g, p.stages[i]);
+        }
+        const std::string first_stream =
+            p.streams.empty()
+                ? std::string()
+                : g.streams()[static_cast<std::size_t>(p.streams.front())]
+                      .name;
+        if (p.capacity < skew) {
+          std::ostringstream msg;
+          msg << "reconverging path " << route.str() << " has total FIFO "
+              << "capacity " << p.capacity << " but its sibling path is "
+              << skew << " cycles slower: the join at '"
+              << stage_name(g, p.stages.back()) << "' starves while the "
+              << "fork at '" << stage_name(g, p.stages.front())
+              << "' is wedged on a full FIFO — deadlock";
+          std::ostringstream fix;
+          fix << "grow the FIFOs along this path to at least " << skew + 1
+              << " total slots (skew " << skew << " + 1 in flight)";
+          add(report, Severity::kError, "deadlock.reconverge_capacity",
+              stage_name(g, static_cast<int>(fork)), first_stream, msg.str(),
+              fix.str());
+        } else if (p.capacity == skew) {
+          std::ostringstream msg;
+          msg << "reconverging path " << route.str() << " has exactly the "
+              << "FIFO capacity (" << p.capacity << ") its sibling's skew "
+              << "requires: it runs, but with zero slack every beat "
+              << "back-pressures the fork";
+          std::ostringstream fix;
+          fix << "add one slot of headroom (capacity >= " << skew + 1
+              << ") to sustain II=1 through the join";
+          add(report, Severity::kWarning, "deadlock.reconverge_capacity",
+              stage_name(g, static_cast<int>(fork)), first_stream, msg.str(),
+              fix.str());
+        }
+      }
+    }
+  }
+}
+
+// --- throughput --------------------------------------------------------
+
+unsigned downstream_bottleneck(const PipelineGraph& g, int s,
+                               std::vector<unsigned>& memo) {
+  unsigned& cached = memo[static_cast<std::size_t>(s)];
+  if (cached != 0) {
+    return cached;
+  }
+  unsigned worst = g.stages()[static_cast<std::size_t>(s)].ii;
+  for (int next : g.successors(s)) {
+    worst = std::max(worst, downstream_bottleneck(g, next, memo));
+  }
+  cached = worst;
+  return worst;
+}
+
+void check_throughput(const PipelineGraph& g, const LintOptions& options,
+                      LintReport& report) {
+  unsigned worst = 1;
+  std::vector<unsigned> memo(g.stages().size(), 0);
+  for (std::size_t s = 0; s < g.stages().size(); ++s) {
+    if (g.stages()[s].detached) {
+      continue;
+    }
+    if (g.in_streams(static_cast<int>(s)).empty() &&
+        !g.out_streams(static_cast<int>(s)).empty()) {
+      worst = std::max(worst,
+                       downstream_bottleneck(g, static_cast<int>(s), memo));
+    }
+  }
+  report.predicted_peak_fraction = 1.0 / static_cast<double>(worst);
+
+  for (const StageNode& node : g.stages()) {
+    if (node.detached || node.ii <= options.target_ii) {
+      continue;
+    }
+    std::ostringstream msg;
+    msg << "stage initiation interval is " << node.ii
+        << " in a chain targeting II=" << options.target_ii
+        << ": every source->sink path through it runs at "
+        << 100.0 / node.ii << "% of the II=1 beat rate (the URAM effect of "
+        << "paper SIII.A; cross-checks pw::fpga::perf_model's shift_ii "
+        << "input)";
+    add(report,
+        options.enforce_target_ii ? Severity::kError : Severity::kWarning,
+        "throughput.ii_mismatch", node.name, "", msg.str(),
+        "restructure the stage (e.g. BRAM instead of URAM, split the "
+        "read-modify-write) to reach II=" +
+            std::to_string(options.target_ii));
+  }
+
+  std::ostringstream msg;
+  msg << "predicted steady-state throughput is "
+      << 100.0 * report.predicted_peak_fraction
+      << "% of the II=1 peak (worst path II=" << worst << ")";
+  add(report, Severity::kInfo, "throughput.predicted_peak", "", "",
+      msg.str(), "");
+}
+
+// --- shift-buffer geometry ---------------------------------------------
+
+void check_shift_buffers(const PipelineGraph& g, const LintOptions& options,
+                         LintReport& report) {
+  for (const StageNode& node : g.stages()) {
+    if (!node.shift_buffer.has_value()) {
+      continue;
+    }
+    const ShiftBufferGeometry& geo = *node.shift_buffer;
+    const std::size_t window = 2 * geo.halo + 1;
+    if (geo.ny_padded < window || geo.nz_padded < window) {
+      std::ostringstream msg;
+      msg << "padded face " << geo.ny_padded << "x" << geo.nz_padded
+          << " cannot hold a halo-" << geo.halo << " stencil window (needs "
+          << window << "x" << window
+          << "): the buffer would emit before the window is resident";
+      std::ostringstream fix;
+      fix << "grow chunk_y / nz so the padded face is at least " << window
+          << " in both dimensions";
+      add(report, Severity::kError, "shift_buffer.halo_exceeds_face",
+          node.name, "", msg.str(), fix.str());
+      continue;
+    }
+    const std::size_t interior =
+        geo.ny_padded >= 2 * geo.halo ? geo.ny_padded - 2 * geo.halo : 0;
+    if (interior < options.min_chunk_width) {
+      std::ostringstream msg;
+      msg << "interior chunk width " << interior << " is below "
+          << options.min_chunk_width
+          << ": external-memory bursts this short measurably cut bandwidth "
+          << "(paper Fig. 4 observation)";
+      add(report, Severity::kWarning, "shift_buffer.short_burst", node.name,
+          "", msg.str(),
+          "raise chunk_y (>= " + std::to_string(options.min_chunk_width) +
+              " interior columns) unless on-chip memory forbids it");
+    }
+  }
+}
+
+bool suppressed(const Diagnostic& d, const LintOptions& options) {
+  for (const std::string& rule : options.suppress) {
+    if (d.check.compare(0, rule.size(), rule) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LintReport run_checks(const PipelineGraph& graph, const LintOptions& options) {
+  LintReport report;
+  check_connectivity(graph, report);
+  const bool acyclic = check_cycles(graph, report);
+  if (acyclic) {
+    check_reconverge(graph, report);
+    check_throughput(graph, options, report);
+  }
+  check_shift_buffers(graph, options, report);
+
+  if (!options.suppress.empty()) {
+    std::vector<Diagnostic> kept;
+    std::size_t dropped = 0;
+    for (Diagnostic& d : report.diagnostics) {
+      if (suppressed(d, options)) {
+        ++dropped;
+      } else {
+        kept.push_back(std::move(d));
+      }
+    }
+    report.diagnostics = std::move(kept);
+    if (dropped > 0) {
+      add(report, Severity::kInfo, "lint.suppressed", "", "",
+          std::to_string(dropped) + " diagnostic(s) suppressed by options",
+          "");
+    }
+  }
+  return report;
+}
+
+}  // namespace pw::lint

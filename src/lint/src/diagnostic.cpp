@@ -1,0 +1,56 @@
+#include "pw/lint/diagnostic.hpp"
+
+#include <sstream>
+
+namespace pw::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::size_t LintReport::errors() const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == Severity::kError ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t LintReport::warnings() const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == Severity::kWarning ? 1 : 0;
+  }
+  return n;
+}
+
+std::string LintReport::summary() const {
+  std::ostringstream os;
+  os << "pwlint: " << errors() << " error(s), " << warnings()
+     << " warning(s)\n";
+  for (const Diagnostic& d : diagnostics) {
+    os << "  [" << to_string(d.severity) << "] " << d.check;
+    if (!d.stage.empty()) {
+      os << " stage='" << d.stage << '\'';
+    }
+    if (!d.stream.empty()) {
+      os << " stream='" << d.stream << '\'';
+    }
+    os << ": " << d.message;
+    if (!d.fix_hint.empty()) {
+      os << " (fix: " << d.fix_hint << ')';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pw::lint

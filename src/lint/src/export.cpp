@@ -1,0 +1,74 @@
+#include "pw/lint/export.hpp"
+
+#include <sstream>
+
+#include "pw/obs/export.hpp"
+#include "pw/obs/metrics.hpp"
+
+namespace pw::lint {
+
+std::string to_json(const LintReport& report) {
+  std::string out = "{\n";
+  out += "  \"errors\": " + std::to_string(report.errors()) + ",\n";
+  out += "  \"warnings\": " + std::to_string(report.warnings()) + ",\n";
+  {
+    std::ostringstream os;
+    os.precision(17);
+    os << report.predicted_peak_fraction;
+    out += "  \"predicted_peak_fraction\": " + os.str() + ",\n";
+  }
+  out += "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"severity\": ";
+    obs::append_json_string(out, to_string(d.severity));
+    out += ", \"check\": ";
+    obs::append_json_string(out, d.check);
+    out += ", \"stage\": ";
+    obs::append_json_string(out, d.stage);
+    out += ", \"stream\": ";
+    obs::append_json_string(out, d.stream);
+    out += ", \"message\": ";
+    obs::append_json_string(out, d.message);
+    out += ", \"fix_hint\": ";
+    obs::append_json_string(out, d.fix_hint);
+    out += '}';
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void publish(const LintReport& report, obs::MetricsRegistry& registry,
+             const std::string& prefix) {
+  registry.counter_add(prefix + ".diagnostics", report.diagnostics.size());
+  registry.counter_add(prefix + ".errors", report.errors());
+  registry.counter_add(prefix + ".warnings", report.warnings());
+  registry.gauge_set(prefix + ".passed", report.passed() ? 1.0 : 0.0);
+  registry.gauge_set(prefix + ".predicted_peak_fraction",
+                     report.predicted_peak_fraction);
+  // One zero-length span per diagnostic: the path carries check + entity so
+  // the obs JSON/CSV exporters surface individual findings, not just
+  // counts.
+  for (const Diagnostic& d : report.diagnostics) {
+    std::string path = prefix;
+    path += '/';
+    path += to_string(d.severity);
+    path += '/';
+    path += d.check;
+    if (!d.stage.empty()) {
+      path += '/';
+      path += d.stage;
+    }
+    if (!d.stream.empty()) {
+      path += '/';
+      path += d.stream;
+    }
+    registry.record_span(std::move(path), registry.now_s(), 0.0, 0,
+                         /*modelled=*/true);
+  }
+}
+
+}  // namespace pw::lint

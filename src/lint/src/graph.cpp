@@ -1,0 +1,120 @@
+#include "pw/lint/graph.hpp"
+
+#include <stdexcept>
+
+namespace pw::lint {
+
+int PipelineGraph::add_stage(StageNode stage) {
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
+int PipelineGraph::add_stage(std::string name, unsigned ii,
+                             std::uint64_t latency) {
+  StageNode node;
+  node.name = std::move(name);
+  node.ii = ii == 0 ? 1 : ii;
+  node.latency = latency;
+  return add_stage(std::move(node));
+}
+
+int PipelineGraph::add_stream(std::string name, std::size_t depth) {
+  StreamEdge edge;
+  edge.name = std::move(name);
+  edge.depth = depth;
+  streams_.push_back(std::move(edge));
+  return static_cast<int>(streams_.size()) - 1;
+}
+
+void PipelineGraph::check_stream(int stream) const {
+  if (stream < 0 || stream >= static_cast<int>(streams_.size())) {
+    throw std::out_of_range("PipelineGraph: bad stream index");
+  }
+}
+
+void PipelineGraph::check_stage(int stage) const {
+  if (stage < 0 || stage >= static_cast<int>(stages_.size())) {
+    throw std::out_of_range("PipelineGraph: bad stage index");
+  }
+}
+
+void PipelineGraph::bind_producer(int stream, int stage) {
+  check_stream(stream);
+  check_stage(stage);
+  streams_[static_cast<std::size_t>(stream)].producers.push_back(stage);
+}
+
+void PipelineGraph::bind_consumer(int stream, int stage) {
+  check_stream(stream);
+  check_stage(stage);
+  streams_[static_cast<std::size_t>(stream)].consumers.push_back(stage);
+}
+
+void PipelineGraph::set_probe(int stream, std::function<StreamProbe()> probe) {
+  check_stream(stream);
+  streams_[static_cast<std::size_t>(stream)].probe = std::move(probe);
+}
+
+int PipelineGraph::stage_index(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int PipelineGraph::stream_index(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> PipelineGraph::out_streams(int s) const {
+  check_stage(s);
+  std::vector<int> result;
+  for (std::size_t e = 0; e < streams_.size(); ++e) {
+    for (int producer : streams_[e].producers) {
+      if (producer == s) {
+        result.push_back(static_cast<int>(e));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> PipelineGraph::in_streams(int s) const {
+  check_stage(s);
+  std::vector<int> result;
+  for (std::size_t e = 0; e < streams_.size(); ++e) {
+    for (int consumer : streams_[e].consumers) {
+      if (consumer == s) {
+        result.push_back(static_cast<int>(e));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> PipelineGraph::successors(int s) const {
+  std::vector<int> result;
+  for (int e : out_streams(s)) {
+    for (int consumer : streams_[static_cast<std::size_t>(e)].consumers) {
+      bool seen = false;
+      for (int r : result) {
+        seen = seen || r == consumer;
+      }
+      if (!seen) {
+        result.push_back(consumer);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pw::lint

@@ -26,6 +26,11 @@ std::optional<RegistrySnapshot> from_json(const std::string& text);
 /// expanded into one row per statistic and spans into per-span rows.
 void write_csv(const RegistrySnapshot& snapshot, std::ostream& os);
 
+/// Appends `text` to `out` as a quoted JSON string literal using the
+/// exporter's escaping rules. Shared with other artefact writers
+/// (pw::lint) so every *.json the toolchain emits escapes identically.
+void append_json_string(std::string& out, const std::string& text);
+
 /// Human-readable summary tables (rendered via pw::util::Table).
 util::Table to_table(const RegistrySnapshot& snapshot,
                      std::string caption = "metrics");

@@ -11,9 +11,7 @@
 
 namespace pw::obs {
 
-namespace {
-
-void append_escaped(std::string& out, const std::string& text) {
+void append_json_string(std::string& out, const std::string& text) {
   out += '"';
   for (char c : text) {
     switch (c) {
@@ -42,6 +40,8 @@ void append_escaped(std::string& out, const std::string& text) {
   }
   out += '"';
 }
+
+namespace {
 
 void append_number(std::string& out, double value) {
   if (!std::isfinite(value)) {
@@ -76,7 +76,7 @@ std::string to_json(const RegistrySnapshot& snapshot) {
   for (const auto& [name, value] : snapshot.counters) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    append_escaped(out, name);
+    append_json_string(out, name);
     out += ": " + std::to_string(value);
   }
   out += first ? "},\n" : "\n  },\n";
@@ -86,7 +86,7 @@ std::string to_json(const RegistrySnapshot& snapshot) {
   for (const auto& [name, value] : snapshot.gauges) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    append_escaped(out, name);
+    append_json_string(out, name);
     out += ": ";
     append_number(out, value);
   }
@@ -97,7 +97,7 @@ std::string to_json(const RegistrySnapshot& snapshot) {
   for (const auto& [name, summary] : snapshot.histograms) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    append_escaped(out, name);
+    append_json_string(out, name);
     out += ": ";
     append_histogram(out, summary);
   }
@@ -109,7 +109,7 @@ std::string to_json(const RegistrySnapshot& snapshot) {
     out += first ? "\n    " : ",\n    ";
     first = false;
     out += "{\"path\": ";
-    append_escaped(out, span.path);
+    append_json_string(out, span.path);
     out += ", \"start_s\": ";
     append_number(out, span.start_s);
     out += ", \"duration_s\": ";

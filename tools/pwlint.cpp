@@ -1,0 +1,140 @@
+// pwlint — static dataflow-graph verifier CLI.
+//
+// Runs the pw::lint check battery over the repo's registered pipeline
+// configurations (or a custom geometry) without executing a single cycle:
+//
+//   pwlint                         # lint every registered pipeline
+//   pwlint --pipeline=cycle_sim    # one pipeline by name
+//   pwlint --list                  # enumerate registered pipelines
+//   pwlint --nx=64 --ny=64 --nz=64 --chunk-y=16 --fifo-depth=4
+//          --shift-ii=2 --kernels=4    # custom Fig. 2 configuration
+//   pwlint --json=LINT_pipelines.json  # obs-registry artefact for CI
+//   pwlint --details                   # full per-diagnostic JSON to stdout
+//
+// Exit status: 0 when every linted graph passes (no errors; warnings are
+// reported but do not fail), 1 otherwise — the contract the CI lint stage
+// relies on.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pw/kernel/pipeline_graph.hpp"
+#include "pw/lint/checks.hpp"
+#include "pw/lint/export.hpp"
+#include "pw/obs/export.hpp"
+#include "pw/obs/metrics.hpp"
+#include "pw/util/cli.hpp"
+
+namespace {
+
+struct NamedReport {
+  std::string name;
+  pw::lint::LintReport report;
+};
+
+int run(int argc, char** argv) {
+  pw::util::Cli cli(argc, argv);
+
+  if (cli.has("help")) {
+    std::cout << "usage: pwlint [--list] [--pipeline=NAME] [--json=FILE]\n"
+              << "              [--details] [--suppress=check.id[,...]]\n"
+              << "              [--nx=N --ny=N --nz=N --chunk-y=N\n"
+              << "               --fifo-depth=N --shift-ii=N --kernels=N]\n";
+    return 0;
+  }
+
+  if (cli.has("list")) {
+    for (const auto& entry : pw::kernel::registered_pipelines()) {
+      std::cout << entry.name << " — " << entry.description << '\n';
+    }
+    return 0;
+  }
+
+  pw::lint::LintOptions options;
+  if (auto suppress = cli.get("suppress")) {
+    std::string rule;
+    for (char c : *suppress + ",") {
+      if (c == ',') {
+        if (!rule.empty()) {
+          options.suppress.push_back(rule);
+        }
+        rule.clear();
+      } else {
+        rule += c;
+      }
+    }
+  }
+
+  std::vector<NamedReport> results;
+  if (cli.has("nx") || cli.has("ny") || cli.has("nz")) {
+    // Custom geometry: lint the Fig. 2 configuration the flags describe.
+    pw::kernel::PipelineGraphSpec spec;
+    spec.dims.nx = static_cast<std::size_t>(cli.get_int("nx", 16));
+    spec.dims.ny = static_cast<std::size_t>(cli.get_int("ny", 64));
+    spec.dims.nz = static_cast<std::size_t>(cli.get_int("nz", 16));
+    spec.chunk_y = static_cast<std::size_t>(cli.get_int("chunk-y", 64));
+    spec.fifo_depth = static_cast<std::size_t>(cli.get_int("fifo-depth", 4));
+    spec.shift_ii = static_cast<unsigned>(cli.get_int("shift-ii", 1));
+    spec.kernels = static_cast<std::size_t>(cli.get_int("kernels", 1));
+    results.push_back(
+        {"custom", pw::lint::run_checks(
+                       pw::kernel::describe_kernel_pipeline(spec), options)});
+  } else {
+    const std::string wanted = cli.get_string("pipeline", "");
+    bool found = wanted.empty();
+    for (const auto& entry : pw::kernel::registered_pipelines()) {
+      if (!wanted.empty() && entry.name != wanted) {
+        continue;
+      }
+      found = true;
+      results.push_back(
+          {entry.name, pw::lint::run_checks(entry.build(), options)});
+    }
+    if (!found) {
+      std::cerr << "pwlint: unknown pipeline '" << wanted
+                << "' (try --list)\n";
+      return 2;
+    }
+  }
+
+  const auto json_path = cli.get("json");
+  const bool details = cli.has("details");
+  const auto unknown = cli.unqueried();
+  if (!unknown.empty()) {
+    std::cerr << "pwlint: unknown option --" << unknown.front() << '\n';
+    return 2;
+  }
+
+  bool all_passed = true;
+  pw::obs::MetricsRegistry registry;
+  for (const NamedReport& r : results) {
+    all_passed = all_passed && r.report.passed();
+    std::cout << "== " << r.name << " ==\n" << r.report.summary();
+    if (details) {
+      std::cout << pw::lint::to_json(r.report);
+    }
+    pw::lint::publish(r.report, registry, "lint." + r.name);
+  }
+  registry.gauge_set("lint.all_passed", all_passed ? 1.0 : 0.0);
+  registry.counter_add("lint.pipelines", results.size());
+
+  if (json_path) {
+    std::ofstream out(*json_path);
+    out << pw::obs::to_json(registry);
+    if (!out) {
+      std::cerr << "pwlint: cannot write " << *json_path << '\n';
+      return 2;
+    }
+    std::cout << "wrote " << *json_path << '\n';
+  }
+
+  std::cout << (all_passed ? "pwlint: all pipelines passed\n"
+                           : "pwlint: FAILED\n");
+  return all_passed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }
