@@ -53,10 +53,11 @@ int main(int argc, char** argv) {
         grid::Geometry::uniform(dims, 100.0, 100.0, 50.0));
 
     api::SolverOptions options;
-    options.backend = api::Backend::kHostOverlap;
+    api::HostOptions host;
+    host.x_chunks = 8;
+    host.overlapped = true;
+    options.backend = host;
     options.kernel.chunk_y = 16;
-    options.host.x_chunks = 8;
-    options.host.overlapped = true;
     options.metrics = &registry;
     const auto result = api::AdvectionSolver(options).solve(state,
                                                             coefficients);

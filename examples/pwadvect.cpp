@@ -14,9 +14,10 @@
 // xilinx/intel/legacy vendor frontends stay available as direct datapaths.
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "pw/advect/reference.hpp"
-#include "pw/api/solver.hpp"
+#include "pw/api/request.hpp"
 #include "pw/baseline/legacy_pipeline.hpp"
 #include "pw/exp/experiments.hpp"
 #include "pw/exp/report.hpp"
@@ -48,12 +49,13 @@ int cmd_run(const util::Cli& cli) {
       static_cast<std::size_t>(cli.get_int("nz", 16))};
   const std::string impl = cli.get_string("impl", "fused");
 
-  grid::WindState state(dims);
-  grid::init_taylor_green(state, 3.0);
-  const auto coefficients = advect::PwCoefficients::from_geometry(
-      grid::Geometry::uniform(dims, 100.0, 100.0, 50.0));
+  auto state = std::make_shared<grid::WindState>(dims);
+  grid::init_taylor_green(*state, 3.0);
+  auto coefficients = std::make_shared<const advect::PwCoefficients>(
+      advect::PwCoefficients::from_geometry(
+          grid::Geometry::uniform(dims, 100.0, 100.0, 50.0)));
   advect::SourceTerms reference(dims);
-  advect::advect_reference(state, coefficients, reference);
+  advect::advect_reference(*state, *coefficients, reference);
 
   api::SolverOptions options;
   options.kernel.chunk_y = static_cast<std::size_t>(cli.get_int("chunk", 16));
@@ -66,11 +68,12 @@ int cmd_run(const util::Cli& cli) {
   if (impl == "xilinx" || impl == "intel" || impl == "legacy") {
     util::WallTimer timer;
     if (impl == "xilinx") {
-      kernel::run_kernel_xilinx(state, coefficients, out, options.kernel);
+      kernel::run_kernel_xilinx(*state, *coefficients, out, options.kernel);
     } else if (impl == "intel") {
-      kernel::run_kernel_intel(state, coefficients, out, options.kernel);
+      kernel::run_kernel_intel(*state, *coefficients, out, options.kernel);
     } else {
-      baseline::run_legacy_pipeline(state, coefficients, out, options.kernel);
+      baseline::run_legacy_pipeline(*state, *coefficients, out,
+                                    options.kernel);
     }
     ms = timer.milliseconds();
   } else {
@@ -86,17 +89,22 @@ int cmd_run(const util::Cli& cli) {
       options.backend = api::Backend::kHostOverlap;
     } else if (impl == "vectorized") {
       options.backend = api::Backend::kVectorized;
+    } else if (auto parsed = api::parse_backend(impl)) {
+      options.backend = *parsed;  // the canonical long names also work
     } else {
       std::cerr << "unknown --impl\n";
       return 1;
     }
-    auto result = api::AdvectionSolver(options).solve(state, coefficients);
+    api::SolveRequest request =
+        api::make_request(state, coefficients, options);
+    request.tag = impl;
+    auto result = api::AdvectionSolver(options).solve(request);
     if (!result.ok()) {
       std::cerr << "solve failed: " << result.message << "\n";
       return 1;
     }
     ms = result.seconds * 1e3;
-    out = std::move(*result.terms);
+    out = *result.terms;
     if (cli.get_bool("metrics", false)) {
       obs::to_table(result.metrics).print(std::cout);
     }

@@ -1,5 +1,7 @@
 // Quickstart: the recommended entry point is pw::api::AdvectionSolver —
-// pick a backend, call solve(), get source terms plus a metrics snapshot.
+// pack fields + coefficients + options into a SolveRequest, call solve()
+// (or submit() for a SolveFuture), get source terms plus a metrics
+// snapshot.
 // This example runs the PW advection scheme through four backends (scalar
 // reference, threaded CPU baseline, the fused dataflow kernel and the
 // overlapped host driver), verifies the double-precision datapaths agree
@@ -9,10 +11,12 @@
 //   ./quickstart [--nx=32 --ny=32 --nz=16 --chunk=8 --metrics]
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "pw/advect/coefficients.hpp"
 #include "pw/advect/flops.hpp"
-#include "pw/api/solver.hpp"
+#include "pw/api/request.hpp"
 #include "pw/grid/compare.hpp"
 #include "pw/grid/init.hpp"
 #include "pw/obs/export.hpp"
@@ -30,40 +34,52 @@ int main(int argc, char** argv) {
             << "x" << dims.nz << " grid (" << dims.cells() << " cells, "
             << advect::total_flops(dims) << " FLOPs per pass)\n\n";
 
-  // 1. A smooth divergence-free wind field with periodic halos.
-  grid::WindState state(dims);
-  grid::init_taylor_green(state, 5.0);
+  // 1. A smooth divergence-free wind field with periodic halos. Payloads
+  //    are shared_ptr so one state can back any number of requests.
+  auto state = std::make_shared<grid::WindState>(dims);
+  grid::init_taylor_green(*state, 5.0);
 
   // 2. Scheme coefficients from the grid geometry (100m horizontal
   //    spacing, 50m levels — a typical LES configuration).
-  const auto coefficients = advect::PwCoefficients::from_geometry(
-      grid::Geometry::uniform(dims, 100.0, 100.0, 50.0));
+  auto coefficients = std::make_shared<const advect::PwCoefficients>(
+      advect::PwCoefficients::from_geometry(
+          grid::Geometry::uniform(dims, 100.0, 100.0, 50.0)));
 
   // 3. One SolverOptions is the single construction point for the whole
-  //    pipeline: kernel chunking, host-driver chunking, metrics sink.
+  //    pipeline: backend knobs, kernel chunking, metrics sink. Fields +
+  //    coefficients + options together form a SolveRequest.
   obs::MetricsRegistry registry;
   api::SolverOptions options;
   options.kernel.chunk_y = static_cast<std::size_t>(cli.get_int("chunk", 8));
-  options.host.x_chunks = 4;
   options.metrics = &registry;
 
   // 4. The scalar reference is just another backend.
   options.backend = api::Backend::kReference;
-  const auto reference = api::AdvectionSolver(options).solve(state,
-                                                             coefficients);
+  const auto reference = api::AdvectionSolver(options).solve(
+      api::make_request(state, coefficients, options));
   if (!reference.ok()) {
     std::cerr << "reference solve failed: " << reference.message << "\n";
     return 1;
   }
 
   // 5. Every double-precision datapath must agree with it to the last bit.
+  //    Each backend's knobs live in its own options struct — invalid
+  //    combinations are unrepresentable. submit() returns a SolveFuture;
+  //    wait() blocks for the result.
   bool all_exact = true;
-  for (const api::Backend backend :
-       {api::Backend::kCpuBaseline, api::Backend::kFused,
-        api::Backend::kMultiKernel, api::Backend::kHostOverlap}) {
-    options.backend = backend;
-    const auto result = api::AdvectionSolver(options).solve(state,
-                                                            coefficients);
+  api::HostOptions host;
+  host.x_chunks = 4;
+  const std::vector<api::BackendSpec> specs = {
+      api::BackendSpec(api::Backend::kCpuBaseline),
+      api::BackendSpec(api::Backend::kFused),
+      api::BackendSpec(api::Backend::kMultiKernel),
+      api::BackendSpec(host)};
+  for (const api::BackendSpec& spec : specs) {
+    options.backend = spec;
+    const api::Backend backend = spec.backend();
+    api::SolveFuture future = api::AdvectionSolver(options).submit(
+        api::make_request(state, coefficients, options));
+    const auto& result = future.wait();
     if (!result.ok()) {
       std::cerr << api::to_string(backend)
                 << " solve failed: " << result.message << "\n";

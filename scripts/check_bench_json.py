@@ -52,7 +52,8 @@ def check_artefact(path, require_spans):
     for name, summary in doc["histograms"].items():
         if not isinstance(summary, dict):
             fail(path, f"histogram {name}: expected an object")
-        for stat in ("count", "min", "max", "sum", "mean", "p50", "p95", "p99"):
+        for stat in ("count", "min", "max", "sum", "mean",
+                     "p50", "p95", "p99", "p999"):
             if stat not in summary:
                 fail(path, f"histogram {name}: missing {stat}")
             check_number(path, f"histogram {name}.{stat}", summary[stat])

@@ -11,9 +11,16 @@
 #   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest.
 #                              Skipped with PW_CI_SKIP_SANITIZERS=1 for
 #                              quick local iterations.
+#   5. tsan: serve suites      TSan build (build-tsan/) + ctest -R '^Serve'
+#                              — the serving layer is the repo's most
+#                              thread-heavy subsystem, so its suites run
+#                              under TSan on every CI pass. Also skipped
+#                              with PW_CI_SKIP_SANITIZERS=1.
 #
-# TSan is not part of the default gate (it roughly 10x-es suite runtime);
-# run it on demand:  cmake -B build-tsan -DPW_SANITIZE=thread && ...
+# A full-suite TSan run is not part of the default gate (it roughly
+# 10x-es suite runtime); run it on demand:
+#   cmake -B build-tsan -DPW_SANITIZE=thread && cmake --build build-tsan
+#   ctest --test-dir build-tsan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,5 +47,12 @@ cmake -B build-asan -S . -DPW_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==== ci: TSan build + serve suites ===="
+cmake -B build-tsan -S . -DPW_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" --target test_serve test_serve_stress
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Serve'
 
 echo "==== ci: all stages passed ===="

@@ -5,8 +5,9 @@
 #
 # The instrumented benches additionally dump machine-readable metrics
 # registries (BENCH_table1.json, BENCH_fig6.json,
-# BENCH_micro_shift_buffer.json); the run fails if any artefact is missing
-# or malformed (validated by scripts/check_bench_json.py).
+# BENCH_micro_shift_buffer.json, BENCH_serve.json); the run fails if any
+# artefact is missing or malformed (validated by
+# scripts/check_bench_json.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,5 +38,6 @@ done
 python3 scripts/check_bench_json.py BENCH_table1.json
 python3 scripts/check_bench_json.py --require-spans BENCH_fig6.json
 python3 scripts/check_bench_json.py BENCH_micro_shift_buffer.json
+python3 scripts/check_bench_json.py BENCH_serve.json
 
 echo "done: test_output.txt, bench_output.txt, BENCH_*.json"

@@ -1,8 +1,13 @@
 #pragma once
 
+#include <array>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
 
 #include "pw/advect/coefficients.hpp"
 #include "pw/advect/reference.hpp"
@@ -28,19 +33,74 @@ enum class Backend {
 
 const char* to_string(Backend backend);
 
-/// Typed validation failures — the facade rejects bad options with these
-/// instead of asserting deep inside a backend.
+/// Inverse of to_string: "multi_kernel" -> kMultiKernel; nullopt for
+/// anything else. The exhaustiveness test round-trips every enumerator
+/// through this pair so a new backend cannot ship with a missing name.
+std::optional<Backend> parse_backend(std::string_view name);
+
+/// Every Backend enumerator, for exhaustive iteration in tests and CLIs.
+inline constexpr std::array<Backend, 6> kAllBackends = {
+    Backend::kReference,   Backend::kCpuBaseline, Backend::kFused,
+    Backend::kMultiKernel, Backend::kHostOverlap, Backend::kVectorized,
+};
+
+/// Typed validation and serving failures — the facade and the serve layer
+/// reject bad requests with these instead of asserting deep inside a
+/// backend or silently dropping work.
 enum class SolveError {
   kNone,
-  kEmptyGrid,          ///< nx, ny or nz is zero
+  kEmptyGrid,          ///< nx, ny or nz is zero (or a request carries none)
   kHaloMismatch,       ///< fields must carry a halo of exactly 1
   kInvalidChunking,    ///< chunk_y == 0 with an overlapped host driver
   kNoKernelInstances,  ///< kMultiKernel with kernels == 0
   kNoLanes,            ///< kVectorized with lanes == 0
   kNoChunks,           ///< kHostOverlap overlapped with x_chunks == 0
+  // Serving-layer outcomes (pw::serve and the async facade).
+  kRejectedByLint,     ///< admission-time pw::lint check battery failed
+  kQueueFull,          ///< bounded admission queue rejected the request
+  kDeadlineExceeded,   ///< request deadline passed before completion
+  kCancelled,          ///< cancelled via SolveFuture::cancel before running
+  kServiceStopped,     ///< submitted to (or abandoned by) a stopped service
 };
 
 std::string describe(SolveError error);
+
+/// Every SolveError enumerator, for exhaustive iteration in tests.
+inline constexpr std::array<SolveError, 12> kAllSolveErrors = {
+    SolveError::kNone,
+    SolveError::kEmptyGrid,
+    SolveError::kHaloMismatch,
+    SolveError::kInvalidChunking,
+    SolveError::kNoKernelInstances,
+    SolveError::kNoLanes,
+    SolveError::kNoChunks,
+    SolveError::kRejectedByLint,
+    SolveError::kQueueFull,
+    SolveError::kDeadlineExceeded,
+    SolveError::kCancelled,
+    SolveError::kServiceStopped,
+};
+
+// ---------------------------------------------------------------------------
+// Per-backend options. Exactly one of these lives in a BackendSpec, so a
+// configuration like "lanes with kMultiKernel" is unrepresentable rather
+// than merely rejected.
+
+struct ReferenceOptions {};
+
+struct CpuBaselineOptions {
+  std::size_t threads = 0;  ///< 0 = hardware_concurrency
+};
+
+struct FusedOptions {};
+
+struct MultiKernelOptions {
+  std::size_t kernels = 4;  ///< concurrent kernel instance count
+};
+
+struct VectorizedOptions {
+  std::size_t lanes = 8;  ///< f32 vector width
+};
 
 /// Host-driver knobs for Backend::kHostOverlap. Deliberately *without* its
 /// own KernelConfig: SolverOptions.kernel is the single construction point
@@ -55,31 +115,101 @@ struct HostOptions {
   std::function<double(const grid::GridDims&)> kernel_time_model;
 };
 
-/// All options for every backend, in one place.
+/// The backend selection *and* its knobs as one value: a tagged union whose
+/// alternatives mirror the Backend enumerators in order. Assigning a plain
+/// Backend picks that backend with default knobs, so the pre-variant
+/// `options.backend = Backend::kFused;` style still compiles; assigning an
+/// options struct picks the backend the struct belongs to.
+class BackendSpec {
+ public:
+  using Variant =
+      std::variant<ReferenceOptions, CpuBaselineOptions, FusedOptions,
+                   MultiKernelOptions, HostOptions, VectorizedOptions>;
+
+  BackendSpec() : spec_(ReferenceOptions{}) {}
+  BackendSpec(Backend backend);  // NOLINT: implicit by design
+  BackendSpec(ReferenceOptions options) : spec_(options) {}
+  BackendSpec(CpuBaselineOptions options) : spec_(options) {}
+  BackendSpec(FusedOptions options) : spec_(options) {}
+  BackendSpec(MultiKernelOptions options) : spec_(options) {}
+  BackendSpec(VectorizedOptions options) : spec_(options) {}
+  BackendSpec(HostOptions options) : spec_(std::move(options)) {}
+
+  /// The enum tag derived from the active alternative (their orders match).
+  Backend backend() const noexcept {
+    return static_cast<Backend>(spec_.index());
+  }
+
+  template <typename T>
+  const T* get_if() const noexcept {
+    return std::get_if<T>(&spec_);
+  }
+  template <typename T>
+  T* get_if() noexcept {
+    return std::get_if<T>(&spec_);
+  }
+
+  bool operator==(Backend other) const noexcept {
+    return backend() == other;
+  }
+
+ private:
+  Variant spec_;
+};
+
+// BackendSpec::backend() derives the enum tag from the variant index, so
+// alternative order and enumerator order must stay in lockstep.
+template <Backend B, typename T>
+inline constexpr bool kSpecOrderMatches = std::is_same_v<
+    std::variant_alternative_t<static_cast<std::size_t>(B),
+                               BackendSpec::Variant>,
+    T>;
+static_assert(kSpecOrderMatches<Backend::kReference, ReferenceOptions>);
+static_assert(kSpecOrderMatches<Backend::kCpuBaseline, CpuBaselineOptions>);
+static_assert(kSpecOrderMatches<Backend::kFused, FusedOptions>);
+static_assert(kSpecOrderMatches<Backend::kMultiKernel, MultiKernelOptions>);
+static_assert(kSpecOrderMatches<Backend::kHostOverlap, HostOptions>);
+static_assert(kSpecOrderMatches<Backend::kVectorized, VectorizedOptions>);
+
+inline const char* to_string(const BackendSpec& spec) {
+  return to_string(spec.backend());
+}
+
+/// All options for every backend, in one place. Backend-specific knobs
+/// live inside `backend` (a BackendSpec), so only the active backend's
+/// knobs exist at all.
 struct SolverOptions {
-  Backend backend = Backend::kReference;
+  BackendSpec backend;          ///< which backend + its knobs
   kernel::KernelConfig kernel;  ///< the one kernel config (all backends)
-  HostOptions host;             ///< kHostOverlap only
-  std::size_t kernels = 4;      ///< kMultiKernel instance count
-  std::size_t lanes = 8;        ///< kVectorized vector width
   /// External metrics sink. When null the solver uses a private registry;
   /// either way SolveResult.metrics carries the snapshot.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Outcome of one solve. `terms` is engaged iff ok(); `metrics` always
+/// Outcome of one solve. `terms` is non-null iff ok(); `metrics` always
 /// carries the registry snapshot for the run (empty on validation errors).
+/// The terms are behind a shared_ptr so copying a SolveResult is cheap —
+/// the serve layer's result cache hands the same computed terms to every
+/// request with the request's content fingerprint, without duplicating
+/// megabytes of field data per hit.
 struct SolveResult {
   SolveError error = SolveError::kNone;
   std::string message;  ///< human-readable error detail ("" when ok)
   Backend backend = Backend::kReference;
   double seconds = 0.0;  ///< wall-clock solve time
   double gflops = 0.0;   ///< total_flops / seconds
-  std::optional<advect::SourceTerms> terms;
+  bool cached = false;   ///< served from a pw::serve result cache
+  std::shared_ptr<const advect::SourceTerms> terms;
   obs::RegistrySnapshot metrics;
 
   bool ok() const noexcept { return error == SolveError::kNone; }
 };
+
+/// A SolveResult carrying only a typed error (no terms, empty metrics) —
+/// the shape every rejection path (validation, admission, deadline,
+/// cancellation) produces.
+SolveResult error_result(SolveError error, Backend backend,
+                         std::string message = "");
 
 /// Grid-independent validation (lane/kernel/chunk counts). Returns kNone
 /// when the options could be valid for some grid.
@@ -88,11 +218,19 @@ SolveError validate(const SolverOptions& options);
 /// Full validation against a concrete grid.
 SolveError validate(const SolverOptions& options, const grid::GridDims& dims);
 
+struct SolveRequest;  // pw/api/request.hpp
+class SolveFuture;    // pw/api/request.hpp
+
 /// The unified entry point: one object, one `solve`, any backend — every
 /// run instrumented through the same MetricsRegistry (a `solve/<backend>`
 /// span plus whatever the backend layers emit). The low-level entry points
 /// (advect_reference, run_kernel_fused, run_multi_kernel, advect_via_host)
 /// remain available for code that needs the raw stats structs.
+///
+/// The request form is the primary surface: pack fields + coefficients +
+/// options into a SolveRequest and call solve(request) (blocking) or
+/// submit(request) (async, returns a SolveFuture). The positional
+/// solve(state, coefficients) remains as a thin wrapper.
 class AdvectionSolver {
  public:
   AdvectionSolver() = default;
@@ -102,10 +240,21 @@ class AdvectionSolver {
   const SolverOptions& options() const noexcept { return options_; }
   SolverOptions& options() noexcept { return options_; }
 
-  /// Computes source terms for `state`. Never throws on bad options —
-  /// returns a SolveResult with a typed error instead.
+  /// Blocking solve of one request, honouring request.options. Never throws
+  /// on bad options — returns a SolveResult with a typed error instead.
+  SolveResult solve(const SolveRequest& request) const;
+
+  /// Thin wrapper over the request form using this solver's options.
   SolveResult solve(const grid::WindState& state,
                     const advect::PwCoefficients& coefficients) const;
+
+  /// Asynchronous solve: returns immediately with a SolveFuture that
+  /// becomes ready when the solve (run on its own thread) completes.
+  /// request.timeout, when non-zero, is enforced as a deadline; the future
+  /// supports poll/wait/cancel. For many concurrent requests prefer
+  /// pw::serve::SolveService, which adds admission control, batching and
+  /// worker pools on top of the same future type.
+  SolveFuture submit(SolveRequest request) const;
 
   /// Static verification of the configured backend's dataflow graph for
   /// `dims`, before (and without) running anything: the option-level

@@ -4,6 +4,7 @@
 
 #include "pw/advect/cpu_baseline.hpp"
 #include "pw/advect/flops.hpp"
+#include "pw/api/request.hpp"
 #include "pw/kernel/fused.hpp"
 #include "pw/kernel/multi_kernel.hpp"
 #include "pw/kernel/pipeline_graph.hpp"
@@ -33,6 +34,15 @@ const char* to_string(Backend backend) {
   return "unknown";
 }
 
+std::optional<Backend> parse_backend(std::string_view name) {
+  for (const Backend backend : kAllBackends) {
+    if (name == to_string(backend)) {
+      return backend;
+    }
+  }
+  return std::nullopt;
+}
+
 std::string describe(SolveError error) {
   switch (error) {
     case SolveError::kNone:
@@ -51,32 +61,71 @@ std::string describe(SolveError error) {
       return "vectorized backend needs at least one lane";
     case SolveError::kNoChunks:
       return "overlapped host driver needs at least one X-chunk";
+    case SolveError::kRejectedByLint:
+      return "rejected at admission: the static pw::lint battery found "
+             "errors in the pipeline this request would construct";
+    case SolveError::kQueueFull:
+      return "rejected by backpressure: the service admission queue is full";
+    case SolveError::kDeadlineExceeded:
+      return "request deadline passed before a worker could run it";
+    case SolveError::kCancelled:
+      return "cancelled via SolveFuture::cancel before execution began";
+    case SolveError::kServiceStopped:
+      return "the solve service is stopped and no longer accepts work";
   }
   return "unknown error";
 }
 
-SolveError validate(const SolverOptions& options) {
-  switch (options.backend) {
-    case Backend::kMultiKernel:
-      if (options.kernels == 0) {
-        return SolveError::kNoKernelInstances;
-      }
+BackendSpec::BackendSpec(Backend backend) {
+  switch (backend) {
+    case Backend::kReference:
+      spec_ = ReferenceOptions{};
       break;
-    case Backend::kVectorized:
-      if (options.lanes == 0) {
-        return SolveError::kNoLanes;
-      }
+    case Backend::kCpuBaseline:
+      spec_ = CpuBaselineOptions{};
+      break;
+    case Backend::kFused:
+      spec_ = FusedOptions{};
+      break;
+    case Backend::kMultiKernel:
+      spec_ = MultiKernelOptions{};
       break;
     case Backend::kHostOverlap:
-      if (options.host.overlapped && options.host.x_chunks == 0) {
-        return SolveError::kNoChunks;
-      }
-      if (options.host.overlapped && options.kernel.chunk_y == 0) {
-        return SolveError::kInvalidChunking;
-      }
+      spec_ = HostOptions{};
       break;
-    default:
+    case Backend::kVectorized:
+      spec_ = VectorizedOptions{};
       break;
+  }
+}
+
+SolveResult error_result(SolveError error, Backend backend,
+                         std::string message) {
+  SolveResult result;
+  result.error = error;
+  result.backend = backend;
+  result.message = message.empty() ? describe(error) : std::move(message);
+  return result;
+}
+
+SolveError validate(const SolverOptions& options) {
+  if (const auto* multi = options.backend.get_if<MultiKernelOptions>()) {
+    if (multi->kernels == 0) {
+      return SolveError::kNoKernelInstances;
+    }
+  }
+  if (const auto* vec = options.backend.get_if<VectorizedOptions>()) {
+    if (vec->lanes == 0) {
+      return SolveError::kNoLanes;
+    }
+  }
+  if (const auto* host = options.backend.get_if<HostOptions>()) {
+    if (host->overlapped && host->x_chunks == 0) {
+      return SolveError::kNoChunks;
+    }
+    if (host->overlapped && options.kernel.chunk_y == 0) {
+      return SolveError::kInvalidChunking;
+    }
   }
   return SolveError::kNone;
 }
@@ -111,12 +160,12 @@ lint::LintReport AdvectionSolver::validate(const grid::GridDims& dims) const {
   spec.dims = dims;
   spec.chunk_y = options_.kernel.chunk_y;
   spec.fifo_depth = options_.kernel.stream_depth;
-  switch (options_.backend) {
+  switch (options_.backend.backend()) {
     case Backend::kFused:
     case Backend::kHostOverlap:
       break;
     case Backend::kMultiKernel:
-      spec.kernels = options_.kernels;
+      spec.kernels = options_.backend.get_if<MultiKernelOptions>()->kernels;
       break;
     case Backend::kVectorized:
       break;
@@ -141,14 +190,21 @@ lint::LintReport AdvectionSolver::validate(const grid::GridDims& dims) const {
   return report;
 }
 
-SolveResult AdvectionSolver::solve(
-    const grid::WindState& state,
-    const advect::PwCoefficients& coefficients) const {
+SolveResult AdvectionSolver::solve(const SolveRequest& request) const {
+  const SolverOptions& options = request.options;
+  const Backend backend = options.backend.backend();
+
+  if (!request.state || !request.coefficients) {
+    return error_result(SolveError::kEmptyGrid, backend,
+                        "request carries no wind state or coefficients");
+  }
+  const grid::WindState& state = *request.state;
+  const advect::PwCoefficients& coefficients = *request.coefficients;
   const grid::GridDims dims = state.u.dims();
 
   SolveResult result;
-  result.backend = options_.backend;
-  result.error = api::validate(options_, dims);
+  result.backend = backend;
+  result.error = api::validate(options, dims);
   if (result.error == SolveError::kNone && state.u.halo() != 1) {
     result.error = SolveError::kHaloMismatch;
   }
@@ -161,22 +217,23 @@ SolveResult AdvectionSolver::solve(
   // backend reports through it identically.
   obs::MetricsRegistry local_registry;
   obs::MetricsRegistry& registry =
-      options_.metrics != nullptr ? *options_.metrics : local_registry;
+      options.metrics != nullptr ? *options.metrics : local_registry;
 
-  kernel::KernelConfig kernel_config = options_.kernel;
+  kernel::KernelConfig kernel_config = options.kernel;
   kernel_config.metrics = &registry;
 
   advect::SourceTerms terms(dims);
   const auto wall_start = std::chrono::steady_clock::now();
   {
     obs::Span solve_span(registry,
-                         std::string("solve/") + to_string(options_.backend));
-    switch (options_.backend) {
+                         std::string("solve/") + to_string(backend));
+    switch (backend) {
       case Backend::kReference:
         advect::advect_reference(state, coefficients, terms);
         break;
       case Backend::kCpuBaseline: {
-        util::ThreadPool pool;
+        util::ThreadPool pool(
+            options.backend.get_if<CpuBaselineOptions>()->threads);
         const advect::CpuAdvectorBaseline baseline(pool);
         const auto stats = baseline.run(state, coefficients, terms);
         registry.gauge_set("cpu_baseline.threads",
@@ -188,23 +245,26 @@ SolveResult AdvectionSolver::solve(
         kernel::run_kernel_fused(state, coefficients, terms, kernel_config);
         break;
       case Backend::kMultiKernel:
-        kernel::run_multi_kernel(state, coefficients, terms, kernel_config,
-                                 options_.kernels);
+        kernel::run_multi_kernel(
+            state, coefficients, terms, kernel_config,
+            options.backend.get_if<MultiKernelOptions>()->kernels);
         break;
       case Backend::kHostOverlap: {
+        const HostOptions& host = *options.backend.get_if<HostOptions>();
         ocl::HostDriverConfig host_config;
-        host_config.x_chunks = options_.host.x_chunks;
-        host_config.overlapped = options_.host.overlapped;
-        host_config.timing = options_.host.timing;
-        host_config.kernel_time_model = options_.host.kernel_time_model;
+        host_config.x_chunks = host.x_chunks;
+        host_config.overlapped = host.overlapped;
+        host_config.timing = host.timing;
+        host_config.kernel_time_model = host.kernel_time_model;
         host_config.kernel = kernel_config;  // the single construction point
         host_config.metrics = &registry;
         ocl::advect_via_host(state, coefficients, terms, host_config);
         break;
       }
       case Backend::kVectorized:
-        kernel::run_kernel_vectorized_f32(state, coefficients, terms,
-                                          kernel_config, options_.lanes);
+        kernel::run_kernel_vectorized_f32(
+            state, coefficients, terms, kernel_config,
+            options.backend.get_if<VectorizedOptions>()->lanes);
         break;
     }
   }
@@ -222,9 +282,42 @@ SolveResult AdvectionSolver::solve(
   registry.gauge_set("solve.gflops", result.gflops);
   registry.gauge_set("solve.cells", static_cast<double>(dims.cells()));
 
-  result.terms.emplace(std::move(terms));
+  result.terms = std::make_shared<const advect::SourceTerms>(std::move(terms));
   result.metrics = registry.snapshot();
   return result;
+}
+
+SolveResult AdvectionSolver::solve(
+    const grid::WindState& state,
+    const advect::PwCoefficients& coefficients) const {
+  return solve(borrow_request(state, coefficients, options_));
+}
+
+SolveFuture AdvectionSolver::submit(SolveRequest request) const {
+  auto state = std::make_shared<detail::SolveState>();
+  detail::SolveState* raw = state.get();
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.timeout.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + request.timeout;
+  }
+  // The worker references the state raw: the futures own it, and the last
+  // future to drop it joins this thread (see SolveState::~SolveState), so
+  // the state strictly outlives the thread.
+  raw->owned_thread =
+      std::thread([raw, deadline, request = std::move(request)] {
+        const Backend backend = request.options.backend.backend();
+        if (!raw->try_begin()) {
+          raw->complete(error_result(SolveError::kCancelled, backend));
+          return;
+        }
+        if (deadline && std::chrono::steady_clock::now() > *deadline) {
+          raw->complete(
+              error_result(SolveError::kDeadlineExceeded, backend));
+          return;
+        }
+        raw->complete(AdvectionSolver(request.options).solve(request));
+      });
+  return SolveFuture(std::move(state));
 }
 
 }  // namespace pw::api

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "pw/lint/diagnostic.hpp"
+
+namespace pw::lint {
+
+/// Admission-time policy: how strict a gatekeeper (pw::serve admission, a
+/// CI gate) is about lint findings. The dataflow engines' LintPolicy
+/// decides whether checks run at all; this decides which severities are
+/// fatal once they have.
+struct AdmissionPolicy {
+  /// Findings at or above this severity reject the request. kError is the
+  /// verifier's contract ("would not run correctly"); kWarning turns
+  /// throughput/robustness hazards into rejections too.
+  Severity reject_at = Severity::kError;
+};
+
+/// True when `report` passes under `policy` — i.e. no diagnostic reaches
+/// policy.reject_at. With the default policy this is report.passed().
+inline bool admits(const LintReport& report, const AdmissionPolicy& policy) {
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    if (static_cast<int>(diagnostic.severity) >=
+        static_cast<int>(policy.reject_at)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The first rejecting diagnostic under `policy`; nullptr when admitted.
+/// The serve layer uses it to attribute a typed kRejectedByLint error.
+inline const Diagnostic* first_rejection(const LintReport& report,
+                                         const AdmissionPolicy& policy) {
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    if (static_cast<int>(diagnostic.severity) >=
+        static_cast<int>(policy.reject_at)) {
+      return &diagnostic;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace pw::lint

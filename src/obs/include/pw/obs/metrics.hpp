@@ -22,6 +22,7 @@ struct HistogramSummary {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 /// One completed trace span. `path` is the slash-joined nesting path
@@ -70,9 +71,15 @@ class MetricsRegistry {
   void gauge_set(std::string_view name, double value);
   std::optional<double> gauge(std::string_view name) const;
 
-  // Histograms: raw samples summarised with p50/p95/p99 at snapshot time.
+  // Histograms: raw samples summarised with p50/p95/p99/p999 at snapshot
+  // time.
   void observe(std::string_view name, double sample);
   HistogramSummary histogram(std::string_view name) const;  ///< zeroed when absent
+
+  /// Exact arbitrary quantile (q in [0,1]) of one histogram's raw samples —
+  /// the summary's fixed percentiles without waiting for a snapshot, at any
+  /// q a dashboard asks for. 0 when the histogram is absent or empty.
+  double histogram_quantile(std::string_view name, double q) const;
 
   /// Records a completed span. Also feeds the span's duration into the
   /// histogram of the same name, so repeated spans ("host/chunk/write" once

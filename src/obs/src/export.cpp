@@ -58,7 +58,7 @@ void append_histogram(std::string& out, const HistogramSummary& h) {
   out += "{\"count\": " + std::to_string(h.count);
   const std::pair<const char*, double> fields[] = {
       {"min", h.min}, {"max", h.max}, {"sum", h.sum},  {"mean", h.mean},
-      {"p50", h.p50}, {"p95", h.p95}, {"p99", h.p99}};
+      {"p50", h.p50}, {"p95", h.p95}, {"p99", h.p99}, {"p999", h.p999}};
   for (const auto& [name, value] : fields) {
     out += ", \"";
     out += name;
@@ -400,6 +400,7 @@ std::optional<RegistrySnapshot> from_json(const std::string& text) {
       summary.p50 = number_or(h, "p50");
       summary.p95 = number_or(h, "p95");
       summary.p99 = number_or(h, "p99");
+      summary.p999 = number_or(h, "p999");
       snapshot.histograms.emplace(name, summary);
     }
   }
@@ -448,6 +449,7 @@ void write_csv(const RegistrySnapshot& snapshot, std::ostream& os) {
     os << "histogram," << name << ",p50," << h.p50 << '\n';
     os << "histogram," << name << ",p95," << h.p95 << '\n';
     os << "histogram," << name << ",p99," << h.p99 << '\n';
+    os << "histogram," << name << ",p999," << h.p999 << '\n';
   }
   for (const SpanRecord& span : snapshot.spans) {
     os << "span," << span.path << ",start_s," << span.start_s << '\n';

@@ -39,6 +39,7 @@ HistogramSummary summarise(const std::vector<double>& samples) {
   summary.p50 = quantile(samples, 0.50);
   summary.p95 = quantile(samples, 0.95);
   summary.p99 = quantile(samples, 0.99);
+  summary.p999 = quantile(samples, 0.999);
   return summary;
 }
 
@@ -93,6 +94,20 @@ HistogramSummary MetricsRegistry::histogram(std::string_view name) const {
   std::lock_guard lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? HistogramSummary{} : summarise(it->second);
+}
+
+double MetricsRegistry::histogram_quantile(std::string_view name,
+                                           double q) const {
+  std::vector<double> samples;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      return 0.0;
+    }
+    samples = it->second;
+  }
+  return quantile(std::move(samples), q);
 }
 
 void MetricsRegistry::record_span(std::string path, double start_s,

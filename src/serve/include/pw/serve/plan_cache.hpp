@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pw/api/request.hpp"
+#include "pw/lint/policy.hpp"
+
+namespace pw::serve {
+
+/// Everything the service derives once per request *shape* — the grid
+/// dimensions plus the backend/kernel configuration that together determine
+/// the pipeline a request constructs. Same key => same pipeline => one
+/// admission-time lint pass amortised over every request of that shape.
+struct Plan {
+  std::string key;
+  lint::LintReport lint;   ///< the full admission-time check battery output
+  bool admitted = false;   ///< admits(lint, policy) at creation time
+  std::string rejection;   ///< first rejecting diagnostic (check: message)
+};
+
+/// The canonical cache key for a (dims, SolverOptions) pair: dimensions,
+/// backend tag, backend knobs and kernel config serialised into one string.
+/// Anything that changes the constructed pipeline must appear here.
+std::string plan_key(const grid::GridDims& dims,
+                     const api::SolverOptions& options);
+
+/// Content fingerprint of a whole request — plan key plus the raw bytes of
+/// the three wind fields and the scheme coefficients (word-wise FNV-1a).
+/// Two requests with equal fingerprints ask for the same deterministic
+/// computation; the service's result cache is keyed on this.
+std::uint64_t request_fingerprint(const api::SolveRequest& request);
+
+/// The payload-content part of request_fingerprint (fields+coefficients,
+/// no plan key).
+std::uint64_t payload_hash(const grid::WindState& state,
+                           const advect::PwCoefficients& coefficients);
+
+/// Memoises payload_hash by payload identity: requests sharing the same
+/// state/coefficients shared_ptrs (the serve trace's hot payloads) hash
+/// their megabytes of field data once, not once per request. An entry is
+/// reused only while weak_ptrs to the original payloads still lock to the
+/// same addresses, so a payload freed and reallocated at the same address
+/// can never serve a stale hash. Thread-safe; produces exactly the values
+/// of the one-shot request_fingerprint.
+class FingerprintCache {
+ public:
+  std::uint64_t fingerprint(const api::SolveRequest& request);
+
+ private:
+  struct CachedHash {
+    std::weak_ptr<const grid::WindState> state;
+    std::weak_ptr<const advect::PwCoefficients> coefficients;
+    std::uint64_t hash = 0;
+  };
+
+  std::mutex mutex_;
+  std::map<const grid::WindState*, CachedHash> hashes_;
+};
+
+/// Thread-safe cache of lint-validated Plans keyed on plan_key. The serve
+/// admission path calls lookup() for every request; only the first request
+/// of a given shape pays for pipeline construction + the lint battery.
+class PlanCache {
+ public:
+  explicit PlanCache(lint::AdmissionPolicy policy = {}) : policy_(policy) {}
+
+  /// Returns the plan for this shape, creating (and lint-validating) it on
+  /// first sight. Never fails: an inadmissible configuration yields a plan
+  /// with admitted == false.
+  std::shared_ptr<const Plan> lookup(const grid::GridDims& dims,
+                                     const api::SolverOptions& options);
+
+  const lint::AdmissionPolicy& policy() const noexcept { return policy_; }
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  lint::AdmissionPolicy policy_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const Plan>> plans_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pw::serve

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pw/api/request.hpp"
+#include "pw/obs/metrics.hpp"
+#include "pw/serve/plan_cache.hpp"
+#include "pw/util/mpmc_queue.hpp"
+#include "pw/util/table.hpp"
+#include "pw/util/thread_pool.hpp"
+#include "pw/util/timer.hpp"
+
+namespace pw::serve {
+
+/// Tuning of one SolveService instance.
+struct ServiceConfig {
+  /// Bounded admission queue depth — the backpressure point.
+  std::size_t queue_capacity = 64;
+
+  /// When the queue is full: true blocks the submitter until space frees
+  /// (flow control), false completes the future immediately with a typed
+  /// SolveError::kQueueFull (load shedding).
+  bool block_when_full = false;
+
+  /// Worker threads per backend pool (pools are created lazily, one per
+  /// backend that actually receives traffic).
+  std::size_t workers_per_backend = 4;
+
+  /// Largest same-plan batch the dispatcher hands one worker as a unit.
+  std::size_t max_batch = 8;
+
+  /// Cap on dispatched-but-unfinished requests across all pools; while at
+  /// the cap the dispatcher lets work accumulate in the admission queue
+  /// (where it backpressures and batches) instead of flooding pool deques.
+  /// 0 = auto: max_batch * min(workers_per_backend, hardware_concurrency)
+  /// — enough to keep every runnable worker fed, low enough that a host
+  /// with fewer cores than workers is not oversubscribed with concurrent
+  /// multi-megabyte solves evicting each other's working sets.
+  std::size_t max_in_flight = 0;
+
+  /// Memoise completed results by content fingerprint: a request identical
+  /// to an already-served one (same shape, config, fields, coefficients)
+  /// completes from cache without recomputing. Sound because every backend
+  /// is a deterministic pure function of the request.
+  bool result_cache = true;
+  std::size_t result_cache_capacity = 256;
+
+  /// Admission-time lint strictness (see pw::lint::AdmissionPolicy).
+  lint::AdmissionPolicy admission;
+
+  /// External metrics sink; the service owns a private registry when null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Point-in-time summary of a service: admission/completion counters, the
+/// latency and batch-size distributions, cache effectiveness, aggregate
+/// throughput, plus the full metrics snapshot for drill-down.
+struct ServiceReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;            ///< futures completed ok
+  std::uint64_t computed = 0;             ///< solves actually executed
+  std::uint64_t result_cache_hits = 0;
+  std::uint64_t rejected_options = 0;     ///< typed validation failures
+  std::uint64_t rejected_lint = 0;        ///< admission lint rejections
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  double uptime_s = 0.0;
+  double aggregate_gflops = 0.0;  ///< served FLOPs / uptime
+  obs::HistogramSummary latency_s;    ///< submit -> completion
+  obs::HistogramSummary batch_size;   ///< per dispatched batch
+  obs::RegistrySnapshot metrics;
+};
+
+/// {"service": {...counters...}, "metrics": <pw::obs snapshot JSON>}
+std::string to_json(const ServiceReport& report);
+util::Table to_table(const ServiceReport& report);
+
+/// An asynchronous, batching solve service over pw::api::AdvectionSolver —
+/// the multi-tenant front door the blocking facade cannot be.
+///
+///   submit(request) --admission--> bounded queue --dispatcher--> batches
+///        |                                                        |
+///        +-- typed error future on reject                per-backend pools
+///
+/// Admission validates options against the request's grid and runs the
+/// pw::lint battery (amortised per shape via the PlanCache); a rejected
+/// request completes its future with a typed error and never reaches a
+/// worker. Admitted requests enter a bounded MPMC queue; a dispatcher
+/// thread drains it, groups same-plan requests into batches of at most
+/// max_batch, and hands each batch to the worker pool of its backend.
+/// The dispatcher throttles itself to workers_per_backend * max_batch
+/// dispatched-but-unfinished entries, so when workers fall behind, work
+/// accumulates in the bounded queue (where it batches and backpressures)
+/// rather than in unbounded pool deques. Workers honour cancellation and
+/// per-request deadlines, serve identical requests from the result cache,
+/// and report queue depth / batch size / latency percentiles / aggregate
+/// GFLOPS through pw::obs.
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admits one request. Always returns a valid future: on rejection
+  /// (invalid options, lint failure, backpressure, stopped service) the
+  /// future is already completed with the typed error.
+  api::SolveFuture submit(api::SolveRequest request);
+
+  /// Convenience fan-in: submit every request, in order.
+  std::vector<api::SolveFuture> submit_all(
+      std::vector<api::SolveRequest> requests);
+
+  /// Blocks until every admitted request has completed.
+  void drain();
+
+  /// Stops the service. With drain_queued, queued work is finished first;
+  /// otherwise queued (not yet running) requests complete with
+  /// kServiceStopped. Idempotent; the destructor calls shutdown(true).
+  void shutdown(bool drain_queued = true);
+
+  bool stopped() const noexcept { return stopped_.load(); }
+
+  ServiceReport report() const;
+
+  const PlanCache& plans() const noexcept { return plans_; }
+  obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+
+ private:
+  struct Entry {
+    api::SolveRequest request;
+    std::shared_ptr<api::detail::SolveState> state;
+    std::shared_ptr<const Plan> plan;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t flops = 0;
+    double enqueued_s = 0.0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void dispatcher_loop();
+  void dispatch_batch(std::vector<Entry> batch);
+  void run_batch(std::vector<Entry>& batch);
+  void finish(Entry& entry, api::SolveResult result, bool dispatched = true);
+  util::ThreadPool& pool_for(api::Backend backend);
+  api::SolveFuture reject(std::shared_ptr<api::detail::SolveState> state,
+                          api::SolveError error, api::Backend backend,
+                          std::string message = "");
+
+  ServiceConfig config_;
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_;
+  PlanCache plans_;
+  FingerprintCache fingerprints_;
+  util::BoundedMpmcQueue<Entry> queue_;
+  util::WallTimer uptime_;
+
+  mutable std::mutex mutex_;  // pools, result cache, pending bookkeeping
+  std::condition_variable drained_cv_;
+  std::map<api::Backend, std::unique_ptr<util::ThreadPool>> pools_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const api::SolveResult>>
+      results_;
+  std::deque<std::uint64_t> result_order_;  // FIFO eviction
+  /// Single-flight coalescing: fingerprint -> entries waiting on a compute
+  /// already running on some worker. A key's presence (even with no
+  /// waiters) marks the fingerprint as in flight; the computing worker
+  /// completes every waiter when it finishes, so N concurrent identical
+  /// requests cost one solve, deterministically.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> coalesced_;
+  std::size_t pending_ = 0;    // admitted, not yet completed
+  std::size_t in_flight_ = 0;  // dispatched to a pool, not yet completed
+  std::uint64_t flops_served_ = 0;
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> abandon_{false};
+  std::thread dispatcher_;
+};
+
+}  // namespace pw::serve

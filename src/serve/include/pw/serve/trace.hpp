@@ -1,0 +1,39 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "pw/api/request.hpp"
+
+namespace pw::serve {
+
+/// Shape of a synthetic request stream: a deterministic mixed workload the
+/// throughput bench and the pwserve CLI replay against a SolveService.
+///
+/// The stream mixes grid shapes and backends round-robin-with-jitter, and a
+/// `repeat_fraction` of requests re-submit one of `hot_payloads` shared
+/// wind states (the "popular tile" pattern an operational service sees):
+/// those requests share payload shared_ptrs, so they carry identical
+/// content fingerprints and exercise the service's result cache.
+struct TraceSpec {
+  std::size_t requests = 64;
+  std::vector<grid::GridDims> shapes = {{16, 16, 16}, {32, 32, 16}};
+  std::vector<api::Backend> backends = {api::Backend::kReference,
+                                        api::Backend::kFused,
+                                        api::Backend::kCpuBaseline};
+  /// Fraction of requests drawn from the hot payload set (0 disables).
+  double repeat_fraction = 0.5;
+  /// Distinct hot payloads per shape.
+  std::size_t hot_payloads = 4;
+  std::size_t chunk_y = 8;    ///< kernel config applied to every request
+  std::size_t x_chunks = 4;   ///< host backend chunking, when selected
+  std::uint64_t seed = 1;
+  std::chrono::nanoseconds timeout{0};  ///< applied to every request
+};
+
+/// Materialises the stream. Deterministic in spec.seed; coefficients are
+/// shared per shape and hot payloads are shared across their requests.
+std::vector<api::SolveRequest> make_trace(const TraceSpec& spec);
+
+}  // namespace pw::serve

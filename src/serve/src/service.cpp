@@ -1,0 +1,478 @@
+#include "pw/serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "pw/advect/flops.hpp"
+#include "pw/obs/export.hpp"
+
+namespace pw::serve {
+
+namespace {
+
+std::uint64_t counter_or_zero(const obs::RegistrySnapshot& snapshot,
+                              const std::string& name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  out += os.str();
+}
+
+void append_field(std::string& out, const char* name, std::uint64_t value,
+                  bool trailing_comma = true) {
+  obs::append_json_string(out, name);
+  out += ":";
+  out += std::to_string(value);
+  if (trailing_comma) {
+    out += ",";
+  }
+}
+
+}  // namespace
+
+std::string to_json(const ServiceReport& report) {
+  std::string out = "{";
+  obs::append_json_string(out, "service");
+  out += ":{";
+  append_field(out, "submitted", report.submitted);
+  append_field(out, "completed", report.completed);
+  append_field(out, "computed", report.computed);
+  append_field(out, "result_cache_hits", report.result_cache_hits);
+  append_field(out, "rejected_options", report.rejected_options);
+  append_field(out, "rejected_lint", report.rejected_lint);
+  append_field(out, "rejected_backpressure", report.rejected_backpressure);
+  append_field(out, "cancelled", report.cancelled);
+  append_field(out, "deadline_exceeded", report.deadline_exceeded);
+  append_field(out, "plan_cache_hits", report.plan_cache_hits);
+  append_field(out, "plan_cache_misses", report.plan_cache_misses);
+  obs::append_json_string(out, "uptime_s");
+  out += ":";
+  append_number(out, report.uptime_s);
+  out += ",";
+  obs::append_json_string(out, "aggregate_gflops");
+  out += ":";
+  append_number(out, report.aggregate_gflops);
+  out += "},";
+  obs::append_json_string(out, "metrics");
+  out += ":";
+  out += obs::to_json(report.metrics);
+  out += "}";
+  return out;
+}
+
+util::Table to_table(const ServiceReport& report) {
+  util::Table table("solve service");
+  table.header({"metric", "value"});
+  const auto row = [&](const char* name, std::uint64_t value) {
+    table.row({name, std::to_string(value)});
+  };
+  row("submitted", report.submitted);
+  row("completed", report.completed);
+  row("computed", report.computed);
+  row("result cache hits", report.result_cache_hits);
+  row("rejected (options)", report.rejected_options);
+  row("rejected (lint)", report.rejected_lint);
+  row("rejected (backpressure)", report.rejected_backpressure);
+  row("cancelled", report.cancelled);
+  row("deadline exceeded", report.deadline_exceeded);
+  row("plan cache hits", report.plan_cache_hits);
+  row("plan cache misses", report.plan_cache_misses);
+  table.row({"uptime [s]", util::format_double(report.uptime_s, 3)});
+  table.row({"aggregate GFLOPS", util::format_double(report.aggregate_gflops, 3)});
+  table.row({"latency p50 [s]", util::format_double(report.latency_s.p50, 6)});
+  table.row({"latency p95 [s]", util::format_double(report.latency_s.p95, 6)});
+  table.row({"latency p99 [s]", util::format_double(report.latency_s.p99, 6)});
+  table.row({"mean batch size",
+             util::format_double(report.batch_size.mean, 2)});
+  return table;
+}
+
+SolveService::SolveService(ServiceConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? config_.metrics : &own_metrics_),
+      plans_(config_.admission),
+      queue_(config_.queue_capacity) {
+  if (config_.workers_per_backend == 0) {
+    config_.workers_per_backend = 1;
+  }
+  if (config_.max_batch == 0) {
+    config_.max_batch = 1;
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+SolveService::~SolveService() { shutdown(true); }
+
+api::SolveFuture SolveService::reject(
+    std::shared_ptr<api::detail::SolveState> state, api::SolveError error,
+    api::Backend backend, std::string message) {
+  state->complete(api::error_result(error, backend, std::move(message)));
+  return api::SolveFuture(std::move(state));
+}
+
+api::SolveFuture SolveService::submit(api::SolveRequest request) {
+  auto state = std::make_shared<api::detail::SolveState>();
+  const api::Backend backend = request.options.backend.backend();
+  metrics_->counter_add("serve.submitted");
+
+  if (stopped_.load()) {
+    return reject(std::move(state), api::SolveError::kServiceStopped, backend);
+  }
+  if (!request.state || !request.coefficients) {
+    metrics_->counter_add("serve.admission.rejected_options");
+    return reject(std::move(state), api::SolveError::kEmptyGrid, backend,
+                  "request carries no wind state or coefficients");
+  }
+
+  const grid::GridDims dims = request.state->u.dims();
+  api::SolveError error = api::validate(request.options, dims);
+  if (error == api::SolveError::kNone && request.state->u.halo() != 1) {
+    error = api::SolveError::kHaloMismatch;
+  }
+  if (error != api::SolveError::kNone) {
+    metrics_->counter_add("serve.admission.rejected_options");
+    return reject(std::move(state), error, backend, api::describe(error));
+  }
+
+  // Plan lookup runs the lint battery (amortised per shape). An
+  // inadmissible plan completes here — the request never reaches the queue,
+  // let alone a worker.
+  std::shared_ptr<const Plan> plan = plans_.lookup(dims, request.options);
+  if (!plan->admitted) {
+    metrics_->counter_add("serve.admission.rejected_lint");
+    return reject(std::move(state), api::SolveError::kRejectedByLint, backend,
+                  plan->rejection);
+  }
+
+  // Deliberately NOT pointing request.options.metrics at the service
+  // registry: each solve keeps its private registry (snapshotted into its
+  // SolveResult as usual). Routing every solve's spans into the shared
+  // registry would make each result snapshot the whole ever-growing
+  // registry — quadratic in requests served — and bloat the cached copies.
+  // Service-level serve.* metrics land in metrics_ regardless; callers who
+  // want per-solve internals in their own sink can still set
+  // request.options.metrics explicitly.
+  Entry entry;
+  entry.request = std::move(request);
+  entry.state = state;
+  entry.plan = std::move(plan);
+  if (config_.result_cache) {
+    entry.fingerprint = fingerprints_.fingerprint(entry.request);
+  }
+  entry.flops = advect::total_flops(dims);
+  entry.enqueued_s = uptime_.seconds();
+  if (entry.request.timeout.count() > 0) {
+    entry.deadline = std::chrono::steady_clock::now() + entry.request.timeout;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  const bool accepted = config_.block_when_full
+                            ? queue_.push(std::move(entry))
+                            : queue_.try_push(std::move(entry));
+  if (!accepted) {
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    drained_cv_.notify_all();
+    if (stopped_.load()) {
+      return reject(std::move(state), api::SolveError::kServiceStopped,
+                    backend);
+    }
+    metrics_->counter_add("serve.admission.rejected_backpressure");
+    return reject(std::move(state), api::SolveError::kQueueFull, backend,
+                  "admission queue is full");
+  }
+  metrics_->gauge_set("serve.queue.depth",
+                      static_cast<double>(queue_.size()));
+  return api::SolveFuture(std::move(state));
+}
+
+std::vector<api::SolveFuture> SolveService::submit_all(
+    std::vector<api::SolveRequest> requests) {
+  std::vector<api::SolveFuture> futures;
+  futures.reserve(requests.size());
+  for (api::SolveRequest& request : requests) {
+    futures.push_back(submit(std::move(request)));
+  }
+  return futures;
+}
+
+void SolveService::drain() {
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void SolveService::shutdown(bool drain_queued) {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) {
+    // Someone already stopped the service; just wait for in-flight work.
+    drain();
+    return;
+  }
+  if (drain_queued) {
+    drain();  // queued entries count as pending, so this empties the queue
+  } else {
+    abandon_.store(true);
+    drained_cv_.notify_all();  // release a throttled dispatcher
+  }
+  queue_.close();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+  drain();  // pool workers may still be finishing dispatched batches
+}
+
+util::ThreadPool& SolveService::pool_for(api::Backend backend) {
+  std::lock_guard lock(mutex_);
+  auto& slot = pools_[backend];
+  if (!slot) {
+    slot = std::make_unique<util::ThreadPool>(config_.workers_per_backend);
+  }
+  return *slot;
+}
+
+void SolveService::dispatcher_loop() {
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t max_in_flight =
+      config_.max_in_flight != 0
+          ? config_.max_in_flight
+          : config_.max_batch * std::min(config_.workers_per_backend, cores);
+  for (;;) {
+    {
+      // Throttle: with every worker slot covered, leave requests in the
+      // bounded queue — that is where they batch up and where backpressure
+      // must bite. Pool deques are unbounded and must stay near-empty.
+      std::unique_lock lock(mutex_);
+      drained_cv_.wait(lock, [&] {
+        return in_flight_ < max_in_flight || abandon_.load();
+      });
+    }
+    std::optional<Entry> first = queue_.pop_for(std::chrono::milliseconds(50));
+    if (!first) {
+      if (queue_.closed()) {
+        return;  // closed and fully drained
+      }
+      continue;
+    }
+    std::vector<Entry> batch;
+    batch.push_back(std::move(*first));
+    while (batch.size() < config_.max_batch) {
+      std::optional<Entry> next = queue_.try_pop();
+      if (!next) {
+        break;
+      }
+      batch.push_back(std::move(*next));
+    }
+    metrics_->gauge_set("serve.queue.depth",
+                        static_cast<double>(queue_.size()));
+
+    if (abandon_.load()) {
+      // Abandoning shutdown: complete leftovers without running them.
+      for (Entry& entry : batch) {
+        entry.state->try_begin();
+        finish(entry,
+               api::error_result(api::SolveError::kServiceStopped,
+                                 entry.request.options.backend.backend(),
+                                 "service stopped before the request ran"),
+               /*dispatched=*/false);
+      }
+      continue;
+    }
+
+    // Group the drained slice by plan: same shape + same configuration runs
+    // back-to-back on one worker (warm plan, warm caches).
+    std::map<std::string, std::vector<Entry>> groups;
+    for (Entry& entry : batch) {
+      groups[entry.plan->key].push_back(std::move(entry));
+    }
+    for (auto& [key, group] : groups) {
+      dispatch_batch(std::move(group));
+    }
+  }
+}
+
+void SolveService::dispatch_batch(std::vector<Entry> batch) {
+  metrics_->observe("serve.batch.size", static_cast<double>(batch.size()));
+  {
+    std::lock_guard lock(mutex_);
+    in_flight_ += batch.size();
+  }
+  const api::Backend backend =
+      batch.front().request.options.backend.backend();
+  util::ThreadPool& pool = pool_for(backend);
+  auto shared = std::make_shared<std::vector<Entry>>(std::move(batch));
+  pool.submit([this, shared] { run_batch(*shared); });
+}
+
+void SolveService::run_batch(std::vector<Entry>& batch) {
+  for (Entry& entry : batch) {
+    const api::Backend backend = entry.request.options.backend.backend();
+    if (!entry.state->try_begin()) {
+      metrics_->counter_add("serve.cancelled");
+      finish(entry, api::error_result(api::SolveError::kCancelled, backend));
+      continue;
+    }
+    if (entry.deadline && std::chrono::steady_clock::now() > *entry.deadline) {
+      metrics_->counter_add("serve.deadline_exceeded");
+      finish(entry, api::error_result(api::SolveError::kDeadlineExceeded,
+                                      backend,
+                                      "deadline passed while queued"));
+      continue;
+    }
+    if (config_.result_cache) {
+      std::shared_ptr<const api::SolveResult> cached;
+      bool coalesced = false;
+      {
+        std::lock_guard lock(mutex_);
+        const auto it = results_.find(entry.fingerprint);
+        if (it != results_.end()) {
+          cached = it->second;
+        } else {
+          // Single-flight: if this fingerprint is already being computed on
+          // some worker, park the entry with it instead of computing the
+          // same answer twice; otherwise claim it (empty waiter list).
+          const auto flight = coalesced_.find(entry.fingerprint);
+          if (flight != coalesced_.end()) {
+            flight->second.push_back(std::move(entry));
+            coalesced = true;
+          } else {
+            coalesced_.emplace(entry.fingerprint, std::vector<Entry>{});
+          }
+        }
+      }
+      if (cached) {
+        metrics_->counter_add("serve.cache.hits");
+        api::SolveResult result = *cached;
+        result.cached = true;
+        finish(entry, std::move(result));
+        continue;
+      }
+      if (coalesced) {
+        continue;  // the computing worker will finish it
+      }
+    }
+
+    const api::AdvectionSolver solver(entry.request.options);
+    api::SolveResult result = solver.solve(entry.request);
+    metrics_->counter_add("serve.computed");
+
+    std::vector<Entry> waiters;
+    if (config_.result_cache) {
+      std::lock_guard lock(mutex_);
+      if (result.error == api::SolveError::kNone &&
+          results_
+              .emplace(entry.fingerprint,
+                       std::make_shared<const api::SolveResult>(result))
+              .second) {
+        result_order_.push_back(entry.fingerprint);
+        while (result_order_.size() > config_.result_cache_capacity) {
+          results_.erase(result_order_.front());
+          result_order_.pop_front();
+        }
+      }
+      const auto flight = coalesced_.find(entry.fingerprint);
+      if (flight != coalesced_.end()) {
+        waiters = std::move(flight->second);
+        coalesced_.erase(flight);
+      }
+    }
+    // Waiters ride on this compute: same payloads, same deterministic
+    // answer. An error propagates to them too — typed, but not counted (or
+    // flagged) as a cache hit, since nothing was cached.
+    const bool compute_ok = result.error == api::SolveError::kNone;
+    for (Entry& waiter : waiters) {
+      if (compute_ok) {
+        metrics_->counter_add("serve.cache.hits");
+        metrics_->counter_add("serve.cache.coalesced");
+      }
+      api::SolveResult shared_result = result;
+      shared_result.cached = compute_ok;
+      finish(waiter, std::move(shared_result));
+    }
+    finish(entry, std::move(result));
+  }
+}
+
+void SolveService::finish(Entry& entry, api::SolveResult result,
+                          bool dispatched) {
+  const bool ok = result.error == api::SolveError::kNone;
+  // Metrics and bookkeeping are published before complete() wakes waiters,
+  // so a report() taken right after wait() returns already includes this
+  // request.
+  metrics_->observe("serve.latency_s", uptime_.seconds() - entry.enqueued_s);
+  if (ok) {
+    metrics_->counter_add("serve.requests.completed");
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (ok) {
+      flops_served_ += entry.flops;
+    }
+  }
+  entry.state->complete(std::move(result));
+  {
+    std::lock_guard lock(mutex_);
+    --pending_;
+    if (dispatched) {
+      --in_flight_;
+    }
+  }
+  drained_cv_.notify_all();
+}
+
+ServiceReport SolveService::report() const {
+  ServiceReport report;
+  obs::RegistrySnapshot snapshot = metrics_->snapshot();
+  report.submitted = counter_or_zero(snapshot, "serve.submitted");
+  report.completed = counter_or_zero(snapshot, "serve.requests.completed");
+  report.computed = counter_or_zero(snapshot, "serve.computed");
+  report.result_cache_hits = counter_or_zero(snapshot, "serve.cache.hits");
+  report.rejected_options =
+      counter_or_zero(snapshot, "serve.admission.rejected_options");
+  report.rejected_lint =
+      counter_or_zero(snapshot, "serve.admission.rejected_lint");
+  report.rejected_backpressure =
+      counter_or_zero(snapshot, "serve.admission.rejected_backpressure");
+  report.cancelled = counter_or_zero(snapshot, "serve.cancelled");
+  report.deadline_exceeded =
+      counter_or_zero(snapshot, "serve.deadline_exceeded");
+  report.plan_cache_hits = plans_.hits();
+  report.plan_cache_misses = plans_.misses();
+  report.uptime_s = uptime_.seconds();
+  {
+    std::lock_guard lock(mutex_);
+    report.aggregate_gflops =
+        report.uptime_s > 0.0
+            ? static_cast<double>(flops_served_) / report.uptime_s / 1e9
+            : 0.0;
+  }
+  const auto latency = snapshot.histograms.find("serve.latency_s");
+  if (latency != snapshot.histograms.end()) {
+    report.latency_s = latency->second;
+  }
+  const auto batch = snapshot.histograms.find("serve.batch.size");
+  if (batch != snapshot.histograms.end()) {
+    report.batch_size = batch->second;
+  }
+  report.metrics = std::move(snapshot);
+  return report;
+}
+
+}  // namespace pw::serve

@@ -1,0 +1,84 @@
+#include "pw/serve/trace.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "pw/grid/init.hpp"
+#include "pw/util/rng.hpp"
+
+namespace pw::serve {
+
+namespace {
+
+std::shared_ptr<const grid::WindState> make_state(const grid::GridDims& dims,
+                                                  std::uint64_t seed) {
+  auto state = std::make_shared<grid::WindState>(dims);
+  grid::init_random(*state, seed);
+  return state;
+}
+
+api::SolverOptions options_for(api::Backend backend, const TraceSpec& spec) {
+  api::SolverOptions options;
+  if (backend == api::Backend::kHostOverlap) {
+    api::HostOptions host;
+    host.x_chunks = spec.x_chunks;
+    options.backend = host;
+  } else {
+    options.backend = backend;
+  }
+  options.kernel.chunk_y = spec.chunk_y;
+  return options;
+}
+
+}  // namespace
+
+std::vector<api::SolveRequest> make_trace(const TraceSpec& spec) {
+  std::vector<api::SolveRequest> trace;
+  if (spec.requests == 0 || spec.shapes.empty() || spec.backends.empty()) {
+    return trace;
+  }
+  trace.reserve(spec.requests);
+  util::Rng rng(spec.seed);
+
+  // Per-shape shared payloads: one coefficient set (requests of a shape
+  // always share it) and `hot_payloads` wind states for the repeat stream.
+  struct ShapePool {
+    std::shared_ptr<const advect::PwCoefficients> coefficients;
+    std::vector<std::shared_ptr<const grid::WindState>> hot;
+  };
+  std::vector<ShapePool> pools(spec.shapes.size());
+  for (std::size_t s = 0; s < spec.shapes.size(); ++s) {
+    const grid::GridDims& dims = spec.shapes[s];
+    pools[s].coefficients = std::make_shared<const advect::PwCoefficients>(
+        advect::PwCoefficients::from_geometry(
+            grid::Geometry::uniform(dims, 100.0, 100.0, 50.0)));
+    const std::size_t hot = spec.hot_payloads == 0 ? 1 : spec.hot_payloads;
+    for (std::size_t p = 0; p < hot; ++p) {
+      pools[s].hot.push_back(make_state(dims, spec.seed * 7919 + s * 97 + p));
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    const std::size_t s = i % spec.shapes.size();
+    ShapePool& pool = pools[s];
+    api::SolveRequest request;
+    request.coefficients = pool.coefficients;
+    if (rng.next_double() < spec.repeat_fraction) {
+      // Hot request: a payload the service has likely already served.
+      request.state = pool.hot[rng.next_below(pool.hot.size())];
+      request.tag = "hot/" + std::to_string(s);
+    } else {
+      request.state = make_state(spec.shapes[s], spec.seed + 104729 + i);
+      request.tag = "cold/" + std::to_string(i);
+    }
+    const api::Backend backend =
+        spec.backends[rng.next_below(spec.backends.size())];
+    request.options = options_for(backend, spec);
+    request.timeout = spec.timeout;
+    trace.push_back(std::move(request));
+  }
+  return trace;
+}
+
+}  // namespace pw::serve

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pw::util {
+
+/// Bounded multi-producer/multi-consumer FIFO — the backpressure primitive
+/// behind the serve layer's admission queue.
+///
+/// Semantics:
+///   - try_push never blocks; it fails when the queue is full or closed.
+///   - push blocks while full and fails only once the queue is closed.
+///   - pop blocks while empty; after close() it keeps draining whatever is
+///     already queued and returns nullopt only when closed *and* empty.
+///   - close() wakes every blocked producer and consumer.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// Non-blocking enqueue; false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue; waits for space. False only when closed.
+  bool push(T value) {
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking dequeue; nullopt when currently empty.
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard lock(mutex_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Blocking dequeue; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::optional<T> value;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Dequeue with a timeout; nullopt on timeout or once closed and drained
+  /// (distinguish via closed()).
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::optional<T> value;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait_for(lock, timeout,
+                          [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Stops admission (pushes fail) but lets consumers drain what remains.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pw::util

@@ -2,20 +2,30 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace pw::util {
 
-/// Fixed-size worker pool with a shared FIFO task queue.
+/// Fixed-size worker pool with per-worker task deques and work stealing.
 ///
-/// Used by the CPU advection baseline and by the threaded dataflow executor.
-/// Tasks are arbitrary `void()` callables; submit() returns a future that
-/// becomes ready when the task completes (exceptions propagate through it).
+/// Used by the CPU advection baseline, the threaded dataflow executor and
+/// the serve layer's per-backend worker pools. Tasks are arbitrary
+/// `void()` callables; submit() returns a future that becomes ready when
+/// the task completes (exceptions propagate through it).
+///
+/// Scheduling: submit() places tasks round-robin across worker deques;
+/// submit_on() pins a task to one worker (batch affinity — consecutive
+/// same-shape batches reuse a warm worker). Each worker drains its own
+/// deque front-first and, when empty, steals from the back of the most
+/// loaded sibling. Coordination is a single mutex — deterministic and
+/// sanitizer-friendly rather than lock-free; the tasks this pool runs are
+/// orders of magnitude longer than the handoff.
 class ThreadPool {
 public:
   /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -27,21 +37,42 @@ public:
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker (round-robin placement,
+  /// any idle worker may steal it).
   std::future<void> submit(std::function<void()> task);
+
+  /// Enqueues a task on worker `worker % size()`'s own deque. The pinned
+  /// worker prefers it, but a starving sibling may still steal it — the
+  /// hint trades locality, never progress.
+  std::future<void> submit_on(std::size_t worker, std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished.
   void wait_idle();
 
+  /// Scheduling counters (cumulative since construction).
+  struct Stats {
+    std::uint64_t executed = 0;  ///< tasks run to completion
+    std::uint64_t stolen = 0;    ///< tasks taken from another worker's deque
+  };
+  Stats stats() const;
+
 private:
-  void worker_loop();
+  void worker_loop(std::size_t self);
+  /// Pops the next task for worker `self` (own front, else steal from the
+  /// most loaded sibling's back). Caller must hold mutex_; returns false
+  /// when every deque is empty.
+  bool take_task(std::size_t self, std::packaged_task<void()>& out);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  std::vector<std::deque<std::packaged_task<void()>>> queues_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;
   std::size_t active_ = 0;
+  std::size_t next_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t stolen_ = 0;
   bool stop_ = false;
 };
 

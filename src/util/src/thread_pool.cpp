@@ -1,14 +1,17 @@
 #include "pw/util/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace pw::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  queues_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -24,11 +27,23 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard lock(mutex_);
+    target = next_;
+    next_ = (next_ + 1) % queues_.size();
+  }
+  return submit_on(target, std::move(task));
+}
+
+std::future<void> ThreadPool::submit_on(std::size_t worker,
+                                        std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(packaged));
+    queues_[worker % queues_.size()].push_back(std::move(packaged));
+    ++queued_;
   }
   cv_.notify_one();
   return future;
@@ -36,27 +51,62 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lock(mutex_);
+  return Stats{executed_, stolen_};
+}
+
+bool ThreadPool::take_task(std::size_t self,
+                           std::packaged_task<void()>& out) {
+  auto& own = queues_[self];
+  if (!own.empty()) {
+    out = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  // Steal from the back of the most loaded sibling — the task least likely
+  // to be hot in that worker's cache.
+  std::size_t victim = self;
+  std::size_t victim_depth = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (i != self && queues_[i].size() > victim_depth) {
+      victim = i;
+      victim_depth = queues_[i].size();
+    }
+  }
+  if (victim_depth == 0) {
+    return false;
+  }
+  out = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  ++stolen_;
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     std::packaged_task<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (stop_ && queued_ == 0) {
         return;
       }
-      task = std::move(queue_.front());
-      queue_.pop();
+      if (!take_task(self, task)) {
+        continue;
+      }
+      --queued_;
       ++active_;
     }
     task();
     {
       std::lock_guard lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) {
+      ++executed_;
+      if (queued_ == 0 && active_ == 0) {
         idle_cv_.notify_all();
       }
     }

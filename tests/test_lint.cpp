@@ -542,8 +542,7 @@ TEST(LintSolver, ValidateAcceptsShippedConfigurations) {
 
 TEST(LintSolver, ValidateRejectsBadOptionsAsDiagnostics) {
   api::SolverOptions options;
-  options.backend = api::Backend::kMultiKernel;
-  options.kernels = 0;
+  options.backend = api::MultiKernelOptions{.kernels = 0};
   const api::AdvectionSolver solver(options);
   const auto report = solver.validate({16, 64, 16});
   EXPECT_FALSE(report.passed());

@@ -1,0 +1,183 @@
+// Concurrency stress for the serving layer. These tests exist to run under
+// PW_SANITIZE=thread (scripts/ci.sh builds build-tsan and runs every
+// Serve* suite there): many submitter threads against one service, shared
+// external metrics registries, concurrent plan-cache lookups, and the raw
+// queue/pool primitives the service is built from.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pw/serve/service.hpp"
+#include "pw/serve/trace.hpp"
+#include "pw/util/mpmc_queue.hpp"
+#include "pw/util/thread_pool.hpp"
+
+namespace {
+
+using namespace pw;
+
+TEST(ServeStress, ConcurrentSubmittersMixedBackends) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 8;
+
+  obs::MetricsRegistry registry;  // shared sink: worker + service writes race
+  serve::ServiceConfig config;
+  config.metrics = &registry;
+  config.queue_capacity = 8;
+  config.block_when_full = true;  // flow control, no load shedding
+  config.workers_per_backend = 2;
+  serve::SolveService service(config);
+
+  serve::TraceSpec spec;
+  spec.requests = kThreads * kPerThread;
+  spec.shapes = {{16, 16, 16}, {12, 20, 8}};
+  spec.backends = {api::Backend::kReference, api::Backend::kFused,
+                   api::Backend::kCpuBaseline};
+  spec.repeat_fraction = 0.5;
+  const auto trace = serve::make_trace(spec);
+
+  std::atomic<std::size_t> ok_count{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // By value: the temporary future backing wait()'s reference dies
+        // at the end of the full expression.
+        const api::SolveResult result =
+            service.submit(trace[t * kPerThread + i]).wait();
+        if (result.ok()) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) {
+    thread.join();
+  }
+
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+  const serve::ServiceReport report = service.report();
+  EXPECT_EQ(report.submitted, kThreads * kPerThread);
+  EXPECT_EQ(report.completed, kThreads * kPerThread);
+  EXPECT_EQ(report.computed + report.result_cache_hits,
+            kThreads * kPerThread);
+  EXPECT_EQ(report.rejected_backpressure, 0u);  // blocking mode sheds nothing
+  EXPECT_EQ(registry.counter("serve.submitted"), kThreads * kPerThread);
+}
+
+TEST(ServeStress, ShutdownRacesInFlightWork) {
+  for (int round = 0; round < 4; ++round) {
+    serve::ServiceConfig config;
+    config.workers_per_backend = 2;
+    auto service = std::make_unique<serve::SolveService>(config);
+
+    serve::TraceSpec spec;
+    spec.requests = 8;
+    spec.seed = 100 + round;
+    auto futures = service->submit_all(serve::make_trace(spec));
+
+    // Abandoning shutdown races the dispatcher and the workers; every
+    // future must still complete (ok, or typed kServiceStopped).
+    service->shutdown(/*drain_queued=*/false);
+    for (auto& f : futures) {
+      const auto& result = f.wait();
+      EXPECT_TRUE(result.ok() ||
+                  result.error == api::SolveError::kServiceStopped)
+          << api::describe(result.error);
+    }
+  }
+}
+
+TEST(ServeStress, PlanCacheConcurrentLookups) {
+  serve::PlanCache cache;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 64;
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        const grid::GridDims dims{8 + (i % 3) * 4, 16, 8};
+        api::SolverOptions options;
+        options.backend = (t % 2 == 0)
+                              ? api::BackendSpec(api::Backend::kFused)
+                              : api::BackendSpec(api::MultiKernelOptions{
+                                    .kernels = 2});
+        options.kernel.chunk_y = 8;
+        const auto plan = cache.lookup(dims, options);
+        if (plan == nullptr || !plan->admitted) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(cache.size(), 6u);  // 3 shapes x 2 backends
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kIterations);
+}
+
+TEST(ServeStress, BoundedQueueManyProducersManyConsumers) {
+  util::BoundedMpmcQueue<std::size_t> queue(4);
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kPerProducer = 256;
+
+  std::atomic<std::size_t> sum{0};
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum.fetch_add(*item);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (std::size_t i = 1; i <= kPerProducer; ++i) {
+        EXPECT_TRUE(queue.push(i));  // blocks when full, fails only closed
+      }
+    });
+  }
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  queue.close();
+  for (auto& thread : consumers) {
+    thread.join();
+  }
+  const std::size_t expected =
+      kProducers * (kPerProducer * (kPerProducer + 1)) / 2;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ServeStress, ThreadPoolSubmitFromManyThreads) {
+  util::ThreadPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kTasks = 128;
+
+  std::vector<std::thread> submitters;
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        pool.submit([&executed] { executed.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& thread : submitters) {
+    thread.join();
+  }
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasks);
+}
+
+}  // namespace

@@ -30,9 +30,14 @@ struct Fixture {
 api::SolveResult run(const Fixture& f, api::Backend backend,
                      obs::MetricsRegistry* metrics = nullptr) {
   api::SolverOptions options;
-  options.backend = backend;
+  if (backend == api::Backend::kHostOverlap) {
+    api::HostOptions host;
+    host.x_chunks = 4;
+    options.backend = host;
+  } else {
+    options.backend = backend;  // per-backend default knobs
+  }
   options.kernel.chunk_y = 8;
-  options.host.x_chunks = 4;
   options.metrics = metrics;
   return api::AdvectionSolver(options).solve(f.state, f.coefficients);
 }
@@ -41,7 +46,7 @@ TEST(SolverApi, DoubleBackendsAreBitIdentical) {
   const Fixture f;
   const auto reference = run(f, api::Backend::kReference);
   ASSERT_TRUE(reference.ok()) << reference.message;
-  ASSERT_TRUE(reference.terms.has_value());
+  ASSERT_TRUE(reference.terms != nullptr);
 
   for (const api::Backend backend :
        {api::Backend::kCpuBaseline, api::Backend::kFused,
@@ -49,7 +54,7 @@ TEST(SolverApi, DoubleBackendsAreBitIdentical) {
     const auto result = run(f, backend);
     ASSERT_TRUE(result.ok())
         << api::to_string(backend) << ": " << result.message;
-    ASSERT_TRUE(result.terms.has_value()) << api::to_string(backend);
+    ASSERT_TRUE(result.terms != nullptr) << api::to_string(backend);
     EXPECT_TRUE(grid::compare_interior(reference.terms->su, result.terms->su)
                     .bit_equal())
         << api::to_string(backend) << " su";
@@ -132,9 +137,10 @@ TEST(SolverApi, EmptyGridIsATypedError) {
 
 TEST(SolverApi, UnchunkedOverlappedHostDriverIsRejected) {
   api::SolverOptions options;
-  options.backend = api::Backend::kHostOverlap;
+  api::HostOptions host;
+  host.overlapped = true;
+  options.backend = host;
   options.kernel.chunk_y = 0;  // unchunked
-  options.host.overlapped = true;
   EXPECT_EQ(api::validate(options), api::SolveError::kInvalidChunking);
 
   const Fixture f;
@@ -144,24 +150,24 @@ TEST(SolverApi, UnchunkedOverlappedHostDriverIsRejected) {
   EXPECT_FALSE(result.ok());
 
   // The sequential driver has no such constraint.
-  options.host.overlapped = false;
+  host.overlapped = false;
+  options.backend = host;
   EXPECT_EQ(api::validate(options), api::SolveError::kNone);
 }
 
 TEST(SolverApi, ZeroResourceBackendsAreRejected) {
   api::SolverOptions options;
-  options.backend = api::Backend::kMultiKernel;
-  options.kernels = 0;
+  options.backend = api::MultiKernelOptions{.kernels = 0};
   EXPECT_EQ(api::validate(options), api::SolveError::kNoKernelInstances);
 
   options = {};
-  options.backend = api::Backend::kVectorized;
-  options.lanes = 0;
+  options.backend = api::VectorizedOptions{.lanes = 0};
   EXPECT_EQ(api::validate(options), api::SolveError::kNoLanes);
 
   options = {};
-  options.backend = api::Backend::kHostOverlap;
-  options.host.x_chunks = 0;
+  api::HostOptions host;
+  host.x_chunks = 0;
+  options.backend = host;
   EXPECT_EQ(api::validate(options), api::SolveError::kNoChunks);
 }
 
@@ -176,11 +182,7 @@ TEST(SolverApi, HaloMismatchIsATypedError) {
 }
 
 TEST(SolverApi, DescribeCoversAllErrors) {
-  for (const api::SolveError error :
-       {api::SolveError::kNone, api::SolveError::kEmptyGrid,
-        api::SolveError::kHaloMismatch, api::SolveError::kInvalidChunking,
-        api::SolveError::kNoKernelInstances, api::SolveError::kNoLanes,
-        api::SolveError::kNoChunks}) {
+  for (const api::SolveError error : api::kAllSolveErrors) {
     EXPECT_FALSE(api::describe(error).empty());
   }
 }
