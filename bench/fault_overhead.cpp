@@ -1,0 +1,137 @@
+// Fault-hook overhead: the pw::fault injection hooks are compiled into
+// every layer unconditionally (streams, the OpenCL runtime, the serve
+// path), so their *disarmed* cost must be provably negligible. This bench
+// pins it three ways:
+//
+//   1. micro: the per-call cost of a disarmed fault::check() (one relaxed
+//      atomic acquire load + branch), measured over tens of millions of
+//      calls;
+//   2. census: how many hook checks one served request actually performs,
+//      counted exactly by arming a match-nothing plan (probability 0, so
+//      behaviour is unchanged but the injector counts consultations);
+//   3. budget: checks_per_request x check_ns as a fraction of the measured
+//      per-request service time — the number scripts/check_bench_json.py
+//      gates at < 1% (gauge fault.bench.overhead_frac).
+//
+// The analytic fraction is used instead of differencing two wall-clock
+// trace replays because the hook cost (sub-nanosecond per check) drowns in
+// run-to-run service jitter; the product of two tight measurements is the
+// honest estimate.
+//
+// Flags: --requests=N --iters=N --seed=N --csv=PATH --json=PATH
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pw/fault/injector.hpp"
+#include "pw/serve/service.hpp"
+#include "pw/serve/trace.hpp"
+#include "pw/util/cli.hpp"
+#include "pw/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+
+  const std::size_t requests =
+      static_cast<std::size_t>(cli.get_int("requests", 48));
+  const std::uint64_t iters =
+      static_cast<std::uint64_t>(cli.get_int("iters", 20'000'000));
+
+  // --- 1. micro: disarmed fault::check() cost -----------------------------
+  std::uint64_t sink = 0;
+  util::WallTimer check_timer;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    if (fault::check("bench.site")) {
+      ++sink;  // never taken while disarmed; defeats dead-code elimination
+    }
+  }
+  const double check_ns = check_timer.seconds() * 1e9 /
+                          static_cast<double>(iters);
+  if (sink != 0) {
+    std::cerr << "disarmed check fired?!\n";
+    return 1;
+  }
+
+  // --- 2. census + 3. budget over a served trace --------------------------
+  serve::TraceSpec spec;
+  spec.requests = requests;
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  spec.backends = {api::Backend::kFused, api::Backend::kCpuBaseline};
+  spec.repeat_fraction = 0.0;  // every request computes: worst case
+  const std::vector<api::SolveRequest> trace = serve::make_trace(spec);
+
+  const auto replay = [&trace](obs::MetricsRegistry* metrics) {
+    serve::ServiceConfig config;
+    config.result_cache = false;
+    config.queue_capacity = trace.size();
+    config.metrics = metrics;
+    serve::SolveService service(config);
+    util::WallTimer timer;
+    auto futures = service.submit_all(trace);
+    service.drain();
+    const double seconds = timer.seconds();
+    for (auto& future : futures) {
+      if (!future.wait().ok()) {
+        std::cerr << "solve failed: " << future.wait().message << "\n";
+        std::exit(1);
+      }
+    }
+    return seconds;
+  };
+
+  obs::MetricsRegistry registry;
+  const double disarmed_s = replay(&registry);
+
+  // Armed with a probability-0 match-all rule: every hook site consults the
+  // injector (so report().checks is an exact census of hook executions for
+  // this workload) but nothing ever fires.
+  fault::FaultPlan census_plan;
+  fault::FaultRule census_rule;
+  census_rule.site = "*";
+  census_rule.probability = 0.0;
+  census_plan.rules.push_back(census_rule);
+  fault::FaultInjector injector(census_plan);
+  double armed_s = 0.0;
+  {
+    fault::ScopedArm arm(injector);
+    armed_s = replay(nullptr);
+  }
+  const fault::FaultReport census = injector.report();
+  if (census.injected != 0) {
+    std::cerr << "probability-0 rule injected?!\n";
+    return 1;
+  }
+
+  const double checks_per_request =
+      static_cast<double>(census.checks) / static_cast<double>(requests);
+  const double request_s = disarmed_s / static_cast<double>(requests);
+  const double overhead_frac =
+      checks_per_request * check_ns * 1e-9 / request_s;
+
+  util::Table table("Disarmed fault-hook overhead (" +
+                    std::to_string(requests) + "-request trace)");
+  table.header({"metric", "value"});
+  table.row({"disarmed check [ns]", util::format_double(check_ns, 3)});
+  table.row({"hook checks / request",
+             util::format_double(checks_per_request, 1)});
+  table.row({"service time / request [ms]",
+             util::format_double(request_s * 1e3, 3)});
+  table.row({"disarmed replay [s]", util::format_double(disarmed_s, 3)});
+  table.row({"armed (p=0) replay [s]", util::format_double(armed_s, 3)});
+  table.row({"analytic overhead", util::format_double(overhead_frac * 100.0, 4) + "%"});
+  const int status = bench::emit(table, cli);
+
+  registry.gauge_set("fault.bench.check_ns", check_ns);
+  registry.gauge_set("fault.bench.checks_per_request", checks_per_request);
+  registry.gauge_set("fault.bench.request_s", request_s);
+  registry.gauge_set("fault.bench.disarmed_s", disarmed_s);
+  registry.gauge_set("fault.bench.armed_s", armed_s);
+  registry.gauge_set("fault.bench.overhead_frac", overhead_frac);
+  const int json_status =
+      bench::emit_registry(registry, "BENCH_fault.json", cli);
+  return status != 0 ? status : json_status;
+}

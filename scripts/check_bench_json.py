@@ -7,6 +7,12 @@ Each file must be a pw::obs registry snapshot: a JSON object with
 "counters" / "gauges" / "histograms" objects and a "spans" array, at least
 one metric overall, and no non-finite numbers (the exporter writes null for
 those, which is accepted). Exits non-zero on the first malformed artefact.
+
+Known gauges additionally carry budget gates: when an artefact reports
+"fault.bench.overhead_frac" (bench/fault_overhead's analytic estimate of
+the disarmed fault-hook cost as a fraction of per-request service time) it
+must be below 1% — the pw::fault hooks are compiled in unconditionally, so
+a regression here taxes every solve in the repo.
 """
 import json
 import math
@@ -25,6 +31,24 @@ def check_number(path, name, value):
         fail(path, f"{name}: expected a number, got {type(value).__name__}")
     if isinstance(value, float) and not math.isfinite(value):
         fail(path, f"{name}: non-finite value {value!r}")
+
+
+# Gauge-specific budget gates: name -> (upper bound, rationale).
+GAUGE_GATES = {
+    "fault.bench.overhead_frac": (
+        0.01, "disarmed fault-hook overhead must stay under 1% of the "
+              "per-request service time"),
+}
+
+
+def check_gauge_gates(path, gauges):
+    for name, (bound, rationale) in GAUGE_GATES.items():
+        value = gauges.get(name)
+        if value is None:  # absent, or the exporter's NaN/Inf encoding
+            continue
+        if value >= bound:
+            fail(path, f"gauge {name} = {value!r} breaches its budget "
+                       f"(< {bound}): {rationale}")
 
 
 def check_artefact(path, require_spans):
@@ -49,6 +73,7 @@ def check_artefact(path, require_spans):
             fail(path, f"counter {name}: expected a non-negative integer")
     for name, value in doc["gauges"].items():
         check_number(path, f"gauge {name}", value)
+    check_gauge_gates(path, doc["gauges"])
     for name, summary in doc["histograms"].items():
         if not isinstance(summary, dict):
             fail(path, f"histogram {name}: expected an object")

@@ -8,14 +8,17 @@
 #                              installed; LINT_pipelines.json validated by
 #                              scripts/check_bench_json.py
 #   3. tests                   ctest over build/
-#   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest.
-#                              Skipped with PW_CI_SKIP_SANITIZERS=1 for
-#                              quick local iterations.
-#   5. tsan: serve suites      TSan build (build-tsan/) + ctest -R '^Serve'
-#                              — the serving layer is the repo's most
-#                              thread-heavy subsystem, so its suites run
-#                              under TSan on every CI pass. Also skipped
-#                              with PW_CI_SKIP_SANITIZERS=1.
+#   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest
+#                              (which includes the `fault`-labelled chaos
+#                              battery). Skipped with PW_CI_SKIP_SANITIZERS=1
+#                              for quick local iterations.
+#   5. tsan: serve + fault     TSan build (build-tsan/) + ctest -R '^Serve'
+#                              and ctest -L fault — the serving layer is the
+#                              repo's most thread-heavy subsystem and the
+#                              fault battery deliberately storms it with
+#                              mid-solve failures, so both run under TSan on
+#                              every CI pass. Also skipped with
+#                              PW_CI_SKIP_SANITIZERS=1.
 #
 # A full-suite TSan run is not part of the default gate (it roughly
 # 10x-es suite runtime); run it on demand:
@@ -48,11 +51,15 @@ cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==== ci: TSan build + serve suites ===="
+echo "==== ci: TSan build + serve suites + fault battery ===="
 cmake -B build-tsan -S . -DPW_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target test_serve test_serve_stress
+cmake --build build-tsan -j "$JOBS" --target \
+  test_serve test_serve_stress \
+  test_fault test_fault_chaos test_backend_differential
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Serve'
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L fault
 
 echo "==== ci: all stages passed ===="

@@ -5,9 +5,10 @@
 #
 # The instrumented benches additionally dump machine-readable metrics
 # registries (BENCH_table1.json, BENCH_fig6.json,
-# BENCH_micro_shift_buffer.json, BENCH_serve.json); the run fails if any
-# artefact is missing or malformed (validated by
-# scripts/check_bench_json.py).
+# BENCH_micro_shift_buffer.json, BENCH_serve.json, BENCH_fault.json); the
+# run fails if any artefact is missing or malformed (validated by
+# scripts/check_bench_json.py, which also gates the disarmed fault-hook
+# overhead reported in BENCH_fault.json at < 1%).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,5 +40,6 @@ python3 scripts/check_bench_json.py BENCH_table1.json
 python3 scripts/check_bench_json.py --require-spans BENCH_fig6.json
 python3 scripts/check_bench_json.py BENCH_micro_shift_buffer.json
 python3 scripts/check_bench_json.py BENCH_serve.json
+python3 scripts/check_bench_json.py BENCH_fault.json
 
 echo "done: test_output.txt, bench_output.txt, BENCH_*.json"

@@ -145,11 +145,18 @@ class SolveFuture {
 
   /// Blocks until the solve completes; returns the result (valid for the
   /// lifetime of this future and its copies).
-  const SolveResult& wait() const {
+  const SolveResult& wait() const& {
     std::unique_lock lock(state_->mutex);
     state_->cv.wait(lock, [this] { return state_->done; });
     return state_->result;
   }
+
+  /// On a temporary future the referenced state would die with the
+  /// temporary at the end of the full expression, so
+  /// `service.submit(r).wait()` returns the result by value instead of a
+  /// dangling reference (the payload is shared_ptr-backed, so the copy is
+  /// cheap).
+  SolveResult wait() && { return static_cast<const SolveFuture&>(*this).wait(); }
 
   /// Blocks up to `timeout`; true when the result became ready in time.
   bool wait_for(std::chrono::nanoseconds timeout) const {
@@ -162,7 +169,8 @@ class SolveFuture {
   }
 
   /// The completed result. Precondition: ready() (wait() otherwise).
-  const SolveResult& result() const { return wait(); }
+  const SolveResult& result() const& { return wait(); }
+  SolveResult result() && { return static_cast<const SolveFuture&>(*this).wait(); }
 
  private:
   std::shared_ptr<detail::SolveState> state_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -61,12 +62,13 @@ enum class SolveError {
   kDeadlineExceeded,   ///< request deadline passed before completion
   kCancelled,          ///< cancelled via SolveFuture::cancel before running
   kServiceStopped,     ///< submitted to (or abandoned by) a stopped service
+  kBackendFault,       ///< a transfer, kernel or allocation fault mid-solve
 };
 
 std::string describe(SolveError error);
 
 /// Every SolveError enumerator, for exhaustive iteration in tests.
-inline constexpr std::array<SolveError, 12> kAllSolveErrors = {
+inline constexpr std::array<SolveError, 13> kAllSolveErrors = {
     SolveError::kNone,
     SolveError::kEmptyGrid,
     SolveError::kHaloMismatch,
@@ -79,6 +81,7 @@ inline constexpr std::array<SolveError, 12> kAllSolveErrors = {
     SolveError::kDeadlineExceeded,
     SolveError::kCancelled,
     SolveError::kServiceStopped,
+    SolveError::kBackendFault,
 };
 
 // ---------------------------------------------------------------------------
@@ -199,6 +202,12 @@ struct SolveResult {
   double seconds = 0.0;  ///< wall-clock solve time
   double gflops = 0.0;   ///< total_flops / seconds
   bool cached = false;   ///< served from a pw::serve result cache
+  /// Served by a failover backend after the requested backend faulted
+  /// (pw::serve graceful degradation): `backend` then names the backend
+  /// that actually computed the terms, not the one requested.
+  bool degraded = false;
+  /// Solve attempts consumed (1 = first try succeeded; >1 after retries).
+  std::uint32_t attempts = 1;
   std::shared_ptr<const advect::SourceTerms> terms;
   obs::RegistrySnapshot metrics;
 

@@ -5,6 +5,7 @@
 #include "pw/advect/cpu_baseline.hpp"
 #include "pw/advect/flops.hpp"
 #include "pw/api/request.hpp"
+#include "pw/fault/injector.hpp"
 #include "pw/kernel/fused.hpp"
 #include "pw/kernel/multi_kernel.hpp"
 #include "pw/kernel/pipeline_graph.hpp"
@@ -72,6 +73,8 @@ std::string describe(SolveError error) {
       return "cancelled via SolveFuture::cancel before execution began";
     case SolveError::kServiceStopped:
       return "the solve service is stopped and no longer accepts work";
+    case SolveError::kBackendFault:
+      return "a transfer, kernel or allocation fault surfaced mid-solve";
   }
   return "unknown error";
 }
@@ -224,7 +227,7 @@ SolveResult AdvectionSolver::solve(const SolveRequest& request) const {
 
   advect::SourceTerms terms(dims);
   const auto wall_start = std::chrono::steady_clock::now();
-  {
+  try {
     obs::Span solve_span(registry,
                          std::string("solve/") + to_string(backend));
     switch (backend) {
@@ -267,6 +270,15 @@ SolveResult AdvectionSolver::solve(const SolveRequest& request) const {
             options.backend.get_if<VectorizedOptions>()->lanes);
         break;
     }
+  } catch (const fault::FaultError& e) {
+    // An injected (or, with real hardware, genuine) backend fault: surface
+    // it as a typed error so the serve layer can retry / fail over instead
+    // of the exception unwinding through a worker thread.
+    registry.counter_add("solve.backend_fault");
+    SolveResult faulted = error_result(SolveError::kBackendFault, backend,
+                                       e.what());
+    faulted.metrics = registry.snapshot();
+    return faulted;
   }
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

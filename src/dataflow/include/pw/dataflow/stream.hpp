@@ -7,6 +7,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "pw/fault/injector.hpp"
+
 namespace pw::dataflow {
 
 /// Bounded blocking FIFO connecting two concurrently running dataflow
@@ -36,7 +38,19 @@ public:
   /// Blocking push. Returns true when the value was enqueued; false when
   /// the stream is (or becomes, while blocked) closed — the value is then
   /// discarded and the producer should wind down.
+  ///
+  /// Fault site "dataflow.stream.push" (pw::fault): an injected
+  /// kStreamClose closes the stream under the producer (which then sees
+  /// the normal close contract); stall/latency kinds sleep latency_s
+  /// before the enqueue. Disarmed cost is one atomic load.
   [[nodiscard]] bool push(T value) {
+    if (auto fault = fault::check("dataflow.stream.push")) {
+      if (fault->kind == fault::FaultKind::kStreamClose) {
+        close();
+        return false;
+      }
+      fault::apply_latency(*fault);
+    }
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [this] { return queue_.size() < capacity_ || closed_; });
     if (closed_) {
@@ -60,7 +74,18 @@ public:
   }
 
   /// Blocking pop; nullopt means closed-and-drained.
+  ///
+  /// Fault site "dataflow.stream.pop": kStreamClose closes the stream (the
+  /// consumer drains what was accepted, then sees end-of-stream);
+  /// stall/latency kinds sleep before the dequeue.
   std::optional<T> pop() {
+    if (auto fault = fault::check("dataflow.stream.pop")) {
+      if (fault->kind == fault::FaultKind::kStreamClose) {
+        close();
+      } else {
+        fault::apply_latency(*fault);
+      }
+    }
     std::unique_lock lock(mutex_);
     not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
     if (queue_.empty()) {

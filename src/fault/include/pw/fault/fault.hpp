@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pw::fault {
+
+/// The injectable fault taxonomy — the data-movement failure surface of the
+/// paper's host/device design: wedged or torn-down streams, failed
+/// PCIe/OpenCL buffer transfers, kernels that never come back, allocation
+/// failure under memory pressure, and plain slowness.
+enum class FaultKind {
+  kStreamStall,      ///< a dataflow stream blocks for latency_s before moving
+  kStreamClose,      ///< a dataflow stream is closed under the producer
+  kTransferFailure,  ///< an OCL buffer write/read fails (throws FaultError)
+  kKernelTimeout,    ///< a launched kernel never completes (throws FaultError)
+  kAllocFailure,     ///< device buffer allocation fails (throws FaultError)
+  kSpuriousLatency,  ///< extra latency_s (wall or modelled, site-dependent)
+};
+
+const char* to_string(FaultKind kind);
+std::optional<FaultKind> parse_fault_kind(std::string_view name);
+
+/// Every FaultKind enumerator, for exhaustive iteration in tests.
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kStreamStall,     FaultKind::kStreamClose,
+    FaultKind::kTransferFailure, FaultKind::kKernelTimeout,
+    FaultKind::kAllocFailure,    FaultKind::kSpuriousLatency,
+};
+
+/// One schedule entry of a FaultPlan: inject `kind` at hook sites matching
+/// `site`, deciding per eligible hit from the plan seed (so the schedule is
+/// a pure function of the plan, not of wall clock or thread timing).
+struct FaultRule {
+  /// Exact site name ("ocl.enqueue_write") or a prefix wildcard ("ocl.*",
+  /// "*" matches everything). See docs/fault_injection.md for the site
+  /// inventory.
+  std::string site;
+  FaultKind kind = FaultKind::kTransferFailure;
+  /// Per-eligible-hit injection probability; decisions are drawn from
+  /// hash(plan.seed, rule index, hit index), so the decision *sequence* is
+  /// byte-identical across runs with the same seed.
+  double probability = 1.0;
+  /// Skip the first `after` matching hits (fault appears mid-run).
+  std::uint64_t after = 0;
+  /// Stop after this many injections (transient vs. permanent faults).
+  std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
+  /// Sleep / modelled delay for the latency-shaped kinds.
+  double latency_s = 0.0;
+
+  bool operator==(const FaultRule&) const = default;
+};
+
+/// A seeded, reproducible schedule of injectable faults. Arm it through a
+/// FaultInjector (pw/fault/injector.hpp); an empty plan injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Serialises a plan in the line-based format parse_plan reads:
+///
+///   seed 42
+///   rule site=serve.solve.fused kind=transfer_failure prob=1 count=3
+///
+/// round-trips exactly (tested), so plans can live in files next to the
+/// traces they chaos-test.
+std::string to_string(const FaultPlan& plan);
+
+/// Parses the format above ('#' comments and blank lines ignored). Returns
+/// false and sets `error` on the first malformed line.
+bool parse_plan(const std::string& text, FaultPlan& out, std::string& error);
+
+/// Thrown by injection hooks for the hard-failure kinds (transfer, kernel
+/// timeout, allocation). pw::api::AdvectionSolver catches it and surfaces
+/// SolveError::kBackendFault; nothing else in the stack should swallow it.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultKind kind, std::string site)
+      : std::runtime_error(std::string("injected ") + fault::to_string(kind) +
+                           " at " + site),
+        kind_(kind),
+        site_(std::move(site)) {}
+
+  FaultKind kind() const noexcept { return kind_; }
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  FaultKind kind_;
+  std::string site_;
+};
+
+}  // namespace pw::fault

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pw/fault/fault.hpp"
+
+namespace pw::obs {
+class MetricsRegistry;
+}
+
+namespace pw::fault {
+
+/// One fired fault, as handed to a hook site.
+struct Fault {
+  FaultKind kind = FaultKind::kTransferFailure;
+  double latency_s = 0.0;
+  std::size_t rule = 0;      ///< index of the firing rule in the plan
+  std::uint64_t hit = 0;     ///< the rule's eligible-hit index that fired
+};
+
+/// Point-in-time summary of an injector: how often hooks consulted it, what
+/// it injected, and the canonical schedule string two same-seed runs of the
+/// same workload must agree on byte-for-byte.
+struct FaultReport {
+  std::uint64_t checks = 0;    ///< fire() consultations while armed
+  std::uint64_t injected = 0;  ///< faults actually fired
+  std::map<std::string, std::uint64_t> by_site;
+  std::map<std::string, std::uint64_t> by_kind;
+  /// Per rule, the sorted eligible-hit indices that injected. Sorted so the
+  /// string is deterministic even when hits interleave across threads.
+  std::vector<std::vector<std::uint64_t>> fired_hits;
+
+  /// Canonical byte-comparable serialisation: "0:[1,3,8] 1:[0]".
+  std::string schedule() const;
+};
+
+/// Deterministic runtime for one FaultPlan. Hook sites call fire(site); the
+/// injector matches the site against every rule and decides from
+/// hash(seed, rule, hit) — never from wall clock or thread identity — so
+/// the per-rule decision sequence is a pure function of the plan. All
+/// methods are thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan,
+                         obs::MetricsRegistry* metrics = nullptr);
+
+  /// Consults the plan for `site`. Returns the first matching rule's fault
+  /// when it fires; increments per-rule hit counters either way.
+  std::optional<Fault> fire(std::string_view site);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  FaultReport report() const;
+
+ private:
+  FaultPlan plan_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  struct RuleState {
+    std::uint64_t hits = 0;      ///< matching consultations so far
+    std::uint64_t injected = 0;  ///< injections so far (bounded by count)
+    std::vector<std::uint64_t> fired_hits;
+  };
+  std::vector<RuleState> states_;
+  std::uint64_t checks_ = 0;
+  std::map<std::string, std::uint64_t> by_site_;
+  std::map<std::string, std::uint64_t> by_kind_;
+};
+
+namespace detail {
+extern std::atomic<FaultInjector*> g_armed;
+}
+
+/// The process-wide armed injector; nullptr (the steady state) disables
+/// every hook at the cost of one atomic load. Hooks are compiled in
+/// unconditionally — bench/fault_overhead pins the disarmed cost at <1% of
+/// served solve time.
+inline FaultInjector* armed() noexcept {
+  return detail::g_armed.load(std::memory_order_acquire);
+}
+
+/// Arms `injector` for the lifetime of the scope (tests, pwserve
+/// --fault-plan). Nesting restores the previous injector; arming is
+/// process-global, so arm around a whole workload rather than per thread.
+class ScopedArm {
+ public:
+  explicit ScopedArm(FaultInjector& injector)
+      : previous_(detail::g_armed.exchange(&injector,
+                                           std::memory_order_acq_rel)) {}
+  ~ScopedArm() {
+    detail::g_armed.store(previous_, std::memory_order_release);
+  }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// The hook every instrumented layer calls: nullopt (one atomic load) when
+/// disarmed, otherwise the armed injector's decision for `site`.
+inline std::optional<Fault> check(std::string_view site) {
+  FaultInjector* injector = armed();
+  if (injector == nullptr) {
+    return std::nullopt;
+  }
+  return injector->fire(site);
+}
+
+/// Sleeps out a latency-shaped fault (no-op for latency_s <= 0).
+void apply_latency(const Fault& fault);
+
+/// Convenience hook for sites where every hard fault is an exception:
+/// latency kinds sleep, stream kinds are ignored (no stream here), the
+/// hard-failure kinds throw FaultError.
+void throw_if(std::string_view site);
+
+}  // namespace pw::fault

@@ -1,0 +1,139 @@
+#include "pw/fault/injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "pw/obs/metrics.hpp"
+
+namespace pw::fault {
+
+namespace detail {
+std::atomic<FaultInjector*> g_armed{nullptr};
+}
+
+namespace {
+
+/// SplitMix64-style mix of (seed, rule, hit) -> u64: the whole source of
+/// injection randomness, so a schedule is a pure function of the plan.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t rule, std::uint64_t hit) {
+  std::uint64_t z = seed ^ (rule * 0x9E3779B97F4A7C15ULL) ^
+                    (hit * 0xBF58476D1CE4E5B9ULL);
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool matches(const std::string& pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return site.substr(0, pattern.size() - 1) ==
+           std::string_view(pattern).substr(0, pattern.size() - 1);
+  }
+  return site == pattern;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::MetricsRegistry* metrics)
+    : plan_(std::move(plan)),
+      metrics_(metrics),
+      states_(plan_.rules.size()) {}
+
+std::optional<Fault> FaultInjector::fire(std::string_view site) {
+  std::lock_guard lock(mutex_);
+  ++checks_;
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (!matches(rule.site, site)) {
+      continue;
+    }
+    RuleState& state = states_[r];
+    const std::uint64_t hit = state.hits++;
+    if (hit < rule.after || state.injected >= rule.count) {
+      continue;
+    }
+    bool inject = rule.probability >= 1.0;
+    if (!inject && rule.probability > 0.0) {
+      const double u01 =
+          static_cast<double>(mix(plan_.seed, r, hit) >> 11) * 0x1.0p-53;
+      inject = u01 < rule.probability;
+    }
+    if (!inject) {
+      continue;
+    }
+    ++state.injected;
+    state.fired_hits.push_back(hit);
+    ++by_site_[std::string(site)];
+    ++by_kind_[to_string(rule.kind)];
+    if (metrics_ != nullptr) {
+      metrics_->counter_add("fault.injected");
+      metrics_->counter_add(std::string("fault.injected.") +
+                            to_string(rule.kind));
+    }
+    return Fault{rule.kind, rule.latency_s, r, hit};
+  }
+  return std::nullopt;
+}
+
+FaultReport FaultInjector::report() const {
+  std::lock_guard lock(mutex_);
+  FaultReport report;
+  report.checks = checks_;
+  report.by_site = by_site_;
+  report.by_kind = by_kind_;
+  report.fired_hits.reserve(states_.size());
+  for (const RuleState& state : states_) {
+    std::vector<std::uint64_t> hits = state.fired_hits;
+    std::sort(hits.begin(), hits.end());
+    report.injected += hits.size();
+    report.fired_hits.push_back(std::move(hits));
+  }
+  return report;
+}
+
+std::string FaultReport::schedule() const {
+  std::string out;
+  for (std::size_t r = 0; r < fired_hits.size(); ++r) {
+    if (r != 0) {
+      out += " ";
+    }
+    out += std::to_string(r) + ":[";
+    for (std::size_t i = 0; i < fired_hits[r].size(); ++i) {
+      if (i != 0) {
+        out += ",";
+      }
+      out += std::to_string(fired_hits[r][i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+void apply_latency(const Fault& fault) {
+  if (fault.latency_s > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(fault.latency_s));
+  }
+}
+
+void throw_if(std::string_view site) {
+  const std::optional<Fault> fault = check(site);
+  if (!fault) {
+    return;
+  }
+  switch (fault->kind) {
+    case FaultKind::kStreamStall:
+    case FaultKind::kSpuriousLatency:
+      apply_latency(*fault);
+      return;
+    case FaultKind::kStreamClose:
+      return;  // no stream at this site
+    case FaultKind::kTransferFailure:
+    case FaultKind::kKernelTimeout:
+    case FaultKind::kAllocFailure:
+      throw FaultError(fault->kind, std::string(site));
+  }
+}
+
+}  // namespace pw::fault

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "pw/fault/injector.hpp"
 #include "pw/kernel/fused.hpp"
 #include "pw/kernel/multi_kernel.hpp"
 #include "pw/obs/metrics.hpp"
@@ -114,6 +115,9 @@ HostDriverResult advect_via_host(const grid::WindState& state,
     stage.host_sv.assign(count, 0.0);
     stage.host_sw.assign(count, 0.0);
 
+    // Fault site "ocl.alloc": a failed clCreateBuffer for this chunk's
+    // device residency (throws FaultError on kAllocFailure et al.).
+    fault::throw_if("ocl.alloc");
     stage.dev_u = std::make_unique<Buffer>(count);
     stage.dev_v = std::make_unique<Buffer>(count);
     stage.dev_w = std::make_unique<Buffer>(count);

@@ -3,7 +3,28 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "pw/fault/injector.hpp"
+
 namespace pw::ocl {
+
+namespace {
+
+/// Consults the fault plan for a transfer site: hard kinds throw
+/// FaultError (a failed clEnqueueWrite/ReadBuffer), kSpuriousLatency is
+/// returned as extra *modelled* seconds added to the command (a slow DMA).
+double transfer_fault_latency(const char* site) {
+  const auto fault = fault::check(site);
+  if (!fault) {
+    return 0.0;
+  }
+  if (fault->kind == fault::FaultKind::kSpuriousLatency ||
+      fault->kind == fault::FaultKind::kStreamStall) {
+    return fault->latency_s;
+  }
+  throw fault::FaultError(fault->kind, site);
+}
+
+}  // namespace
 
 std::vector<std::size_t> CommandQueue::to_indices(
     const std::vector<Event>& events) const {
@@ -45,7 +66,8 @@ Event CommandQueue::enqueue_write(Buffer& destination,
   command.engine = xfer::Engine::kHostToDevice;
   command.duration_s = static_cast<double>(host.size() * sizeof(double)) /
                            (timing_.h2d_gbps * 1e9) +
-                       timing_.dma_setup_s;
+                       timing_.dma_setup_s +
+                       transfer_fault_latency("ocl.enqueue_write");
   command.depends = to_indices(wait_for);
   auto* dst = &destination;
   return record(std::move(command), [dst, host] {
@@ -67,7 +89,8 @@ Event CommandQueue::enqueue_read(const Buffer& source, std::span<double> host,
   command.engine = engine;
   command.duration_s = static_cast<double>(host.size() * sizeof(double)) /
                            (timing_.d2h_gbps * 1e9) +
-                       timing_.dma_setup_s;
+                       timing_.dma_setup_s +
+                       transfer_fault_latency("ocl.enqueue_read");
   command.depends = to_indices(wait_for);
   const auto* src = &source;
   return record(std::move(command), [src, host] {
@@ -86,9 +109,19 @@ Event CommandQueue::enqueue_kernel(std::string label,
   xfer::Command command;
   command.label = std::move(label);
   command.engine = xfer::Engine::kKernel;
-  command.duration_s = modelled_seconds + timing_.kernel_dispatch_s;
+  command.duration_s = modelled_seconds + timing_.kernel_dispatch_s +
+                       transfer_fault_latency("ocl.kernel.enqueue");
   command.depends = to_indices(wait_for);
-  return record(std::move(command), std::move(body));
+  // Fault site "ocl.kernel": fires when the kernel *executes* (inside
+  // finish()), modelling a hung or faulted compute unit rather than a
+  // failed enqueue.
+  auto wrapped = [body = std::move(body)] {
+    fault::throw_if("ocl.kernel");
+    if (body) {
+      body();
+    }
+  };
+  return record(std::move(command), std::move(wrapped));
 }
 
 Event CommandQueue::enqueue_barrier() {

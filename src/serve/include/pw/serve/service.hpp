@@ -14,14 +14,35 @@
 #include <vector>
 
 #include "pw/api/request.hpp"
+#include "pw/fault/breaker.hpp"
 #include "pw/obs/metrics.hpp"
 #include "pw/serve/plan_cache.hpp"
 #include "pw/util/mpmc_queue.hpp"
+#include "pw/util/rng.hpp"
 #include "pw/util/table.hpp"
 #include "pw/util/thread_pool.hpp"
 #include "pw/util/timer.hpp"
 
 namespace pw::serve {
+
+/// Retry schedule for solves that fail with a backend fault (and only
+/// those: validation errors, deadlines and cancellations never retry).
+/// Backoff before attempt k (k >= 1) is
+///   initial_backoff * multiplier^(k-1) * (1 + jitter * U[-1, 1))
+/// capped so a request never sleeps past its deadline — when the next
+/// backoff would cross it, the request fails with kDeadlineExceeded
+/// immediately instead of burning the remaining budget asleep.
+struct RetryPolicy {
+  /// Total solve attempts per backend, including the first (1 = no retry).
+  std::size_t max_attempts = 3;
+  std::chrono::duration<double> initial_backoff =
+      std::chrono::milliseconds(1);
+  double multiplier = 2.0;
+  /// Relative jitter amplitude in [0, 1]; 0 = deterministic backoff.
+  double jitter = 0.5;
+  /// Seed for the jitter RNG (deterministic backoff sequences in tests).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
 
 /// Tuning of one SolveService instance.
 struct ServiceConfig {
@@ -59,6 +80,20 @@ struct ServiceConfig {
   /// Admission-time lint strictness (see pw::lint::AdmissionPolicy).
   lint::AdmissionPolicy admission;
 
+  /// Retry schedule for kBackendFault outcomes (see RetryPolicy).
+  RetryPolicy retry;
+
+  /// Per-backend circuit breaker: after `failure_threshold` consecutive
+  /// faults a backend's breaker opens and requests skip straight to
+  /// failover (or fail fast) until a half-open probe succeeds.
+  fault::BreakerPolicy breaker;
+
+  /// Graceful degradation: when the requested backend exhausts its retries
+  /// (or its breaker is open), re-run the solve on `failover_backend` and
+  /// flag the result `degraded`. Disable to surface kBackendFault instead.
+  bool failover = true;
+  api::Backend failover_backend = api::Backend::kCpuBaseline;
+
   /// External metrics sink; the service owns a private registry when null.
   obs::MetricsRegistry* metrics = nullptr;
 };
@@ -78,6 +113,14 @@ struct ServiceReport {
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  // Resilience counters (pw::fault integration).
+  std::uint64_t backend_faults = 0;     ///< kBackendFault attempt outcomes
+  std::uint64_t retries = 0;            ///< backoff-then-retry sleeps taken
+  std::uint64_t retry_recovered = 0;    ///< solves that succeeded on retry
+  std::uint64_t failovers = 0;          ///< degraded completions via failover
+  std::uint64_t failover_failed = 0;    ///< failover attempt also faulted
+  std::uint64_t breaker_opens = 0;      ///< total breaker open transitions
+  std::uint64_t breaker_short_circuits = 0;  ///< solves skipped, breaker open
   double uptime_s = 0.0;
   double aggregate_gflops = 0.0;  ///< served FLOPs / uptime
   obs::HistogramSummary latency_s;    ///< submit -> completion
@@ -157,6 +200,14 @@ class SolveService {
   void run_batch(std::vector<Entry>& batch);
   void finish(Entry& entry, api::SolveResult result, bool dispatched = true);
   util::ThreadPool& pool_for(api::Backend backend);
+  fault::CircuitBreaker& breaker_for(api::Backend backend);
+  /// One solve attempt on `backend` (the entry's request with the backend
+  /// swapped in). Consults the "serve.solve.<backend>" fault site first.
+  api::SolveResult attempt_solve(const Entry& entry,
+                                 const api::BackendSpec& backend);
+  /// The full resilience ladder: breaker gate -> retry with backoff ->
+  /// failover to config_.failover_backend (degraded). Never throws.
+  api::SolveResult resilient_solve(const Entry& entry);
   api::SolveFuture reject(std::shared_ptr<api::detail::SolveState> state,
                           api::SolveError error, api::Backend backend,
                           std::string message = "");
@@ -172,6 +223,8 @@ class SolveService {
   mutable std::mutex mutex_;  // pools, result cache, pending bookkeeping
   std::condition_variable drained_cv_;
   std::map<api::Backend, std::unique_ptr<util::ThreadPool>> pools_;
+  std::map<api::Backend, std::unique_ptr<fault::CircuitBreaker>> breakers_;
+  util::Rng retry_rng_;  // jitter; guarded by mutex_
   std::unordered_map<std::uint64_t, std::shared_ptr<const api::SolveResult>>
       results_;
   std::deque<std::uint64_t> result_order_;  // FIFO eviction

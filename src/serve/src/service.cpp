@@ -4,9 +4,11 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "pw/advect/flops.hpp"
+#include "pw/fault/injector.hpp"
 #include "pw/obs/export.hpp"
 
 namespace pw::serve {
@@ -57,6 +59,13 @@ std::string to_json(const ServiceReport& report) {
   append_field(out, "deadline_exceeded", report.deadline_exceeded);
   append_field(out, "plan_cache_hits", report.plan_cache_hits);
   append_field(out, "plan_cache_misses", report.plan_cache_misses);
+  append_field(out, "backend_faults", report.backend_faults);
+  append_field(out, "retries", report.retries);
+  append_field(out, "retry_recovered", report.retry_recovered);
+  append_field(out, "failovers", report.failovers);
+  append_field(out, "failover_failed", report.failover_failed);
+  append_field(out, "breaker_opens", report.breaker_opens);
+  append_field(out, "breaker_short_circuits", report.breaker_short_circuits);
   obs::append_json_string(out, "uptime_s");
   out += ":";
   append_number(out, report.uptime_s);
@@ -89,6 +98,13 @@ util::Table to_table(const ServiceReport& report) {
   row("deadline exceeded", report.deadline_exceeded);
   row("plan cache hits", report.plan_cache_hits);
   row("plan cache misses", report.plan_cache_misses);
+  row("backend faults", report.backend_faults);
+  row("retries", report.retries);
+  row("retry recovered", report.retry_recovered);
+  row("failovers (degraded)", report.failovers);
+  row("failover failed", report.failover_failed);
+  row("breaker opens", report.breaker_opens);
+  row("breaker short circuits", report.breaker_short_circuits);
   table.row({"uptime [s]", util::format_double(report.uptime_s, 3)});
   table.row({"aggregate GFLOPS", util::format_double(report.aggregate_gflops, 3)});
   table.row({"latency p50 [s]", util::format_double(report.latency_s.p50, 6)});
@@ -103,7 +119,8 @@ SolveService::SolveService(ServiceConfig config)
     : config_(std::move(config)),
       metrics_(config_.metrics != nullptr ? config_.metrics : &own_metrics_),
       plans_(config_.admission),
-      queue_(config_.queue_capacity) {
+      queue_(config_.queue_capacity),
+      retry_rng_(config_.retry.jitter_seed) {
   if (config_.workers_per_backend == 0) {
     config_.workers_per_backend = 1;
   }
@@ -247,6 +264,134 @@ util::ThreadPool& SolveService::pool_for(api::Backend backend) {
   return *slot;
 }
 
+fault::CircuitBreaker& SolveService::breaker_for(api::Backend backend) {
+  std::lock_guard lock(mutex_);
+  auto& slot = breakers_[backend];
+  if (!slot) {
+    slot = std::make_unique<fault::CircuitBreaker>(config_.breaker);
+  }
+  return *slot;
+}
+
+api::SolveResult SolveService::attempt_solve(const Entry& entry,
+                                             const api::BackendSpec& backend) {
+  // Serve-level fault site "serve.solve.<backend>", consulted per attempt:
+  // it models a backend failing at dispatch (driver error, lost device)
+  // before any compute runs — the granularity the retry / breaker /
+  // failover ladder operates at. The site string is only materialised when
+  // an injector is armed; the steady-state cost is one atomic load.
+  if (fault::FaultInjector* injector = fault::armed()) {
+    const std::string site =
+        std::string("serve.solve.") + api::to_string(backend.backend());
+    if (const auto fault = injector->fire(site)) {
+      fault::apply_latency(*fault);
+      if (fault->kind != fault::FaultKind::kSpuriousLatency) {
+        metrics_->counter_add("serve.fault.injected");
+        return api::error_result(
+            api::SolveError::kBackendFault, backend.backend(),
+            "injected " + std::string(to_string(fault->kind)) + " at " + site);
+      }
+    }
+  }
+  api::SolveRequest request = entry.request;
+  request.options.backend = backend;
+  const api::AdvectionSolver solver(request.options);
+  api::SolveResult result = solver.solve(request);
+  metrics_->counter_add("serve.computed");
+  return result;
+}
+
+api::SolveResult SolveService::resilient_solve(const Entry& entry) {
+  const api::BackendSpec& primary = entry.request.options.backend;
+  const api::Backend backend = primary.backend();
+  fault::CircuitBreaker& breaker = breaker_for(backend);
+
+  api::SolveResult result;
+  if (breaker.allow()) {
+    const std::size_t max_attempts =
+        std::max<std::size_t>(1, config_.retry.max_attempts);
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      result = attempt_solve(entry, primary);
+      result.attempts = static_cast<std::uint32_t>(attempt + 1);
+      if (result.error != api::SolveError::kBackendFault) {
+        breaker.record_success();
+        if (attempt > 0 && result.ok()) {
+          metrics_->counter_add("serve.retry.recovered");
+        }
+        return result;
+      }
+      metrics_->counter_add("serve.fault.backend");
+      breaker.record_failure();
+      if (attempt + 1 >= max_attempts || !breaker.allow()) {
+        break;  // budget exhausted, or the breaker tripped mid-request
+      }
+      double backoff_s = config_.retry.initial_backoff.count() *
+                         std::pow(config_.retry.multiplier,
+                                  static_cast<double>(attempt));
+      if (config_.retry.jitter > 0.0) {
+        double unit;  // U[-1, 1)
+        {
+          std::lock_guard lock(mutex_);
+          unit = retry_rng_.uniform(-1.0, 1.0);
+        }
+        backoff_s *= std::max(0.0, 1.0 + config_.retry.jitter * unit);
+      }
+      if (entry.deadline) {
+        const auto wake = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(backoff_s));
+        if (wake >= *entry.deadline) {
+          // Sleeping would burn the rest of the budget: fail now, awake.
+          metrics_->counter_add("serve.deadline_exceeded");
+          metrics_->counter_add("serve.retry.abandoned");
+          api::SolveResult expired = api::error_result(
+              api::SolveError::kDeadlineExceeded, backend,
+              "deadline would pass during retry backoff");
+          expired.attempts = static_cast<std::uint32_t>(attempt + 1);
+          return expired;
+        }
+      }
+      metrics_->counter_add("serve.retry");
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+    }
+  } else {
+    metrics_->counter_add("serve.breaker.short_circuit");
+    result = api::error_result(
+        api::SolveError::kBackendFault, backend,
+        std::string("circuit breaker open for backend ") +
+            api::to_string(backend));
+    result.attempts = 0;
+  }
+
+  // Graceful degradation: the primary is out (retries exhausted or breaker
+  // open); serve from the failover backend and flag the result degraded.
+  if (config_.failover && backend != config_.failover_backend) {
+    fault::CircuitBreaker& fallback_breaker =
+        breaker_for(config_.failover_backend);
+    if (fallback_breaker.allow()) {
+      api::SolveResult fallback =
+          attempt_solve(entry, api::BackendSpec(config_.failover_backend));
+      fallback.attempts = result.attempts + 1;
+      if (fallback.error != api::SolveError::kBackendFault) {
+        fallback_breaker.record_success();
+        if (fallback.ok()) {
+          fallback.degraded = true;
+          metrics_->counter_add("serve.failover.degraded");
+        }
+        return fallback;
+      }
+      fallback_breaker.record_failure();
+      metrics_->counter_add("serve.fault.backend");
+      metrics_->counter_add("serve.failover.failed");
+      return fallback;
+    }
+    metrics_->counter_add("serve.breaker.short_circuit");
+    metrics_->counter_add("serve.failover.failed");
+  }
+  return result;
+}
+
 void SolveService::dispatcher_loop() {
   const std::size_t cores =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -369,14 +514,15 @@ void SolveService::run_batch(std::vector<Entry>& batch) {
       }
     }
 
-    const api::AdvectionSolver solver(entry.request.options);
-    api::SolveResult result = solver.solve(entry.request);
-    metrics_->counter_add("serve.computed");
+    api::SolveResult result = resilient_solve(entry);
 
     std::vector<Entry> waiters;
     if (config_.result_cache) {
       std::lock_guard lock(mutex_);
-      if (result.error == api::SolveError::kNone &&
+      // Degraded results are served but never cached: the cache must only
+      // memoise what the *requested* backend computed, so a recovered
+      // backend is not shadowed by stale failover answers.
+      if (result.error == api::SolveError::kNone && !result.degraded &&
           results_
               .emplace(entry.fingerprint,
                        std::make_shared<const api::SolveResult>(result))
@@ -455,6 +601,20 @@ ServiceReport SolveService::report() const {
       counter_or_zero(snapshot, "serve.deadline_exceeded");
   report.plan_cache_hits = plans_.hits();
   report.plan_cache_misses = plans_.misses();
+  report.backend_faults = counter_or_zero(snapshot, "serve.fault.backend");
+  report.retries = counter_or_zero(snapshot, "serve.retry");
+  report.retry_recovered = counter_or_zero(snapshot, "serve.retry.recovered");
+  report.failovers = counter_or_zero(snapshot, "serve.failover.degraded");
+  report.failover_failed =
+      counter_or_zero(snapshot, "serve.failover.failed");
+  report.breaker_short_circuits =
+      counter_or_zero(snapshot, "serve.breaker.short_circuit");
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [backend, breaker] : breakers_) {
+      report.breaker_opens += breaker->opens();
+    }
+  }
   report.uptime_s = uptime_.seconds();
   {
     std::lock_guard lock(mutex_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pw/fault/injector.hpp"
+
 namespace pw::xfer {
 
 std::size_t EventScheduler::add(Command command) {
@@ -15,6 +17,15 @@ std::size_t EventScheduler::add(Command command) {
   }
   if (command.duration_s < 0.0) {
     throw std::invalid_argument("EventScheduler: negative duration");
+  }
+  // Fault site "xfer.schedule": spurious latency stretches the command on
+  // the modelled timeline (a congested PCIe link / slow DMA engine); other
+  // kinds are ignored here — hard failures belong to the ocl.* sites.
+  if (auto fault = fault::check("xfer.schedule")) {
+    if (fault->kind == fault::FaultKind::kSpuriousLatency ||
+        fault->kind == fault::FaultKind::kStreamStall) {
+      command.duration_s += fault->latency_s;
+    }
   }
   commands_.push_back(std::move(command));
   return index;

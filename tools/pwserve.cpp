@@ -16,16 +16,28 @@
 //   pwserve --no-cache --block       # disable result cache; block on full
 //   pwserve --json=SERVE_report.json # ServiceReport JSON artefact
 //   pwserve --report                 # the same JSON on stdout
+//   pwserve --fault-plan=storm.plan  # replay under an armed pw::fault plan
+//
+// With --fault-plan=FILE the file is parsed as a pw::fault plan (see
+// docs/fault_injection.md for the line format), armed for the duration of
+// the replay, and the tool appends the injector's report — faults fired,
+// per-site breakdown, the reproducible schedule string — plus the service's
+// resilience counters (retries, failovers, degraded results).
 //
 // Exit status: 0 when every admitted request completed ok, 1 when any
 // request failed or was rejected — rejections are typed (queue-full,
-// deadline, lint) and itemised in the table either way.
+// deadline, lint) and itemised in the table either way. Requests served
+// degraded (failover to the CPU baseline) count as ok: the answer is
+// correct, only the execution strategy changed.
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "pw/api/request.hpp"
+#include "pw/fault/injector.hpp"
 #include "pw/serve/service.hpp"
 #include "pw/serve/trace.hpp"
 #include "pw/util/cli.hpp"
@@ -39,8 +51,29 @@ int main(int argc, char** argv) {
         << "usage: pwserve [--requests=N] [--workers=N] [--batch=N]\n"
         << "               [--queue=N] [--repeat=F] [--hot=N] [--seed=N]\n"
         << "               [--nx=N --ny=N --nz=N] [--timeout-ms=N]\n"
-        << "               [--no-cache] [--block] [--json=FILE] [--report]\n";
+        << "               [--no-cache] [--block] [--json=FILE] [--report]\n"
+        << "               [--fault-plan=FILE]\n";
     return 0;
+  }
+
+  // --fault-plan=FILE: arm a fault-injection plan for the replay. Parsed
+  // before the service is built so a bad plan fails fast.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (const auto plan_path = cli.get("fault-plan")) {
+    std::ifstream in(*plan_path);
+    if (!in) {
+      std::cerr << "pwserve: cannot read fault plan " << *plan_path << '\n';
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    fault::FaultPlan plan;
+    std::string error;
+    if (!fault::parse_plan(text.str(), plan, error)) {
+      std::cerr << "pwserve: " << *plan_path << ": " << error << '\n';
+      return 1;
+    }
+    injector = std::make_unique<fault::FaultInjector>(plan);
   }
 
   serve::TraceSpec spec;
@@ -69,26 +102,54 @@ int main(int argc, char** argv) {
 
   const auto trace = serve::make_trace(spec);
   serve::SolveService service(config);
-  std::vector<api::SolveFuture> futures = service.submit_all(trace);
-  service.drain();
 
   std::size_t failed = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    const api::SolveResult& result = futures[i].wait();
-    if (!result.ok()) {
-      ++failed;
-      std::cerr << "pwserve: " << trace[i].tag << ": "
-                << api::describe(result.error)
-                << (result.message.empty() ? "" : " — " + result.message)
-                << '\n';
+  std::size_t degraded = 0;
+  {
+    // The plan stays armed only while requests are in flight: parsing,
+    // reporting and JSON emission below run fault-free.
+    std::unique_ptr<fault::ScopedArm> arm;
+    if (injector) {
+      arm = std::make_unique<fault::ScopedArm>(*injector);
+    }
+    std::vector<api::SolveFuture> futures = service.submit_all(trace);
+    service.drain();
+
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const api::SolveResult& result = futures[i].wait();
+      if (!result.ok()) {
+        ++failed;
+        std::cerr << "pwserve: " << trace[i].tag << ": "
+                  << api::describe(result.error)
+                  << (result.message.empty() ? "" : " — " + result.message)
+                  << '\n';
+      } else if (result.degraded) {
+        ++degraded;
+      }
     }
   }
 
   const serve::ServiceReport report = service.report();
   serve::to_table(report).print(std::cout);
+  std::cout << "resilience: " << report.retries << " retries ("
+            << report.retry_recovered << " recovered), " << report.failovers
+            << " failovers, " << degraded << " of " << trace.size()
+            << " requests served degraded\n";
   if (failed != 0) {
     std::cout << failed << " of " << trace.size()
               << " requests did not complete ok\n";
+  }
+
+  if (injector) {
+    const fault::FaultReport faults = injector.get()->report();
+    std::cout << "fault plan: " << faults.injected << " faults injected over "
+              << faults.checks << " hook checks\n";
+    for (const auto& [site, count] : faults.by_site) {
+      std::cout << "  " << site << ": " << count << '\n';
+    }
+    std::cout << "fault schedule (seed-reproducible): "
+              << (faults.schedule().empty() ? "<empty>" : faults.schedule())
+              << '\n';
   }
 
   if (const auto json_path = cli.get("json")) {
