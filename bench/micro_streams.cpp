@@ -1,62 +1,193 @@
-// Measured-on-host throughput of the dataflow plumbing: blocking streams
-// (vendor-frontend transport) and the cycle engine's simulation rate.
-#include <benchmark/benchmark.h>
-
+// Measured-on-host handoff latency of the stream fabric: the lock-free
+// SPSC ring versus the retired mutex+condvar transport, scalar versus
+// batched (push_n/pop_n) moves, and wide DataPack words.
+//
+// Methodology: the gated numbers come from a same-thread relay — each
+// element is pushed and immediately popped, so the figure is the cost of
+// moving one value through the transport (enqueue + dequeue) with no
+// scheduler noise. On a single-core host a cross-thread pingpong measures
+// context-switch latency for *both* implementations and says nothing about
+// the ring itself; the threaded throughput numbers are still reported
+// below, but only the relay figures are gated by check_bench_json.py.
+// Every pass is repeated and the minimum is kept (min-of-repeats rejects
+// interference; means drift with background load).
+//
+// This bench owns its main and emits BENCH_streams.json (override with
+// --json=<path>) through the shared registry exporter, so reproduce.sh and
+// ci.sh get a machine-readable artefact with the streams.bench.* gauges.
+#include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <thread>
+#include <vector>
 
-#include "pw/dataflow/engine.hpp"
-#include "pw/dataflow/sim_stream.hpp"
-#include "pw/dataflow/stream.hpp"
+#include "bench_common.hpp"
+#include "pw/dataflow/streams.hpp"
+#include "pw/util/timer.hpp"
 
 namespace {
 
-void BM_StreamPushPop(benchmark::State& state) {
-  pw::dataflow::Stream<double> stream(
-      static_cast<std::size_t>(state.range(0)));
-  double x = 1.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(stream.push(x));
-    auto v = stream.try_pop();
-    benchmark::DoNotOptimize(v);
-    x += 1.0;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_StreamPushPop)->Arg(4)->Arg(64);
+// Sink that the optimiser must assume is read elsewhere; keeps the relay
+// loops from collapsing without linking google-benchmark.
+volatile double g_sink = 0.0;
 
-void BM_StreamThreaded(benchmark::State& state) {
-  // Producer/consumer across real threads, the frontends' execution model.
-  for (auto _ : state) {
-    pw::dataflow::Stream<double> stream(64);
-    constexpr int kCount = 100000;
-    std::thread producer([&stream] {
-      for (int i = 0; i < kCount; ++i) {
-        benchmark::DoNotOptimize(stream.push(static_cast<double>(i)));
+constexpr std::size_t kRelayElems = 1u << 18;
+constexpr int kRepeats = 7;
+constexpr std::size_t kBatch = 64;
+
+double min_pass_seconds(const std::vector<double>& passes) {
+  double best = std::numeric_limits<double>::max();
+  for (const double s : passes) {
+    best = s < best ? s : best;
+  }
+  return best;
+}
+
+// The relay loops are pinned to cache-line-aligned entry points: gcc's
+// default placement can land the SPSC loop on an alignment that costs
+// ~2.5x (measured 9.4ns vs 3.7ns for identical code), which would turn
+// the gated ratio into a code-layout lottery.
+// `flatten` keeps push/pop inlined into the loop even though the same
+// methods have other callers in this TU.
+#define PW_BENCH_HOT __attribute__((noinline, aligned(64), flatten))
+
+/// Per-element cost of a push+pop pair through `stream`, same thread.
+template <typename StreamT>
+PW_BENCH_HOT double relay_ns_per_elem(StreamT& stream) {
+  std::vector<double> passes;
+  passes.reserve(kRepeats);
+  for (int r = 0; r < kRepeats; ++r) {
+    pw::util::WallTimer timer;
+    for (std::size_t i = 0; i < kRelayElems; ++i) {
+      if (!stream.push(static_cast<double>(i))) {
+        return -1.0;
       }
-      stream.close();
-    });
-    double sum = 0.0;
-    while (auto v = stream.pop()) {
-      sum += *v;
+      auto v = stream.pop();
+      g_sink = v ? *v : 0.0;
     }
-    producer.join();
-    benchmark::DoNotOptimize(sum);
-    state.SetItemsProcessed(kCount);
+    passes.push_back(timer.seconds());
   }
+  return min_pass_seconds(passes) * 1e9 / static_cast<double>(kRelayElems);
 }
-BENCHMARK(BM_StreamThreaded);
 
-void BM_SimStream(benchmark::State& state) {
-  pw::dataflow::SimStream<double> stream(4);
-  double x = 0.0;
-  for (auto _ : state) {
-    stream.push(x);
-    auto v = stream.pop();
-    benchmark::DoNotOptimize(v);
-    x += 1.0;
+/// Per-element cost of batched moves: push_n a 64-wide run, pop_n it back.
+PW_BENCH_HOT double relay_batched_ns_per_elem(
+    pw::dataflow::Stream<double>& stream) {
+  std::vector<double> buf(kBatch);
+  std::vector<double> out(kBatch);
+  std::vector<double> passes;
+  passes.reserve(kRepeats);
+  for (int r = 0; r < kRepeats; ++r) {
+    pw::util::WallTimer timer;
+    for (std::size_t i = 0; i < kRelayElems; i += kBatch) {
+      for (std::size_t j = 0; j < kBatch; ++j) {
+        buf[j] = static_cast<double>(i + j);
+      }
+      if (stream.push_n(buf.data(), kBatch) != kBatch) {
+        return -1.0;
+      }
+      if (stream.pop_n(out.data(), kBatch) != kBatch) {
+        return -1.0;
+      }
+      g_sink = out[kBatch - 1];
+    }
+    passes.push_back(timer.seconds());
   }
-  state.SetItemsProcessed(state.iterations());
+  return min_pass_seconds(passes) * 1e9 / static_cast<double>(kRelayElems);
 }
-BENCHMARK(BM_SimStream);
+
+/// Per-*lane* cost of relaying one cache-line-wide DataPack per handoff.
+PW_BENCH_HOT double relay_pack_ns_per_lane(
+    pw::dataflow::Stream<pw::dataflow::FieldPack>& stream) {
+  constexpr std::size_t kPacks = kRelayElems / pw::dataflow::FieldPack::kWidth;
+  pw::dataflow::FieldPack pack{};
+  std::vector<double> passes;
+  passes.reserve(kRepeats);
+  for (int r = 0; r < kRepeats; ++r) {
+    pw::util::WallTimer timer;
+    for (std::size_t i = 0; i < kPacks; ++i) {
+      pack.lane[0] = static_cast<double>(i);
+      if (!stream.push(pack)) {
+        return -1.0;
+      }
+      auto v = stream.pop();
+      g_sink = v ? v->lane[0] : 0.0;
+    }
+    passes.push_back(timer.seconds());
+  }
+  return min_pass_seconds(passes) * 1e9 /
+         static_cast<double>(kPacks * pw::dataflow::FieldPack::kWidth);
+}
+
+/// Cross-thread producer/consumer throughput, reported but not gated (on a
+/// one-core host this measures the scheduler, not the ring).
+double threaded_elems_per_second(pw::dataflow::StreamPolicy policy) {
+  constexpr std::size_t kCount = 200000;
+  pw::dataflow::Stream<double> stream(
+      {.capacity = 256, .policy = policy, .name = "bench.threaded"});
+  pw::util::WallTimer timer;
+  std::thread producer([&stream] {
+    for (std::size_t i = 0; i < kCount; ++i) {
+      if (!stream.push(static_cast<double>(i))) {
+        return;
+      }
+    }
+    stream.close();
+  });
+  double sum = 0.0;
+  while (auto v = stream.pop()) {
+    sum += *v;
+  }
+  producer.join();
+  const double seconds = timer.seconds();
+  g_sink = sum;
+  return static_cast<double>(kCount) / seconds;
+}
+
+void record_bench(pw::obs::MetricsRegistry& registry) {
+  using pw::dataflow::MutexStream;
+  using pw::dataflow::Stream;
+  using pw::dataflow::StreamOptions;
+  using pw::dataflow::StreamPolicy;
+
+  MutexStream<double> mutex_stream(StreamOptions{.capacity = 256});
+  const double mutex_ns = relay_ns_per_elem(mutex_stream);
+
+  Stream<double> spsc(StreamOptions{.capacity = 256});
+  const double spsc_ns = relay_ns_per_elem(spsc);
+
+  Stream<double> mpmc(
+      StreamOptions{.capacity = 256, .policy = StreamPolicy::kMpmc});
+  const double mpmc_ns = relay_ns_per_elem(mpmc);
+
+  Stream<double> batched(StreamOptions{.capacity = 256});
+  const double batched_ns = relay_batched_ns_per_elem(batched);
+
+  Stream<pw::dataflow::FieldPack> packs(StreamOptions{.capacity = 64});
+  const double pack_ns = relay_pack_ns_per_lane(packs);
+
+  registry.gauge_set("streams.bench.handoff_ns", spsc_ns);
+  registry.gauge_set("streams.bench.mutex_handoff_ns", mutex_ns);
+  registry.gauge_set("streams.bench.mpmc_handoff_ns", mpmc_ns);
+  registry.gauge_set("streams.bench.batched_ns", batched_ns);
+  registry.gauge_set("streams.bench.pack_lane_ns", pack_ns);
+  registry.gauge_set("streams.bench.mutex_over_spsc_handoff",
+                     spsc_ns > 0.0 ? mutex_ns / spsc_ns : 0.0);
+  registry.counter_add("streams.bench.relay_elems",
+                       static_cast<std::uint64_t>(kRelayElems) * kRepeats * 4);
+
+  registry.gauge_set("streams.bench.threaded_spsc_elems_per_s",
+                     threaded_elems_per_second(StreamPolicy::kSpsc));
+  registry.gauge_set("streams.bench.threaded_mpmc_elems_per_s",
+                     threaded_elems_per_second(StreamPolicy::kMpmc));
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const pw::util::Cli cli(argc, argv);
+
+  pw::obs::MetricsRegistry registry;
+  record_bench(registry);
+  return pw::bench::emit_registry(registry, "BENCH_streams.json", cli);
+}

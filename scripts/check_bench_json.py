@@ -33,22 +33,38 @@ def check_number(path, name, value):
         fail(path, f"{name}: non-finite value {value!r}")
 
 
-# Gauge-specific budget gates: name -> (upper bound, rationale).
+# Gauge-specific budget gates: name -> (direction, bound, rationale).
+# "max" gates fail when value >= bound (a cost that must stay low);
+# "min" gates fail when value < bound (a ratio that must stay high).
 GAUGE_GATES = {
     "fault.bench.overhead_frac": (
-        0.01, "disarmed fault-hook overhead must stay under 1% of the "
-              "per-request service time"),
+        "max", 0.01,
+        "disarmed fault-hook overhead must stay under 1% of the "
+        "per-request service time"),
+    "streams.bench.handoff_ns": (
+        "max", 15.0,
+        "per-element SPSC relay handoff (push+pop) must stay in the "
+        "low-nanosecond range; ~3.8ns measured on the reference host, "
+        "budgeted with ~4x headroom for noisy CI boxes"),
+    "streams.bench.mutex_over_spsc_handoff": (
+        "min", 5.0,
+        "the lock-free SPSC ring must hand off elements at least 5x "
+        "faster than the retired mutex+condvar stream (PR 6 acceptance "
+        "bar; ~7x measured on the reference host)"),
 }
 
 
 def check_gauge_gates(path, gauges):
-    for name, (bound, rationale) in GAUGE_GATES.items():
+    for name, (direction, bound, rationale) in GAUGE_GATES.items():
         value = gauges.get(name)
         if value is None:  # absent, or the exporter's NaN/Inf encoding
             continue
-        if value >= bound:
+        if direction == "max" and value >= bound:
             fail(path, f"gauge {name} = {value!r} breaches its budget "
                        f"(< {bound}): {rationale}")
+        if direction == "min" and value < bound:
+            fail(path, f"gauge {name} = {value!r} is below its floor "
+                       f"(>= {bound}): {rationale}")
 
 
 def check_artefact(path, require_spans):

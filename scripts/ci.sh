@@ -8,16 +8,23 @@
 #                              installed; LINT_pipelines.json validated by
 #                              scripts/check_bench_json.py
 #   3. tests                   ctest over build/
+#   3b. stream bench gate      bench/micro_streams relay -> BENCH_streams
+#                              .json, validated + budget-gated (SPSC >= 5x
+#                              faster than the mutex referee) by
+#                              scripts/check_bench_json.py
 #   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest
 #                              (which includes the `fault`-labelled chaos
 #                              battery). Skipped with PW_CI_SKIP_SANITIZERS=1
 #                              for quick local iterations.
-#   5. tsan: serve + fault     TSan build (build-tsan/) + ctest -R '^Serve'
-#                              and ctest -L fault — the serving layer is the
-#                              repo's most thread-heavy subsystem and the
-#                              fault battery deliberately storms it with
-#                              mid-solve failures, so both run under TSan on
-#                              every CI pass. Also skipped with
+#   5. tsan: serve + fault     TSan build (build-tsan/) + ctest -R '^Serve',
+#              + streams       ctest -L fault and ctest -L streams — the
+#                              serving layer is the repo's most thread-heavy
+#                              subsystem, the fault battery deliberately
+#                              storms it with mid-solve failures, and the
+#                              streams label selects the lock-free ring
+#                              stress suite (test_stream_fabric), whose
+#                              memory-ordering argument is only as good as
+#                              its TSan run. Also skipped with
 #                              PW_CI_SKIP_SANITIZERS=1.
 #
 # A full-suite TSan run is not part of the default gate (it roughly
@@ -39,6 +46,10 @@ scripts/lint.sh build
 echo "==== ci: tests ===="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==== ci: stream fabric bench gate ===="
+build/bench/micro_streams --json=BENCH_streams.json
+python3 scripts/check_bench_json.py BENCH_streams.json
+
 if [[ "${PW_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
   echo "==== ci: sanitizers skipped (PW_CI_SKIP_SANITIZERS=1) ===="
   exit 0
@@ -51,15 +62,17 @@ cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==== ci: TSan build + serve suites + fault battery ===="
+echo "==== ci: TSan build + serve suites + fault battery + ring stress ===="
 cmake -B build-tsan -S . -DPW_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
-  test_serve test_serve_stress \
+  test_serve test_serve_stress test_stream_fabric \
   test_fault test_fault_chaos test_backend_differential
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Serve'
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L fault
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L streams
 
 echo "==== ci: all stages passed ===="

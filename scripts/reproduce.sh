@@ -5,10 +5,12 @@
 #
 # The instrumented benches additionally dump machine-readable metrics
 # registries (BENCH_table1.json, BENCH_fig6.json,
-# BENCH_micro_shift_buffer.json, BENCH_serve.json, BENCH_fault.json); the
-# run fails if any artefact is missing or malformed (validated by
-# scripts/check_bench_json.py, which also gates the disarmed fault-hook
-# overhead reported in BENCH_fault.json at < 1%).
+# BENCH_micro_shift_buffer.json, BENCH_serve.json, BENCH_fault.json,
+# BENCH_streams.json); the run fails if any artefact is missing or
+# malformed (validated by scripts/check_bench_json.py, which also gates
+# the disarmed fault-hook overhead reported in BENCH_fault.json at < 1%
+# and the stream-fabric handoff budgets in BENCH_streams.json, including
+# the >= 5x SPSC-vs-mutex floor).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +29,7 @@ for b in build/bench/*; do
   if [[ -x "$b" && -f "$b" ]]; then
     echo "==== $(basename "$b") ====" | tee -a bench_output.txt
     case "$(basename "$b")" in
+      micro_streams) "$b" ;;  # hand-rolled main, no google-benchmark flags
       micro_*) "$b" --benchmark_min_time=0.05 ;;
       *) "$b" ;;
     esac 2>&1 | tee -a bench_output.txt
@@ -41,5 +44,6 @@ python3 scripts/check_bench_json.py --require-spans BENCH_fig6.json
 python3 scripts/check_bench_json.py BENCH_micro_shift_buffer.json
 python3 scripts/check_bench_json.py BENCH_serve.json
 python3 scripts/check_bench_json.py BENCH_fault.json
+python3 scripts/check_bench_json.py BENCH_streams.json
 
 echo "done: test_output.txt, bench_output.txt, BENCH_*.json"

@@ -137,9 +137,12 @@ kernel::KernelRunStats run_legacy_pipeline(
   }
   const Trip trip{kernel::ChunkPlan(dims, config.chunk_y), xr, dims.nz};
 
-  hls::XilinxStream<CellInput> loaded(config.stream_depth);
-  hls::XilinxStream<StencilPacket> stencils(config.stream_depth);
-  hls::XilinxStream<ResultPacket> results(config.stream_depth);
+  hls::XilinxStream<CellInput> loaded(
+      {.capacity = config.stream_depth, .name = "legacy.loaded"});
+  hls::XilinxStream<StencilPacket> stencils(
+      {.capacity = config.stream_depth, .name = "legacy.stencils"});
+  hls::XilinxStream<ResultPacket> results(
+      {.capacity = config.stream_depth, .name = "legacy.results"});
 
   dataflow::ThreadedPipeline region;
   region.add_stage("load_data", [&] { load_data(state, trip, loaded); });

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace pw::dataflow {
+
+/// A wide stream word: `W` lanes of `T` moved as one element, the software
+/// analogue of the 512-bit vectorised words both FPGA backends stream
+/// (Xilinx ap_uint<512> bursts, Intel striped channels). Streaming
+/// DataPacks instead of scalars amortises per-element synchronisation the
+/// same way the hardware amortises per-beat handshakes — one cursor
+/// publish per W lanes — and is the natural unit for Stream::push_n /
+/// pop_n batching.
+template <typename T, std::size_t W>
+struct DataPack {
+  static_assert(W > 0, "a DataPack needs at least one lane");
+  static constexpr std::size_t kWidth = W;
+  using value_type = T;
+
+  std::array<T, W> lane{};
+
+  T& operator[](std::size_t i) noexcept { return lane[i]; }
+  const T& operator[](std::size_t i) const noexcept { return lane[i]; }
+
+  static constexpr std::size_t width() noexcept { return W; }
+
+  bool operator==(const DataPack&) const = default;
+};
+
+/// The default advection payload word: 8 doubles = 64 bytes, one cache
+/// line per element, matching the paper's 512-bit datapath width.
+using FieldPack = DataPack<double, 8>;
+
+}  // namespace pw::dataflow

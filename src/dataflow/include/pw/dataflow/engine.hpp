@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "pw/dataflow/placement.hpp"
 #include "pw/dataflow/stage.hpp"
 #include "pw/lint/checks.hpp"
 #include "pw/lint/graph.hpp"
@@ -48,6 +49,11 @@ struct SimReport {
   /// one character per traced cycle — 'F' fired, 's' stalled, '.' idle,
   /// 'D' done.
   std::vector<std::string> trace;
+
+  /// What set_placement asked for and whether the pin took for this run
+  /// (the engine is single-threaded, so one note covers every stage).
+  PlacementSpec placement;
+  bool placement_applied = false;
 
   /// Fired fraction of the named stage (0 when missing).
   double occupancy(const std::string& name) const;
@@ -96,6 +102,12 @@ public:
   /// (policy kEnforce by default: a malformed graph is rejected, not
   /// simulated) and deadlock diagnosis names the blocking streams via the
   /// graph's probes.
+  /// Pins the simulation thread for the duration of each run() (restored
+  /// afterwards — the pin never leaks to the caller). The engine ticks
+  /// every stage on one thread, so this is a whole-simulation placement,
+  /// useful for keeping cycle-accurate timing runs off busy cores.
+  void set_placement(PlacementSpec placement) { placement_ = placement; }
+
   void set_graph(lint::PipelineGraph graph);
   void set_lint_policy(LintPolicy policy) { lint_policy_ = policy; }
   void set_lint_options(lint::LintOptions options) {
@@ -119,6 +131,7 @@ private:
   std::optional<lint::PipelineGraph> graph_;
   LintPolicy lint_policy_ = LintPolicy::kEnforce;
   lint::LintOptions lint_options_;
+  PlacementSpec placement_;
 };
 
 }  // namespace pw::dataflow

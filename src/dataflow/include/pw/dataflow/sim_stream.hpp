@@ -1,57 +1,5 @@
 #pragma once
 
-#include <cstddef>
-#include <deque>
-#include <optional>
-#include <stdexcept>
-
-namespace pw::dataflow {
-
-/// Single-threaded bounded FIFO used by the cycle engine. A stage tick may
-/// move at most one element per port per cycle, which models the one-beat-
-/// per-cycle FIFOs HLS tools synthesise.
-template <typename T>
-class SimStream {
-public:
-  explicit SimStream(std::size_t capacity = 2) : capacity_(capacity) {
-    if (capacity_ == 0) {
-      throw std::invalid_argument("SimStream capacity must be positive");
-    }
-  }
-
-  bool full() const noexcept { return queue_.size() >= capacity_; }
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t size() const noexcept { return queue_.size(); }
-  std::size_t capacity() const noexcept { return capacity_; }
-
-  bool push(T value) {
-    if (full()) {
-      return false;
-    }
-    queue_.push_back(std::move(value));
-    return true;
-  }
-
-  std::optional<T> pop() {
-    if (queue_.empty()) {
-      return std::nullopt;
-    }
-    T value = std::move(queue_.front());
-    queue_.pop_front();
-    return value;
-  }
-
-  const T* peek() const { return queue_.empty() ? nullptr : &queue_.front(); }
-
-  void set_eos() noexcept { eos_ = true; }
-  /// True when the producer has finished and the FIFO is drained.
-  bool finished() const noexcept { return eos_ && queue_.empty(); }
-  bool eos() const noexcept { return eos_; }
-
-private:
-  std::size_t capacity_;
-  std::deque<T> queue_;
-  bool eos_ = false;
-};
-
-}  // namespace pw::dataflow
+/// Compatibility shim: SimStream moved into the unified transport header
+/// in PR 6. Include pw/dataflow/streams.hpp directly in new code.
+#include "pw/dataflow/streams.hpp"

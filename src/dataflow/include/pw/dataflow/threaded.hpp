@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "pw/dataflow/engine.hpp"
+#include "pw/dataflow/placement.hpp"
 #include "pw/lint/checks.hpp"
 #include "pw/lint/graph.hpp"
 
@@ -36,8 +37,21 @@ private:
 /// any body is rethrown from run() after all threads join.
 class ThreadedPipeline {
 public:
-  /// Adds a named stage body.
-  void add_stage(std::string name, std::function<void()> body);
+  /// One stage's placement outcome after run(): what was requested, and
+  /// whether the affinity syscall actually took (false never fails the
+  /// run — placement is advisory).
+  struct PlacementNote {
+    std::string stage;
+    PlacementSpec requested;
+    bool applied = false;
+  };
+
+  /// Adds a named stage body, optionally pinning its thread. The default
+  /// is the old behaviour (scheduler's choice); pass
+  /// PlacementSpec::core(n) to give latency-critical stages (the paper's
+  /// advect trio) stable cache/NUMA homes.
+  void add_stage(std::string name, std::function<void()> body,
+                 PlacementSpec placement = PlacementSpec::unpinned());
 
   /// Declares the stream wiring of the stage bodies. run() then verifies
   /// the graph statically before spawning any thread — a malformed region
@@ -58,14 +72,22 @@ public:
 
   std::size_t stages() const noexcept { return bodies_.size(); }
 
+  /// Per-stage placement outcomes of the most recent run() (empty before
+  /// the first run). Tests and obs use this to see whether pins took.
+  const std::vector<PlacementNote>& placement_report() const noexcept {
+    return placement_report_;
+  }
+
 private:
   struct NamedBody {
     std::string name;
     std::function<void()> body;
+    PlacementSpec placement;
   };
   std::vector<NamedBody> bodies_;
   std::optional<lint::PipelineGraph> graph_;
   LintPolicy lint_policy_ = LintPolicy::kEnforce;
+  std::vector<PlacementNote> placement_report_;
 };
 
 }  // namespace pw::dataflow

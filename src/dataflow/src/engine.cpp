@@ -109,6 +109,11 @@ std::string describe_blocking_streams(const lint::PipelineGraph& graph) {
 
 SimReport CycleEngine::run(std::uint64_t max_cycles) {
   SimReport report;
+  // Pin the (single) simulation thread for the whole run; the previous
+  // affinity mask is restored when this scope unwinds.
+  ScopedPlacement pin(placement_);
+  report.placement = placement_;
+  report.placement_applied = pin.applied();
   if (graph_.has_value() && lint_policy_ != LintPolicy::kOff) {
     report.lint = lint::run_checks(*graph_, lint_options_);
     if (!report.lint->passed() && lint_policy_ == LintPolicy::kEnforce) {

@@ -5,9 +5,9 @@
 
 namespace pw::dataflow {
 
-void ThreadedPipeline::add_stage(std::string name,
-                                 std::function<void()> body) {
-  bodies_.push_back({std::move(name), std::move(body)});
+void ThreadedPipeline::add_stage(std::string name, std::function<void()> body,
+                                 PlacementSpec placement) {
+  bodies_.push_back({std::move(name), std::move(body), placement});
 }
 
 void ThreadedPipeline::set_graph(lint::PipelineGraph graph) {
@@ -35,8 +35,19 @@ void ThreadedPipeline::run() {
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  placement_report_.clear();
+  placement_report_.reserve(bodies_.size());
   for (auto& stage : bodies_) {
-    threads.emplace_back([&stage, &first_error, &error_mutex] {
+    placement_report_.push_back({stage.name, stage.placement, false});
+  }
+
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    NamedBody& stage = bodies_[i];
+    PlacementNote& note = placement_report_[i];
+    threads.emplace_back([&stage, &note, &first_error, &error_mutex] {
+      // Pin before the body's first push so the stream's cache lines are
+      // warmed on the core the stage will actually live on.
+      note.applied = apply_placement(stage.placement);
       try {
         stage.body();
       } catch (...) {

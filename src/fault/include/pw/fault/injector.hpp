@@ -33,6 +33,11 @@ struct FaultReport {
   std::uint64_t injected = 0;  ///< faults actually fired
   std::map<std::string, std::uint64_t> by_site;
   std::map<std::string, std::uint64_t> by_kind;
+  /// Injections per named stream (PR 6): sites stay coarse
+  /// ("dataflow.stream.push"), attribution says *which* stream ate the
+  /// fault. Anonymous streams don't appear. Purely additive — by_site and
+  /// schedule() are byte-identical with or without attribution.
+  std::map<std::string, std::uint64_t> by_stream;
   /// Per rule, the sorted eligible-hit indices that injected. Sorted so the
   /// string is deterministic even when hits interleave across threads.
   std::vector<std::vector<std::uint64_t>> fired_hits;
@@ -52,8 +57,12 @@ class FaultInjector {
                          obs::MetricsRegistry* metrics = nullptr);
 
   /// Consults the plan for `site`. Returns the first matching rule's fault
-  /// when it fires; increments per-rule hit counters either way.
-  std::optional<Fault> fire(std::string_view site);
+  /// when it fires; increments per-rule hit counters either way. A
+  /// non-empty `attribution` (a stream name) is recorded in
+  /// FaultReport::by_stream when the fault fires; it never influences the
+  /// match or the injection decision, so schedules stay seed-deterministic.
+  std::optional<Fault> fire(std::string_view site,
+                            std::string_view attribution = {});
 
   const FaultPlan& plan() const noexcept { return plan_; }
   FaultReport report() const;
@@ -71,6 +80,7 @@ class FaultInjector {
   std::uint64_t checks_ = 0;
   std::map<std::string, std::uint64_t> by_site_;
   std::map<std::string, std::uint64_t> by_kind_;
+  std::map<std::string, std::uint64_t> by_stream_;
 };
 
 namespace detail {
@@ -104,13 +114,16 @@ class ScopedArm {
 };
 
 /// The hook every instrumented layer calls: nullopt (one atomic load) when
-/// disarmed, otherwise the armed injector's decision for `site`.
-inline std::optional<Fault> check(std::string_view site) {
+/// disarmed, otherwise the armed injector's decision for `site`. Pass the
+/// stream's name as `attribution` from stream-shaped sites so chaos
+/// reports can say which edge of the pipeline a fault landed on.
+inline std::optional<Fault> check(std::string_view site,
+                                  std::string_view attribution = {}) {
   FaultInjector* injector = armed();
   if (injector == nullptr) {
     return std::nullopt;
   }
-  return injector->fire(site);
+  return injector->fire(site, attribution);
 }
 
 /// Sleeps out a latency-shaped fault (no-op for latency_s <= 0).

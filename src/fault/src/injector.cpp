@@ -40,7 +40,8 @@ FaultInjector::FaultInjector(FaultPlan plan, obs::MetricsRegistry* metrics)
       metrics_(metrics),
       states_(plan_.rules.size()) {}
 
-std::optional<Fault> FaultInjector::fire(std::string_view site) {
+std::optional<Fault> FaultInjector::fire(std::string_view site,
+                                         std::string_view attribution) {
   std::lock_guard lock(mutex_);
   ++checks_;
   for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
@@ -66,6 +67,9 @@ std::optional<Fault> FaultInjector::fire(std::string_view site) {
     state.fired_hits.push_back(hit);
     ++by_site_[std::string(site)];
     ++by_kind_[to_string(rule.kind)];
+    if (!attribution.empty()) {
+      ++by_stream_[std::string(attribution)];
+    }
     if (metrics_ != nullptr) {
       metrics_->counter_add("fault.injected");
       metrics_->counter_add(std::string("fault.injected.") +
@@ -82,6 +86,7 @@ FaultReport FaultInjector::report() const {
   report.checks = checks_;
   report.by_site = by_site_;
   report.by_kind = by_kind_;
+  report.by_stream = by_stream_;
   report.fired_hits.reserve(states_.size());
   for (const RuleState& state : states_) {
     std::vector<std::uint64_t> hits = state.fired_hits;

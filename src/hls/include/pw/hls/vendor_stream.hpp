@@ -1,18 +1,29 @@
 #pragma once
 
+#include <cstddef>
 #include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "pw/dataflow/stream.hpp"
+#include "pw/dataflow/streams.hpp"
 
 namespace pw::hls {
 
 /// Xilinx-HLS-flavoured stream facade: the `hls::stream<T>` API surface
-/// (read/write/empty) over the library's blocking Stream. Used by the
-/// Xilinx-style kernel frontend so that frontend reads like Vitis HLS code.
+/// (read/write/empty) over the library's lock-free Stream. Used by the
+/// Xilinx-style kernel frontend so that frontend reads like Vitis HLS
+/// code. HLS streams are strictly point-to-point, so the default SPSC
+/// policy of StreamOptions is always the right one here; name your
+/// streams — `XilinxStream<T> raster({.capacity = depth, .name =
+/// "xilinx.raster"})` — so lint, obs and fault attribution can see them.
 template <typename T>
 class XilinxStream {
 public:
-  explicit XilinxStream(std::size_t depth = 16) : stream_(depth) {}
+  XilinxStream() : XilinxStream(dataflow::StreamOptions{}) {}
+
+  explicit XilinxStream(dataflow::StreamOptions options)
+      : stream_(std::move(options)) {}
 
   /// Blocking write; a value arriving after close() is dropped (the
   /// Stream close-while-blocked contract — real HLS streams cannot be
@@ -21,6 +32,13 @@ public:
     if (!stream_.push(std::move(value))) {
       // Closed early: the consumer has gone away; nothing to do.
     }
+  }
+
+  /// Blocking burst write of `values[0, count)` — the software analogue
+  /// of an AXI burst; one fault consultation and (on the SPSC ring) far
+  /// fewer cursor publishes than `count` scalar writes.
+  void write_n(T* values, std::size_t count) {
+    stream_.push_n(values, count);
   }
 
   /// Blocking read; throws once end-of-stream is reached (HLS streams have
@@ -34,18 +52,26 @@ public:
     return std::move(*value);
   }
 
+  /// Blocking burst read into `out[0, count)`; returns elements delivered
+  /// (== count unless end-of-stream arrived first).
+  std::size_t read_n(T* out, std::size_t count) {
+    return stream_.pop_n(out, count);
+  }
+
   bool read_nb(T& out) {
-    auto value = stream_.try_pop();
-    if (!value) {
-      return false;
-    }
-    out = std::move(*value);
-    return true;
+    return stream_.try_pop(out) == dataflow::TryPop::kValue;
   }
 
   bool empty() const { return stream_.size() == 0; }
+  std::size_t size() const { return stream_.size(); }
+  std::size_t capacity() const { return stream_.capacity(); }
+  bool closed() const { return stream_.closed(); }
+  const std::string& name() const { return stream_.name(); }
 
   void close() { stream_.close(); }
+
+  dataflow::Stream<T>& raw() { return stream_; }
+  const dataflow::Stream<T>& raw() const { return stream_; }
 
 private:
   dataflow::Stream<T> stream_;
@@ -57,9 +83,18 @@ private:
 template <typename T>
 class IntelChannel {
 public:
-  explicit IntelChannel(std::size_t depth = 16) : stream_(depth) {}
+  IntelChannel() : IntelChannel(dataflow::StreamOptions{}) {}
+
+  explicit IntelChannel(dataflow::StreamOptions options)
+      : stream_(std::move(options)) {}
 
   dataflow::Stream<T>& raw() { return stream_; }
+  const dataflow::Stream<T>& raw() const { return stream_; }
+
+  std::size_t size() const { return stream_.size(); }
+  std::size_t capacity() const { return stream_.capacity(); }
+  bool closed() const { return stream_.closed(); }
+  const std::string& name() const { return stream_.name(); }
 
 private:
   dataflow::Stream<T> stream_;
@@ -83,12 +118,7 @@ T read_channel_intel(IntelChannel<T>& channel) {
 
 template <typename T>
 bool read_channel_nb_intel(IntelChannel<T>& channel, T& out) {
-  auto value = channel.raw().try_pop();
-  if (!value) {
-    return false;
-  }
-  out = std::move(*value);
-  return true;
+  return channel.raw().try_pop(out) == dataflow::TryPop::kValue;
 }
 
 }  // namespace pw::hls

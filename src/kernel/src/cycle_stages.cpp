@@ -1,10 +1,11 @@
 #include "pw/kernel/cycle_stages.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "pw/advect/scheme.hpp"
-#include "pw/dataflow/sim_stream.hpp"
+#include "pw/dataflow/streams.hpp"
 #include "pw/dataflow/stage.hpp"
 #include "pw/kernel/chunking.hpp"
 #include "pw/kernel/multi_kernel.hpp"
@@ -112,9 +113,15 @@ private:
 };
 
 struct Fifos {
+  static dataflow::StreamOptions opts(std::size_t depth, const char* name) {
+    return {.capacity = depth, .name = std::string("cycle.") + name};
+  }
+
   explicit Fifos(std::size_t depth)
-      : raster(depth), stencils(depth), rep_u(depth), rep_v(depth),
-        rep_w(depth), out_u(depth), out_v(depth), out_w(depth) {}
+      : raster(opts(depth, "raster")), stencils(opts(depth, "stencils")),
+        rep_u(opts(depth, "rep_u")), rep_v(opts(depth, "rep_v")),
+        rep_w(opts(depth, "rep_w")), out_u(opts(depth, "out_u")),
+        out_v(opts(depth, "out_v")), out_w(opts(depth, "out_w")) {}
 
   SimStream<CellInput> raster;
   SimStream<StencilPacket> stencils;

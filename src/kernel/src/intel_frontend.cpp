@@ -1,9 +1,12 @@
 #include "pw/kernel/intel_frontend.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "pw/advect/scheme.hpp"
+#include "pw/dataflow/streams.hpp"
 #include "pw/dataflow/threaded.hpp"
+#include "pw/obs/metrics.hpp"
 #include "pw/hls/numeric_cast.hpp"
 #include "pw/hls/vendor_stream.hpp"
 #include "pw/kernel/chunking.hpp"
@@ -21,9 +24,15 @@ namespace {
 /// the §V reduced-precision variant).
 template <typename T>
 struct Channels {
+  static dataflow::StreamOptions opts(std::size_t depth, const char* name) {
+    return {.capacity = depth, .name = std::string("intel.") + name};
+  }
+
   explicit Channels(std::size_t depth)
-      : raster(depth), stencils(depth), rep_u(depth), rep_v(depth),
-        rep_w(depth), out_u(depth), out_v(depth), out_w(depth) {}
+      : raster(opts(depth, "raster")), stencils(opts(depth, "stencils")),
+        rep_u(opts(depth, "rep_u")), rep_v(opts(depth, "rep_v")),
+        rep_w(opts(depth, "rep_w")), out_u(opts(depth, "out_u")),
+        out_v(opts(depth, "out_v")), out_w(opts(depth, "out_w")) {}
 
   hls::IntelChannel<CellInputT<T>> raster;
   hls::IntelChannel<StencilPacketT<T>> stencils;
@@ -216,14 +225,42 @@ KernelRunStats run_intel_impl(const grid::WindState& state,
                         [&] { kernel_write_data<T>(trip, out, channels); });
   {
     // Same Fig. 2 topology as the Xilinx region, carried over channels;
-    // verified statically before the host launches any kernel thread.
+    // verified statically before the host launches any kernel thread, with
+    // live channel probes for deadlock blame and capacity.live_mismatch.
     PipelineGraphSpec spec;
     spec.dims = dims;
     spec.chunk_y = config.chunk_y;
     spec.fifo_depth = config.stream_depth;
-    host_launch.set_graph(describe_kernel_pipeline(spec));
+    lint::PipelineGraph graph;
+    const Fig2Streams ids = add_fig2_pipeline(graph, "", spec);
+    const auto probe = [&graph](int id, const auto& channel) {
+      graph.set_probe(id, [&channel] {
+        return lint::StreamProbe{channel.size(), channel.capacity(),
+                                 channel.closed()};
+      });
+    };
+    probe(ids.raster, channels.raster);
+    probe(ids.stencils, channels.stencils);
+    probe(ids.rep_u, channels.rep_u);
+    probe(ids.rep_v, channels.rep_v);
+    probe(ids.rep_w, channels.rep_w);
+    probe(ids.out_u, channels.out_u);
+    probe(ids.out_v, channels.out_v);
+    probe(ids.out_w, channels.out_w);
+    host_launch.set_graph(std::move(graph));
   }
   host_launch.run();
+
+  if (config.metrics != nullptr) {
+    channels.raster.raw().publish(*config.metrics);
+    channels.stencils.raw().publish(*config.metrics);
+    channels.rep_u.raw().publish(*config.metrics);
+    channels.rep_v.raw().publish(*config.metrics);
+    channels.rep_w.raw().publish(*config.metrics);
+    channels.out_u.raw().publish(*config.metrics);
+    channels.out_v.raw().publish(*config.metrics);
+    channels.out_w.raw().publish(*config.metrics);
+  }
 
   KernelRunStats stats;
   stats.values_streamed_per_field = 0;

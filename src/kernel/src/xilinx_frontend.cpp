@@ -1,9 +1,12 @@
 #include "pw/kernel/xilinx_frontend.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "pw/advect/scheme.hpp"
+#include "pw/dataflow/streams.hpp"
 #include "pw/dataflow/threaded.hpp"
+#include "pw/obs/metrics.hpp"
 #include "pw/hls/numeric_cast.hpp"
 #include "pw/hls/pragmas.hpp"
 #include "pw/hls/vendor_stream.hpp"
@@ -49,6 +52,12 @@ template <typename T>
 void read_data(const grid::WindState& state, const TripCounts& t,
                hls::XilinxStream<CellInputT<T>>& out) {
   const auto nz = static_cast<std::ptrdiff_t>(t.nz);
+  // One whole z-column per burst: the memory reader fills a local line and
+  // hands it to the stream as a single write_n — the software analogue of
+  // the wide AXI bursts the real load unit issues, and on the SPSC ring one
+  // cursor publish per accepted run instead of per element.
+  std::vector<CellInputT<T>> column;
+  column.reserve(t.nz + 2);
   for (const YChunk& chunk : t.plan.chunks()) {
     const auto x_lo = static_cast<std::ptrdiff_t>(t.xr.begin) - 1;
     const auto x_hi = static_cast<std::ptrdiff_t>(t.xr.end) + 1;
@@ -56,11 +65,13 @@ void read_data(const grid::WindState& state, const TripCounts& t,
     const auto j_hi = static_cast<std::ptrdiff_t>(chunk.j_end) + 1;
     for (std::ptrdiff_t i = x_lo; i < x_hi; ++i) {
       for (std::ptrdiff_t j = j_lo; j < j_hi; ++j) {
+        column.clear();
         for (std::ptrdiff_t k = -1; k <= nz; ++k) {
-          out.write({hls::to_value<T>(state.u.at(i, j, k)),
-                     hls::to_value<T>(state.v.at(i, j, k)),
-                     hls::to_value<T>(state.w.at(i, j, k))});
+          column.push_back({hls::to_value<T>(state.u.at(i, j, k)),
+                            hls::to_value<T>(state.v.at(i, j, k)),
+                            hls::to_value<T>(state.w.at(i, j, k))});
         }
+        out.write_n(column.data(), column.size());
       }
     }
   }
@@ -162,47 +173,93 @@ KernelRunStats run_xilinx_impl(const grid::WindState& state,
   }
   const TripCounts trips{ChunkPlan(dims, config.chunk_y), xr, dims.nz};
 
-  hls::XilinxStream<CellInputT<T>> raster(config.stream_depth);
-  hls::XilinxStream<StencilPacketT<T>> stencils(config.stream_depth);
-  hls::XilinxStream<StencilPacketT<T>> rep_u(config.stream_depth);
-  hls::XilinxStream<StencilPacketT<T>> rep_v(config.stream_depth);
-  hls::XilinxStream<StencilPacketT<T>> rep_w(config.stream_depth);
-  hls::XilinxStream<T> out_u(config.stream_depth);
-  hls::XilinxStream<T> out_v(config.stream_depth);
-  hls::XilinxStream<T> out_w(config.stream_depth);
+  // Every FIFO is named so lint diagnostics, deadlock blame, obs counters
+  // and fault attribution all speak the same Fig. 2 vocabulary.
+  const auto opts = [&](const char* name) {
+    return dataflow::StreamOptions{.capacity = config.stream_depth,
+                                   .name = std::string("xilinx.") + name};
+  };
+  hls::XilinxStream<CellInputT<T>> raster(opts("raster"));
+  hls::XilinxStream<StencilPacketT<T>> stencils(opts("stencils"));
+  hls::XilinxStream<StencilPacketT<T>> rep_u(opts("rep_u"));
+  hls::XilinxStream<StencilPacketT<T>> rep_v(opts("rep_v"));
+  hls::XilinxStream<StencilPacketT<T>> rep_w(opts("rep_w"));
+  hls::XilinxStream<T> out_u(opts("out_u"));
+  hls::XilinxStream<T> out_v(opts("out_v"));
+  hls::XilinxStream<T> out_w(opts("out_w"));
 
-  // The HLS dataflow region: every box of Fig. 2 runs concurrently.
+  // The HLS dataflow region: every box of Fig. 2 runs concurrently. On
+  // multi-core hosts each stage thread is pinned round-robin so a stage
+  // keeps its stream cache lines resident; on a single core pinning is
+  // pure overhead and the stages stay unpinned.
   PW_HLS_DATAFLOW;
   PW_HLS_INTERFACE_M_AXI(state, hbm_banks_0_to_15);
   PW_HLS_INTERFACE_M_AXI(out, hbm_banks_16_to_31);
+  const bool pin = dataflow::placement_cores() > 1;
+  int next_core = 0;
+  const auto place = [&] {
+    return pin ? dataflow::PlacementSpec::core(next_core++)
+               : dataflow::PlacementSpec::unpinned();
+  };
   dataflow::ThreadedPipeline region;
-  region.add_stage("read_data", [&] { read_data<T>(state, trips, raster); });
+  region.add_stage("read_data", [&] { read_data<T>(state, trips, raster); },
+                   place());
   region.add_stage("shift_buffer",
-                   [&] { shift_stage<T>(trips, raster, stencils); });
+                   [&] { shift_stage<T>(trips, raster, stencils); }, place());
   region.add_stage("replicate", [&] {
     replicate<T>(trips, stencils, rep_u, rep_v, rep_w);
-  });
+  }, place());
   region.add_stage("advect_u", [&] {
     advect_stage<T, Which::kU>(c, trips, rep_u, out_u);
-  });
+  }, place());
   region.add_stage("advect_v", [&] {
     advect_stage<T, Which::kV>(c, trips, rep_v, out_v);
-  });
+  }, place());
   region.add_stage("advect_w", [&] {
     advect_stage<T, Which::kW>(c, trips, rep_w, out_w);
-  });
+  }, place());
   region.add_stage("write_data",
-                   [&] { write_data<T>(trips, out, out_u, out_v, out_w); });
+                   [&] { write_data<T>(trips, out, out_u, out_v, out_w); },
+                   place());
   {
     // Declare the region's stream wiring so run() statically verifies it
-    // before any stage thread is spawned.
+    // before any stage thread is spawned, and attach live probes so both
+    // deadlock blame and the capacity.live_mismatch check can see the real
+    // FIFOs behind the declared edges.
     PipelineGraphSpec spec;
     spec.dims = dims;
     spec.chunk_y = config.chunk_y;
     spec.fifo_depth = config.stream_depth;
-    region.set_graph(describe_kernel_pipeline(spec));
+    lint::PipelineGraph graph;
+    const Fig2Streams ids = add_fig2_pipeline(graph, "", spec);
+    const auto probe = [&graph](int id, const auto& stream) {
+      graph.set_probe(id, [&stream] {
+        return lint::StreamProbe{stream.size(), stream.capacity(),
+                                 stream.closed()};
+      });
+    };
+    probe(ids.raster, raster);
+    probe(ids.stencils, stencils);
+    probe(ids.rep_u, rep_u);
+    probe(ids.rep_v, rep_v);
+    probe(ids.rep_w, rep_w);
+    probe(ids.out_u, out_u);
+    probe(ids.out_v, out_v);
+    probe(ids.out_w, out_w);
+    region.set_graph(std::move(graph));
   }
   region.run();
+
+  if (config.metrics != nullptr) {
+    raster.raw().publish(*config.metrics);
+    stencils.raw().publish(*config.metrics);
+    rep_u.raw().publish(*config.metrics);
+    rep_v.raw().publish(*config.metrics);
+    rep_w.raw().publish(*config.metrics);
+    out_u.raw().publish(*config.metrics);
+    out_v.raw().publish(*config.metrics);
+    out_w.raw().publish(*config.metrics);
+  }
 
   KernelRunStats stats;
   stats.values_streamed_per_field = trips.streamed();

@@ -340,6 +340,36 @@ void check_shift_buffers(const PipelineGraph& g, const LintOptions& options,
   }
 }
 
+// --- declared vs live capacity -----------------------------------------
+
+/// Every capacity-sensitive check above reasons from StreamEdge::depth —
+/// the *declared* depth. When a probe is attached (the graph is wired to a
+/// live pipeline) we can also see the FIFO's *actual* capacity; a mismatch
+/// means the graph lies about the pipeline it describes, silently
+/// invalidating the reconverge-capacity analysis. PR 6's StreamOptions
+/// migration made real capacities introspectable everywhere, so this is
+/// now checkable.
+void check_capacity_probes(const PipelineGraph& g, LintReport& report) {
+  for (const StreamEdge& edge : g.streams()) {
+    if (!edge.probe || edge.depth == 0) {
+      continue;
+    }
+    const StreamProbe probe = edge.probe();
+    if (probe.capacity == 0 || probe.capacity == edge.depth) {
+      continue;
+    }
+    std::ostringstream msg;
+    msg << "declared depth " << edge.depth << " but the live stream holds "
+        << probe.capacity
+        << " slots: the capacity-sensitive checks (deadlock.reconverge_"
+        << "capacity) analysed a different pipeline than the one running";
+    add(report, Severity::kError, "capacity.live_mismatch", "", edge.name,
+        msg.str(),
+        "construct the stream with {.capacity = " +
+            std::to_string(edge.depth) + "} or fix the declared depth");
+  }
+}
+
 bool suppressed(const Diagnostic& d, const LintOptions& options) {
   for (const std::string& rule : options.suppress) {
     if (d.check.compare(0, rule.size(), rule) == 0) {
@@ -360,6 +390,7 @@ LintReport run_checks(const PipelineGraph& graph, const LintOptions& options) {
     check_throughput(graph, options, report);
   }
   check_shift_buffers(graph, options, report);
+  check_capacity_probes(graph, report);
 
   if (!options.suppress.empty()) {
     std::vector<Diagnostic> kept;

@@ -7,16 +7,15 @@
 
 #include "pw/dataflow/engine.hpp"
 #include "pw/dataflow/rate_limiter.hpp"
-#include "pw/dataflow/sim_stream.hpp"
 #include "pw/dataflow/stage.hpp"
-#include "pw/dataflow/stream.hpp"
+#include "pw/dataflow/streams.hpp"
 #include "pw/dataflow/threaded.hpp"
 
 namespace pw::dataflow {
 namespace {
 
 TEST(Stream, FifoOrderPreserved) {
-  Stream<int> s(4);
+  Stream<int> s({.capacity = 4});
   EXPECT_TRUE(s.push(1));
   EXPECT_TRUE(s.push(2));
   EXPECT_TRUE(s.push(3));
@@ -26,7 +25,7 @@ TEST(Stream, FifoOrderPreserved) {
 }
 
 TEST(Stream, TryPushRespectsCapacity) {
-  Stream<int> s(2);
+  Stream<int> s({.capacity = 2});
   EXPECT_TRUE(s.try_push(1));
   EXPECT_TRUE(s.try_push(2));
   EXPECT_FALSE(s.try_push(3));
@@ -35,7 +34,7 @@ TEST(Stream, TryPushRespectsCapacity) {
 }
 
 TEST(Stream, PopAfterCloseDrainsThenEnds) {
-  Stream<int> s(4);
+  Stream<int> s({.capacity = 4});
   EXPECT_TRUE(s.push(7));
   s.close();
   EXPECT_EQ(*s.pop(), 7);
@@ -43,7 +42,7 @@ TEST(Stream, PopAfterCloseDrainsThenEnds) {
 }
 
 TEST(Stream, PushOnClosedReturnsFalse) {
-  Stream<int> s(4);
+  Stream<int> s({.capacity = 4});
   s.close();
   EXPECT_FALSE(s.push(1));
   EXPECT_FALSE(s.try_push(1));
@@ -54,7 +53,7 @@ TEST(Stream, PushOnClosedReturnsFalse) {
 // stream and then woken by close() must get a clean `false` back — not an
 // exception escaping its stage thread.
 TEST(Stream, CloseWakesBlockedProducerCleanly) {
-  Stream<int> s(1);
+  Stream<int> s({.capacity = 1});
   EXPECT_TRUE(s.push(1));  // stream now full
   std::atomic<int> result{-1};
   std::thread producer([&] {
@@ -75,7 +74,7 @@ TEST(Stream, CloseWakesBlockedProducerCleanly) {
 // A whole pipeline shuts down cleanly when a consumer abandons its input:
 // upstream stages get push() == false and terminate instead of throwing.
 TEST(Stream, PipelineShutsDownWhenConsumerAbandons) {
-  Stream<int> a_to_b(2);
+  Stream<int> a_to_b({.capacity = 2});
   std::atomic<int> produced{0};
   ThreadedPipeline pipeline;
   pipeline.add_stage("produce", [&] {
@@ -98,11 +97,11 @@ TEST(Stream, PipelineShutsDownWhenConsumerAbandons) {
 }
 
 TEST(Stream, ZeroCapacityRejected) {
-  EXPECT_THROW(Stream<int>(0), std::invalid_argument);
+  EXPECT_THROW(Stream<int>(StreamOptions{.capacity = 0}), std::invalid_argument);
 }
 
 TEST(Stream, ProducerConsumerThreaded) {
-  Stream<int> s(8);
+  Stream<int> s({.capacity = 8});
   constexpr int kCount = 10000;
   long long sum = 0;
   std::thread producer([&s] {
@@ -122,7 +121,7 @@ TEST(Stream, ProducerConsumerThreaded) {
 }
 
 TEST(SimStream, BoundedPushPop) {
-  SimStream<int> s(2);
+  SimStream<int> s({.capacity = 2});
   EXPECT_TRUE(s.push(1));
   EXPECT_TRUE(s.push(2));
   EXPECT_TRUE(s.full());
@@ -132,7 +131,7 @@ TEST(SimStream, BoundedPushPop) {
 }
 
 TEST(SimStream, EosSemantics) {
-  SimStream<int> s(2);
+  SimStream<int> s({.capacity = 2});
   s.push(5);
   s.set_eos();
   EXPECT_FALSE(s.finished());  // still holds data
@@ -141,7 +140,7 @@ TEST(SimStream, EosSemantics) {
 }
 
 TEST(SimStream, PeekDoesNotConsume) {
-  SimStream<int> s(2);
+  SimStream<int> s({.capacity = 2});
   s.push(9);
   EXPECT_EQ(*s.peek(), 9);
   EXPECT_EQ(s.size(), 1u);
@@ -197,7 +196,7 @@ private:
 };
 
 TEST(CycleEngine, SteadyStateThroughputIsOnePerCycle) {
-  SimStream<int> link(2);
+  SimStream<int> link({.capacity = 2});
   auto producer = std::make_unique<Producer>(link, 1000);
   auto consumer = std::make_unique<Consumer>(link);
   Consumer* consumer_ptr = consumer.get();
@@ -215,7 +214,7 @@ TEST(CycleEngine, SteadyStateThroughputIsOnePerCycle) {
 }
 
 TEST(CycleEngine, ConsumerIiTwoHalvesThroughput) {
-  SimStream<int> link(2);
+  SimStream<int> link({.capacity = 2});
   auto producer = std::make_unique<Producer>(link, 500);
   auto consumer = std::make_unique<Consumer>(link, /*ii=*/2);
 
@@ -231,7 +230,7 @@ TEST(CycleEngine, ConsumerIiTwoHalvesThroughput) {
 }
 
 TEST(CycleEngine, ReportsStallsWhenDownstreamBlocks) {
-  SimStream<int> link(1);
+  SimStream<int> link({.capacity = 1});
   auto producer = std::make_unique<Producer>(link, 100);
   auto consumer = std::make_unique<Consumer>(link, /*ii=*/4);
 
@@ -248,7 +247,7 @@ TEST(CycleEngine, ReportsStallsWhenDownstreamBlocks) {
 
 TEST(CycleEngine, BudgetExhaustionReported) {
   // A consumer on a never-fed stream stalls forever.
-  SimStream<int> link(1);
+  SimStream<int> link({.capacity = 1});
   auto consumer = std::make_unique<Consumer>(link);
   CycleEngine engine;
   engine.add_stage(std::move(consumer));
@@ -265,8 +264,8 @@ TEST(CycleEngine, EmptyEngineCompletesImmediately) {
 }
 
 TEST(ThreadedPipeline, RunsAllStagesConcurrently) {
-  Stream<int> a_to_b(4);
-  Stream<int> b_to_c(4);
+  Stream<int> a_to_b({.capacity = 4});
+  Stream<int> b_to_c({.capacity = 4});
   long long sum = 0;
 
   ThreadedPipeline pipeline;

@@ -189,7 +189,7 @@ TEST(FaultSites, StreamCloseUnderProducerFollowsCloseContract) {
   fault::FaultInjector injector(plan);
   fault::ScopedArm arm(injector);
 
-  dataflow::Stream<int> stream(4);
+  dataflow::Stream<int> stream({.capacity = 4, .name = "fault.test"});
   EXPECT_FALSE(stream.push(1));  // injected close: value discarded
   EXPECT_TRUE(stream.closed());
   EXPECT_FALSE(stream.push(2));  // closed stream keeps refusing, no throw
@@ -197,7 +197,7 @@ TEST(FaultSites, StreamCloseUnderProducerFollowsCloseContract) {
 }
 
 TEST(FaultSites, StreamCloseUnderConsumerDrainsThenEnds) {
-  dataflow::Stream<int> stream(4);
+  dataflow::Stream<int> stream({.capacity = 4, .name = "fault.test"});
   ASSERT_TRUE(stream.push(7));
   ASSERT_TRUE(stream.push(8));
 
@@ -220,7 +220,7 @@ TEST(FaultSites, StreamStallDelaysButDelivers) {
   fault::FaultInjector injector(plan);
   fault::ScopedArm arm(injector);
 
-  dataflow::Stream<int> stream(4);
+  dataflow::Stream<int> stream({.capacity = 4, .name = "fault.test"});
   const auto start = std::chrono::steady_clock::now();
   EXPECT_TRUE(stream.push(1));
   const auto elapsed = std::chrono::steady_clock::now() - start;

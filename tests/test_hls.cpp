@@ -67,7 +67,7 @@ TEST(ShiftRegister, ShiftsAndReturnsEvicted) {
 }
 
 TEST(XilinxStream, ReadWriteOrder) {
-  XilinxStream<int> s(4);
+  XilinxStream<int> s({.capacity = 4});
   s.write(1);
   s.write(2);
   EXPECT_EQ(s.read(), 1);
@@ -76,7 +76,7 @@ TEST(XilinxStream, ReadWriteOrder) {
 }
 
 TEST(XilinxStream, NonBlockingRead) {
-  XilinxStream<int> s(2);
+  XilinxStream<int> s({.capacity = 2});
   int out = 0;
   EXPECT_FALSE(s.read_nb(out));
   s.write(5);
@@ -85,13 +85,13 @@ TEST(XilinxStream, NonBlockingRead) {
 }
 
 TEST(XilinxStream, ReadPastEndThrows) {
-  XilinxStream<int> s(2);
+  XilinxStream<int> s({.capacity = 2});
   s.close();
   EXPECT_THROW(s.read(), std::logic_error);
 }
 
 TEST(IntelChannel, ChannelApiRoundTrip) {
-  IntelChannel<double> ch(4);
+  IntelChannel<double> ch({.capacity = 4});
   write_channel_intel(ch, 2.5);
   write_channel_intel(ch, 3.5);
   EXPECT_DOUBLE_EQ(read_channel_intel(ch), 2.5);
@@ -102,7 +102,7 @@ TEST(IntelChannel, ChannelApiRoundTrip) {
 }
 
 TEST(IntelChannel, BlocksProducerAtDepth) {
-  IntelChannel<int> ch(1);
+  IntelChannel<int> ch({.capacity = 1});
   write_channel_intel(ch, 1);
   std::thread consumer([&ch] {
     // Give the producer a moment to block, then drain.

@@ -290,8 +290,11 @@ struct ReconvergeRig {
   IntStream via_slow, via_fast, slow_out, fast_out;
 
   ReconvergeRig(std::size_t d, std::size_t latency)
-      : depth(d), slow_latency(latency), via_slow(d), via_fast(d),
-        slow_out(d), fast_out(d) {}
+      : depth(d), slow_latency(latency),
+        via_slow({.capacity = d, .name = "via_slow"}),
+        via_fast({.capacity = d, .name = "via_fast"}),
+        slow_out({.capacity = d, .name = "slow_out"}),
+        fast_out({.capacity = d, .name = "fast_out"}) {}
 
   lint::PipelineGraph graph_with_probes() {
     lint::PipelineGraph g = reconverge_graph(depth, slow_latency);
