@@ -12,10 +12,25 @@
 #                              .json, validated + budget-gated (SPSC >= 5x
 #                              faster than the mutex referee) by
 #                              scripts/check_bench_json.py
+#   3c. model checker          ctest -L check (the pw::check unit battery)
+#                              plus the pwcheck scenario suite — exhaustive
+#                              bounded-preemption exploration of the ring
+#                              protocols, with the CHECK_scenarios.json
+#                              artefact validated like the bench snapshots.
+#                              Required: a schedule the checker can reach
+#                              is a schedule production can reach.
 #   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest
 #                              (which includes the `fault`-labelled chaos
 #                              battery). Skipped with PW_CI_SKIP_SANITIZERS=1
 #                              for quick local iterations.
+#   4b. ubsan: streams + fault UBSan-only build (build-ubsan/) + ctest -L
+#              + check         streams/fault/check — unlike 4, no ASan
+#                              shadow memory, so the lock-free fast paths
+#                              run at near-production interleaving density
+#                              while UBSan watches for the UB (misaligned
+#                              loads, overflow) that memory-ordering bugs
+#                              tend to surface as. Also skipped with
+#                              PW_CI_SKIP_SANITIZERS=1.
 #   5. tsan: serve + fault     TSan build (build-tsan/) + ctest -R '^Serve',
 #              + streams       ctest -L fault and ctest -L streams — the
 #                              serving layer is the repo's most thread-heavy
@@ -50,6 +65,11 @@ echo "==== ci: stream fabric bench gate ===="
 build/bench/micro_streams --json=BENCH_streams.json
 python3 scripts/check_bench_json.py BENCH_streams.json
 
+echo "==== ci: model checker (pw::check) ===="
+ctest --test-dir build --output-on-failure -j "$JOBS" -L check
+build/tools/pwcheck --json=CHECK_scenarios.json
+python3 scripts/check_bench_json.py CHECK_scenarios.json
+
 if [[ "${PW_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
   echo "==== ci: sanitizers skipped (PW_CI_SKIP_SANITIZERS=1) ===="
   exit 0
@@ -61,6 +81,19 @@ cmake -B build-asan -S . -DPW_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==== ci: UBSan-only build + streams + fault battery + checker ===="
+cmake -B build-ubsan -S . -DPW_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ubsan -j "$JOBS" --target \
+  test_stream_fabric test_fault test_fault_chaos \
+  test_backend_differential test_check
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L streams
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L fault
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L check
 
 echo "==== ci: TSan build + serve suites + fault battery + ring stress ===="
 cmake -B build-tsan -S . -DPW_SANITIZE=thread \

@@ -7,6 +7,11 @@
 #                shift-buffer geometry). Always available: it is built from
 #                this repo.
 #   2. clang-tidy — the .clang-tidy profile over the compile database.
+#                Warnings in src/dataflow/ and src/check/ are promoted to
+#                errors (--warnings-as-errors='*'): the lock-free fabric
+#                and the model checker that vouches for it are held to a
+#                zero-warning bar, because a "benign" tidy finding there
+#                is usually a memory-ordering argument with a hole in it.
 #                Skipped with a notice when clang-tidy is not installed
 #                (the reference container ships GCC only); install
 #                clang-tidy to enable it locally or in CI.
@@ -39,11 +44,18 @@ if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
 fi
 
 # run-clang-tidy parallelises nicely when present; fall back to a direct
-# file loop otherwise.
-mapfile -t sources < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+# file loop otherwise. The dataflow + check trees run in a separate strict
+# pass where every warning fails the build.
+mapfile -t strict < <(git ls-files 'src/dataflow/*.cpp' 'src/check/*.cpp')
+mapfile -t sources < <(git ls-files 'src/*.cpp' 'tools/*.cpp' |
+  grep -v -e '^src/dataflow/' -e '^src/check/')
 if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$BUILD_DIR" -quiet \
+    -warnings-as-errors='*' "${strict[@]}"
   run-clang-tidy -p "$BUILD_DIR" -quiet "${sources[@]}"
 else
+  clang-tidy -p "$BUILD_DIR" --quiet \
+    --warnings-as-errors='*' "${strict[@]}"
   clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"
 fi
-echo "lint.sh: clang-tidy passed over ${#sources[@]} sources"
+echo "lint.sh: clang-tidy passed (${#strict[@]} strict + ${#sources[@]} sources)"

@@ -1,0 +1,144 @@
+#pragma once
+
+// Operation histories and the correctness oracles pw::check applies to
+// them. Macro-neutral (shared by instrumented and plain TUs).
+//
+// Scenario roles bracket every stream operation with begin()/end_*() so
+// each record carries real-time invocation/response stamps from a single
+// monotonic counter — the threads are serialised by the scheduler, so the
+// stamps totally order all history events of one execution. The oracles
+// then check:
+//
+//   1. linearizability (Wing & Gong style DFS with memoisation) against a
+//      sequential referee encoding MutexStream's contract;
+//   2. element-conservation invariants: nothing lost, duplicated,
+//      invented, or reordered per producer/consumer pair — across
+//      wraparound and push_n/pop_n batches;
+//   3. the close contracts: push->false and TryPop::kClosed only after a
+//      close, kClosed finality when no push can race the close.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pw::check {
+
+enum class OpKind {
+  kPush,          ///< blocking push; ok = accepted
+  kTryPush,       ///< non-blocking push; ok = accepted
+  kPop,           ///< blocking pop; ok = value, !ok = nullopt (closed+drained)
+  kTryPopValue,   ///< TryPop::kValue
+  kTryPopClosed,  ///< TryPop::kClosed
+  kPushN,         ///< batched push; values = accepted prefix
+  kPopN,          ///< batched pop; values = delivered elements
+  kClose,
+  kExpect,        ///< in-scenario assertion; ok = held
+};
+
+struct OpRecord {
+  int thread = -1;
+  OpKind kind = OpKind::kExpect;
+  std::uint64_t invoked = 0;
+  std::uint64_t returned = 0;
+  bool ok = true;
+  long long value = 0;
+  std::vector<long long> values;
+  std::string note;
+  bool live = true;  ///< false: discarded (e.g. a TryPop::kEmpty poll)
+};
+
+/// Per-execution history. Threads are serialised by the scheduler, so
+/// appends never race; records are completed in place via the index begin()
+/// returns so blocking calls get honest [invoked, returned] intervals.
+class History {
+ public:
+  void clear();
+
+  std::size_t begin(int thread, OpKind kind);
+  void end_push(std::size_t idx, long long value, bool ok);
+  void end_pop(std::size_t idx, std::optional<long long> value);
+  /// status: 0 = kValue, 1 = kEmpty (record discarded), 2 = kClosed.
+  void end_try_pop(std::size_t idx, int status, long long value);
+  void end_batch(std::size_t idx, std::vector<long long> values);
+  void end_close(std::size_t idx);
+
+  /// Record an in-scenario assertion (no interval; stamps are immediate).
+  void expect(int thread, bool held, std::string note);
+
+  /// Elements still in the stream after every role finished (driver-side
+  /// drain) — the conservation oracle's third bucket.
+  void set_leftover(std::vector<long long> values);
+
+  const std::vector<OpRecord>& ops() const noexcept { return ops_; }
+  const std::vector<long long>& leftover() const noexcept {
+    return leftover_;
+  }
+
+ private:
+  std::uint64_t stamp() { return next_stamp_++; }
+
+  std::vector<OpRecord> ops_;
+  std::vector<long long> leftover_;
+  std::uint64_t next_stamp_ = 1;  ///< 0 = "never returned" sentinel
+};
+
+/// Sequential model of the MutexStream referee's contract — the
+/// specification the lock-free history must linearise against. Also used
+/// directly by test_check's differential test, which replays random
+/// operation scripts against a real MutexStream and this model in
+/// lockstep.
+class Referee {
+ public:
+  explicit Referee(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Would the blocking call return immediately? (Sequential clients must
+  /// not issue calls that would block: there is no peer to unblock them.)
+  bool push_ready() const noexcept {
+    return closed_ || queue_.size() < capacity_;
+  }
+  bool pop_ready() const noexcept { return closed_ || !queue_.empty(); }
+
+  bool push(long long value);             ///< false iff closed
+  bool try_push(long long value);         ///< false iff closed or full
+  std::optional<long long> pop();         ///< nullopt iff closed and empty
+  /// 0 = value, 1 = empty (more may come), 2 = closed and drained.
+  int try_pop(long long* out);
+  void close() noexcept { closed_ = true; }
+
+  bool closed() const noexcept { return closed_; }
+  std::size_t size() const noexcept { return queue_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Serialised state for linearizability memoisation.
+  std::string key() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<long long> queue_;
+  bool closed_ = false;
+};
+
+/// Wing–Gong linearizability: does some permutation of the completed
+/// operations, consistent with their real-time intervals, replay legally
+/// on the referee? Records with kind kExpect / kPushN / kPopN or
+/// live == false are ignored (batches are checked by the invariants
+/// instead — a batch is deliberately not one atomic linearisation point).
+/// Returns false and fills `why` when no witness exists.
+bool linearizable(const std::vector<OpRecord>& ops, std::size_t capacity,
+                  std::string* why);
+
+struct InvariantPolicy {
+  /// True when the scenario orders every push before the close (no push
+  /// can race close()): TryPop::kClosed is then final for the whole
+  /// execution and pops after it must not produce values.
+  bool close_ordered = true;
+};
+
+/// The conservation/order/close-contract oracles. Returns one message per
+/// violated invariant (empty = clean).
+std::vector<std::string> check_invariants(const History& history,
+                                          const InvariantPolicy& policy);
+
+}  // namespace pw::check

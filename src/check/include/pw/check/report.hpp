@@ -1,0 +1,42 @@
+#pragma once
+
+// Exporters: fold scenario outcomes into the pw::lint Diagnostic/report
+// shape (one verdict language for both static analysis layers) and into
+// the obs registry for the JSON artefact CI validates.
+
+#include <string>
+#include <vector>
+
+#include "pw/check/sched.hpp"
+#include "pw/lint/diagnostic.hpp"
+#include "pw/obs/metrics.hpp"
+
+namespace pw::check {
+
+/// An outcome judged against its scenario's expectation: a negative
+/// scenario that *was* caught is a pass, a clean run of a positive
+/// scenario is a pass, everything else fails.
+struct JudgedOutcome {
+  ScenarioOutcome outcome;
+  bool expected_violation = false;
+  bool passed() const noexcept {
+    return outcome.violation == expected_violation;
+  }
+};
+
+/// One LintReport over the whole suite. Violation diagnostics pass
+/// through verbatim (demoted to kInfo with an "expected:" prefix when the
+/// scenario wanted them); every scenario additionally contributes a
+/// "check.explored" info with its exploration stats, and an unexpected
+/// verdict (missed bug, unwanted violation) becomes a "check.verdict"
+/// error.
+lint::LintReport to_lint_report(const std::vector<JudgedOutcome>& judged);
+
+/// Publish suite counters/gauges under `<prefix>.<scenario>.*`
+/// (executions, decisions, violations, passed) — same registry JSON shape
+/// scripts/check_bench_json.py validates.
+void publish(const std::vector<JudgedOutcome>& judged,
+             obs::MetricsRegistry& registry,
+             const std::string& prefix = "check");
+
+}  // namespace pw::check

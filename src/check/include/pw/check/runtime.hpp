@@ -1,0 +1,59 @@
+#pragma once
+
+// Hook surface between the pw::check atomics shim (shim.hpp, PW_CHECK=1
+// flavour) and the virtual scheduler (sched.cpp). This header is
+// macro-neutral: it compiles identically with and without PW_CHECK, so it
+// can be included from both instrumented TUs (via shim.hpp) and plain
+// ones (tests, the pwcheck CLI) without ODR hazards.
+//
+// All hooks are no-ops when the calling thread is not registered with a
+// live pw::check engine — instrumented code executed outside an
+// exploration (e.g. scenario setup on the driver thread) runs at full
+// speed on the real memory model.
+
+#include <atomic>
+
+namespace pw::check::rt {
+
+/// Pre-read scheduling + visibility point. acquire/seq_cst loads are
+/// scheduling decisions; relaxed loads are bookkeeping only.
+void hook_load(const void* location, std::memory_order order);
+
+/// Pre-write scheduling + visibility point (the store itself executes
+/// after this returns, before the thread can be descheduled again).
+void hook_store(const void* location, std::memory_order order);
+
+/// Post-write notification: bumps the global store stamp that wakes
+/// spin-blocked threads.
+void hook_store_committed(const void* location);
+
+/// Pre-RMW point. Every RMW is a scheduling decision regardless of order.
+void hook_rmw(const void* location, std::memory_order order);
+
+/// A compare-exchange that failed: downgrade the write half (pure load
+/// visibility applies; no store stamp).
+void hook_rmw_failed(const void* location, std::memory_order order);
+
+/// Plain (non-atomic) accesses to ring cells; feed the happens-before
+/// race detector.
+void hook_data_read(const void* location);
+void hook_data_write(const void* location);
+
+/// Spin-loop scheduling point (Backoff::pause under the checker). The
+/// calling thread blocks until some other thread commits a store; if no
+/// such thread can exist the engine reports a deadlock. May throw
+/// AbortExecution to unwind a thread when an execution is being drained —
+/// this is the only hook that throws, and every blocking wait in the
+/// stream fabric reaches it through Backoff.
+void hook_spin_yield();
+
+/// True when the calling thread is registered with a live engine.
+bool under_checker() noexcept;
+
+/// The publication order used by the SPSC ring's tail store under the
+/// checker: memory_order_release normally, memory_order_relaxed when the
+/// seeded-bug knob is armed (set_relaxed_publish_bug). Test-only.
+std::memory_order publish_order() noexcept;
+void set_relaxed_publish_bug(bool armed) noexcept;
+
+}  // namespace pw::check::rt

@@ -1,0 +1,71 @@
+#pragma once
+
+// The named scenario registry: each scenario wires a fresh (instrumented)
+// Stream instance to a set of thread roles plus the oracles that judge
+// every explored execution. Macro-neutral — the instrumented world is
+// sealed inside scenarios.cpp (the only TU of pw_check built with
+// PW_CHECK=1); callers here only see std::function bodies.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pw/check/history.hpp"
+#include "pw/check/sched.hpp"
+
+namespace pw::check {
+
+/// One live exploration subject: a fresh stream plus the role closures
+/// that operate on it. Recreated for every execution so state never leaks
+/// between interleavings.
+class ScenarioInstance {
+ public:
+  virtual ~ScenarioInstance() = default;
+
+  /// One body per virtual thread; index = thread id in traces.
+  virtual std::vector<std::function<void()>> bodies() = 0;
+
+  /// Driver-side epilogue after every role finished (or was unwound):
+  /// drain leftovers into the history, release knobs. Runs outside the
+  /// scheduler, must not block.
+  virtual void finalize() = 0;
+
+  virtual History& history() = 0;
+  virtual std::size_t capacity() const = 0;
+
+  /// Apply the linearizability oracle? Batch scenarios opt out (push_n is
+  /// deliberately not one atomic linearisation point) and rely on the
+  /// conservation invariants.
+  virtual bool check_linearizability() const { return true; }
+
+  /// See InvariantPolicy::close_ordered.
+  virtual bool close_ordered() const { return true; }
+};
+
+struct ScenarioSpec {
+  std::string name;     ///< e.g. "spsc.relay"
+  std::string summary;  ///< one-liner for `pwcheck --list`
+  int threads = 2;
+  /// Negative scenarios (the seeded relaxed-publish bug, the wedged
+  /// consumer): the checker MUST report a violation; not finding one is
+  /// the failure.
+  bool expect_violation = false;
+  /// Per-scenario default divergence budget (CheckOptions overrides win).
+  int default_preemptions = 2;
+  std::function<std::unique_ptr<ScenarioInstance>()> make;
+};
+
+/// All registered scenarios, in suite order.
+const std::vector<ScenarioSpec>& scenarios();
+
+/// nullptr when unknown.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+/// Explore one scenario under `options`; implemented by the scheduler
+/// (sched.cpp).
+ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                             const CheckOptions& options);
+
+}  // namespace pw::check

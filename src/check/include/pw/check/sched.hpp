@@ -1,0 +1,80 @@
+#pragma once
+
+// Public types of the pw::check virtual scheduler. Macro-neutral: this
+// header is identical with and without PW_CHECK, so the pwcheck CLI and
+// test_check (plain TUs) share it with the instrumented scenario library.
+//
+// The scheduler itself (sched.cpp) serialises the scenario's threads —
+// exactly one runs at a time, handing a token over at every scheduling
+// decision point (acquire/seq_cst loads, release/seq_cst stores, every
+// RMW, every Backoff spin yield) — and drives a DFS over those decisions
+// with a preemption budget: following the lowest-numbered runnable thread
+// is free, every divergence from that default costs one unit. Release/
+// acquire visibility is modelled with vector clocks so a stale-read bug
+// (e.g. a relaxed store where a release is required) is caught as a
+// happens-before race on the ring cell even though the host executes the
+// exploration on one core in program order.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pw/lint/diagnostic.hpp"
+
+namespace pw::check {
+
+/// Exploration budget and mode for one scenario run.
+struct CheckOptions {
+  /// DFS divergence budget: how many times one execution may depart from
+  /// the deterministic default schedule (the running thread, else the
+  /// lowest runnable). 0 explores only the baseline schedule; 2 covers
+  /// every bug reachable with two preemptions — the classic CHESS
+  /// observation is that real bugs almost always need very few.
+  int max_preemptions = 2;
+
+  /// Hard caps so a mis-sized scenario degrades into `truncated = true`
+  /// instead of hanging CI.
+  std::uint64_t max_executions = 20000;
+  std::uint64_t max_steps = 200000;  ///< per execution, scheduler events
+
+  /// When > 0, run this many uniformly random schedules (seeded below)
+  /// instead of the bounded DFS — a smoke mode for very large scenarios.
+  std::uint64_t random_walks = 0;
+  std::uint64_t seed = 1;
+
+  /// Non-empty: replay exactly this schedule (one thread id per decision,
+  /// as printed in a violation trace / format_schedule) and stop after
+  /// one execution. Decisions beyond the vector follow the default rule.
+  std::vector<int> replay;
+};
+
+/// Result of exploring one scenario.
+struct ScenarioOutcome {
+  std::string scenario;
+  bool violation = false;
+  bool truncated = false;  ///< a budget cap fired before exhaustion
+  std::uint64_t executions = 0;
+  std::uint64_t decisions = 0;   ///< scheduling decisions across all runs
+  std::uint64_t max_depth = 0;   ///< longest execution, in decisions
+  /// Thread choice per decision of the first violating execution — feed it
+  /// back through CheckOptions::replay (or `pwcheck --replay=`) for a
+  /// deterministic repro.
+  std::vector<int> failing_schedule;
+  /// Violations in the pw::lint Diagnostic shape (check ids are
+  /// "check.data_race", "check.deadlock", "check.linearizability",
+  /// "check.invariant", "check.contract").
+  std::vector<lint::Diagnostic> diagnostics;
+};
+
+/// Thrown through scenario thread bodies to unwind them when an execution
+/// is abandoned (violation found mid-run, deadlock drain, replay end).
+/// Only ever raised from the Backoff spin-yield hook, which every blocking
+/// wait in the stream fabric reaches.
+struct AbortExecution {};
+
+/// "0,1,0,2" <-> {0,1,0,2} — the trace syntax printed in diagnostics and
+/// accepted by `pwcheck --replay=`.
+std::string format_schedule(const std::vector<int>& schedule);
+std::vector<int> parse_schedule(const std::string& text);
+
+}  // namespace pw::check

@@ -1,0 +1,184 @@
+#pragma once
+
+// The pw::check atomics shim — the single point where the lock-free stream
+// fabric becomes model-checkable without forking its source.
+//
+// Production builds (PW_CHECK undefined or 0): `pw::check::atomic<T>` IS
+// `std::atomic<T>` (a using-alias, not a wrapper — zero overhead by
+// construction), every hook below is an empty inline function the optimiser
+// erases, and `publish_order()` is a constexpr `memory_order_release`.
+// test_check's static_assert and the BENCH_streams.json handoff gate both
+// pin this down.
+//
+// Checker builds (a TU compiled with -DPW_CHECK=1 — only the pw::check
+// scenario library does this): `atomic<T>` becomes a plain value whose
+// every load/store/RMW first calls into the pw::check runtime
+// (pw/check/runtime.hpp), which serialises threads under a virtual
+// scheduler, models release/acquire visibility with vector clocks, and
+// treats each operation as a potential preemption point. The data hooks
+// feed the happens-before race detector that catches element reads not
+// ordered after their construction — the stale-read bug class TSan cannot
+// see unless the schedule happens to fire it.
+//
+// ODR note: the same templates (SpscRing, Stream, ...) would otherwise be
+// instantiated with *different* definitions in production and checker TUs
+// of one binary. PW_CHECK_ABI_BEGIN/END version the enclosing namespace
+// (`fabric` vs `modelchecked`, both inline) so the two worlds get distinct
+// symbols and never collide at link time.
+
+#include <atomic>
+
+#if defined(PW_CHECK) && PW_CHECK
+#define PW_CHECK_ACTIVE 1
+#else
+#define PW_CHECK_ACTIVE 0
+#endif
+
+#if PW_CHECK_ACTIVE
+#define PW_CHECK_ABI_BEGIN inline namespace modelchecked {
+#define PW_CHECK_ABI_END }
+#include "pw/check/runtime.hpp"
+#else
+#define PW_CHECK_ABI_BEGIN inline namespace fabric {
+#define PW_CHECK_ABI_END }
+#endif
+
+namespace pw::check {
+
+#if !PW_CHECK_ACTIVE
+
+inline namespace prodshim {
+
+/// Production: the shim is the real thing. `std::is_same_v<atomic<T>,
+/// std::atomic<T>>` holds, so there is nothing to measure.
+template <typename T>
+using atomic = std::atomic<T>;
+
+/// The SPSC ring's element-publication order. Constexpr release in
+/// production; the checker build routes it through a runtime knob so tests
+/// can seed a relaxed-publish ordering bug and prove the checker sees it.
+constexpr std::memory_order publish_order() noexcept {
+  return std::memory_order_release;
+}
+
+/// Race-detector annotations for plain (non-atomic) accesses to ring
+/// cells. No-ops in production.
+inline void data_read(const void*) noexcept {}
+inline void data_write(const void*) noexcept {}
+
+/// Scheduling point for spin loops (Backoff). No-op in production — the
+/// Backoff pause ladder is untouched.
+inline void spin_yield() noexcept {}
+
+/// True when the calling thread runs under a pw::check scheduler. Always
+/// false in production TUs.
+inline bool under_checker() noexcept { return false; }
+
+}  // namespace prodshim
+
+#else  // PW_CHECK_ACTIVE
+
+inline namespace checkshim {
+
+/// Checker build: a std::atomic look-alike whose operations are routed
+/// through the virtual scheduler before touching the value. The scheduler
+/// serialises all participating threads, so the plain member reads/writes
+/// below can never actually race; "what would race on real hardware" is
+/// recomputed from the modelled memory orders instead.
+///
+/// Only the API surface the stream fabric uses is provided (load, store,
+/// exchange, fetch_add/sub, compare_exchange_weak/strong). Seq-cst total
+/// order is not modelled beyond its acquire/release strength — see
+/// docs/static_analysis.md for the model's limits.
+template <typename T>
+class atomic {
+ public:
+  atomic() noexcept = default;
+  constexpr atomic(T value) noexcept : value_(value) {}
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    rt::hook_load(this, order);
+    return value_;
+  }
+
+  void store(T value, std::memory_order order = std::memory_order_seq_cst) {
+    rt::hook_store(this, order);
+    value_ = value;
+    rt::hook_store_committed(this);
+  }
+
+  T exchange(T value, std::memory_order order = std::memory_order_seq_cst) {
+    rt::hook_rmw(this, order);
+    T previous = value_;
+    value_ = value;
+    rt::hook_store_committed(this);
+    return previous;
+  }
+
+  T fetch_add(T delta, std::memory_order order = std::memory_order_seq_cst) {
+    rt::hook_rmw(this, order);
+    T previous = value_;
+    value_ = static_cast<T>(previous + delta);
+    rt::hook_store_committed(this);
+    return previous;
+  }
+
+  T fetch_sub(T delta, std::memory_order order = std::memory_order_seq_cst) {
+    rt::hook_rmw(this, order);
+    T previous = value_;
+    value_ = static_cast<T>(previous - delta);
+    rt::hook_store_committed(this);
+    return previous;
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order order =
+                                 std::memory_order_seq_cst) {
+    return cas(expected, desired, order);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order order =
+                                   std::memory_order_seq_cst) {
+    return cas(expected, desired, order);
+  }
+
+ private:
+  // The model has no spurious CAS failures: compare_exchange_weak behaves
+  // like strong. A schedule that needs a spurious failure to go wrong is
+  // outside the explored space (documented limitation).
+  bool cas(T& expected, T desired, std::memory_order order) {
+    rt::hook_rmw(this, order);
+    if (value_ == expected) {
+      value_ = desired;
+      rt::hook_store_committed(this);
+      return true;
+    }
+    expected = value_;
+    rt::hook_rmw_failed(this, order);
+    return false;
+  }
+
+  T value_{};
+};
+
+inline std::memory_order publish_order() noexcept {
+  return rt::publish_order();
+}
+
+inline void data_read(const void* location) { rt::hook_data_read(location); }
+inline void data_write(const void* location) {
+  rt::hook_data_write(location);
+}
+
+inline void spin_yield() { rt::hook_spin_yield(); }
+
+inline bool under_checker() noexcept { return rt::under_checker(); }
+
+}  // namespace checkshim
+
+#endif  // PW_CHECK_ACTIVE
+
+}  // namespace pw::check

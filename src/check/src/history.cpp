@@ -1,0 +1,493 @@
+#include "pw/check/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace pw::check {
+
+// ---- History -------------------------------------------------------------
+
+void History::clear() {
+  ops_.clear();
+  leftover_.clear();
+  next_stamp_ = 1;  // 0 stays the "never returned" sentinel
+}
+
+std::size_t History::begin(int thread, OpKind kind) {
+  OpRecord record;
+  record.thread = thread;
+  record.kind = kind;
+  record.invoked = stamp();
+  ops_.push_back(std::move(record));
+  return ops_.size() - 1;
+}
+
+void History::end_push(std::size_t idx, long long value, bool ok) {
+  OpRecord& record = ops_[idx];
+  record.returned = stamp();
+  record.value = value;
+  record.ok = ok;
+}
+
+void History::end_pop(std::size_t idx, std::optional<long long> value) {
+  OpRecord& record = ops_[idx];
+  record.returned = stamp();
+  record.ok = value.has_value();
+  record.value = value.value_or(0);
+}
+
+void History::end_try_pop(std::size_t idx, int status, long long value) {
+  OpRecord& record = ops_[idx];
+  record.returned = stamp();
+  if (status == 0) {
+    record.kind = OpKind::kTryPopValue;
+    record.value = value;
+  } else if (status == 2) {
+    record.kind = OpKind::kTryPopClosed;
+  } else {
+    // kEmpty polls carry no linearisation obligation we check (the
+    // scheduler's deadlock oracle already proves pollers terminate);
+    // recording them would only blow up the Wing–Gong search.
+    record.live = false;
+  }
+}
+
+void History::end_batch(std::size_t idx, std::vector<long long> values) {
+  OpRecord& record = ops_[idx];
+  record.returned = stamp();
+  record.values = std::move(values);
+}
+
+void History::end_close(std::size_t idx) {
+  ops_[idx].returned = stamp();
+}
+
+void History::expect(int thread, bool held, std::string note) {
+  OpRecord record;
+  record.thread = thread;
+  record.kind = OpKind::kExpect;
+  record.invoked = stamp();
+  record.returned = stamp();
+  record.ok = held;
+  record.note = std::move(note);
+  ops_.push_back(std::move(record));
+}
+
+void History::set_leftover(std::vector<long long> values) {
+  leftover_ = std::move(values);
+}
+
+// ---- Referee -------------------------------------------------------------
+
+bool Referee::push(long long value) {
+  if (closed_) {
+    return false;
+  }
+  queue_.push_back(value);
+  return true;
+}
+
+bool Referee::try_push(long long value) {
+  if (closed_ || queue_.size() >= capacity_) {
+    return false;
+  }
+  queue_.push_back(value);
+  return true;
+}
+
+std::optional<long long> Referee::pop() {
+  if (!queue_.empty()) {
+    const long long value = queue_.front();
+    queue_.erase(queue_.begin());
+    return value;
+  }
+  return std::nullopt;  // legal only when closed (pop_ready gates callers)
+}
+
+int Referee::try_pop(long long* out) {
+  if (!queue_.empty()) {
+    if (out != nullptr) {
+      *out = queue_.front();
+    }
+    queue_.erase(queue_.begin());
+    return 0;
+  }
+  return closed_ ? 2 : 1;
+}
+
+std::string Referee::key() const {
+  std::ostringstream out;
+  out << (closed_ ? 'c' : 'o');
+  for (const long long value : queue_) {
+    out << ':' << value;
+  }
+  return out.str();
+}
+
+// ---- Linearizability (Wing & Gong) --------------------------------------
+
+namespace {
+
+bool lin_relevant(const OpRecord& record) {
+  if (!record.live || record.returned == 0) {
+    return false;
+  }
+  switch (record.kind) {
+    case OpKind::kPush:
+    case OpKind::kTryPush:
+    case OpKind::kPop:
+    case OpKind::kTryPopValue:
+    case OpKind::kTryPopClosed:
+    case OpKind::kClose:
+      return true;
+    default:
+      return false;  // batches and expects are judged by the invariants
+  }
+}
+
+/// Can `record` legally be the next sequential operation on `referee`,
+/// reproducing its recorded result? Mutates `referee` when legal.
+bool apply(const OpRecord& record, Referee& referee) {
+  switch (record.kind) {
+    case OpKind::kPush:
+      if (record.ok) {
+        return !referee.closed() &&
+               referee.size() < referee.capacity() &&
+               referee.push(record.value);
+      }
+      return referee.closed();  // a blocking push fails only on close
+    case OpKind::kTryPush:
+      if (record.ok) {
+        return referee.try_push(record.value);
+      }
+      return referee.closed() || referee.size() >= referee.capacity();
+    case OpKind::kPop:
+      if (record.ok) {
+        if (referee.size() == 0) {
+          return false;
+        }
+        return referee.pop() == record.value;
+      }
+      return referee.closed() && referee.size() == 0;
+    case OpKind::kTryPopValue: {
+      long long value = 0;
+      return referee.try_pop(&value) == 0 && value == record.value;
+    }
+    case OpKind::kTryPopClosed:
+      return referee.closed() && referee.size() == 0;
+    case OpKind::kClose:
+      referee.close();
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct LinSearch {
+  const std::vector<const OpRecord*>& ops;
+  std::size_t capacity;
+  std::unordered_set<std::string> visited;
+
+  bool search(std::uint64_t taken_mask, const Referee& state) {
+    if (taken_mask + 1 == (std::uint64_t{1} << ops.size())) {
+      return true;
+    }
+    {
+      std::ostringstream memo;
+      memo << taken_mask << '|' << state.key();
+      if (!visited.insert(memo.str()).second) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if ((taken_mask >> i) & 1) {
+        continue;
+      }
+      // Real-time order: i may linearise first among the remaining ops
+      // only if no remaining op completed before i was invoked.
+      bool minimal = true;
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        if (j != i && !((taken_mask >> j) & 1) &&
+            ops[j]->returned < ops[i]->invoked) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) {
+        continue;
+      }
+      Referee next = state;
+      if (!apply(*ops[i], next)) {
+        continue;
+      }
+      if (search(taken_mask | (std::uint64_t{1} << i), next)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+const char* kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kPush:
+      return "push";
+    case OpKind::kTryPush:
+      return "try_push";
+    case OpKind::kPop:
+      return "pop";
+    case OpKind::kTryPopValue:
+      return "try_pop=value";
+    case OpKind::kTryPopClosed:
+      return "try_pop=closed";
+    case OpKind::kPushN:
+      return "push_n";
+    case OpKind::kPopN:
+      return "pop_n";
+    case OpKind::kClose:
+      return "close";
+    case OpKind::kExpect:
+      return "expect";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool linearizable(const std::vector<OpRecord>& ops, std::size_t capacity,
+                  std::string* why) {
+  std::vector<const OpRecord*> relevant;
+  for (const OpRecord& record : ops) {
+    if (lin_relevant(record)) {
+      relevant.push_back(&record);
+    }
+  }
+  if (relevant.size() >= 64) {
+    if (why != nullptr) {
+      *why = "history too long for the linearizability search";
+    }
+    return false;
+  }
+  LinSearch searcher{relevant, capacity, {}};
+  if (searcher.search(0, Referee(capacity))) {
+    return true;
+  }
+  if (why != nullptr) {
+    std::ostringstream out;
+    out << "ops = [";
+    const char* separator = "";
+    for (const OpRecord* record : relevant) {
+      out << separator << 't' << record->thread << ':'
+          << kind_name(record->kind);
+      if (record->kind != OpKind::kClose &&
+          record->kind != OpKind::kTryPopClosed) {
+        out << '(' << record->value << (record->ok ? "" : ",rejected")
+            << ')';
+      }
+      separator = ", ";
+    }
+    out << ']';
+    *why = out.str();
+  }
+  return false;
+}
+
+// ---- Invariants ----------------------------------------------------------
+
+namespace {
+
+struct Accepted {
+  int producer = -1;
+  std::size_t order = 0;  ///< position within the producer's push sequence
+};
+
+void note(std::vector<std::string>& violations, std::ostringstream& msg) {
+  violations.push_back(msg.str());
+  msg.str({});
+}
+
+}  // namespace
+
+std::vector<std::string> check_invariants(const History& history,
+                                          const InvariantPolicy& policy) {
+  std::vector<std::string> violations;
+  std::ostringstream msg;
+
+  // Gather accepted pushes (scalar + batch) in per-producer program order,
+  // and every consumption (pops, try-pops, batch pops, driver drain).
+  std::map<long long, Accepted> accepted;
+  std::map<int, std::size_t> produced_counts;
+  std::uint64_t first_close_invoked = 0;
+  for (const OpRecord& record : history.ops()) {
+    if (!record.live || record.returned == 0) {
+      continue;
+    }
+    const bool accepted_push =
+        (record.kind == OpKind::kPush || record.kind == OpKind::kTryPush) &&
+        record.ok;
+    if (accepted_push || record.kind == OpKind::kPushN) {
+      std::vector<long long> values = record.values;
+      if (accepted_push) {
+        values.assign(1, record.value);
+      }
+      for (const long long value : values) {
+        if (accepted.count(value) != 0) {
+          msg << "value " << value << " accepted twice (scenario values "
+              << "must be unique)";
+          note(violations, msg);
+          continue;
+        }
+        accepted[value] =
+            Accepted{record.thread, produced_counts[record.thread]++};
+      }
+    }
+    if (record.kind == OpKind::kClose &&
+        (first_close_invoked == 0 || record.invoked < first_close_invoked)) {
+      first_close_invoked = record.invoked;
+    }
+  }
+
+  // Consumption order per consumer thread; history order is real order
+  // (the scheduler serialises everything).
+  std::map<int, std::vector<long long>> consumed_by;
+  std::map<long long, int> pop_counts;
+  for (const OpRecord& record : history.ops()) {
+    if (!record.live || record.returned == 0) {
+      continue;
+    }
+    std::vector<long long> values;
+    if ((record.kind == OpKind::kPop && record.ok) ||
+        record.kind == OpKind::kTryPopValue) {
+      values.push_back(record.value);
+    } else if (record.kind == OpKind::kPopN) {
+      values = record.values;
+    } else {
+      continue;
+    }
+    for (const long long value : values) {
+      consumed_by[record.thread].push_back(value);
+      ++pop_counts[value];
+    }
+  }
+
+  // 1. Nothing invented, nothing duplicated.
+  for (const auto& [value, count] : pop_counts) {
+    if (accepted.count(value) == 0) {
+      msg << "popped value " << value << " was never accepted by a push";
+      note(violations, msg);
+    } else if (count > 1) {
+      msg << "value " << value << " delivered " << count << " times";
+      note(violations, msg);
+    }
+  }
+
+  // 2. Conservation: accepted = popped + leftover (drained by the driver).
+  std::map<long long, int> remaining;
+  for (const auto& [value, info] : accepted) {
+    (void)info;
+    remaining[value] = 1;
+  }
+  for (const auto& [value, count] : pop_counts) {
+    remaining[value] -= count;
+  }
+  for (const long long value : history.leftover()) {
+    if (accepted.count(value) == 0) {
+      msg << "leftover value " << value << " was never accepted";
+      note(violations, msg);
+    } else {
+      remaining[value] -= 1;
+    }
+  }
+  for (const auto& [value, balance] : remaining) {
+    if (balance > 0) {
+      msg << "value " << value << " lost: accepted but neither popped nor "
+          << "left in the stream";
+      note(violations, msg);
+    } else if (balance < 0) {
+      msg << "value " << value << " over-delivered (pops + leftover exceed "
+          << "the single accept)";
+      note(violations, msg);
+    }
+  }
+
+  // 3. Per-producer FIFO per consumer: the subsequence of one producer's
+  // values seen by one consumer must respect the producer's push order.
+  for (const auto& [consumer, values] : consumed_by) {
+    std::map<int, std::size_t> last_order;
+    for (const long long value : values) {
+      const auto it = accepted.find(value);
+      if (it == accepted.end()) {
+        continue;  // already reported as invented
+      }
+      const auto last = last_order.find(it->second.producer);
+      if (last != last_order.end() && it->second.order < last->second) {
+        msg << "consumer " << consumer << " saw producer "
+            << it->second.producer << "'s value " << value
+            << " after a later one (FIFO order violated)";
+        note(violations, msg);
+      }
+      last_order[it->second.producer] = it->second.order;
+    }
+  }
+
+  // 4. Close contracts.
+  std::map<int, std::uint64_t> saw_closed_at;
+  for (const OpRecord& record : history.ops()) {
+    if (!record.live || record.returned == 0) {
+      continue;
+    }
+    const bool rejected_push =
+        (record.kind == OpKind::kPush || record.kind == OpKind::kTryPush) &&
+        !record.ok;
+    const bool saw_eos = record.kind == OpKind::kTryPopClosed ||
+                         (record.kind == OpKind::kPop && !record.ok);
+    // try_push may also fail on a full ring, so only the blocking flavour
+    // implies a close.
+    if (record.kind == OpKind::kPush && rejected_push &&
+        (first_close_invoked == 0 ||
+         first_close_invoked >= record.returned)) {
+      msg << "thread " << record.thread << "'s push(" << record.value
+          << ") was rejected with no close() begun before it returned";
+      note(violations, msg);
+    }
+    if (saw_eos && (first_close_invoked == 0 ||
+                    first_close_invoked >= record.returned)) {
+      msg << "thread " << record.thread << " observed end-of-stream with "
+          << "no close() begun before the observation returned";
+      note(violations, msg);
+    }
+    if (saw_eos && saw_closed_at.count(record.thread) == 0) {
+      saw_closed_at[record.thread] = record.returned;
+    }
+    if (policy.close_ordered) {
+      const auto eos = saw_closed_at.find(record.thread);
+      const bool delivered_value =
+          ((record.kind == OpKind::kPop && record.ok) ||
+           record.kind == OpKind::kTryPopValue ||
+           (record.kind == OpKind::kPopN && !record.values.empty()));
+      if (eos != saw_closed_at.end() && delivered_value &&
+          record.invoked > eos->second) {
+        msg << "thread " << record.thread << " received a value after "
+            << "observing end-of-stream (kClosed must be final when no "
+            << "push races the close)";
+        note(violations, msg);
+      }
+    }
+  }
+
+  // 5. In-scenario assertions.
+  for (const OpRecord& record : history.ops()) {
+    if (record.kind == OpKind::kExpect && !record.ok) {
+      msg << "expectation failed on thread " << record.thread << ": "
+          << record.note;
+      note(violations, msg);
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace pw::check

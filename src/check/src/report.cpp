@@ -1,0 +1,76 @@
+#include "pw/check/report.hpp"
+
+#include <string>
+
+#include "pw/obs/metrics.hpp"
+
+namespace pw::check {
+
+lint::LintReport to_lint_report(const std::vector<JudgedOutcome>& judged) {
+  lint::LintReport report;
+  for (const JudgedOutcome& item : judged) {
+    const ScenarioOutcome& outcome = item.outcome;
+    for (lint::Diagnostic diag : outcome.diagnostics) {
+      if (item.expected_violation) {
+        // The scenario planted this bug; catching it is the pass. Keep
+        // the finding visible but harmless.
+        diag.severity = lint::Severity::kInfo;
+        diag.message = "expected: " + diag.message;
+      }
+      report.diagnostics.push_back(std::move(diag));
+    }
+    if (!item.passed()) {
+      lint::Diagnostic verdict;
+      verdict.severity = lint::Severity::kError;
+      verdict.check = "check.verdict";
+      verdict.stage = outcome.scenario;
+      verdict.message =
+          item.expected_violation
+              ? "seeded-bug scenario explored " +
+                    std::to_string(outcome.executions) +
+                    " schedules without catching the planted violation"
+              : "scenario reported a violation";
+      verdict.fix_hint = item.expected_violation
+                             ? "raise --preemptions or --max-executions, "
+                               "or the seeded bug is no longer reachable"
+                             : "see the diagnostics above for the "
+                               "replayable schedule";
+      report.diagnostics.push_back(std::move(verdict));
+    }
+    lint::Diagnostic explored;
+    explored.severity = lint::Severity::kInfo;
+    explored.check = "check.explored";
+    explored.stage = outcome.scenario;
+    explored.message =
+        std::to_string(outcome.executions) + " executions, " +
+        std::to_string(outcome.decisions) + " decisions, max depth " +
+        std::to_string(outcome.max_depth) +
+        (outcome.truncated ? " (truncated by budget)" : " (exhausted)");
+    report.diagnostics.push_back(std::move(explored));
+  }
+  return report;
+}
+
+void publish(const std::vector<JudgedOutcome>& judged,
+             obs::MetricsRegistry& registry, const std::string& prefix) {
+  std::size_t failed = 0;
+  for (const JudgedOutcome& item : judged) {
+    const ScenarioOutcome& outcome = item.outcome;
+    const std::string base = prefix + "." + outcome.scenario;
+    registry.counter_add(base + ".executions", outcome.executions);
+    registry.counter_add(base + ".decisions", outcome.decisions);
+    registry.counter_add(base + ".violations",
+                         outcome.diagnostics.empty() ? 0 : 1);
+    registry.gauge_set(base + ".max_depth",
+                       static_cast<double>(outcome.max_depth));
+    registry.gauge_set(base + ".passed", item.passed() ? 1.0 : 0.0);
+    if (!item.passed()) {
+      ++failed;
+    }
+  }
+  registry.counter_add(prefix + ".scenarios", judged.size());
+  registry.counter_add(prefix + ".failed", failed);
+  registry.gauge_set(prefix + ".passed", failed == 0 ? 1.0 : 0.0);
+}
+
+}  // namespace pw::check

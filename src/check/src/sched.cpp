@@ -1,0 +1,787 @@
+// The pw::check virtual scheduler: serialises a scenario's threads behind
+// a token, turns every synchronisation operation into a scheduling
+// decision, and drives a bounded-divergence DFS over those decisions.
+//
+// Execution model
+// ---------------
+// A persistent pool of worker threads (one per scenario role) reruns the
+// scenario once per explored schedule. Exactly one thread owns the token
+// at any instant; ownership changes only inside decide_and_grant(), so
+// the roles' memory operations are totally ordered and the instrumented
+// `pw::check::atomic` can use plain member reads/writes. What *would*
+// have been visible on real hardware is recomputed from the modelled
+// memory orders with vector clocks:
+//
+//   - release (or stronger) store to L:  L.sync  = thread clock
+//   - relaxed store to L:                L.sync  = {}   (breaks the
+//                                        release sequence — C++20 rules)
+//   - acquire (or stronger) load of L:   thread clock |= L.sync
+//   - RMW on L: acquire half merges L.sync in; release half merges the
+//     thread clock into L.sync (an RMW continues the release sequence, so
+//     the existing sync is kept); relaxed RMWs leave L.sync untouched.
+//
+// Plain accesses to ring cells (data_read/data_write annotations in
+// ring.hpp) are checked against that happens-before relation: an access
+// not ordered after the previous write of the same cell is a data race —
+// this is how a relaxed publish shows up deterministically even though
+// the exploration host executes everything in program order.
+//
+// Scheduling decisions happen before acquire/seq_cst loads, before
+// release/seq_cst stores, before every RMW, and at every Backoff spin
+// yield. Relaxed loads/stores are visibility bookkeeping only — that is
+// what keeps the per-execution decision count (and the DFS) small.
+// Spin-yielding threads park until some peer commits a store (the only
+// event that can change what they poll); "every unfinished thread is
+// parked and no store can arrive" is therefore a sound deadlock verdict,
+// not a heuristic timeout.
+//
+// The DFS follows a deterministic baseline (keep running the current
+// thread; on a forced switch take the lowest runnable id) and pays one
+// unit of divergence budget for every departure from it. With budget P
+// this explores every schedule reachable with P preemptions — the CHESS
+// observation that real concurrency bugs need very few.
+
+#include "pw/check/sched.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pw/check/runtime.hpp"
+#include "pw/check/scenario.hpp"
+
+namespace pw::check {
+namespace {
+
+using Clock = std::vector<std::uint64_t>;
+
+void join(Clock& into, const Clock& from) {
+  if (from.empty()) {
+    return;
+  }
+  if (into.size() < from.size()) {
+    into.resize(from.size(), 0);
+  }
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+enum class PointKind { kLoad, kStore, kRmw, kRmwFailed, kYield };
+
+bool acquire_half(std::memory_order order) {
+  return order == std::memory_order_acquire ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst ||
+         order == std::memory_order_consume;
+}
+
+bool release_half(std::memory_order order) {
+  return order == std::memory_order_release ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+/// Modelled synchronisation state of one atomic location.
+struct AtomicLoc {
+  Clock sync;
+};
+
+/// FastTrack-style race-detector state of one plain (cell) location.
+struct DataLoc {
+  int writer = -1;
+  std::uint64_t write_tick = 0;
+  Clock reads;
+};
+
+struct Decision {
+  std::vector<int> alternatives;  ///< [0] is the deterministic default
+  std::size_t chosen = 0;
+  int budget_before = 0;  ///< divergence units spent prior to this point
+};
+
+class Engine;
+
+thread_local Engine* tls_engine = nullptr;
+thread_local int tls_vid = -1;
+
+/// The seeded-bug knob (rt::set_relaxed_publish_bug). Process-global and
+/// genuinely atomic: it is read by instrumented code but is not itself
+/// part of the modelled state.
+std::atomic<bool> g_relaxed_publish{false};
+
+class Engine {
+ public:
+  Engine(const ScenarioSpec& spec, const CheckOptions& options)
+      : spec_(spec), options_(options), threads_(spec.threads) {}
+
+  ScenarioOutcome run() {
+    ScenarioOutcome out;
+    out.scenario = spec_.name;
+    start_workers();
+
+    const bool replay_mode = !options_.replay.empty();
+    const bool random_mode = options_.random_walks > 0;
+    const std::uint64_t execution_budget =
+        replay_mode ? 1
+                    : (random_mode ? options_.random_walks
+                                   : options_.max_executions);
+    std::mt19937_64 rng(options_.seed);
+
+    for (;;) {
+      if (out.executions >= execution_budget) {
+        if (!replay_mode && !random_mode) {
+          out.truncated = true;  // DFS not exhausted
+        }
+        break;
+      }
+      run_one_execution(rng, random_mode);
+      ++out.executions;
+      out.decisions += path_.size();
+      out.max_depth = std::max<std::uint64_t>(out.max_depth, path_.size());
+      if (step_truncated_) {
+        out.truncated = true;
+      }
+      if (!exec_diags_.empty()) {
+        out.violation = true;
+        out.failing_schedule = schedule_from_path();
+        const std::string replay_hint =
+            "replay: pwcheck --scenario=" + spec_.name +
+            " --replay=" + format_schedule(out.failing_schedule);
+        for (auto& diag : exec_diags_) {
+          diag.fix_hint = diag.fix_hint.empty()
+                              ? replay_hint
+                              : diag.fix_hint + "; " + replay_hint;
+        }
+        out.diagnostics = std::move(exec_diags_);
+        break;
+      }
+      if (replay_mode) {
+        break;
+      }
+      if (!random_mode && !advance_prefix()) {
+        break;  // schedule space exhausted within the budget
+      }
+    }
+
+    stop_workers();
+    return out;
+  }
+
+  // ---- hook entry points (called by the shim on worker threads) ----
+
+  void point(PointKind kind, const void* location, std::memory_order order) {
+    std::unique_lock<std::mutex> lk(mu_);
+    const int vid = tls_vid;
+    if (exec_over_ || drain_mode_) {
+      if (kind == PointKind::kYield && drain_mode_) {
+        throw AbortExecution{};
+      }
+      return;  // free-running drain: no scheduling, no bookkeeping
+    }
+    if (++step_ > options_.max_steps) {
+      step_truncated_ = true;
+      begin_drain(lk);
+      if (kind == PointKind::kYield) {
+        throw AbortExecution{};
+      }
+      return;
+    }
+
+    const bool decision = kind == PointKind::kRmw ||
+                          kind == PointKind::kYield ||
+                          (kind == PointKind::kLoad && acquire_half(order)) ||
+                          (kind == PointKind::kStore && release_half(order));
+    if (decision) {
+      schedule(lk, vid, kind == PointKind::kYield);
+      if (exec_over_ || drain_mode_) {
+        return;  // rescheduled into a drained world; skip the model
+      }
+    }
+
+    // Visibility bookkeeping — after the decision so peers descheduled
+    // above never observe sync state ahead of the operation itself; the
+    // operation executes right after this returns, before the thread can
+    // lose the token again.
+    Clock& clock = clocks_[vid];
+    ++clock[vid];
+    switch (kind) {
+      case PointKind::kLoad:
+      case PointKind::kRmwFailed:
+        if (acquire_half(order)) {
+          join(clock, atomic_locs_[location].sync);
+        }
+        break;
+      case PointKind::kStore: {
+        AtomicLoc& loc = atomic_locs_[location];
+        if (release_half(order)) {
+          loc.sync = clock;
+        } else {
+          loc.sync.clear();  // a relaxed store heads no release sequence
+        }
+        break;
+      }
+      case PointKind::kRmw: {
+        AtomicLoc& loc = atomic_locs_[location];
+        if (acquire_half(order)) {
+          join(clock, loc.sync);
+        }
+        if (release_half(order)) {
+          // Merged, not replaced: an RMW continues an existing release
+          // sequence. Done optimistically before the compare — harmless
+          // in practice because the only acquire/release RMW the fabric
+          // issues (scenario coordination counters) cannot fail.
+          join(loc.sync, clock);
+        }
+        break;
+      }
+      case PointKind::kYield:
+        break;
+    }
+  }
+
+  void store_committed() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (exec_over_ || drain_mode_) {
+      return;
+    }
+    ++store_stamp_;  // what wakes spin-blocked pollers
+  }
+
+  void data_access(const void* location, bool is_write) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (exec_over_ || drain_mode_) {
+      return;
+    }
+    const int vid = tls_vid;
+    Clock& clock = clocks_[vid];
+    ++clock[vid];
+    DataLoc& loc = data_locs_[location];
+    bool raced = false;
+    if (loc.writer >= 0 && loc.writer != vid &&
+        loc.write_tick > clock[static_cast<std::size_t>(loc.writer)]) {
+      raced = true;
+    }
+    if (is_write && !raced) {
+      for (std::size_t t = 0; t < loc.reads.size(); ++t) {
+        if (static_cast<int>(t) != vid && loc.reads[t] > clock[t]) {
+          raced = true;
+          break;
+        }
+      }
+    }
+    if (raced && !race_reported_) {
+      race_reported_ = true;
+      std::ostringstream msg;
+      msg << "data race on ring cell " << location << ": thread " << vid
+          << "'s access is not happens-before-ordered after thread "
+          << loc.writer << "'s write (unpublished element — check the "
+          << "publishing store's memory order)";
+      record_locked(lint::Severity::kError, "check.data_race", msg.str());
+    }
+    if (is_write) {
+      loc.writer = vid;
+      loc.write_tick = clock[vid];
+      loc.reads.assign(threads_, 0);
+    } else {
+      if (loc.reads.empty()) {
+        loc.reads.assign(threads_, 0);
+      }
+      loc.reads[vid] = clock[vid];
+    }
+  }
+
+  void spin_yield() { point(PointKind::kYield, nullptr, std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kNoThread = -1;
+
+  enum class ThreadState { kRunnable, kSpinBlocked, kFinished };
+
+  // ---- worker pool ----
+
+  void start_workers() {
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int vid = 0; vid < threads_; ++vid) {
+      workers_.emplace_back([this, vid] { worker_main(vid); });
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+    workers_.clear();
+  }
+
+  void worker_main(int vid) {
+    tls_engine = this;
+    tls_vid = vid;
+    std::unique_lock<std::mutex> lk(mu_);
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      cv_.wait(lk, [&] {
+        return shutdown_ || (exec_epoch_ > seen_epoch && token_ == vid);
+      });
+      if (shutdown_) {
+        break;
+      }
+      seen_epoch = exec_epoch_;
+      auto body = bodies_[static_cast<std::size_t>(vid)];
+      lk.unlock();
+      bool threw = false;
+      std::string what;
+      try {
+        body();
+      } catch (const AbortExecution&) {
+      } catch (const std::exception& error) {
+        threw = true;
+        what = error.what();
+      } catch (...) {
+        threw = true;
+        what = "non-standard exception";
+      }
+      lk.lock();
+      if (threw && !drain_mode_) {
+        record_locked(lint::Severity::kError, "check.contract",
+                      "scenario body of thread " + std::to_string(vid) +
+                          " threw: " + what);
+      }
+      finish_thread(lk, vid);
+    }
+    tls_engine = nullptr;
+    tls_vid = -1;
+  }
+
+  // ---- one execution ----
+
+  void run_one_execution(std::mt19937_64& rng, bool random_mode) {
+    instance_ = spec_.make();
+    bodies_ = instance_->bodies();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      states_.assign(static_cast<std::size_t>(threads_),
+                     ThreadState::kRunnable);
+      blocked_stamp_.assign(static_cast<std::size_t>(threads_), 0);
+      yield_anchor_.assign(static_cast<std::size_t>(threads_), 0);
+      clocks_.assign(static_cast<std::size_t>(threads_),
+                     Clock(static_cast<std::size_t>(threads_), 0));
+      atomic_locs_.clear();
+      data_locs_.clear();
+      path_.clear();
+      exec_diags_.clear();
+      step_ = 0;
+      store_stamp_ = 0;
+      finished_count_ = 0;
+      budget_spent_ = 0;
+      drain_mode_ = false;
+      exec_over_ = false;
+      exec_done_ = false;
+      step_truncated_ = false;
+      race_reported_ = false;
+      rng_ = random_mode ? &rng : nullptr;
+      ++exec_epoch_;
+      decide_and_grant(lk, runnable_set(), kNoThread);
+      cv_.wait(lk, [&] { return exec_done_; });
+      exec_over_ = true;
+      drained_ = drain_mode_;
+    }
+    instance_->finalize();
+    // Oracles judge complete histories only: a drained execution was
+    // abandoned mid-flight (deadlock already diagnosed, or a budget cap),
+    // and a hook/body diagnostic already carries the verdict — re-judging
+    // a half-history would fabricate lost-element findings.
+    if (!drained_ && exec_diags_.empty()) {
+      apply_oracles();
+    }
+    instance_.reset();
+  }
+
+  void apply_oracles() {
+    const History& history = instance_->history();
+    if (instance_->check_linearizability()) {
+      std::string why;
+      if (!linearizable(history.ops(), instance_->capacity(), &why)) {
+        record_unlocked(lint::Severity::kError, "check.linearizability",
+                        "history has no sequential witness on the "
+                        "MutexStream referee model: " +
+                            why);
+      }
+    }
+    InvariantPolicy policy;
+    policy.close_ordered = instance_->close_ordered();
+    for (const std::string& violation :
+         check_invariants(history, policy)) {
+      record_unlocked(lint::Severity::kError, "check.invariant", violation);
+    }
+  }
+
+  // ---- scheduling core (mu_ held) ----
+
+  std::vector<int> runnable_set() const {
+    std::vector<int> runnable;
+    for (int vid = 0; vid < threads_; ++vid) {
+      const auto index = static_cast<std::size_t>(vid);
+      if (states_[index] == ThreadState::kRunnable ||
+          (states_[index] == ThreadState::kSpinBlocked &&
+           blocked_stamp_[index] < store_stamp_)) {
+        runnable.push_back(vid);
+      }
+    }
+    return runnable;
+  }
+
+  /// Called by a running thread at a decision point. `yielding` parks the
+  /// caller until a store wakes it (Backoff collapse).
+  ///
+  /// The park is stamped with `yield_anchor_` — the store count at the
+  /// *start* of this re-check iteration (the previous spin_yield return),
+  /// not the current count. The thread's condition loads happen across
+  /// several decision points, so a peer preempted in between may commit
+  /// the store the sleeper is waiting for *before* the sleeper reaches
+  /// its park; stamping at park time would lose that wakeup and report a
+  /// phantom deadlock. Anchoring at the iteration start is sound: every
+  /// store committed before the anchor is visible to all of this
+  /// iteration's loads (the model returns latest values), and anything
+  /// after the anchor conservatively re-wakes the thread for one more
+  /// recheck.
+  void schedule(std::unique_lock<std::mutex>& lk, int vid, bool yielding) {
+    if (yielding) {
+      states_[static_cast<std::size_t>(vid)] = ThreadState::kSpinBlocked;
+      blocked_stamp_[static_cast<std::size_t>(vid)] =
+          yield_anchor_[static_cast<std::size_t>(vid)];
+    }
+    const std::vector<int> runnable = runnable_set();
+    if (runnable.empty()) {
+      // Only reachable from a yield: every unfinished thread is parked on
+      // a poll and no peer exists to commit the store they wait for.
+      std::ostringstream msg;
+      msg << "deadlock: no runnable thread; spin-blocked = {";
+      const char* separator = "";
+      for (int t = 0; t < threads_; ++t) {
+        if (states_[static_cast<std::size_t>(t)] ==
+            ThreadState::kSpinBlocked) {
+          msg << separator << t;
+          separator = ", ";
+        }
+      }
+      msg << "}";
+      record_locked(lint::Severity::kError, "check.deadlock", msg.str());
+      begin_drain(lk);
+      throw AbortExecution{};
+    }
+    decide_and_grant(lk, runnable, yielding ? kNoThread : vid);
+    if (token_ != vid) {
+      cv_.wait(lk, [&] { return token_ == vid; });
+      if (drain_mode_ && yielding) {
+        throw AbortExecution{};
+      }
+    }
+    if (yielding) {
+      // A fresh re-check iteration begins here.
+      yield_anchor_[static_cast<std::size_t>(vid)] = store_stamp_;
+    }
+  }
+
+  void decide_and_grant(std::unique_lock<std::mutex>&,
+                        const std::vector<int>& runnable, int current) {
+    // Default: keep running `current`; on a forced switch, the lowest id.
+    int default_vid = runnable.front();
+    if (current != kNoThread &&
+        std::find(runnable.begin(), runnable.end(), current) !=
+            runnable.end()) {
+      default_vid = current;
+    }
+    int chosen_vid = default_vid;
+    if (runnable.size() > 1) {
+      Decision decision;
+      decision.alternatives.push_back(default_vid);
+      for (int vid : runnable) {
+        if (vid != default_vid) {
+          decision.alternatives.push_back(vid);
+        }
+      }
+      decision.budget_before = budget_spent_;
+      decision.chosen = choose_alternative(decision);
+      budget_spent_ += decision.chosen != 0 ? 1 : 0;
+      chosen_vid = decision.alternatives[decision.chosen];
+      path_.push_back(std::move(decision));
+    }
+    grant(chosen_vid);
+  }
+
+  std::size_t choose_alternative(const Decision& decision) {
+    const std::size_t index = path_.size();
+    if (!options_.replay.empty()) {
+      if (index < options_.replay.size()) {
+        const int wanted = options_.replay[index];
+        const auto it = std::find(decision.alternatives.begin(),
+                                  decision.alternatives.end(), wanted);
+        if (it == decision.alternatives.end()) {
+          if (!replay_diverged_) {
+            replay_diverged_ = true;
+            record_locked(lint::Severity::kError, "check.replay",
+                          "replay diverged at decision " +
+                              std::to_string(index) + ": thread " +
+                              std::to_string(wanted) + " is not runnable");
+          }
+          return 0;
+        }
+        return static_cast<std::size_t>(
+            std::distance(decision.alternatives.begin(), it));
+      }
+      return 0;
+    }
+    if (rng_ != nullptr) {
+      const bool can_diverge = budget_spent_ < options_.max_preemptions;
+      const std::size_t limit =
+          can_diverge ? decision.alternatives.size() : 1;
+      return std::uniform_int_distribution<std::size_t>(0, limit - 1)(*rng_);
+    }
+    if (index < prefix_.size()) {
+      return std::min(prefix_[index], decision.alternatives.size() - 1);
+    }
+    return 0;
+  }
+
+  void grant(int vid) {
+    states_[static_cast<std::size_t>(vid)] = ThreadState::kRunnable;
+    token_ = vid;
+    cv_.notify_all();
+  }
+
+  void finish_thread(std::unique_lock<std::mutex>& lk, int vid) {
+    states_[static_cast<std::size_t>(vid)] = ThreadState::kFinished;
+    ++finished_count_;
+    if (finished_count_ == threads_) {
+      exec_done_ = true;
+      token_ = kNoThread;
+      cv_.notify_all();
+      return;
+    }
+    if (drain_mode_) {
+      grant_next_drain();
+      return;
+    }
+    const std::vector<int> runnable = runnable_set();
+    if (runnable.empty()) {
+      std::ostringstream msg;
+      msg << "deadlock: every unfinished thread is spin-blocked after "
+             "thread "
+          << vid << " finished";
+      record_locked(lint::Severity::kError, "check.deadlock", msg.str());
+      begin_drain(lk);
+      return;
+    }
+    decide_and_grant(lk, runnable, kNoThread);
+  }
+
+  /// Abandon the rest of this execution. Only the mode flag flips here:
+  /// the current token holder first runs (or unwinds) to completion, and
+  /// its finish_thread() then chains through the remaining threads one at
+  /// a time — at most one thread is ever live, so the free-running
+  /// (model-off) drain can never introduce a real race. Parked pollers
+  /// unwind via AbortExecution from their yield point.
+  void begin_drain(std::unique_lock<std::mutex>&) { drain_mode_ = true; }
+
+  void grant_next_drain() {
+    for (int vid = 0; vid < threads_; ++vid) {
+      if (states_[static_cast<std::size_t>(vid)] != ThreadState::kFinished) {
+        grant(vid);
+        return;
+      }
+    }
+  }
+
+  // ---- DFS over schedules ----
+
+  std::vector<int> schedule_from_path() const {
+    std::vector<int> schedule;
+    schedule.reserve(path_.size());
+    for (const Decision& decision : path_) {
+      schedule.push_back(decision.alternatives[decision.chosen]);
+    }
+    return schedule;
+  }
+
+  bool advance_prefix() {
+    for (std::size_t i = path_.size(); i-- > 0;) {
+      const Decision& decision = path_[i];
+      if (decision.chosen + 1 < decision.alternatives.size() &&
+          decision.budget_before + 1 <= options_.max_preemptions) {
+        prefix_.clear();
+        prefix_.reserve(i + 1);
+        for (std::size_t j = 0; j < i; ++j) {
+          prefix_.push_back(path_[j].chosen);
+        }
+        prefix_.push_back(decision.chosen + 1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- diagnostics ----
+
+  void record_locked(lint::Severity severity, std::string check,
+                     std::string message) {
+    lint::Diagnostic diag;
+    diag.severity = severity;
+    diag.check = std::move(check);
+    diag.stage = spec_.name;
+    diag.message = std::move(message);
+    exec_diags_.push_back(std::move(diag));
+  }
+
+  // Driver-side (workers all parked): same append, no lock required.
+  void record_unlocked(lint::Severity severity, std::string check,
+                       std::string message) {
+    record_locked(severity, std::move(check), std::move(message));
+  }
+
+  const ScenarioSpec& spec_;
+  const CheckOptions options_;
+  const int threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+
+  std::unique_ptr<ScenarioInstance> instance_;
+  std::vector<std::function<void()>> bodies_;
+  std::uint64_t exec_epoch_ = 0;
+  int token_ = kNoThread;
+  std::vector<ThreadState> states_;
+  std::vector<std::uint64_t> blocked_stamp_;
+  std::vector<std::uint64_t> yield_anchor_;
+  std::uint64_t store_stamp_ = 0;
+  int finished_count_ = 0;
+  bool drain_mode_ = false;
+  bool drained_ = false;
+  bool exec_over_ = true;
+  bool exec_done_ = false;
+  bool step_truncated_ = false;
+  bool race_reported_ = false;
+  bool replay_diverged_ = false;
+  std::uint64_t step_ = 0;
+
+  std::vector<Clock> clocks_;
+  std::unordered_map<const void*, AtomicLoc> atomic_locs_;
+  std::unordered_map<const void*, DataLoc> data_locs_;
+
+  std::vector<Decision> path_;
+  std::vector<std::size_t> prefix_;
+  int budget_spent_ = 0;
+  std::mt19937_64* rng_ = nullptr;
+
+  std::vector<lint::Diagnostic> exec_diags_;
+};
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec,
+                             const CheckOptions& options) {
+  Engine engine(spec, options);
+  return engine.run();
+}
+
+std::string format_schedule(const std::vector<int>& schedule) {
+  std::ostringstream out;
+  const char* separator = "";
+  for (int vid : schedule) {
+    out << separator << vid;
+    separator = ",";
+  }
+  return out.str();
+}
+
+std::vector<int> parse_schedule(const std::string& text) {
+  std::vector<int> schedule;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) {
+      schedule.push_back(std::stoi(item));
+    }
+  }
+  return schedule;
+}
+
+namespace rt {
+
+void hook_load(const void* location, std::memory_order order) {
+  if (Engine* engine = tls_engine) {
+    engine->point(PointKind::kLoad, location, order);
+  }
+}
+
+void hook_store(const void* location, std::memory_order order) {
+  if (Engine* engine = tls_engine) {
+    engine->point(PointKind::kStore, location, order);
+  }
+}
+
+void hook_store_committed(const void*) {
+  if (Engine* engine = tls_engine) {
+    engine->store_committed();
+  }
+}
+
+void hook_rmw(const void* location, std::memory_order order) {
+  if (Engine* engine = tls_engine) {
+    engine->point(PointKind::kRmw, location, order);
+  }
+}
+
+void hook_rmw_failed(const void* location, std::memory_order order) {
+  if (Engine* engine = tls_engine) {
+    engine->point(PointKind::kRmwFailed, location, order);
+  }
+}
+
+void hook_data_read(const void* location) {
+  if (Engine* engine = tls_engine) {
+    engine->data_access(location, false);
+  }
+}
+
+void hook_data_write(const void* location) {
+  if (Engine* engine = tls_engine) {
+    engine->data_access(location, true);
+  }
+}
+
+void hook_spin_yield() {
+  if (Engine* engine = tls_engine) {
+    engine->spin_yield();
+  }
+}
+
+bool under_checker() noexcept { return tls_engine != nullptr; }
+
+std::memory_order publish_order() noexcept {
+  return g_relaxed_publish.load(std::memory_order_relaxed)
+             ? std::memory_order_relaxed
+             : std::memory_order_release;
+}
+
+void set_relaxed_publish_bug(bool armed) noexcept {
+  g_relaxed_publish.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace rt
+}  // namespace pw::check

@@ -9,7 +9,19 @@
 #include <thread>
 #include <utility>
 
-namespace pw::dataflow::detail {
+#include "pw/check/shim.hpp"
+
+// Everything below is threaded through the pw::check atomics shim
+// (pw/check/shim.hpp): `pw::check::atomic` IS `std::atomic` in production
+// builds and a checker-intercepted value under PW_CHECK=1, so the shipped
+// ring and the model-checked ring are the same source. The
+// PW_CHECK_ABI_BEGIN namespace versioning keeps the two instantiation
+// worlds ODR-separate when both are linked into one binary (the pwcheck
+// battery links the production fabric *and* the instrumented one).
+
+namespace pw::dataflow {
+PW_CHECK_ABI_BEGIN
+namespace detail {
 
 inline constexpr std::size_t kCacheLine = 64;
 
@@ -29,9 +41,19 @@ inline void cpu_relax() noexcept {
 /// wedged test stream, a slow producer) does not burn a core. On a
 /// single-core host spinning can never help — the peer cannot run until we
 /// leave the CPU — so the spin phase is skipped entirely there.
+///
+/// Under a pw::check exploration the whole ladder collapses into one
+/// virtual-scheduler yield: the checker parks the thread until a peer
+/// commits a store, which both removes the unbounded spin from the
+/// explored state space and turns "everyone is parked here" into a sound
+/// deadlock verdict.
 class Backoff {
  public:
   void pause() {
+    if (pw::check::under_checker()) {
+      pw::check::spin_yield();
+      return;
+    }
     if (step_ < kSpins && !single_core()) {
       ++step_;
       cpu_relax();
@@ -96,6 +118,13 @@ inline std::size_t round_up_pow2(std::size_t value) noexcept {
 ///     pushed before the close, which is what makes drain-then-nullopt
 ///     work without a lock.
 ///
+/// The tail publish goes through `pw::check::publish_order()` — constexpr
+/// release in production; under PW_CHECK it is the knob the seeded-bug
+/// scenario flips to relaxed to prove the checker catches the resulting
+/// unpublished-element race. The `data_read`/`data_write` annotations mark
+/// the plain cell accesses for the checker's happens-before race detector
+/// and are no-ops in production.
+///
 /// Capacity is exact (size never exceeds the requested capacity) even
 /// though slot storage is rounded up to a power of two for mask indexing.
 template <typename T>
@@ -127,8 +156,9 @@ class SpscRing {
         return false;
       }
     }
+    pw::check::data_write(slot_address(tail));
     ::new (static_cast<void*>(slot(tail))) T(std::move(value));
-    prod_.cursor.store(tail + 1, std::memory_order_release);
+    prod_.cursor.store(tail + 1, pw::check::publish_order());
     return true;
   }
 
@@ -144,10 +174,11 @@ class SpscRing {
     }
     const std::size_t n = count < free ? count : free;
     for (std::size_t i = 0; i < n; ++i) {
+      pw::check::data_write(slot_address(tail + i));
       ::new (static_cast<void*>(slot(tail + i))) T(std::move(values[i]));
     }
     if (n > 0) {
-      prod_.cursor.store(tail + n, std::memory_order_release);
+      prod_.cursor.store(tail + n, pw::check::publish_order());
     }
     return n;
   }
@@ -161,6 +192,7 @@ class SpscRing {
         return false;
       }
     }
+    pw::check::data_write(slot_address(head));
     T* cell = slot(head);
     out = std::move(*cell);
     cell->~T();
@@ -179,6 +211,7 @@ class SpscRing {
     }
     const std::size_t n = count < avail ? count : avail;
     for (std::size_t i = 0; i < n; ++i) {
+      pw::check::data_write(slot_address(head + i));
       T* cell = slot(head + i);
       out[i] = std::move(*cell);
       cell->~T();
@@ -207,10 +240,14 @@ class SpscRing {
         reinterpret_cast<T*>(cells_[index & mask_].storage));
   }
 
+  const void* slot_address(std::uint64_t index) const noexcept {
+    return cells_[index & mask_].storage;
+  }
+
   /// One side's state: its own cursor plus its cached view of the peer's,
   /// padded so the producer and consumer lines never false-share.
   struct alignas(kCacheLine) Side {
-    std::atomic<std::uint64_t> cursor{0};
+    pw::check::atomic<std::uint64_t> cursor{0};
     std::uint64_t peer_cache = 0;
   };
 
@@ -266,6 +303,7 @@ class MpmcRing {
       if (diff == 0) {
         if (tail_.value.compare_exchange_weak(pos, pos + 1,
                                               std::memory_order_relaxed)) {
+          pw::check::data_write(cell.storage);
           ::new (static_cast<void*>(slot(cell))) T(std::move(value));
           cell.sequence.store(pos + 1, std::memory_order_release);
           return true;
@@ -288,6 +326,7 @@ class MpmcRing {
       if (diff == 0) {
         if (head_.value.compare_exchange_weak(pos, pos + 1,
                                               std::memory_order_relaxed)) {
+          pw::check::data_write(cell.storage);
           T* cell_value = slot(cell);
           out = std::move(*cell_value);
           cell_value->~T();
@@ -312,7 +351,7 @@ class MpmcRing {
 
  private:
   struct Cell {
-    std::atomic<std::uint64_t> sequence;
+    pw::check::atomic<std::uint64_t> sequence;
     alignas(T) unsigned char storage[sizeof(T)];
   };
 
@@ -321,7 +360,7 @@ class MpmcRing {
   }
 
   struct alignas(kCacheLine) PaddedCursor {
-    std::atomic<std::uint64_t> value{0};
+    pw::check::atomic<std::uint64_t> value{0};
   };
 
   const std::size_t slots_;
@@ -331,4 +370,6 @@ class MpmcRing {
   PaddedCursor head_;
 };
 
-}  // namespace pw::dataflow::detail
+}  // namespace detail
+PW_CHECK_ABI_END
+}  // namespace pw::dataflow

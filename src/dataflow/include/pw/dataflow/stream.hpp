@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "pw/check/shim.hpp"
 #include "pw/dataflow/ring.hpp"
 #include "pw/dataflow/stream_options.hpp"
 #include "pw/fault/injector.hpp"
@@ -63,6 +64,13 @@ struct StreamStats {
 /// are preserved, one consultation per call including batched calls; a
 /// named stream additionally attributes every injected fault to its name
 /// in FaultReport::by_stream. Disarmed cost is one atomic load.
+///
+/// Like the rings underneath it, Stream goes through the pw::check atomics
+/// shim and lives in a PW_CHECK-versioned inline namespace: production TUs
+/// get `fabric::Stream` on real std::atomics, the pw::check scenario
+/// library gets `modelchecked::Stream` under the virtual scheduler — same
+/// source, ODR-distinct symbols (see docs/static_analysis.md).
+PW_CHECK_ABI_BEGIN
 template <typename T>
 class Stream {
  public:
@@ -376,7 +384,7 @@ class Stream {
     }
   }
 
-  void count_blocked(std::atomic<std::uint64_t>& counter) noexcept {
+  void count_blocked(pw::check::atomic<std::uint64_t>& counter) noexcept {
     counter.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -387,12 +395,13 @@ class Stream {
   StreamOptions options_;
   std::unique_ptr<detail::SpscRing<T>> spsc_;
   std::unique_ptr<detail::MpmcRing<T>> mpmc_;
-  alignas(detail::kCacheLine) std::atomic<bool> closed_{false};
-  alignas(detail::kCacheLine) std::atomic<std::uint64_t> pushed_{0};
-  alignas(detail::kCacheLine) std::atomic<std::uint64_t> popped_{0};
-  std::atomic<std::uint64_t> push_blocked_{0};
-  std::atomic<std::uint64_t> pop_blocked_{0};
-  std::atomic<std::uint64_t> faults_{0};
+  alignas(detail::kCacheLine) pw::check::atomic<bool> closed_{false};
+  alignas(detail::kCacheLine) pw::check::atomic<std::uint64_t> pushed_{0};
+  alignas(detail::kCacheLine) pw::check::atomic<std::uint64_t> popped_{0};
+  pw::check::atomic<std::uint64_t> push_blocked_{0};
+  pw::check::atomic<std::uint64_t> pop_blocked_{0};
+  pw::check::atomic<std::uint64_t> faults_{0};
 };
+PW_CHECK_ABI_END
 
 }  // namespace pw::dataflow

@@ -18,12 +18,28 @@ lint::LintReport ThreadedPipeline::verify() const {
   if (!graph_.has_value()) {
     return {};
   }
-  return lint::run_checks(*graph_);
+  // Annotate a copy of the declared graph with the real placement of each
+  // stage body (matched by name) so the placement.oversubscribed check
+  // judges the pins against this machine's core count. The stored graph
+  // stays as declared.
+  lint::PipelineGraph annotated = *graph_;
+  for (const NamedBody& stage : bodies_) {
+    if (stage.placement.mode != PlacementSpec::Mode::kCore) {
+      continue;
+    }
+    const int index = annotated.stage_index(stage.name);
+    if (index >= 0) {
+      annotated.set_pinned_core(index, stage.placement.index);
+    }
+  }
+  lint::LintOptions options;
+  options.available_cores = placement_cores();
+  return lint::run_checks(annotated, options);
 }
 
 void ThreadedPipeline::run() {
   if (graph_.has_value() && lint_policy_ != LintPolicy::kOff) {
-    lint::LintReport report = lint::run_checks(*graph_);
+    lint::LintReport report = verify();
     if (!report.passed() && lint_policy_ == LintPolicy::kEnforce) {
       // Reject before spawning: live stage threads blocked on a malformed
       // stream graph cannot be safely torn down, a LintError can.

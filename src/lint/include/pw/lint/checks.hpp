@@ -22,6 +22,11 @@ struct LintOptions {
   /// short external-memory bursts.
   std::size_t min_chunk_width = 8;
 
+  /// Online logical cores available to the pipeline's threads; 0 (the
+  /// default) skips the placement.oversubscribed check — only the
+  /// execution layer knows the real machine, a bare graph does not.
+  int available_cores = 0;
+
   /// Check ids ("deadlock.reconverge_capacity") or id prefixes
   /// ("deadlock.") to suppress — the documented escape hatch when a
   /// pipeline is intentionally odd. Suppressed findings are dropped, and

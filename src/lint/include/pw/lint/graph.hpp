@@ -31,6 +31,10 @@ struct StageNode {
   std::uint64_t latency = 0;
   bool detached = false;
   std::optional<ShiftBufferGeometry> shift_buffer;
+  /// Logical core this stage's thread is pinned to (PlacementSpec), -1
+  /// when unpinned. Annotated by the execution layer so the placement
+  /// check can spot stages time-sharing a core while others sit free.
+  int pinned_core = -1;
 };
 
 /// Live state of one stream, sampled through an optional probe when the
@@ -69,6 +73,9 @@ class PipelineGraph {
   void bind_producer(int stream, int stage);
   void bind_consumer(int stream, int stage);
   void set_probe(int stream, std::function<StreamProbe()> probe);
+  /// Records where stage `stage`'s thread is pinned (-1 = unpinned); the
+  /// execution layer calls this so lint sees real placement, not intent.
+  void set_pinned_core(int stage, int core);
 
   const std::vector<StageNode>& stages() const noexcept { return stages_; }
   const std::vector<StreamEdge>& streams() const noexcept { return streams_; }

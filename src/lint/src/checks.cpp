@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -340,6 +341,57 @@ void check_shift_buffers(const PipelineGraph& g, const LintOptions& options,
   }
 }
 
+// --- placement ---------------------------------------------------------
+
+/// Every stage of a dataflow region is supposed to run all the time —
+/// that is the whole model. Two stages pinned to one logical core
+/// time-share it, so each handoff between them costs a context switch and
+/// the chain's throughput halves; doing that while other cores have no
+/// pin at all is never intentional. Core indices are normalised modulo
+/// `available_cores`, matching how apply_placement wraps them, so a spec
+/// tuned for a bigger box is judged as it will actually land here.
+void check_placement(const PipelineGraph& g, const LintOptions& options,
+                     LintReport& report) {
+  if (options.available_cores <= 0) {
+    return;
+  }
+  std::map<int, std::vector<int>> stages_by_core;
+  for (std::size_t s = 0; s < g.stages().size(); ++s) {
+    const int pin = g.stages()[s].pinned_core;
+    if (pin >= 0) {
+      stages_by_core[pin % options.available_cores].push_back(
+          static_cast<int>(s));
+    }
+  }
+  const int used_cores = static_cast<int>(stages_by_core.size());
+  if (used_cores >= options.available_cores) {
+    return;  // every core carries a pin: sharing is forced, not a mistake
+  }
+  int free_core = 0;
+  while (stages_by_core.count(free_core) != 0) {
+    ++free_core;
+  }
+  for (const auto& [core, stages] : stages_by_core) {
+    if (stages.size() < 2) {
+      continue;
+    }
+    std::ostringstream msg;
+    msg << stages.size() << " stages (";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      msg << (i ? ", " : "") << stage_name(g, stages[i]);
+    }
+    msg << ") pinned to core " << core << " while only " << used_cores
+        << " of " << options.available_cores
+        << " cores carry a pin: the stages time-share one core and every "
+           "handoff between them costs a context switch";
+    add(report, Severity::kError, "placement.oversubscribed",
+        stage_name(g, stages[1]), "", msg.str(),
+        "spread the pins — core " + std::to_string(free_core) +
+            " is free (PlacementSpec::core(" + std::to_string(free_core) +
+            "))");
+  }
+}
+
 // --- declared vs live capacity -----------------------------------------
 
 /// Every capacity-sensitive check above reasons from StreamEdge::depth —
@@ -390,6 +442,7 @@ LintReport run_checks(const PipelineGraph& graph, const LintOptions& options) {
     check_throughput(graph, options, report);
   }
   check_shift_buffers(graph, options, report);
+  check_placement(graph, options, report);
   check_capacity_probes(graph, report);
 
   if (!options.suppress.empty()) {

@@ -55,6 +55,11 @@ void PipelineGraph::set_probe(int stream, std::function<StreamProbe()> probe) {
   streams_[static_cast<std::size_t>(stream)].probe = std::move(probe);
 }
 
+void PipelineGraph::set_pinned_core(int stage, int core) {
+  check_stage(stage);
+  stages_[static_cast<std::size_t>(stage)].pinned_core = core;
+}
+
 int PipelineGraph::stage_index(const std::string& name) const noexcept {
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     if (stages_[i].name == name) {

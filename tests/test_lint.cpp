@@ -8,11 +8,14 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "pw/api/solver.hpp"
 #include "pw/dataflow/engine.hpp"
 #include "pw/dataflow/sim_stream.hpp"
+#include "pw/dataflow/stream.hpp"
 #include "pw/dataflow/threaded.hpp"
 #include "pw/kernel/pipeline_graph.hpp"
 #include "pw/lint/checks.hpp"
@@ -529,6 +532,167 @@ TEST(LintThreaded, MalformedRegionIsRejectedBeforeAnyThreadSpawns) {
   region.set_lint_policy(dataflow::LintPolicy::kOff);
   region.run();
   EXPECT_TRUE(body_ran);
+}
+
+// ---------------------------------------------------------------------------
+// placement
+
+// A clean 3-stage chain (source -> mid -> sink) whose stages are pinned to
+// `pins[i]` (-1 = unpinned), so placement findings are the only ones.
+lint::PipelineGraph pinned_chain(const std::vector<int>& pins) {
+  lint::PipelineGraph g;
+  std::vector<int> stages;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const int s = g.add_stage("stage" + std::to_string(i));
+    stages.push_back(s);
+    if (pins[i] >= 0) {
+      g.set_pinned_core(s, pins[i]);
+    }
+    if (i > 0) {
+      const int e = g.add_stream("s" + std::to_string(i), 4);
+      g.bind_producer(e, stages[i - 1]);
+      g.bind_consumer(e, s);
+    }
+  }
+  return g;
+}
+
+TEST(LintPlacement, TwoStagesOnOneCoreWhileOthersAreFreeIsAnError) {
+  lint::LintOptions options;
+  options.available_cores = 4;
+  const auto report = lint::run_checks(pinned_chain({0, 0, -1}), options);
+  EXPECT_TRUE(has_check(report, "placement.oversubscribed",
+                        lint::Severity::kError));
+  const auto* diag = find_check(report, "placement.oversubscribed");
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->stage, "stage1");  // the second stage landing on the core
+  EXPECT_NE(diag->fix_hint.find("core 1"), std::string::npos)
+      << "the hint must name a concrete free core: " << diag->fix_hint;
+}
+
+TEST(LintPlacement, SharingIsForcedWhenEveryCoreCarriesAPin) {
+  lint::LintOptions options;
+  options.available_cores = 2;
+  const auto report =
+      lint::run_checks(pinned_chain({0, 0, 1}), options);
+  EXPECT_EQ(find_check(report, "placement.oversubscribed"), nullptr)
+      << "more pinned stages than cores cannot avoid sharing";
+}
+
+TEST(LintPlacement, PinsWrapModuloAvailableCores) {
+  // core(5) on a 4-core box lands on core 1 — exactly how apply_placement
+  // wraps it — so it collides with an explicit core(1) pin.
+  lint::LintOptions options;
+  options.available_cores = 4;
+  const auto report =
+      lint::run_checks(pinned_chain({1, 5, -1}), options);
+  EXPECT_TRUE(has_check(report, "placement.oversubscribed",
+                        lint::Severity::kError));
+}
+
+TEST(LintPlacement, DistinctPinsAndUnknownTopologyAreClean) {
+  lint::LintOptions options;
+  options.available_cores = 4;
+  EXPECT_EQ(find_check(lint::run_checks(pinned_chain({0, 1, 2}), options),
+                       "placement.oversubscribed"),
+            nullptr);
+  // available_cores == 0: a bare graph knows nothing about the machine.
+  EXPECT_EQ(find_check(lint::run_checks(pinned_chain({0, 0, -1})),
+                       "placement.oversubscribed"),
+            nullptr);
+}
+
+TEST(LintPlacement, ThreadedPipelineAnnotatesRealPlacement) {
+  if (dataflow::placement_cores() < 3) {
+    GTEST_SKIP() << "needs >= 3 online cores to leave one free";
+  }
+  dataflow::ThreadedPipeline region;
+  region.add_stage("producer", [] {}, dataflow::PlacementSpec::core(0));
+  region.add_stage("consumer", [] {}, dataflow::PlacementSpec::core(0));
+
+  lint::PipelineGraph g;
+  const int producer = g.add_stage("producer");
+  const int consumer = g.add_stage("consumer");
+  const int s = g.add_stream("hot", 4);
+  g.bind_producer(s, producer);
+  g.bind_consumer(s, consumer);
+  region.set_graph(std::move(g));
+
+  // The declared graph carries no pins; verify() must see the
+  // PlacementSpecs anyway.
+  const auto report = region.verify();
+  EXPECT_TRUE(has_check(report, "placement.oversubscribed",
+                        lint::Severity::kError));
+  EXPECT_THROW(region.run(), dataflow::LintError);
+}
+
+// ---------------------------------------------------------------------------
+// capacity.live_mismatch edge cases
+
+lint::PipelineGraph probed_pair(std::size_t declared,
+                                std::function<lint::StreamProbe()> probe) {
+  lint::PipelineGraph g;
+  const int producer = g.add_stage("producer");
+  const int consumer = g.add_stage("consumer");
+  const int s = g.add_stream("probed", declared);
+  g.bind_producer(s, producer);
+  g.bind_consumer(s, consumer);
+  g.set_probe(s, std::move(probe));
+  return g;
+}
+
+std::function<lint::StreamProbe()> probe_of(
+    const dataflow::Stream<int>& stream) {
+  return [&stream] {
+    return lint::StreamProbe{stream.size(), stream.capacity(),
+                             stream.exhausted()};
+  };
+}
+
+TEST(LintCapacity, OneCapacityStreamMismatchIsCaught) {
+  dataflow::Stream<int> stream({.capacity = 1});
+  EXPECT_TRUE(has_check(lint::run_checks(probed_pair(2, probe_of(stream))),
+                        "capacity.live_mismatch", lint::Severity::kError));
+  EXPECT_EQ(find_check(lint::run_checks(probed_pair(1, probe_of(stream))),
+                       "capacity.live_mismatch"),
+            nullptr);
+}
+
+TEST(LintCapacity, ZeroDeclaredDepthSkipsTheComparison) {
+  // Depth 0 means "unspecified" in a declared graph; there is nothing to
+  // compare the live capacity against.
+  dataflow::Stream<int> stream({.capacity = 1});
+  EXPECT_EQ(find_check(lint::run_checks(probed_pair(0, probe_of(stream))),
+                       "capacity.live_mismatch"),
+            nullptr);
+}
+
+TEST(LintCapacity, ZeroProbeCapacityMeansUnsampleable) {
+  const auto report = lint::run_checks(
+      probed_pair(4, [] { return lint::StreamProbe{0, 0, false}; }));
+  EXPECT_EQ(find_check(report, "capacity.live_mismatch"), nullptr);
+}
+
+TEST(LintCapacity, MpmcStreamsAreCheckedToo) {
+  dataflow::Stream<int> stream(
+      {.capacity = 4, .policy = dataflow::StreamPolicy::kMpmc});
+  EXPECT_TRUE(has_check(lint::run_checks(probed_pair(2, probe_of(stream))),
+                        "capacity.live_mismatch", lint::Severity::kError));
+  EXPECT_EQ(find_check(lint::run_checks(probed_pair(4, probe_of(stream))),
+                       "capacity.live_mismatch"),
+            nullptr);
+}
+
+TEST(LintCapacity, StreamProbedAfterCloseStillReportsHonestly) {
+  dataflow::Stream<int> stream({.capacity = 2});
+  ASSERT_TRUE(stream.try_push(7));
+  stream.close();
+  // eos does not suppress the check: capacity is still introspectable.
+  EXPECT_TRUE(has_check(lint::run_checks(probed_pair(3, probe_of(stream))),
+                        "capacity.live_mismatch", lint::Severity::kError));
+  EXPECT_EQ(find_check(lint::run_checks(probed_pair(2, probe_of(stream))),
+                       "capacity.live_mismatch"),
+            nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -227,6 +227,58 @@ TEST(StreamBatch, PopNReturnsShortCountAtEndOfStream) {
   EXPECT_EQ(out[1], 2);
 }
 
+TEST(StreamBatch, PopNDeliversPartialTailExactlyOnceWhenClosedMidPack) {
+  // A producer wedges a width-16 pack on a tiny ring and close() cuts the
+  // transfer short. The consumer's width-16 pop_n must hand back the
+  // accepted partial tail exactly once — a second pop_n of the same width
+  // returns 0, not a replay of the tail (the regression this guards).
+  Stream<int> s({.capacity = 4});
+  int pack[16];
+  std::iota(std::begin(pack), std::end(pack), 100);
+  std::atomic<std::size_t> accepted{SIZE_MAX};
+  std::thread producer([&] { accepted = s.push_n(pack, 16); });
+  while (s.size() < 4) {
+    std::this_thread::yield();  // the pack is wedged mid-transfer
+  }
+  s.close();
+  producer.join();
+  const std::size_t n = accepted.load();
+  ASSERT_NE(n, SIZE_MAX);
+  ASSERT_LT(n, 16u);  // the close cut the pack short
+
+  int out[16] = {};
+  EXPECT_EQ(s.pop_n(out, 16), n);  // the whole partial tail, one delivery
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], pack[i]);
+  }
+  int again[16] = {};
+  EXPECT_EQ(s.pop_n(again, 16), 0u);  // and never again
+  EXPECT_TRUE(s.exhausted());
+}
+
+TEST(StreamBatch, PopNBlockedMidPackReturnsPrefixOnClose) {
+  // The dual edge: the consumer is already inside a width-8 pop_n when
+  // close() lands. It must come back with exactly the elements delivered
+  // so far, and a follow-up pop_n must find end-of-stream, not data.
+  Stream<int> s({.capacity = 8});
+  int out[8] = {};
+  std::atomic<std::size_t> got{SIZE_MAX};
+  std::thread consumer([&] { got = s.pop_n(out, 8); });
+  ASSERT_TRUE(s.push(7));
+  ASSERT_TRUE(s.push(8));
+  while (s.size() > 0) {
+    std::this_thread::yield();  // consumer holds the prefix, still hungry
+  }
+  s.close();
+  consumer.join();
+  ASSERT_EQ(got.load(), 2u);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[1], 8);
+  int again[8] = {};
+  EXPECT_EQ(s.pop_n(again, 8), 0u);
+  EXPECT_TRUE(s.exhausted());
+}
+
 TEST(StreamBatch, BatchedProducerScalarConsumerThreaded) {
   Stream<std::uint64_t> s({.capacity = 16, .name = "fabric.batch"});
   constexpr std::uint64_t kCount = 200000;

@@ -9,11 +9,13 @@
 //   pwlint --nx=64 --ny=64 --nz=64 --chunk-y=16 --fifo-depth=4
 //          --shift-ii=2 --kernels=4    # custom Fig. 2 configuration
 //   pwlint --json=LINT_pipelines.json  # obs-registry artefact for CI
+//   pwlint --json                      # machine-readable report on stdout
+//                                        (nothing else is printed)
 //   pwlint --details                   # full per-diagnostic JSON to stdout
 //
-// Exit status: 0 when every linted graph passes (no errors; warnings are
-// reported but do not fail), 1 otherwise — the contract the CI lint stage
-// relies on.
+// Exit status: 0 when every linted graph passes (no error-severity
+// diagnostic anywhere; warnings are reported but do not fail), 1
+// otherwise — the contract CI gates on, in both human and --json modes.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -99,7 +101,12 @@ int run(int argc, char** argv) {
     }
   }
 
-  const auto json_path = cli.get("json");
+  const auto json_opt = cli.get("json");
+  // Bare `--json` (the parser stores flag-style options as "true"):
+  // machine-readable report on stdout, human chatter suppressed, so CI
+  // can pipe pwlint straight into a JSON consumer and gate on the exit
+  // code. `--json=FILE` keeps writing the obs-registry artefact.
+  const bool json_stdout = json_opt.has_value() && *json_opt == "true";
   const bool details = cli.has("details");
   const auto unknown = cli.unqueried();
   if (!unknown.empty()) {
@@ -111,27 +118,47 @@ int run(int argc, char** argv) {
   pw::obs::MetricsRegistry registry;
   for (const NamedReport& r : results) {
     all_passed = all_passed && r.report.passed();
-    std::cout << "== " << r.name << " ==\n" << r.report.summary();
-    if (details) {
-      std::cout << pw::lint::to_json(r.report);
+    if (!json_stdout) {
+      std::cout << "== " << r.name << " ==\n" << r.report.summary();
+      if (details) {
+        std::cout << pw::lint::to_json(r.report);
+      }
     }
     pw::lint::publish(r.report, registry, "lint." + r.name);
   }
   registry.gauge_set("lint.all_passed", all_passed ? 1.0 : 0.0);
   registry.counter_add("lint.pipelines", results.size());
 
-  if (json_path) {
-    std::ofstream out(*json_path);
+  if (json_stdout) {
+    std::cout << "{\n  \"passed\": " << (all_passed ? "true" : "false")
+              << ",\n  \"pipelines\": {";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::cout << (i ? ",\n  \"" : "\n  \"") << results[i].name << "\": ";
+      const std::string body = pw::lint::to_json(results[i].report);
+      // Drop the trailing newline and reindent continuation lines so the
+      // nested object sits inside the envelope readably.
+      for (std::size_t j = 0; j + 1 < body.size(); ++j) {
+        std::cout << body[j];
+        if (body[j] == '\n') {
+          std::cout << "  ";
+        }
+      }
+    }
+    std::cout << "\n  }\n}\n";
+  } else if (json_opt) {
+    std::ofstream out(*json_opt);
     out << pw::obs::to_json(registry);
     if (!out) {
-      std::cerr << "pwlint: cannot write " << *json_path << '\n';
+      std::cerr << "pwlint: cannot write " << *json_opt << '\n';
       return 2;
     }
-    std::cout << "wrote " << *json_path << '\n';
+    std::cout << "wrote " << *json_opt << '\n';
   }
 
-  std::cout << (all_passed ? "pwlint: all pipelines passed\n"
-                           : "pwlint: FAILED\n");
+  if (!json_stdout) {
+    std::cout << (all_passed ? "pwlint: all pipelines passed\n"
+                             : "pwlint: FAILED\n");
+  }
   return all_passed ? 0 : 1;
 }
 
