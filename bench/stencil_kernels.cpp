@@ -1,0 +1,184 @@
+// Table-I-style peak-fraction bench for every kernel declared in the
+// pw::stencil registry. For each registered StencilSpec the run:
+//
+//   * models a single U280 kernel instance at the paper's 16M grid through
+//     the spec-derived fpga::perf_model entry (stencil::perf_input), and
+//   * measures the fused shift-buffer engine on this host (scaled-down
+//     grid), holding the result bit-identical to the kernel's scalar
+//     reference.
+//
+// Alongside the ASCII table it dumps a registry-backed JSON artefact
+// (default BENCH_stencils.json, override with --json=). The gauge
+// stencils.bench.bit_exact is 1.0 only when every kernel's fused run
+// bit-matched its reference — scripts/check_bench_json.py gates on it.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "pw/advect/coefficients.hpp"
+#include "pw/advect/reference.hpp"
+#include "pw/fpga/perf_model.hpp"
+#include "pw/grid/compare.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/stencil/advect.hpp"
+#include "pw/stencil/diffusion.hpp"
+#include "pw/stencil/poisson.hpp"
+#include "pw/stencil/spec.hpp"
+#include "pw/util/table.hpp"
+#include "pw/util/timer.hpp"
+
+namespace {
+
+struct MeasuredRun {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  bool bit_exact = false;
+};
+
+bool terms_bit_equal(const pw::advect::SourceTerms& a,
+                     const pw::advect::SourceTerms& b) {
+  return pw::grid::compare_interior(a.su, b.su).bit_equal() &&
+         pw::grid::compare_interior(a.sv, b.sv).bit_equal() &&
+         pw::grid::compare_interior(a.sw, b.sw).bit_equal();
+}
+
+/// Times one fused-engine solve of `run` and bit-compares it against the
+/// scalar reference produced by `reference`.
+template <typename Reference, typename Run>
+MeasuredRun measure(const pw::grid::GridDims& dims, std::uint64_t flops,
+                    Reference&& reference, Run&& run) {
+  pw::advect::SourceTerms expected(dims);
+  reference(expected);
+
+  pw::stencil::EngineConfig config;
+  config.engine = pw::stencil::Engine::kFused;
+  pw::advect::SourceTerms got(dims);
+  pw::util::WallTimer timer;
+  run(got, config);
+
+  MeasuredRun measured;
+  measured.seconds = timer.seconds();
+  measured.gflops =
+      measured.seconds > 0.0
+          ? static_cast<double>(flops) / measured.seconds / 1e9
+          : 0.0;
+  measured.bit_exact = terms_bit_equal(expected, got);
+  return measured;
+}
+
+std::string pct(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pw;
+  const util::Cli cli(argc, argv);
+
+  // Modelled at the paper's Table I grid; measured on a host-friendly one.
+  const grid::GridDims model_dims = grid::paper_grid(16);
+  const grid::GridDims dims{
+      static_cast<std::size_t>(cli.get_int("nx", 32)),
+      static_cast<std::size_t>(cli.get_int("ny", 64)),
+      static_cast<std::size_t>(cli.get_int("nz", 32))};
+
+  auto state = std::make_unique<grid::WindState>(dims);
+  grid::init_random(*state, 2026);
+  const auto coefficients = advect::PwCoefficients::from_geometry(
+      grid::Geometry::uniform(dims, 100.0, 100.0, 25.0));
+
+  stencil::DiffusionParams diffusion;
+  diffusion.kappa = 12.5;
+  stencil::PoissonParams poisson;
+  poisson.iterations =
+      static_cast<std::size_t>(cli.get_int("poisson_iters", 8));
+
+  obs::MetricsRegistry registry;
+  util::Table table("Stencil-machine kernels: modelled single U280 kernel at " +
+                    util::format_cells(model_dims.cells()) +
+                    " cells, fused engine measured at " +
+                    util::format_cells(dims.cells()) + " cells");
+  table.header({"kernel", "flops/cell", "sweeps", "model GF/s", "% of peak",
+                "host GF/s", "bit-exact"});
+
+  bool all_bit_exact = true;
+  for (const stencil::StencilSpec& spec : stencil::registered_stencils()) {
+    // The spec-derived analytic model row, published through the registry
+    // (gauges stencils.<name>.model.gflops / .pct_of_theoretical_peak / ...).
+    std::size_t sweeps = spec.sweeps;
+    fpga::KernelOnlyInput input = stencil::perf_input(spec, model_dims);
+    if (spec.name == "poisson_jacobi") {
+      input.sweeps = poisson.iterations;
+      sweeps = poisson.iterations;
+    }
+    const fpga::KernelOnlyResult model = fpga::model_kernel_only(input);
+    const std::string prefix = "stencils." + spec.name;
+    fpga::record_kernel_only(input, model, registry, prefix + ".model");
+
+    // The measured host row for the same kernel.
+    const std::uint64_t flops = stencil::total_flops(spec, dims, sweeps);
+    MeasuredRun measured;
+    if (spec.name == "advect_pw") {
+      measured = measure(
+          dims, flops,
+          [&](advect::SourceTerms& out) {
+            advect::advect_reference(*state, coefficients, out);
+          },
+          [&](advect::SourceTerms& out, const stencil::EngineConfig& config) {
+            stencil::run_advect(*state, coefficients, out, config);
+          });
+    } else if (spec.name == "diffusion") {
+      measured = measure(
+          dims, flops,
+          [&](advect::SourceTerms& out) {
+            stencil::diffusion_reference(*state, diffusion, out);
+          },
+          [&](advect::SourceTerms& out, const stencil::EngineConfig& config) {
+            stencil::run_diffusion(*state, diffusion, out, config);
+          });
+    } else if (spec.name == "poisson_jacobi") {
+      measured = measure(
+          dims, flops,
+          [&](advect::SourceTerms& out) {
+            stencil::poisson_reference(*state, poisson, out);
+          },
+          [&](advect::SourceTerms& out, const stencil::EngineConfig& config) {
+            stencil::run_poisson(*state, poisson, out, config);
+          });
+    } else {
+      std::fprintf(stderr, "no host driver for registry kernel '%s'\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    all_bit_exact = all_bit_exact && measured.bit_exact;
+
+    registry.gauge_set(prefix + ".measured.gflops", measured.gflops);
+    registry.gauge_set(prefix + ".measured.seconds", measured.seconds);
+    registry.gauge_set(prefix + ".measured.bit_exact",
+                       measured.bit_exact ? 1.0 : 0.0);
+
+    table.row({spec.name, util::format_double(spec.flops_per_cell, 0),
+               std::to_string(sweeps), util::format_double(model.gflops, 2),
+               pct(model.efficiency * 100.0),
+               util::format_double(measured.gflops, 2),
+               measured.bit_exact ? "yes" : "NO"});
+  }
+
+  registry.gauge_set("stencils.bench.bit_exact", all_bit_exact ? 1.0 : 0.0);
+  registry.gauge_set("stencils.bench.kernels",
+                     static_cast<double>(stencil::registered_stencils().size()));
+
+  const int status = bench::emit(table, cli);
+  const int json_status =
+      bench::emit_registry(registry, "BENCH_stencils.json", cli);
+  if (!all_bit_exact) {
+    std::fprintf(stderr,
+                 "stencil_kernels: a kernel diverged from its reference\n");
+    return 1;
+  }
+  return status != 0 ? status : json_status;
+}

@@ -24,10 +24,14 @@ int main(int argc, char** argv) {
   options.backend = backend == "fused"       ? api::Backend::kFused
                     : backend == "reference" ? api::Backend::kReference
                                              : api::Backend::kMultiKernel;
-  api::AdvectionSolver solver(options);
+  options.kernel_spec =
+      api::parse_kernel(cli.get_string("kernel", "advect_pw"))
+          .value_or(api::Kernel::kAdvectPw);
+  api::Solver solver(options);
 
-  std::cout << "validate(" << api::to_string(options.backend) << ", "
-            << dims.nx << "x" << dims.ny << "x" << dims.nz << "):\n"
+  std::cout << "validate(" << api::to_string(options.backend) << "/"
+            << api::to_string(options.kernel_spec) << ", " << dims.nx << "x"
+            << dims.ny << "x" << dims.nz << "):\n"
             << solver.validate(dims).summary() << '\n';
 
   // The same battery rejecting a malformed graph: two writers race one

@@ -9,9 +9,10 @@
 //   pwadvect figures  [--csv-dir=DIR]
 //   pwadvect versal   [--instances]
 //
-// `run` goes through pw::api::AdvectionSolver, the recommended entry point:
-// one options struct, one solve() call, metrics snapshot included. The
-// xilinx/intel/legacy vendor frontends stay available as direct datapaths.
+// `run` goes through pw::api::Solver, the recommended entry point: one
+// options struct (backend + KernelSpec), one solve() call, metrics
+// snapshot included. The xilinx/intel/legacy vendor frontends stay
+// available as direct datapaths.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -58,6 +59,7 @@ int cmd_run(const util::Cli& cli) {
   advect::advect_reference(*state, *coefficients, reference);
 
   api::SolverOptions options;
+  options.kernel_spec = api::Kernel::kAdvectPw;
   options.kernel.chunk_y = static_cast<std::size_t>(cli.get_int("chunk", 16));
   options.kernel.stream_depth = 16;
 
@@ -98,7 +100,7 @@ int cmd_run(const util::Cli& cli) {
     api::SolveRequest request =
         api::make_request(state, coefficients, options);
     request.tag = impl;
-    auto result = api::AdvectionSolver(options).solve(request);
+    auto result = api::Solver(options).solve(request);
     if (!result.ok()) {
       std::cerr << "solve failed: " << result.message << "\n";
       return 1;

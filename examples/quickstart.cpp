@@ -1,7 +1,8 @@
-// Quickstart: the recommended entry point is pw::api::AdvectionSolver —
-// pack fields + coefficients + options into a SolveRequest, call solve()
-// (or submit() for a SolveFuture), get source terms plus a metrics
-// snapshot.
+// Quickstart: the recommended entry point is pw::api::Solver — pick a
+// kernel (PW advection by default) via SolverOptions.kernel_spec, pack
+// fields (+ coefficients for advection) + options into a SolveRequest,
+// call solve() (or submit() for a SolveFuture), get source terms plus a
+// metrics snapshot.
 // This example runs the PW advection scheme through four backends (scalar
 // reference, threaded CPU baseline, the fused dataflow kernel and the
 // overlapped host driver), verifies the double-precision datapaths agree
@@ -56,12 +57,13 @@ int main(int argc, char** argv) {
   //    coefficients + options together form a SolveRequest.
   obs::MetricsRegistry registry;
   api::SolverOptions options;
+  options.kernel_spec = api::Kernel::kAdvectPw;  // the default, made explicit
   options.kernel.chunk_y = static_cast<std::size_t>(cli.get_int("chunk", 8));
   options.metrics = &registry;
 
   // 4. The scalar reference is just another backend.
   options.backend = api::Backend::kReference;
-  const auto reference = api::AdvectionSolver(options).solve(
+  const auto reference = api::Solver(options).solve(
       api::make_request(state, coefficients, options));
   if (!reference.ok()) {
     std::cerr << "reference solve failed: " << reference.message << "\n";
@@ -83,7 +85,7 @@ int main(int argc, char** argv) {
   for (const api::BackendSpec& spec : specs) {
     options.backend = spec;
     const api::Backend backend = spec.backend();
-    api::SolveFuture future = api::AdvectionSolver(options).submit(
+    api::SolveFuture future = api::Solver(options).submit(
         api::make_request(state, coefficients, options));
     const auto& result = future.wait();
     if (!result.ok()) {
@@ -101,6 +103,33 @@ int main(int argc, char** argv) {
     all_exact = all_exact && exact;
     std::printf("%-13s %8.2f ms   %s\n", api::to_string(backend),
                 result.seconds * 1e3,
+                exact ? "bit-exact vs reference" : "MISMATCH");
+  }
+
+  // 5b. The same Solver serves any declared stencil kernel: swap the
+  //     KernelSpec, drop the coefficients payload, keep everything else —
+  //     backends, metrics, serving. Diffusion knobs ride in the spec.
+  {
+    api::DiffusionOptions diffusion;
+    diffusion.kappa = 12.5;  // m^2/s, a typical LES eddy diffusivity
+    api::SolverOptions diffusion_options = options;
+    diffusion_options.kernel_spec = diffusion;
+    diffusion_options.backend = api::Backend::kReference;
+    const auto diffused = api::Solver(diffusion_options)
+                              .solve(api::make_request(state, diffusion_options));
+    diffusion_options.backend = api::Backend::kFused;
+    const auto streamed = api::Solver(diffusion_options)
+                              .solve(api::make_request(state, diffusion_options));
+    if (!diffused.ok() || !streamed.ok()) {
+      std::cerr << "diffusion solve failed\n";
+      return 1;
+    }
+    const bool exact =
+        grid::compare_interior(diffused.terms->su, streamed.terms->su)
+            .bit_equal();
+    all_exact = all_exact && exact;
+    std::printf("%-13s %8.2f ms   %s\n", "diffusion",
+                streamed.seconds * 1e3,
                 exact ? "bit-exact vs reference" : "MISMATCH");
   }
 

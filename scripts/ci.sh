@@ -12,6 +12,13 @@
 #                              .json, validated + budget-gated (SPSC >= 5x
 #                              faster than the mutex referee) by
 #                              scripts/check_bench_json.py
+#   3b2. stencil bench gate    bench/stencil_kernels -> BENCH_stencils.json:
+#                              every pw::stencil registry kernel modelled
+#                              through its spec-derived perf entry and
+#                              measured on the fused engine; the
+#                              stencils.bench.bit_exact gauge (1.0 = every
+#                              kernel bit-matched its scalar reference) is
+#                              budget-gated by scripts/check_bench_json.py
 #   3c. model checker          ctest -L check (the pw::check unit battery)
 #                              plus the pwcheck scenario suite — exhaustive
 #                              bounded-preemption exploration of the ring
@@ -24,7 +31,7 @@
 #                              battery). Skipped with PW_CI_SKIP_SANITIZERS=1
 #                              for quick local iterations.
 #   4b. ubsan: streams + fault UBSan-only build (build-ubsan/) + ctest -L
-#              + check         streams/fault/check — unlike 4, no ASan
+#        + stencil + check     streams/fault/stencil/check — unlike 4, no ASan
 #                              shadow memory, so the lock-free fast paths
 #                              run at near-production interleaving density
 #                              while UBSan watches for the UB (misaligned
@@ -32,15 +39,18 @@
 #                              tend to surface as. Also skipped with
 #                              PW_CI_SKIP_SANITIZERS=1.
 #   5. tsan: serve + fault     TSan build (build-tsan/) + ctest -R '^Serve',
-#              + streams       ctest -L fault and ctest -L streams — the
-#                              serving layer is the repo's most thread-heavy
-#                              subsystem, the fault battery deliberately
-#                              storms it with mid-solve failures, and the
-#                              streams label selects the lock-free ring
-#                              stress suite (test_stream_fabric), whose
-#                              memory-ordering argument is only as good as
-#                              its TSan run. Also skipped with
-#                              PW_CI_SKIP_SANITIZERS=1.
+#        + streams + stencil   ctest -L fault, -L streams and -L stencil —
+#                              the serving layer is the repo's most
+#                              thread-heavy subsystem, the fault battery
+#                              deliberately storms it with mid-solve
+#                              failures, the streams label selects the
+#                              lock-free ring stress suite
+#                              (test_stream_fabric), whose memory-ordering
+#                              argument is only as good as its TSan run,
+#                              and the stencil label drives the threaded /
+#                              multi-instance stencil engines plus the
+#                              mixed-kernel SolveService traffic. Also
+#                              skipped with PW_CI_SKIP_SANITIZERS=1.
 #
 # A full-suite TSan run is not part of the default gate (it roughly
 # 10x-es suite runtime); run it on demand:
@@ -65,6 +75,10 @@ echo "==== ci: stream fabric bench gate ===="
 build/bench/micro_streams --json=BENCH_streams.json
 python3 scripts/check_bench_json.py BENCH_streams.json
 
+echo "==== ci: stencil kernel bench gate ===="
+build/bench/stencil_kernels --json=BENCH_stencils.json
+python3 scripts/check_bench_json.py BENCH_stencils.json
+
 echo "==== ci: model checker (pw::check) ===="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L check
 build/tools/pwcheck --json=CHECK_scenarios.json
@@ -87,11 +101,13 @@ cmake -B build-ubsan -S . -DPW_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ubsan -j "$JOBS" --target \
   test_stream_fabric test_fault test_fault_chaos \
-  test_backend_differential test_check
+  test_backend_differential test_stencil test_check
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
   ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L streams
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
   ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L fault
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L stencil
 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
   ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L check
 
@@ -100,12 +116,14 @@ cmake -B build-tsan -S . -DPW_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
   test_serve test_serve_stress test_stream_fabric \
-  test_fault test_fault_chaos test_backend_differential
+  test_fault test_fault_chaos test_backend_differential test_stencil
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Serve'
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L fault
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L streams
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L stencil
 
 echo "==== ci: all stages passed ===="

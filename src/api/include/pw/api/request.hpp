@@ -17,6 +17,10 @@ namespace pw::api {
 /// queued, batched and replayed. Payloads are shared_ptr so a request is
 /// cheap to copy and identical payloads (a hot tile requested repeatedly)
 /// stay identical across the serving layer's caches.
+///
+/// `coefficients` is required only when options.kernel_spec selects PW
+/// advection; declared stencil kernels (diffusion, Poisson) leave it null
+/// — their knobs travel inside the KernelSpec.
 struct SolveRequest {
   std::shared_ptr<const grid::WindState> state;
   std::shared_ptr<const advect::PwCoefficients> coefficients;
@@ -36,6 +40,16 @@ inline SolveRequest make_request(
   SolveRequest request;
   request.state = std::move(state);
   request.coefficients = std::move(coefficients);
+  request.options = std::move(options);
+  return request;
+}
+
+/// Coefficient-free form for stencil kernels (diffusion, Poisson): the
+/// kernel identity and knobs come entirely from options.kernel_spec.
+inline SolveRequest make_request(
+    std::shared_ptr<const grid::WindState> state, SolverOptions options) {
+  SolveRequest request;
+  request.state = std::move(state);
   request.options = std::move(options);
   return request;
 }
@@ -69,7 +83,7 @@ struct SolveState {
   bool cancel_requested = false;
   bool done = false;
   SolveResult result;
-  /// The executing thread for AdvectionSolver::submit futures (empty for
+  /// The executing thread for Solver::submit futures (empty for
   /// service-pool futures). Joined when the last future drops the state.
   std::thread owned_thread;
 

@@ -17,8 +17,33 @@
 #include "pw/lint/diagnostic.hpp"
 #include "pw/obs/metrics.hpp"
 #include "pw/ocl/runtime.hpp"
+#include "pw/stencil/diffusion.hpp"
+#include "pw/stencil/poisson.hpp"
 
 namespace pw::api {
+
+/// Which stencil kernel a solve computes. The facade was advection-only
+/// until the pw::stencil generalisation; every kernel here is declared on
+/// the stencil template and served by the same backends, service and
+/// caches.
+enum class Kernel {
+  kAdvectPw,       ///< PW advection source terms (the paper's workload)
+  kDiffusion,      ///< 7-point explicit diffusion tendencies
+  kPoissonJacobi,  ///< Jacobi iteration for lap(u) = rhs
+};
+
+const char* to_string(Kernel kernel);
+
+/// Inverse of to_string: "diffusion" -> kDiffusion; nullopt for anything
+/// else. Round-tripped exhaustively by tests, like parse_backend.
+std::optional<Kernel> parse_kernel(std::string_view name);
+
+/// Every Kernel enumerator, for exhaustive iteration in tests and CLIs.
+inline constexpr std::array<Kernel, 3> kAllKernels = {
+    Kernel::kAdvectPw,
+    Kernel::kDiffusion,
+    Kernel::kPoissonJacobi,
+};
 
 /// Which implementation services a solve. Every backend computes the same
 /// PW advection source terms; they differ in execution strategy (and the
@@ -63,12 +88,16 @@ enum class SolveError {
   kCancelled,          ///< cancelled via SolveFuture::cancel before running
   kServiceStopped,     ///< submitted to (or abandoned by) a stopped service
   kBackendFault,       ///< a transfer, kernel or allocation fault mid-solve
+  // Per-kernel option failures (KernelSpec validation).
+  kNoIterations,        ///< Jacobi/Poisson kernel with iterations == 0
+  kInvalidDiffusivity,  ///< diffusion kappa negative or non-finite
+  kInvalidSpacing,      ///< a kernel grid spacing is non-positive/non-finite
 };
 
 std::string describe(SolveError error);
 
 /// Every SolveError enumerator, for exhaustive iteration in tests.
-inline constexpr std::array<SolveError, 13> kAllSolveErrors = {
+inline constexpr std::array<SolveError, 16> kAllSolveErrors = {
     SolveError::kNone,
     SolveError::kEmptyGrid,
     SolveError::kHaloMismatch,
@@ -82,6 +111,9 @@ inline constexpr std::array<SolveError, 13> kAllSolveErrors = {
     SolveError::kCancelled,
     SolveError::kServiceStopped,
     SolveError::kBackendFault,
+    SolveError::kNoIterations,
+    SolveError::kInvalidDiffusivity,
+    SolveError::kInvalidSpacing,
 };
 
 // ---------------------------------------------------------------------------
@@ -178,16 +210,95 @@ inline const char* to_string(const BackendSpec& spec) {
   return to_string(spec.backend());
 }
 
-/// All options for every backend, in one place. Backend-specific knobs
-/// live inside `backend` (a BackendSpec), so only the active backend's
+// ---------------------------------------------------------------------------
+// Per-kernel options, mirroring the BackendSpec design: exactly one
+// alternative lives in a KernelSpec, so "poisson iterations on an advection
+// request" is unrepresentable rather than merely rejected.
+
+/// PW advection has no per-kernel knobs — its coefficients travel as the
+/// request's PwCoefficients payload, which every request of this kernel
+/// must carry.
+struct AdvectPwOptions {};
+
+/// Diffusion knobs are the stencil kernel's declared parameters.
+using DiffusionOptions = stencil::DiffusionParams;
+
+/// Jacobi/Poisson knobs, including the per-request iteration count.
+using PoissonOptions = stencil::PoissonParams;
+
+/// The kernel selection *and* its knobs as one value: a tagged union whose
+/// alternatives mirror the Kernel enumerators in order. Assigning a plain
+/// Kernel picks that kernel with default knobs; assigning an options
+/// struct picks the kernel the struct belongs to. Default-constructed it
+/// selects PW advection, so every pre-KernelSpec call site keeps its
+/// behaviour unchanged.
+class KernelSpec {
+ public:
+  using Variant =
+      std::variant<AdvectPwOptions, DiffusionOptions, PoissonOptions>;
+
+  KernelSpec() : spec_(AdvectPwOptions{}) {}
+  KernelSpec(Kernel kernel);  // NOLINT: implicit by design
+  KernelSpec(AdvectPwOptions options) : spec_(options) {}
+  KernelSpec(DiffusionOptions options) : spec_(options) {}
+  KernelSpec(PoissonOptions options) : spec_(options) {}
+
+  /// The enum tag derived from the active alternative (their orders match).
+  Kernel kernel() const noexcept { return static_cast<Kernel>(spec_.index()); }
+
+  template <typename T>
+  const T* get_if() const noexcept {
+    return std::get_if<T>(&spec_);
+  }
+  template <typename T>
+  T* get_if() noexcept {
+    return std::get_if<T>(&spec_);
+  }
+
+  bool operator==(Kernel other) const noexcept { return kernel() == other; }
+
+ private:
+  Variant spec_;
+};
+
+// KernelSpec::kernel() derives the enum tag from the variant index, so
+// alternative order and enumerator order must stay in lockstep — adding a
+// kernel without extending both fails to compile here.
+template <Kernel K, typename T>
+inline constexpr bool kKernelSpecOrderMatches = std::is_same_v<
+    std::variant_alternative_t<static_cast<std::size_t>(K),
+                               KernelSpec::Variant>,
+    T>;
+static_assert(kKernelSpecOrderMatches<Kernel::kAdvectPw, AdvectPwOptions>);
+static_assert(kKernelSpecOrderMatches<Kernel::kDiffusion, DiffusionOptions>);
+static_assert(
+    kKernelSpecOrderMatches<Kernel::kPoissonJacobi, PoissonOptions>);
+static_assert(std::variant_size_v<KernelSpec::Variant> == kAllKernels.size(),
+              "every Kernel enumerator needs a KernelSpec alternative");
+
+inline const char* to_string(const KernelSpec& spec) {
+  return to_string(spec.kernel());
+}
+
+/// All options for every backend and kernel, in one place. Backend-specific
+/// knobs live inside `backend` (a BackendSpec) and kernel-specific knobs
+/// inside `kernel_spec` (a KernelSpec), so only the active selections'
 /// knobs exist at all.
 struct SolverOptions {
-  BackendSpec backend;          ///< which backend + its knobs
+  BackendSpec backend;     ///< which backend + its knobs
+  KernelSpec kernel_spec;  ///< which stencil kernel + its knobs
   kernel::KernelConfig kernel;  ///< the one kernel config (all backends)
   /// External metrics sink. When null the solver uses a private registry;
   /// either way SolveResult.metrics carries the snapshot.
   obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// Total floating-point work one solve of `spec` performs over `dims` —
+/// what SolveResult.gflops and the serve layer's aggregate-GFLOPS
+/// accounting divide by. Advection uses the exact 63/55 column-top
+/// schedule; declared stencil kernels use their spec's FLOPs/cell (times
+/// the request's sweep count for iterative kernels).
+std::uint64_t total_flops(const KernelSpec& spec, const grid::GridDims& dims);
 
 /// Outcome of one solve. `terms` is non-null iff ok(); `metrics` always
 /// carries the registry snapshot for the run (empty on validation errors).
@@ -230,21 +341,22 @@ SolveError validate(const SolverOptions& options, const grid::GridDims& dims);
 struct SolveRequest;  // pw/api/request.hpp
 class SolveFuture;    // pw/api/request.hpp
 
-/// The unified entry point: one object, one `solve`, any backend — every
-/// run instrumented through the same MetricsRegistry (a `solve/<backend>`
-/// span plus whatever the backend layers emit). The low-level entry points
-/// (advect_reference, run_kernel_fused, run_multi_kernel, advect_via_host)
-/// remain available for code that needs the raw stats structs.
+/// The unified entry point: one object, one `solve`, any backend, any
+/// declared stencil kernel — every run instrumented through the same
+/// MetricsRegistry (a `solve/<backend>` span plus whatever the backend
+/// layers emit). options().kernel_spec selects the kernel (PW advection by
+/// default); the low-level entry points (advect_reference,
+/// run_kernel_fused, stencil::run_diffusion, ...) remain available for
+/// code that needs the raw stats structs.
 ///
-/// The request form is the primary surface: pack fields + coefficients +
-/// options into a SolveRequest and call solve(request) (blocking) or
-/// submit(request) (async, returns a SolveFuture). The positional
-/// solve(state, coefficients) remains as a thin wrapper.
-class AdvectionSolver {
+/// The request form is the primary surface: pack fields (+ coefficients
+/// for advection) + options into a SolveRequest and call solve(request)
+/// (blocking) or submit(request) (async, returns a SolveFuture). The
+/// positional solve(state, coefficients) remains as a thin wrapper.
+class Solver {
  public:
-  AdvectionSolver() = default;
-  explicit AdvectionSolver(SolverOptions options)
-      : options_(std::move(options)) {}
+  Solver() = default;
+  explicit Solver(SolverOptions options) : options_(std::move(options)) {}
 
   const SolverOptions& options() const noexcept { return options_; }
   SolverOptions& options() noexcept { return options_; }
@@ -277,5 +389,10 @@ class AdvectionSolver {
  private:
   SolverOptions options_;
 };
+
+/// Source-compatible alias from the advection-only era. New code should
+/// say Solver; this name survives because every pre-stencil call site and
+/// doc example used it.
+using AdvectionSolver = Solver;
 
 }  // namespace pw::api

@@ -1,6 +1,7 @@
 #include "pw/api/solver.hpp"
 
 #include <chrono>
+#include <cmath>
 
 #include "pw/advect/cpu_baseline.hpp"
 #include "pw/advect/flops.hpp"
@@ -13,9 +14,31 @@
 #include "pw/lint/checks.hpp"
 #include "pw/obs/span.hpp"
 #include "pw/ocl/host_driver.hpp"
+#include "pw/stencil/spec.hpp"
 #include "pw/util/thread_pool.hpp"
 
 namespace pw::api {
+
+const char* to_string(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kAdvectPw:
+      return "advect_pw";
+    case Kernel::kDiffusion:
+      return "diffusion";
+    case Kernel::kPoissonJacobi:
+      return "poisson_jacobi";
+  }
+  return "unknown";
+}
+
+std::optional<Kernel> parse_kernel(std::string_view name) {
+  for (const Kernel kernel : kAllKernels) {
+    if (name == to_string(kernel)) {
+      return kernel;
+    }
+  }
+  return std::nullopt;
+}
 
 const char* to_string(Backend backend) {
   switch (backend) {
@@ -75,6 +98,12 @@ std::string describe(SolveError error) {
       return "the solve service is stopped and no longer accepts work";
     case SolveError::kBackendFault:
       return "a transfer, kernel or allocation fault surfaced mid-solve";
+    case SolveError::kNoIterations:
+      return "Jacobi/Poisson kernel needs at least one iteration";
+    case SolveError::kInvalidDiffusivity:
+      return "diffusion kappa must be finite and non-negative";
+    case SolveError::kInvalidSpacing:
+      return "kernel grid spacings must be finite and positive";
   }
   return "unknown error";
 }
@@ -100,6 +129,36 @@ BackendSpec::BackendSpec(Backend backend) {
       spec_ = VectorizedOptions{};
       break;
   }
+}
+
+KernelSpec::KernelSpec(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kAdvectPw:
+      spec_ = AdvectPwOptions{};
+      break;
+    case Kernel::kDiffusion:
+      spec_ = DiffusionOptions{};
+      break;
+    case Kernel::kPoissonJacobi:
+      spec_ = PoissonOptions{};
+      break;
+  }
+}
+
+std::uint64_t total_flops(const KernelSpec& spec, const grid::GridDims& dims) {
+  switch (spec.kernel()) {
+    case Kernel::kAdvectPw:
+      // The exact 63/55 column-top schedule, not a flat per-cell rate.
+      return advect::total_flops(dims);
+    case Kernel::kDiffusion:
+      return stencil::total_flops(stencil::diffusion_spec(), dims);
+    case Kernel::kPoissonJacobi: {
+      const auto* poisson = spec.get_if<PoissonOptions>();
+      return stencil::total_flops(stencil::poisson_spec(), dims,
+                                  poisson->iterations);
+    }
+  }
+  return 0;
 }
 
 SolveResult error_result(SolveError error, Backend backend,
@@ -130,6 +189,28 @@ SolveError validate(const SolverOptions& options) {
       return SolveError::kInvalidChunking;
     }
   }
+  // Per-kernel knob validation: only the active kernel's rules apply (the
+  // tagged union makes cross-kernel knobs unrepresentable).
+  const auto spacing_ok = [](double dx, double dy, double dz) {
+    return std::isfinite(dx) && dx > 0.0 && std::isfinite(dy) && dy > 0.0 &&
+           std::isfinite(dz) && dz > 0.0;
+  };
+  if (const auto* diff = options.kernel_spec.get_if<DiffusionOptions>()) {
+    if (!std::isfinite(diff->kappa) || diff->kappa < 0.0) {
+      return SolveError::kInvalidDiffusivity;
+    }
+    if (!spacing_ok(diff->dx, diff->dy, diff->dz)) {
+      return SolveError::kInvalidSpacing;
+    }
+  }
+  if (const auto* poisson = options.kernel_spec.get_if<PoissonOptions>()) {
+    if (poisson->iterations == 0) {
+      return SolveError::kNoIterations;
+    }
+    if (!spacing_ok(poisson->dx, poisson->dy, poisson->dz)) {
+      return SolveError::kInvalidSpacing;
+    }
+  }
   return SolveError::kNone;
 }
 
@@ -141,7 +222,7 @@ SolveError validate(const SolverOptions& options,
   return validate(options);
 }
 
-lint::LintReport AdvectionSolver::validate(const grid::GridDims& dims) const {
+lint::LintReport Solver::validate(const grid::GridDims& dims) const {
   lint::LintReport report;
 
   // Option-level validation first: a typed SolveError becomes a lint
@@ -184,7 +265,18 @@ lint::LintReport AdvectionSolver::validate(const grid::GridDims& dims) const {
       return report;
     }
   }
-  const lint::PipelineGraph graph = kernel::describe_kernel_pipeline(spec);
+  // Advection keeps the hand-written Fig. 2 description; declared stencil
+  // kernels derive theirs from the StencilSpec (same stage/stream shape,
+  // kernel-specific compute stages and shift geometry).
+  const Kernel kernel = options_.kernel_spec.kernel();
+  lint::PipelineGraph graph;
+  if (kernel == Kernel::kAdvectPw) {
+    graph = kernel::describe_kernel_pipeline(spec);
+  } else {
+    const stencil::StencilSpec* stencil_spec =
+        stencil::find_stencil(to_string(kernel));
+    graph = stencil::describe_stencil_pipeline(*stencil_spec, spec);
+  }
   lint::LintReport graph_report = lint::run_checks(graph);
   for (lint::Diagnostic& d : graph_report.diagnostics) {
     report.diagnostics.push_back(std::move(d));
@@ -193,16 +285,63 @@ lint::LintReport AdvectionSolver::validate(const grid::GridDims& dims) const {
   return report;
 }
 
-SolveResult AdvectionSolver::solve(const SolveRequest& request) const {
+namespace {
+
+/// Maps the backend selection onto the stencil machine's execution engine:
+/// the same six strategies (serial oracle, threaded, fused shift-buffer
+/// stream, multi-instance, chunked host, lane-batched) exist on both sides,
+/// so every declared kernel runs under every backend.
+stencil::EngineConfig engine_for(const SolverOptions& options,
+                                 obs::MetricsRegistry& registry) {
+  stencil::EngineConfig config;
+  config.chunk_y = options.kernel.chunk_y;
+  config.metrics = &registry;
+  switch (options.backend.backend()) {
+    case Backend::kReference:
+      config.engine = stencil::Engine::kReference;
+      break;
+    case Backend::kCpuBaseline:
+      config.engine = stencil::Engine::kThreaded;
+      config.threads = options.backend.get_if<CpuBaselineOptions>()->threads;
+      break;
+    case Backend::kFused:
+      config.engine = stencil::Engine::kFused;
+      break;
+    case Backend::kMultiKernel:
+      config.engine = stencil::Engine::kMultiInstance;
+      config.instances =
+          options.backend.get_if<MultiKernelOptions>()->kernels;
+      break;
+    case Backend::kHostOverlap:
+      config.engine = stencil::Engine::kChunkedHost;
+      config.x_chunks = options.backend.get_if<HostOptions>()->x_chunks;
+      break;
+    case Backend::kVectorized:
+      // Stencil kernels keep double math in lane batches, so the engine
+      // stays bit-identical to the oracle (unlike advection's f32 path).
+      config.engine = stencil::Engine::kLaneBatched;
+      config.lanes = options.backend.get_if<VectorizedOptions>()->lanes;
+      break;
+  }
+  return config;
+}
+
+}  // namespace
+
+SolveResult Solver::solve(const SolveRequest& request) const {
   const SolverOptions& options = request.options;
   const Backend backend = options.backend.backend();
+  const Kernel kernel = options.kernel_spec.kernel();
 
-  if (!request.state || !request.coefficients) {
+  if (!request.state) {
     return error_result(SolveError::kEmptyGrid, backend,
-                        "request carries no wind state or coefficients");
+                        "request carries no wind state");
+  }
+  if (kernel == Kernel::kAdvectPw && !request.coefficients) {
+    return error_result(SolveError::kEmptyGrid, backend,
+                        "advection request carries no coefficients");
   }
   const grid::WindState& state = *request.state;
-  const advect::PwCoefficients& coefficients = *request.coefficients;
   const grid::GridDims dims = state.u.dims();
 
   SolveResult result;
@@ -230,45 +369,54 @@ SolveResult AdvectionSolver::solve(const SolveRequest& request) const {
   try {
     obs::Span solve_span(registry,
                          std::string("solve/") + to_string(backend));
-    switch (backend) {
-      case Backend::kReference:
-        advect::advect_reference(state, coefficients, terms);
-        break;
-      case Backend::kCpuBaseline: {
-        util::ThreadPool pool(
-            options.backend.get_if<CpuBaselineOptions>()->threads);
-        const advect::CpuAdvectorBaseline baseline(pool);
-        const auto stats = baseline.run(state, coefficients, terms);
-        registry.gauge_set("cpu_baseline.threads",
-                           static_cast<double>(stats.threads));
-        registry.gauge_set("cpu_baseline.gflops", stats.gflops);
-        break;
+    if (kernel == Kernel::kDiffusion) {
+      stencil::run_diffusion(state, *options.kernel_spec.get_if<DiffusionOptions>(),
+                             terms, engine_for(options, registry));
+    } else if (kernel == Kernel::kPoissonJacobi) {
+      stencil::run_poisson(state, *options.kernel_spec.get_if<PoissonOptions>(),
+                           terms, engine_for(options, registry));
+    } else {
+      const advect::PwCoefficients& coefficients = *request.coefficients;
+      switch (backend) {
+        case Backend::kReference:
+          advect::advect_reference(state, coefficients, terms);
+          break;
+        case Backend::kCpuBaseline: {
+          util::ThreadPool pool(
+              options.backend.get_if<CpuBaselineOptions>()->threads);
+          const advect::CpuAdvectorBaseline baseline(pool);
+          const auto stats = baseline.run(state, coefficients, terms);
+          registry.gauge_set("cpu_baseline.threads",
+                             static_cast<double>(stats.threads));
+          registry.gauge_set("cpu_baseline.gflops", stats.gflops);
+          break;
+        }
+        case Backend::kFused:
+          kernel::run_kernel_fused(state, coefficients, terms, kernel_config);
+          break;
+        case Backend::kMultiKernel:
+          kernel::run_multi_kernel(
+              state, coefficients, terms, kernel_config,
+              options.backend.get_if<MultiKernelOptions>()->kernels);
+          break;
+        case Backend::kHostOverlap: {
+          const HostOptions& host = *options.backend.get_if<HostOptions>();
+          ocl::HostDriverConfig host_config;
+          host_config.x_chunks = host.x_chunks;
+          host_config.overlapped = host.overlapped;
+          host_config.timing = host.timing;
+          host_config.kernel_time_model = host.kernel_time_model;
+          host_config.kernel = kernel_config;  // the single construction point
+          host_config.metrics = &registry;
+          ocl::advect_via_host(state, coefficients, terms, host_config);
+          break;
+        }
+        case Backend::kVectorized:
+          kernel::run_kernel_vectorized_f32(
+              state, coefficients, terms, kernel_config,
+              options.backend.get_if<VectorizedOptions>()->lanes);
+          break;
       }
-      case Backend::kFused:
-        kernel::run_kernel_fused(state, coefficients, terms, kernel_config);
-        break;
-      case Backend::kMultiKernel:
-        kernel::run_multi_kernel(
-            state, coefficients, terms, kernel_config,
-            options.backend.get_if<MultiKernelOptions>()->kernels);
-        break;
-      case Backend::kHostOverlap: {
-        const HostOptions& host = *options.backend.get_if<HostOptions>();
-        ocl::HostDriverConfig host_config;
-        host_config.x_chunks = host.x_chunks;
-        host_config.overlapped = host.overlapped;
-        host_config.timing = host.timing;
-        host_config.kernel_time_model = host.kernel_time_model;
-        host_config.kernel = kernel_config;  // the single construction point
-        host_config.metrics = &registry;
-        ocl::advect_via_host(state, coefficients, terms, host_config);
-        break;
-      }
-      case Backend::kVectorized:
-        kernel::run_kernel_vectorized_f32(
-            state, coefficients, terms, kernel_config,
-            options.backend.get_if<VectorizedOptions>()->lanes);
-        break;
     }
   } catch (const fault::FaultError& e) {
     // An injected (or, with real hardware, genuine) backend fault: surface
@@ -284,12 +432,14 @@ SolveResult AdvectionSolver::solve(const SolveRequest& request) const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  result.gflops = result.seconds > 0.0
-                      ? static_cast<double>(advect::total_flops(dims)) /
-                            result.seconds / 1e9
-                      : 0.0;
+  result.gflops =
+      result.seconds > 0.0
+          ? static_cast<double>(total_flops(options.kernel_spec, dims)) /
+                result.seconds / 1e9
+          : 0.0;
 
   registry.counter_add("solve.count");
+  registry.counter_add(std::string("solve.kernel.") + to_string(kernel));
   registry.gauge_set("solve.seconds", result.seconds);
   registry.gauge_set("solve.gflops", result.gflops);
   registry.gauge_set("solve.cells", static_cast<double>(dims.cells()));
@@ -299,13 +449,12 @@ SolveResult AdvectionSolver::solve(const SolveRequest& request) const {
   return result;
 }
 
-SolveResult AdvectionSolver::solve(
-    const grid::WindState& state,
-    const advect::PwCoefficients& coefficients) const {
+SolveResult Solver::solve(const grid::WindState& state,
+                          const advect::PwCoefficients& coefficients) const {
   return solve(borrow_request(state, coefficients, options_));
 }
 
-SolveFuture AdvectionSolver::submit(SolveRequest request) const {
+SolveFuture Solver::submit(SolveRequest request) const {
   auto state = std::make_shared<detail::SolveState>();
   detail::SolveState* raw = state.get();
   std::optional<std::chrono::steady_clock::time_point> deadline;
@@ -327,7 +476,7 @@ SolveFuture AdvectionSolver::submit(SolveRequest request) const {
               error_result(SolveError::kDeadlineExceeded, backend));
           return;
         }
-        raw->complete(AdvectionSolver(request.options).solve(request));
+        raw->complete(Solver(request.options).solve(request));
       });
   return SolveFuture(std::move(state));
 }

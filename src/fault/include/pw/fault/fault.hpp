@@ -79,7 +79,7 @@ std::string to_string(const FaultPlan& plan);
 bool parse_plan(const std::string& text, FaultPlan& out, std::string& error);
 
 /// Thrown by injection hooks for the hard-failure kinds (transfer, kernel
-/// timeout, allocation). pw::api::AdvectionSolver catches it and surfaces
+/// timeout, allocation). pw::api::Solver catches it and surfaces
 /// SolveError::kBackendFault; nothing else in the stack should swallow it.
 class FaultError : public std::runtime_error {
  public:

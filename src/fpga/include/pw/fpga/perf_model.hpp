@@ -28,6 +28,15 @@ struct KernelOnlyInput {
   double memory_share = 1.0;
   /// Host-side invocation overhead added once per run.
   double launch_overhead_s = 0.0;
+  /// FLOPs the datapath performs per emitted cell. 0 (the default) selects
+  /// the PW advection schedule — 63 FLOPs per cell, 55 at the column top —
+  /// so every pre-existing caller keeps the paper's numbers. pw::stencil
+  /// kernels set their declared flops_per_cell here, which the model then
+  /// uses uniformly for both the achieved and theoretical GFLOPS.
+  double flops_per_cell = 0.0;
+  /// Grid sweeps per run (iterative kernels like Jacobi/Poisson stream the
+  /// whole grid this many times; the beat count and total FLOPs scale by it).
+  std::size_t sweeps = 1;
 };
 
 /// Output of the analytic model.

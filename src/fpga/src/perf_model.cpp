@@ -44,12 +44,15 @@ KernelOnlyResult model_kernel_only(const KernelOnlyInput& input) {
   }
 
   const kernel::ChunkPlan plan(input.dims, input.config.chunk_y);
+  const std::uint64_t sweeps = std::max<std::size_t>(1, input.sweeps);
   std::uint64_t beats = 0;
   std::uint64_t interior = 0;
   for (const auto& chunk : plan.chunks()) {
     beats += (widest + 2) * chunk.padded_width() * (input.dims.nz + 2);
     interior += widest * chunk.width() * input.dims.nz;
   }
+  beats *= sweeps;
+  interior *= sweeps;
 
   // Bytes crossing external memory per beat: three 8-byte reads always;
   // three 8-byte writes on the interior-emitting beats.
@@ -82,10 +85,22 @@ KernelOnlyResult model_kernel_only(const KernelOnlyInput& input) {
 
   result.seconds = static_cast<double>(beats) / result.beat_rate_hz +
                    drain_cycles / input.clock_hz + input.launch_overhead_s;
+  // flops_per_cell == 0 selects the PW advection schedule (63/55 at the
+  // column top); pw::stencil kernels supply their declared per-cell count.
+  const double total_flops =
+      input.flops_per_cell > 0.0
+          ? input.flops_per_cell * static_cast<double>(input.dims.cells()) *
+                static_cast<double>(sweeps)
+          : static_cast<double>(advect::total_flops(input.dims)) *
+                static_cast<double>(sweeps);
   result.theoretical_gflops =
-      theoretical_gflops(input.dims.nz, input.clock_hz, input.kernels, ii);
-  result.gflops = static_cast<double>(advect::total_flops(input.dims)) /
-                  result.seconds / 1e9;
+      input.flops_per_cell > 0.0
+          ? input.flops_per_cell * input.clock_hz *
+                static_cast<double>(input.kernels) / static_cast<double>(ii) /
+                1e9
+          : theoretical_gflops(input.dims.nz, input.clock_hz, input.kernels,
+                               ii);
+  result.gflops = total_flops / result.seconds / 1e9;
   result.efficiency = result.gflops / result.theoretical_gflops;
   return result;
 }

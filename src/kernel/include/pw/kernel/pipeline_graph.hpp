@@ -70,8 +70,17 @@ struct RegisteredPipeline {
 
 /// Every pipeline configuration the repo ships (fused/threaded region,
 /// Intel channel port, single- and multi-kernel cycle sims, the URAM II=2
-/// ablation). All must lint clean (the II=2 entry warns by design but has
-/// no errors).
+/// ablation), plus anything higher layers append through
+/// register_pipeline(). All must lint clean (the II=2 entry warns by
+/// design but has no errors).
 const std::vector<RegisteredPipeline>& registered_pipelines();
+
+/// Appends an entry to registered_pipelines() — the extension hook higher
+/// layers (pw::stencil's declared kernels) use to land their graphs in the
+/// one registry pwlint and the CI lint stage iterate. Idempotent by name:
+/// re-registering an existing name replaces that entry in place. Not
+/// thread-safe against concurrent iteration; registration belongs in
+/// start-up code (pw::stencil::ensure_registered), not hot paths.
+void register_pipeline(RegisteredPipeline entry);
 
 }  // namespace pw::kernel

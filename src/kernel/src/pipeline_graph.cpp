@@ -118,8 +118,10 @@ lint::PipelineGraph describe_multi_kernel_launch(std::size_t kernels) {
   return graph;
 }
 
-const std::vector<RegisteredPipeline>& registered_pipelines() {
-  static const std::vector<RegisteredPipeline> registry = [] {
+namespace {
+
+std::vector<RegisteredPipeline>& pipeline_registry() {
+  static std::vector<RegisteredPipeline> registry = [] {
     // A representative geometry: big enough that chunking is exercised,
     // small enough that graph construction is instant.
     grid::GridDims dims{16, 64, 16};
@@ -175,6 +177,23 @@ const std::vector<RegisteredPipeline>& registered_pipelines() {
     return r;
   }();
   return registry;
+}
+
+}  // namespace
+
+const std::vector<RegisteredPipeline>& registered_pipelines() {
+  return pipeline_registry();
+}
+
+void register_pipeline(RegisteredPipeline entry) {
+  std::vector<RegisteredPipeline>& registry = pipeline_registry();
+  for (RegisteredPipeline& existing : registry) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  registry.push_back(std::move(entry));
 }
 
 }  // namespace pw::kernel

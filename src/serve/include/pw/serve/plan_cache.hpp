@@ -23,19 +23,26 @@ struct Plan {
 };
 
 /// The canonical cache key for a (dims, SolverOptions) pair: dimensions,
-/// backend tag, backend knobs and kernel config serialised into one string.
-/// Anything that changes the constructed pipeline must appear here.
+/// backend tag, backend knobs, kernel identity (+ kernel knobs) and kernel
+/// config serialised into one string. Anything that changes the constructed
+/// pipeline *or the answer* must appear here — in particular the KernelSpec,
+/// so an advection plan/result can never be served for a diffusion request
+/// with identical dims and payload.
 std::string plan_key(const grid::GridDims& dims,
                      const api::SolverOptions& options);
 
-/// Content fingerprint of a whole request — plan key plus the raw bytes of
-/// the three wind fields and the scheme coefficients (word-wise FNV-1a).
-/// Two requests with equal fingerprints ask for the same deterministic
+/// Content fingerprint of a whole request — plan key (which embeds the
+/// kernel identity and knobs) plus the raw bytes of the three wind fields
+/// and, when present, the scheme coefficients (word-wise FNV-1a). Two
+/// requests with equal fingerprints ask for the same deterministic
 /// computation; the service's result cache is keyed on this.
 std::uint64_t request_fingerprint(const api::SolveRequest& request);
 
-/// The payload-content part of request_fingerprint (fields+coefficients,
-/// no plan key).
+/// The payload-content part of request_fingerprint (fields + optional
+/// coefficients, no plan key). Null coefficients — any non-advection
+/// kernel — hash as their absence.
+std::uint64_t payload_hash(const grid::WindState& state,
+                           const advect::PwCoefficients* coefficients);
 std::uint64_t payload_hash(const grid::WindState& state,
                            const advect::PwCoefficients& coefficients);
 

@@ -132,7 +132,7 @@ struct ServiceReport {
 std::string to_json(const ServiceReport& report);
 util::Table to_table(const ServiceReport& report);
 
-/// An asynchronous, batching solve service over pw::api::AdvectionSolver —
+/// An asynchronous, batching solve service over pw::api::Solver —
 /// the multi-tenant front door the blocking facade cannot be.
 ///
 ///   submit(request) --admission--> bounded queue --dispatcher--> batches

@@ -22,6 +22,11 @@ struct TraceSpec {
   std::vector<api::Backend> backends = {api::Backend::kReference,
                                         api::Backend::kFused,
                                         api::Backend::kCpuBaseline};
+  /// Kernels mixed round-robin-with-jitter like backends. Non-advection
+  /// requests carry no coefficients payload (their knobs ride in the
+  /// KernelSpec) and tag themselves with the kernel name, so per-kernel
+  /// counters and cache keying are exercised by one replay.
+  std::vector<api::Kernel> kernels = {api::Kernel::kAdvectPw};
   /// Fraction of requests drawn from the hot payload set (0 disables).
   double repeat_fraction = 0.5;
   /// Distinct hot payloads per shape.

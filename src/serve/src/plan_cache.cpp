@@ -1,6 +1,7 @@
 #include "pw/serve/plan_cache.hpp"
 
 #include <bit>
+#include <cstdio>
 #include <span>
 
 namespace pw::serve {
@@ -67,24 +68,51 @@ std::string plan_key(const grid::GridDims& dims,
     key += ":x_chunks=" + std::to_string(host->x_chunks);
     key += host->overlapped ? ",overlapped" : ",sequential";
   }
+  // Kernel identity + knobs: two requests that differ only in kernel (or a
+  // kernel knob that changes the answer, like poisson iterations) must
+  // never share a plan or — since fingerprints hash this key — a result.
+  key += "/kernel=";
+  key += api::to_string(options.kernel_spec);
+  if (const auto* diff =
+          options.kernel_spec.get_if<api::DiffusionOptions>()) {
+    char knobs[128];
+    std::snprintf(knobs, sizeof(knobs),
+                  ":kappa=%.17g,dx=%.17g,dy=%.17g,dz=%.17g", diff->kappa,
+                  diff->dx, diff->dy, diff->dz);
+    key += knobs;
+  } else if (const auto* poisson =
+                 options.kernel_spec.get_if<api::PoissonOptions>()) {
+    char knobs[160];
+    std::snprintf(knobs, sizeof(knobs),
+                  ":iterations=%zu,dx=%.17g,dy=%.17g,dz=%.17g",
+                  poisson->iterations, poisson->dx, poisson->dy, poisson->dz);
+    key += knobs;
+  }
   key += "/chunk_y=" + std::to_string(options.kernel.chunk_y);
   key += ",depth=" + std::to_string(options.kernel.stream_depth);
   return key;
 }
 
 std::uint64_t payload_hash(const grid::WindState& state,
-                           const advect::PwCoefficients& coefficients) {
+                           const advect::PwCoefficients* coefficients) {
   std::uint64_t h = kFnvOffset;
   hash_doubles(h, state.u.raw());
   hash_doubles(h, state.v.raw());
   hash_doubles(h, state.w.raw());
-  hash_doubles(h, std::span<const double>(&coefficients.tcx, 1));
-  hash_doubles(h, std::span<const double>(&coefficients.tcy, 1));
-  hash_doubles(h, coefficients.tzc1);
-  hash_doubles(h, coefficients.tzc2);
-  hash_doubles(h, coefficients.tzd1);
-  hash_doubles(h, coefficients.tzd2);
+  if (coefficients != nullptr) {
+    hash_doubles(h, std::span<const double>(&coefficients->tcx, 1));
+    hash_doubles(h, std::span<const double>(&coefficients->tcy, 1));
+    hash_doubles(h, coefficients->tzc1);
+    hash_doubles(h, coefficients->tzc2);
+    hash_doubles(h, coefficients->tzd1);
+    hash_doubles(h, coefficients->tzd2);
+  }
   return h;
+}
+
+std::uint64_t payload_hash(const grid::WindState& state,
+                           const advect::PwCoefficients& coefficients) {
+  return payload_hash(state, &coefficients);
 }
 
 namespace {
@@ -102,15 +130,15 @@ std::uint64_t combine_fingerprint(const api::SolveRequest& request,
 }  // namespace
 
 std::uint64_t request_fingerprint(const api::SolveRequest& request) {
-  if (!request.state || !request.coefficients) {
+  if (!request.state) {
     return kFnvOffset;
   }
   return combine_fingerprint(
-      request, payload_hash(*request.state, *request.coefficients));
+      request, payload_hash(*request.state, request.coefficients.get()));
 }
 
 std::uint64_t FingerprintCache::fingerprint(const api::SolveRequest& request) {
-  if (!request.state || !request.coefficients) {
+  if (!request.state) {
     return kFnvOffset;
   }
   const grid::WindState* key = request.state.get();
@@ -126,7 +154,7 @@ std::uint64_t FingerprintCache::fingerprint(const api::SolveRequest& request) {
     }
   }
   const std::uint64_t payload =
-      payload_hash(*request.state, *request.coefficients);
+      payload_hash(*request.state, request.coefficients.get());
   {
     std::lock_guard lock(mutex_);
     if (hashes_.size() >= 1024) {  // drop dead owners before growing
@@ -156,7 +184,7 @@ std::shared_ptr<const Plan> PlanCache::lookup(
   // first insert wins.
   auto plan = std::make_shared<Plan>();
   plan->key = key;
-  plan->lint = api::AdvectionSolver(options).validate(dims);
+  plan->lint = api::Solver(options).validate(dims);
   plan->admitted = lint::admits(plan->lint, policy_);
   if (const lint::Diagnostic* d = lint::first_rejection(plan->lint, policy_)) {
     plan->rejection = d->check + ": " + d->message;

@@ -147,10 +147,18 @@ api::SolveFuture SolveService::submit(api::SolveRequest request) {
   if (stopped_.load()) {
     return reject(std::move(state), api::SolveError::kServiceStopped, backend);
   }
-  if (!request.state || !request.coefficients) {
+  const api::Kernel kernel = request.options.kernel_spec.kernel();
+  if (!request.state) {
     metrics_->counter_add("serve.admission.rejected_options");
     return reject(std::move(state), api::SolveError::kEmptyGrid, backend,
-                  "request carries no wind state or coefficients");
+                  "request carries no wind state");
+  }
+  // Only PW advection carries a coefficients payload; declared stencil
+  // kernels travel with their knobs inside the KernelSpec.
+  if (kernel == api::Kernel::kAdvectPw && !request.coefficients) {
+    metrics_->counter_add("serve.admission.rejected_options");
+    return reject(std::move(state), api::SolveError::kEmptyGrid, backend,
+                  "advection request carries no coefficients");
   }
 
   const grid::GridDims dims = request.state->u.dims();
@@ -188,7 +196,9 @@ api::SolveFuture SolveService::submit(api::SolveRequest request) {
   if (config_.result_cache) {
     entry.fingerprint = fingerprints_.fingerprint(entry.request);
   }
-  entry.flops = advect::total_flops(dims);
+  entry.flops = api::total_flops(entry.request.options.kernel_spec, dims);
+  metrics_->counter_add(std::string("serve.kernel.") + api::to_string(kernel) +
+                        ".admitted");
   entry.enqueued_s = uptime_.seconds();
   if (entry.request.timeout.count() > 0) {
     entry.deadline = std::chrono::steady_clock::now() + entry.request.timeout;
@@ -295,7 +305,7 @@ api::SolveResult SolveService::attempt_solve(const Entry& entry,
   }
   api::SolveRequest request = entry.request;
   request.options.backend = backend;
-  const api::AdvectionSolver solver(request.options);
+  const api::Solver solver(request.options);
   api::SolveResult result = solver.solve(request);
   metrics_->counter_add("serve.computed");
   return result;
@@ -565,6 +575,9 @@ void SolveService::finish(Entry& entry, api::SolveResult result,
   metrics_->observe("serve.latency_s", uptime_.seconds() - entry.enqueued_s);
   if (ok) {
     metrics_->counter_add("serve.requests.completed");
+    metrics_->counter_add(
+        std::string("serve.kernel.") +
+        api::to_string(entry.request.options.kernel_spec) + ".completed");
   }
   {
     std::lock_guard lock(mutex_);

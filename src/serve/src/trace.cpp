@@ -18,7 +18,8 @@ std::shared_ptr<const grid::WindState> make_state(const grid::GridDims& dims,
   return state;
 }
 
-api::SolverOptions options_for(api::Backend backend, const TraceSpec& spec) {
+api::SolverOptions options_for(api::Backend backend, api::Kernel kernel,
+                               const TraceSpec& spec) {
   api::SolverOptions options;
   if (backend == api::Backend::kHostOverlap) {
     api::HostOptions host;
@@ -27,6 +28,7 @@ api::SolverOptions options_for(api::Backend backend, const TraceSpec& spec) {
   } else {
     options.backend = backend;
   }
+  options.kernel_spec = kernel;
   options.kernel.chunk_y = spec.chunk_y;
   return options;
 }
@@ -59,22 +61,32 @@ std::vector<api::SolveRequest> make_trace(const TraceSpec& spec) {
     }
   }
 
+  const std::vector<api::Kernel> kernels =
+      spec.kernels.empty() ? std::vector<api::Kernel>{api::Kernel::kAdvectPw}
+                           : spec.kernels;
   for (std::size_t i = 0; i < spec.requests; ++i) {
     const std::size_t s = i % spec.shapes.size();
     ShapePool& pool = pools[s];
+    const api::Kernel kernel = kernels[rng.next_below(kernels.size())];
     api::SolveRequest request;
-    request.coefficients = pool.coefficients;
+    // Only advection carries the coefficients payload; stencil kernels'
+    // knobs live in the KernelSpec, and hot payloads are shared across
+    // kernels — same bytes, different fingerprints via the plan key.
+    if (kernel == api::Kernel::kAdvectPw) {
+      request.coefficients = pool.coefficients;
+    }
+    const std::string kernel_tag = api::to_string(kernel);
     if (rng.next_double() < spec.repeat_fraction) {
       // Hot request: a payload the service has likely already served.
       request.state = pool.hot[rng.next_below(pool.hot.size())];
-      request.tag = "hot/" + std::to_string(s);
+      request.tag = kernel_tag + "/hot/" + std::to_string(s);
     } else {
       request.state = make_state(spec.shapes[s], spec.seed + 104729 + i);
-      request.tag = "cold/" + std::to_string(i);
+      request.tag = kernel_tag + "/cold/" + std::to_string(i);
     }
     const api::Backend backend =
         spec.backends[rng.next_below(spec.backends.size())];
-    request.options = options_for(backend, spec);
+    request.options = options_for(backend, kernel, spec);
     request.timeout = spec.timeout;
     trace.push_back(std::move(request));
   }

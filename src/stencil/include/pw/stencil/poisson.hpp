@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+
+#include "pw/advect/reference.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/stencil/machine.hpp"
+
+namespace pw::stencil {
+
+/// Knobs of the Jacobi/Poisson kernel (workload reference:
+/// VL_uBMK/apps/poisson_solver): `iterations` damped-free Jacobi sweeps of
+/// lap(u) = rhs with Dirichlet-zero boundaries on the uniform grid.
+///
+/// Payload convention (the kernel-generic SolveRequest carries a WindState):
+/// state.u is the initial guess, state.v the right-hand side; state.w is
+/// unused. The result lands in SourceTerms.su (sv/sw are zero).
+struct PoissonParams {
+  std::size_t iterations = 8;  ///< Jacobi sweeps per solve
+  double dx = 100.0;           ///< grid spacing [m]
+  double dy = 100.0;
+  double dz = 50.0;
+};
+
+/// Per-cell Jacobi FLOPs per sweep: three axis sums + three coefficient
+/// muls + two combining adds + rhs subtract + diagonal mul = 10.
+inline constexpr double kPoissonFlopsPerCell = 10.0;
+
+/// The declared spec (also reachable via find_stencil("poisson_jacobi")).
+const StencilSpec& poisson_spec();
+
+/// One Jacobi update, shared by the scalar reference and every engine:
+/// u' = ((u[i-1]+u[i+1])*cx + (u[j-1]+u[j+1])*cy + (u[k-1]+u[k+1])*cz
+///       - rhs) / (2cx + 2cy + 2cz), reading the guess from the u stencil
+/// and the right-hand side from the v stencil's centre.
+struct PoissonOp {
+  double cx = 0.0;  ///< 1 / dx^2
+  double cy = 0.0;
+  double cz = 0.0;
+  double inv_diag = 0.0;
+
+  explicit PoissonOp(const PoissonParams& p)
+      : cx(1.0 / (p.dx * p.dx)),
+        cy(1.0 / (p.dy * p.dy)),
+        cz(1.0 / (p.dz * p.dz)),
+        inv_diag(1.0 / (2.0 * cx + 2.0 * cy + 2.0 * cz)) {}
+
+  advect::CellSources operator()(const advect::CellStencils& s,
+                                 const CellCtx&) const {
+    const double sum = (s.u.at(-1, 0, 0) + s.u.at(+1, 0, 0)) * cx +
+                       (s.u.at(0, -1, 0) + s.u.at(0, +1, 0)) * cy +
+                       (s.u.at(0, 0, -1) + s.u.at(0, 0, +1)) * cz;
+    return {(sum - s.v.centre()) * inv_diag, 0.0, 0.0};
+  }
+};
+
+/// Scalar reference: serial Jacobi iteration with ping-pong buffers and
+/// Dirichlet-zero halos — the functional oracle for every engine.
+void poisson_reference(const grid::WindState& state,
+                       const PoissonParams& params, advect::SourceTerms& out);
+
+/// `iterations` Jacobi sweeps on the stencil machine under `config`; each
+/// sweep is one machine pass (with its own fault-site check), halos
+/// re-zeroed between sweeps per the kernel's Dirichlet boundary rule. All
+/// engines are bit-identical to poisson_reference.
+PassStats run_poisson(const grid::WindState& state,
+                      const PoissonParams& params, advect::SourceTerms& out,
+                      const EngineConfig& config);
+
+}  // namespace pw::stencil

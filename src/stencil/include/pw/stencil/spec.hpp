@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pw/fpga/perf_model.hpp"
+#include "pw/grid/geometry.hpp"
+#include "pw/kernel/pipeline_graph.hpp"
+#include "pw/lint/graph.hpp"
+
+namespace pw::stencil {
+
+/// How a declared kernel treats the grid boundary. The machine itself is
+/// boundary-agnostic (it reads whatever the halo cells hold, exactly like
+/// the Fig. 3 shift buffer); the rule documents who fills those halos and
+/// drives the halo refresh iterative kernels perform between sweeps.
+enum class BoundaryRule {
+  kPeriodicXY_RigidZ,  ///< MONC convention: wrap X/Y, zero above/below lid
+  kDirichletZero,      ///< fixed zero boundary (Jacobi/Poisson)
+};
+
+const char* to_string(BoundaryRule rule);
+
+/// The declarative description of one stencil kernel — everything the
+/// surrounding machinery (lint graphs, obs names, fault sites, the fpga
+/// perf model, FLOP accounting) derives its view of the kernel from.
+/// Declaring a kernel means filling one of these and registering it; the
+/// pipeline template supplies the execution engines.
+struct StencilSpec {
+  std::string name;         ///< stable id ("diffusion", "poisson_jacobi")
+  std::string description;  ///< one-line summary for --list output
+  std::size_t radius = 1;   ///< stencil reach per side (1 = 27-point window)
+  std::size_t points = 27;  ///< neighbourhood cells actually read
+  std::size_t fields_in = 3;   ///< input fields streamed per cell
+  std::size_t fields_out = 3;  ///< output fields written per cell
+  double flops_per_cell = 0.0;  ///< per sweep, interior cell
+  /// Grid sweeps per solve: 1 for single-pass kernels; iterative kernels
+  /// (Jacobi) default to their iteration count. Used by FLOP accounting
+  /// and the perf model; engines run one sweep per pass invocation.
+  std::size_t sweeps = 1;
+  BoundaryRule boundary = BoundaryRule::kPeriodicXY_RigidZ;
+};
+
+/// Total floating-point work of one solve of `spec` over `dims`, with an
+/// optional sweep-count override (iterative kernels whose iteration knob is
+/// per-request pass it here; 0 keeps spec.sweeps).
+std::uint64_t total_flops(const StencilSpec& spec, const grid::GridDims& dims,
+                          std::size_t sweeps_override = 0);
+
+// ---------------------------------------------------------------------------
+// Derivations: one StencilSpec yields the lint graph, obs/fault names and
+// perf-model entry — nothing kernel-specific is hand-maintained downstream.
+
+/// The declared dataflow graph of one `spec` pipeline over the Fig. 2
+/// topology: read_data -> shift_buffer (geometry from spec.radius and the
+/// chunked face) -> [replicate ->] one compute stage per output field ->
+/// write_data, replicated `graph.kernels` times. Single-output kernels
+/// skip the replicate stage (nothing to fan out).
+lint::PipelineGraph describe_stencil_pipeline(
+    const StencilSpec& spec, const kernel::PipelineGraphSpec& graph);
+
+/// Root of every obs counter/span the engines emit for this kernel:
+/// "stencil.<name>" (so e.g. "stencil.diffusion.cells").
+std::string obs_prefix(const StencilSpec& spec);
+
+/// The pw::fault site consulted once per sweep by every engine:
+/// "stencil.<name>.pass". Arm it to storm a specific kernel.
+std::string fault_site(const StencilSpec& spec);
+
+/// The analytic perf-model input for this kernel on `dims`: the Fig. 2
+/// streaming model with the kernel's declared FLOPs/cell and sweep count
+/// substituted for the advection schedule.
+fpga::KernelOnlyInput perf_input(const StencilSpec& spec,
+                                 const grid::GridDims& dims,
+                                 std::size_t chunk_y = 64,
+                                 std::size_t kernels = 1);
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+/// Every stencil kernel declared in this repository (advect_pw re-expressed
+/// on the template, diffusion, poisson_jacobi). Stable order.
+const std::vector<StencilSpec>& registered_stencils();
+
+/// Lookup by StencilSpec::name; nullptr when absent.
+const StencilSpec* find_stencil(std::string_view name);
+
+/// Registers every declared stencil's derived pipeline graph into
+/// kernel::registered_pipelines() under "stencil/<name>", so pwlint, the
+/// CI lint stage and pwcheck --list pick declared kernels up with no
+/// per-kernel wiring. Idempotent (std::call_once); CLIs and tests call it
+/// at start-up — a static initializer would be unreliable across static
+/// library link order.
+void ensure_registered();
+
+}  // namespace pw::stencil

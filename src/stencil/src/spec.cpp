@@ -1,0 +1,176 @@
+#include "pw/stencil/spec.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "pw/stencil/advect.hpp"
+#include "pw/stencil/diffusion.hpp"
+#include "pw/stencil/poisson.hpp"
+
+namespace pw::stencil {
+
+const char* to_string(BoundaryRule rule) {
+  switch (rule) {
+    case BoundaryRule::kPeriodicXY_RigidZ:
+      return "periodic_xy_rigid_z";
+    case BoundaryRule::kDirichletZero:
+      return "dirichlet_zero";
+  }
+  return "unknown";
+}
+
+std::uint64_t total_flops(const StencilSpec& spec, const grid::GridDims& dims,
+                          std::size_t sweeps_override) {
+  const std::size_t sweeps =
+      sweeps_override != 0 ? sweeps_override : std::max<std::size_t>(1, spec.sweeps);
+  return static_cast<std::uint64_t>(
+      spec.flops_per_cell * static_cast<double>(dims.cells()) *
+      static_cast<double>(sweeps));
+}
+
+std::string obs_prefix(const StencilSpec& spec) {
+  return "stencil." + spec.name;
+}
+
+std::string fault_site(const StencilSpec& spec) {
+  return "stencil." + spec.name + ".pass";
+}
+
+namespace {
+
+/// Padded chunk face the machine's shift buffers are sized by, mirroring
+/// the kernel-layer geometry derivation (chunk_y == 0 = whole Y face).
+std::size_t padded_chunk_width(const StencilSpec& spec,
+                               const kernel::PipelineGraphSpec& graph) {
+  const std::size_t interior = graph.chunk_y == 0
+                                   ? graph.dims.ny
+                                   : std::min(graph.chunk_y, graph.dims.ny);
+  return interior + 2 * spec.radius;
+}
+
+std::uint64_t shift_fill_latency(const StencilSpec& spec,
+                                 const kernel::PipelineGraphSpec& graph) {
+  const std::size_t nz_padded = graph.dims.nz + 2 * spec.radius;
+  const std::uint64_t face =
+      static_cast<std::uint64_t>(padded_chunk_width(spec, graph)) * nz_padded;
+  // 2*radius full planes + 2*radius columns + 2*radius cells must be
+  // resident before the window around the first interior centre closes.
+  return 2 * spec.radius * (face + nz_padded + 1);
+}
+
+}  // namespace
+
+lint::PipelineGraph describe_stencil_pipeline(
+    const StencilSpec& spec, const kernel::PipelineGraphSpec& graph) {
+  lint::PipelineGraph g;
+  const std::size_t kernels = std::max<std::size_t>(1, graph.kernels);
+  for (std::size_t kidx = 0; kidx < kernels; ++kidx) {
+    const std::string prefix =
+        kernels == 1 ? std::string() : "k" + std::to_string(kidx) + "/";
+
+    const int read = g.add_stage(prefix + "read_data");
+
+    lint::StageNode shift;
+    shift.name = prefix + "shift_buffer";
+    shift.ii = graph.shift_ii == 0 ? 1 : graph.shift_ii;
+    shift.latency = shift_fill_latency(spec, graph);
+    shift.shift_buffer = lint::ShiftBufferGeometry{
+        padded_chunk_width(spec, graph), graph.dims.nz + 2 * spec.radius,
+        spec.radius};
+    const int shift_id = g.add_stage(std::move(shift));
+
+    const int raster = g.add_stream(prefix + "raster", graph.fifo_depth);
+    g.bind_producer(raster, read);
+    g.bind_consumer(raster, shift_id);
+
+    const int stencils = g.add_stream(prefix + "stencils", graph.fifo_depth);
+    g.bind_producer(stencils, shift_id);
+
+    const int write = g.add_stage(prefix + "write_data");
+
+    // Multi-output kernels fan the window stream out through a replicate
+    // stage into one compute stage per output field (Fig. 2); a
+    // single-output kernel is a straight pipe.
+    const std::size_t outputs = std::max<std::size_t>(1, spec.fields_out);
+    int replicate = -1;
+    if (outputs > 1) {
+      replicate = g.add_stage(prefix + "replicate");
+      g.bind_consumer(stencils, replicate);
+    }
+    for (std::size_t f = 0; f < outputs; ++f) {
+      const std::string suffix = std::to_string(f);
+      const int compute = g.add_stage(prefix + "compute_" + suffix);
+      if (outputs > 1) {
+        const int rep = g.add_stream(prefix + "rep_" + suffix,
+                                     graph.fifo_depth);
+        g.bind_producer(rep, replicate);
+        g.bind_consumer(rep, compute);
+      } else {
+        g.bind_consumer(stencils, compute);
+      }
+      const int out = g.add_stream(prefix + "out_" + suffix,
+                                   graph.fifo_depth);
+      g.bind_producer(out, compute);
+      g.bind_consumer(out, write);
+    }
+  }
+  return g;
+}
+
+fpga::KernelOnlyInput perf_input(const StencilSpec& spec,
+                                 const grid::GridDims& dims,
+                                 std::size_t chunk_y, std::size_t kernels) {
+  fpga::KernelOnlyInput input;
+  input.dims = dims;
+  input.config.chunk_y = chunk_y;
+  input.kernels = kernels;
+  // Ground the derived entry in the paper's calibrated U280 profile so a
+  // declared kernel models against real clock and memory numbers (HBM2, or
+  // DDR once the grid outgrows it) rather than zero-bandwidth defaults.
+  const fpga::FpgaDeviceProfile profile = fpga::alveo_u280();
+  input.clock_hz = profile.clock_hz(kernels);
+  input.memory = profile.memory_for(fpga::device_footprint_bytes(dims));
+  input.launch_overhead_s = profile.launch_overhead_s;
+  input.flops_per_cell = spec.flops_per_cell;
+  input.sweeps = std::max<std::size_t>(1, spec.sweeps);
+  return input;
+}
+
+const std::vector<StencilSpec>& registered_stencils() {
+  static const std::vector<StencilSpec> registry = {
+      advect_spec(), diffusion_spec(), poisson_spec()};
+  return registry;
+}
+
+const StencilSpec* find_stencil(std::string_view name) {
+  for (const StencilSpec& spec : registered_stencils()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+void ensure_registered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // The same representative geometry the kernel-layer registry uses.
+    const grid::GridDims dims{16, 64, 16};
+    for (const StencilSpec& spec : registered_stencils()) {
+      kernel::RegisteredPipeline entry;
+      entry.name = "stencil/" + spec.name;
+      entry.description = spec.description + " (declared pw::stencil kernel)";
+      StencilSpec copy = spec;
+      entry.build = [copy, dims] {
+        kernel::PipelineGraphSpec graph;
+        graph.dims = dims;
+        graph.chunk_y = 64;
+        graph.fifo_depth = 16;
+        return describe_stencil_pipeline(copy, graph);
+      };
+      kernel::register_pipeline(std::move(entry));
+    }
+  });
+}
+
+}  // namespace pw::stencil

@@ -7,6 +7,8 @@
 #include <cmath>
 
 #include "pw/advect/coefficients.hpp"
+#include "pw/advect/flops.hpp"
+#include "pw/api/request.hpp"
 #include "pw/api/solver.hpp"
 #include "pw/grid/compare.hpp"
 #include "pw/grid/init.hpp"
@@ -185,6 +187,126 @@ TEST(SolverApi, DescribeCoversAllErrors) {
   for (const api::SolveError error : api::kAllSolveErrors) {
     EXPECT_FALSE(api::describe(error).empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// The kernel-generic surface: Kernel enum, KernelSpec tagged union, and the
+// per-kernel validation dispatch.
+
+TEST(SolverApi, KernelNamesRoundTripExhaustively) {
+  for (const api::Kernel kernel : api::kAllKernels) {
+    const char* name = api::to_string(kernel);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown");
+    const auto parsed = api::parse_kernel(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kernel);
+  }
+  EXPECT_FALSE(api::parse_kernel("laplacian_of_doom").has_value());
+  EXPECT_FALSE(api::parse_kernel("").has_value());
+}
+
+TEST(SolverApi, KernelSpecTagTracksTheActiveAlternative) {
+  // Default: advection with no knobs — the pre-KernelSpec behaviour.
+  const api::KernelSpec defaulted;
+  EXPECT_EQ(defaulted.kernel(), api::Kernel::kAdvectPw);
+  EXPECT_NE(defaulted.get_if<api::AdvectPwOptions>(), nullptr);
+  EXPECT_EQ(defaulted.get_if<api::PoissonOptions>(), nullptr);
+
+  // Assigning a plain enum picks that kernel with default knobs.
+  for (const api::Kernel kernel : api::kAllKernels) {
+    const api::KernelSpec spec(kernel);
+    EXPECT_EQ(spec.kernel(), kernel);
+    EXPECT_TRUE(spec == kernel);
+    EXPECT_STREQ(api::to_string(spec), api::to_string(kernel));
+  }
+
+  // Assigning an options struct picks the kernel it belongs to, knobs kept.
+  api::PoissonOptions poisson;
+  poisson.iterations = 32;
+  const api::KernelSpec spec(poisson);
+  EXPECT_EQ(spec.kernel(), api::Kernel::kPoissonJacobi);
+  ASSERT_NE(spec.get_if<api::PoissonOptions>(), nullptr);
+  EXPECT_EQ(spec.get_if<api::PoissonOptions>()->iterations, 32u);
+  EXPECT_EQ(spec.get_if<api::DiffusionOptions>(), nullptr);
+}
+
+TEST(SolverApi, PerKernelValidationDispatchesOnTheActiveKernel) {
+  api::SolverOptions options;
+
+  options.kernel_spec = api::PoissonOptions{.iterations = 0};
+  EXPECT_EQ(api::validate(options), api::SolveError::kNoIterations);
+
+  api::DiffusionOptions diffusion;
+  diffusion.kappa = -1.0;
+  options.kernel_spec = diffusion;
+  EXPECT_EQ(api::validate(options), api::SolveError::kInvalidDiffusivity);
+
+  diffusion.kappa = std::nan("");
+  options.kernel_spec = diffusion;
+  EXPECT_EQ(api::validate(options), api::SolveError::kInvalidDiffusivity);
+
+  diffusion = api::DiffusionOptions{};
+  diffusion.dz = 0.0;
+  options.kernel_spec = diffusion;
+  EXPECT_EQ(api::validate(options), api::SolveError::kInvalidSpacing);
+
+  api::PoissonOptions poisson;
+  poisson.dx = -100.0;
+  options.kernel_spec = poisson;
+  EXPECT_EQ(api::validate(options), api::SolveError::kInvalidSpacing);
+
+  // The advection kernel has no knobs, so none of the above can fire.
+  options.kernel_spec = api::Kernel::kAdvectPw;
+  EXPECT_EQ(api::validate(options), api::SolveError::kNone);
+
+  // Typed errors surface from solve(), not just validate().
+  const Fixture f;
+  options.kernel_spec = api::PoissonOptions{.iterations = 0};
+  const auto result = api::Solver(options).solve(f.state, f.coefficients);
+  EXPECT_EQ(result.error, api::SolveError::kNoIterations);
+}
+
+TEST(SolverApi, TotalFlopsIsKernelAware) {
+  const grid::GridDims dims{16, 16, 16};
+  EXPECT_EQ(api::total_flops(api::KernelSpec(api::Kernel::kAdvectPw), dims),
+            advect::total_flops(dims));
+  EXPECT_EQ(api::total_flops(api::KernelSpec(api::Kernel::kDiffusion), dims),
+            static_cast<std::uint64_t>(42.0 * dims.cells()));
+  api::PoissonOptions poisson;
+  poisson.iterations = 3;
+  EXPECT_EQ(api::total_flops(api::KernelSpec(poisson), dims),
+            static_cast<std::uint64_t>(10.0 * dims.cells()) * 3);
+}
+
+TEST(SolverApi, AdvectionRequestWithoutCoefficientsIsRejected) {
+  const Fixture f;
+  api::SolverOptions options;
+  options.kernel_spec = api::Kernel::kAdvectPw;
+  api::SolveRequest request;
+  request.state = std::make_shared<const grid::WindState>(f.state);
+  request.options = options;
+  EXPECT_EQ(api::Solver(options).solve(request).error,
+            api::SolveError::kEmptyGrid);
+
+  // The same coefficient-free request is fine for a stencil kernel.
+  options.kernel_spec = api::Kernel::kDiffusion;
+  request.options = options;
+  const auto result = api::Solver(options).solve(request);
+  EXPECT_TRUE(result.ok()) << result.message;
+}
+
+TEST(SolverApi, AdvectionSolverAliasRemainsSourceCompatible) {
+  // The advection-only name is now an alias of the kernel-generic Solver;
+  // old call sites must keep compiling and produce the same results.
+  static_assert(std::is_same_v<api::AdvectionSolver, api::Solver>);
+  const Fixture f;
+  api::SolverOptions options;
+  options.kernel.chunk_y = 8;
+  const api::AdvectionSolver old_style(options);
+  const auto result = old_style.solve(f.state, f.coefficients);
+  ASSERT_TRUE(result.ok()) << result.message;
+  EXPECT_EQ(result.metrics.counters.at("solve.kernel.advect_pw"), 1u);
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 #include "pw/lint/export.hpp"
 #include "pw/obs/export.hpp"
 #include "pw/obs/metrics.hpp"
+#include "pw/stencil/spec.hpp"
 #include "pw/util/cli.hpp"
 
 namespace {
@@ -48,6 +49,15 @@ int run(int argc, char** argv) {
   if (cli.has("list")) {
     for (const pw::check::ScenarioSpec& spec : pw::check::scenarios()) {
       std::cout << spec.name << " — " << spec.summary << '\n';
+    }
+    // Declared stencil kernels, from the same registry pwlint lints: the
+    // fabric under check serves all of them, so the suite's coverage is
+    // per-kernel-agnostic by construction.
+    std::cout << "-- declared stencil kernels (pw::stencil registry) --\n";
+    for (const pw::stencil::StencilSpec& spec :
+         pw::stencil::registered_stencils()) {
+      std::cout << "stencil/" << spec.name << " — " << spec.description
+                << '\n';
     }
     return 0;
   }

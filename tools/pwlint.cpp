@@ -27,6 +27,7 @@
 #include "pw/lint/export.hpp"
 #include "pw/obs/export.hpp"
 #include "pw/obs/metrics.hpp"
+#include "pw/stencil/spec.hpp"
 #include "pw/util/cli.hpp"
 
 namespace {
@@ -38,6 +39,10 @@ struct NamedReport {
 
 int run(int argc, char** argv) {
   pw::util::Cli cli(argc, argv);
+  // Declared stencil kernels land their derived graphs in the same
+  // registry the loop below iterates (as "stencil/<name>"), so --list and
+  // the lint pass pick up new kernels with no pwlint change.
+  pw::stencil::ensure_registered();
 
   if (cli.has("help")) {
     std::cout << "usage: pwlint [--list] [--pipeline=NAME] [--json=FILE]\n"

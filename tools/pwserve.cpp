@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
         << "usage: pwserve [--requests=N] [--workers=N] [--batch=N]\n"
         << "               [--queue=N] [--repeat=F] [--hot=N] [--seed=N]\n"
         << "               [--nx=N --ny=N --nz=N] [--timeout-ms=N]\n"
+        << "               [--kernels=advect_pw,diffusion,poisson_jacobi]\n"
         << "               [--no-cache] [--block] [--json=FILE] [--report]\n"
         << "               [--fault-plan=FILE]\n";
     return 0;
@@ -89,6 +90,33 @@ int main(int argc, char** argv) {
   const long long timeout_ms = cli.get_int("timeout-ms", 0);
   if (timeout_ms > 0) {
     spec.timeout = std::chrono::milliseconds(timeout_ms);
+  }
+  // --kernels=a,b,c: mix stencil kernels into the trace. Default stays
+  // advection-only, matching the pre-stencil behaviour of every flag set.
+  if (const auto kernels_flag = cli.get("kernels")) {
+    spec.kernels.clear();
+    std::string name;
+    for (char c : *kernels_flag + ",") {
+      if (c == ',') {
+        if (!name.empty()) {
+          const auto kernel = api::parse_kernel(name);
+          if (!kernel) {
+            std::cerr << "pwserve: unknown kernel '" << name
+                      << "' (choose from advect_pw, diffusion, "
+                         "poisson_jacobi)\n";
+            return 1;
+          }
+          spec.kernels.push_back(*kernel);
+          name.clear();
+        }
+      } else {
+        name += c;
+      }
+    }
+    if (spec.kernels.empty()) {
+      std::cerr << "pwserve: --kernels lists no kernels\n";
+      return 1;
+    }
   }
 
   serve::ServiceConfig config;
