@@ -56,6 +56,17 @@ GAUGE_GATES = {
         "every pw::stencil registry kernel's fused-engine run must stay "
         "bit-identical to its scalar reference (1.0 = all kernels exact; "
         "any divergence zeroes the gauge)"),
+    "scaleout.bench.bit_exact": (
+        "min", 1.0,
+        "the sharded multi-device solve must stay bit-identical to the "
+        "single-device facade for every registry kernel (1.0 = all exact; "
+        "any divergence zeroes the gauge)"),
+    "scaleout.bench.weak_efficiency_4": (
+        "min", 0.5,
+        "weak-scaling efficiency at 4 simulated shards (constant per-shard "
+        "tile, thread-CPU critical path + modelled exchange) must stay "
+        "above 50%; ~90% measured on the reference host, budgeted for "
+        "noisy CI boxes"),
 }
 
 

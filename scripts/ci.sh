@@ -19,6 +19,12 @@
 #                              stencils.bench.bit_exact gauge (1.0 = every
 #                              kernel bit-matched its scalar reference) is
 #                              budget-gated by scripts/check_bench_json.py
+#   3b3. scale-out bench gate  bench/future_scaleout -> BENCH_scaleout.json:
+#                              measured weak/strong scaling of real sharded
+#                              solves over simulated devices (pw::shard);
+#                              scripts/check_bench_json.py gates
+#                              scaleout.bench.bit_exact at 1.0 and the
+#                              4-shard weak-scaling efficiency at >= 0.5
 #   3c. model checker          ctest -L check (the pw::check unit battery)
 #                              plus the pwcheck scenario suite — exhaustive
 #                              bounded-preemption exploration of the ring
@@ -28,8 +34,10 @@
 #                              is a schedule production can reach.
 #   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest
 #                              (which includes the `fault`-labelled chaos
-#                              battery). Skipped with PW_CI_SKIP_SANITIZERS=1
-#                              for quick local iterations.
+#                              battery and the `shard`-labelled differential
+#                              + kill-a-shard suite). Skipped with
+#                              PW_CI_SKIP_SANITIZERS=1 for quick local
+#                              iterations.
 #   4b. ubsan: streams + fault UBSan-only build (build-ubsan/) + ctest -L
 #        + stencil + check     streams/fault/stencil/check — unlike 4, no ASan
 #                              shadow memory, so the lock-free fast paths
@@ -39,17 +47,20 @@
 #                              tend to surface as. Also skipped with
 #                              PW_CI_SKIP_SANITIZERS=1.
 #   5. tsan: serve + fault     TSan build (build-tsan/) + ctest -R '^Serve',
-#        + streams + stencil   ctest -L fault, -L streams and -L stencil —
-#                              the serving layer is the repo's most
-#                              thread-heavy subsystem, the fault battery
-#                              deliberately storms it with mid-solve
+#        + streams + stencil   ctest -L fault, -L streams, -L stencil and
+#        + shard               -L shard — the serving layer is the repo's
+#                              most thread-heavy subsystem, the fault
+#                              battery deliberately storms it with mid-solve
 #                              failures, the streams label selects the
 #                              lock-free ring stress suite
 #                              (test_stream_fabric), whose memory-ordering
 #                              argument is only as good as its TSan run,
-#                              and the stencil label drives the threaded /
+#                              the stencil label drives the threaded /
 #                              multi-instance stencil engines plus the
-#                              mixed-kernel SolveService traffic. Also
+#                              mixed-kernel SolveService traffic, and the
+#                              shard label runs one pass thread per
+#                              simulated device (including the chaos test
+#                              that kills a whole shard mid-solve). Also
 #                              skipped with PW_CI_SKIP_SANITIZERS=1.
 #
 # A full-suite TSan run is not part of the default gate (it roughly
@@ -78,6 +89,10 @@ python3 scripts/check_bench_json.py BENCH_streams.json
 echo "==== ci: stencil kernel bench gate ===="
 build/bench/stencil_kernels --json=BENCH_stencils.json
 python3 scripts/check_bench_json.py BENCH_stencils.json
+
+echo "==== ci: scale-out bench gate ===="
+build/bench/future_scaleout --json=BENCH_scaleout.json
+python3 scripts/check_bench_json.py BENCH_scaleout.json
 
 echo "==== ci: model checker (pw::check) ===="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L check
@@ -116,7 +131,8 @@ cmake -B build-tsan -S . -DPW_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
   test_serve test_serve_stress test_stream_fabric \
-  test_fault test_fault_chaos test_backend_differential test_stencil
+  test_fault test_fault_chaos test_backend_differential test_stencil \
+  test_shard
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Serve'
 TSAN_OPTIONS=halt_on_error=1 \
@@ -125,5 +141,7 @@ TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L streams
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L stencil
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L shard
 
 echo "==== ci: all stages passed ===="

@@ -6,11 +6,13 @@
 # The instrumented benches additionally dump machine-readable metrics
 # registries (BENCH_table1.json, BENCH_fig6.json,
 # BENCH_micro_shift_buffer.json, BENCH_serve.json, BENCH_fault.json,
-# BENCH_streams.json); the run fails if any artefact is missing or
-# malformed (validated by scripts/check_bench_json.py, which also gates
-# the disarmed fault-hook overhead reported in BENCH_fault.json at < 1%
-# and the stream-fabric handoff budgets in BENCH_streams.json, including
-# the >= 5x SPSC-vs-mutex floor).
+# BENCH_streams.json, BENCH_scaleout.json); the run fails if any artefact
+# is missing or malformed (validated by scripts/check_bench_json.py, which
+# also gates the disarmed fault-hook overhead reported in BENCH_fault.json
+# at < 1%, the stream-fabric handoff budgets in BENCH_streams.json,
+# including the >= 5x SPSC-vs-mutex floor, and the sharded scale-out
+# measurements in BENCH_scaleout.json: bit-exactness at 1.0 and the
+# 4-shard weak-scaling efficiency floor).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,5 +47,6 @@ python3 scripts/check_bench_json.py BENCH_micro_shift_buffer.json
 python3 scripts/check_bench_json.py BENCH_serve.json
 python3 scripts/check_bench_json.py BENCH_fault.json
 python3 scripts/check_bench_json.py BENCH_streams.json
+python3 scripts/check_bench_json.py BENCH_scaleout.json
 
 echo "done: test_output.txt, bench_output.txt, BENCH_*.json"

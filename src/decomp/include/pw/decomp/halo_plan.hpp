@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pw/decomp/decomposition.hpp"
+
+namespace pw::decomp {
+
+/// Which piece of a receiving rank's 1-deep halo a message fills. Faces are
+/// whole boundary columns over the z extent; corners are single columns —
+/// together the eight pieces tile the rank's x/y halo perimeter exactly
+/// (the Fig. 4 chunk-halo scheme lifted from chunks to devices).
+enum class HaloPiece {
+  kWest,       ///< x = -1 face, ny columns
+  kEast,       ///< x = nx face, ny columns
+  kSouth,      ///< y = -1 face, nx columns
+  kNorth,      ///< y = ny face, nx columns
+  kSouthWest,  ///< (-1, -1) corner column
+  kSouthEast,  ///< (nx, -1) corner column
+  kNorthWest,  ///< (-1, ny) corner column
+  kNorthEast,  ///< (nx, ny) corner column
+};
+
+const char* to_string(HaloPiece piece);
+
+/// Process-grid offset of the neighbour that owns `piece` of a rank's halo
+/// (kWest -> dx=-1, dy=0; kNorthEast -> dx=+1, dy=+1; ...).
+void halo_piece_offset(HaloPiece piece, int& dx, int& dy);
+
+/// Cells one message for `piece` of a rank with `extent` carries per field:
+/// West/East faces ny*nz, South/North faces nx*nz, corners nz.
+std::size_t halo_piece_cells(HaloPiece piece, const RankExtent& extent,
+                             std::size_t nz);
+
+/// Every HaloPiece, for exhaustive iteration (coverage checks, tests).
+inline constexpr HaloPiece kAllHaloPieces[] = {
+    HaloPiece::kWest,      HaloPiece::kEast,      HaloPiece::kSouth,
+    HaloPiece::kNorth,     HaloPiece::kSouthWest, HaloPiece::kSouthEast,
+    HaloPiece::kNorthWest, HaloPiece::kNorthEast,
+};
+
+/// One halo message of the periodic exchange: rank `src` sends the interior
+/// cells backing `piece` of rank `dst`'s halo. `cells` counts one field's
+/// payload over the interior z extent (z halos carry the boundary rule, not
+/// traffic). src == dst messages are local wrap copies on degenerate
+/// process grids (px == 1 or py == 1) — they still tile the perimeter and
+/// count toward the per-field byte total, but cross no interconnect link.
+struct HaloMessage {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  HaloPiece piece = HaloPiece::kWest;
+  std::size_t cells = 0;
+
+  std::size_t bytes() const noexcept { return cells * sizeof(double); }
+};
+
+/// The full exchange of one decomposition, one message per (rank, piece):
+/// the communication graph a multi-device deployment schedules every
+/// timestep. Deterministic order (by dst rank, then piece order above).
+struct HaloPlan {
+  std::vector<HaloMessage> messages;
+
+  /// Sum of message bytes for one field — must equal
+  /// Decomposition::halo_exchange_bytes_per_field() (property-tested).
+  std::size_t bytes_per_field() const noexcept;
+};
+
+/// Builds the periodic exchange plan of `decomposition`: for every rank,
+/// four face messages (West/East ny*nz cells, South/North nx*nz cells) and
+/// four corner messages (nz cells) from the owning periodic neighbour.
+HaloPlan build_halo_plan(const Decomposition& decomposition);
+
+}  // namespace pw::decomp

@@ -1,0 +1,95 @@
+#include "pw/decomp/halo_plan.hpp"
+
+namespace pw::decomp {
+
+const char* to_string(HaloPiece piece) {
+  switch (piece) {
+    case HaloPiece::kWest:
+      return "west";
+    case HaloPiece::kEast:
+      return "east";
+    case HaloPiece::kSouth:
+      return "south";
+    case HaloPiece::kNorth:
+      return "north";
+    case HaloPiece::kSouthWest:
+      return "south_west";
+    case HaloPiece::kSouthEast:
+      return "south_east";
+    case HaloPiece::kNorthWest:
+      return "north_west";
+    case HaloPiece::kNorthEast:
+      return "north_east";
+  }
+  return "unknown";
+}
+
+void halo_piece_offset(HaloPiece piece, int& dx, int& dy) {
+  switch (piece) {
+    case HaloPiece::kWest:
+      dx = -1; dy = 0; return;
+    case HaloPiece::kEast:
+      dx = +1; dy = 0; return;
+    case HaloPiece::kSouth:
+      dx = 0; dy = -1; return;
+    case HaloPiece::kNorth:
+      dx = 0; dy = +1; return;
+    case HaloPiece::kSouthWest:
+      dx = -1; dy = -1; return;
+    case HaloPiece::kSouthEast:
+      dx = +1; dy = -1; return;
+    case HaloPiece::kNorthWest:
+      dx = -1; dy = +1; return;
+    case HaloPiece::kNorthEast:
+      dx = +1; dy = +1; return;
+  }
+  dx = 0; dy = 0;
+}
+
+std::size_t halo_piece_cells(HaloPiece piece, const RankExtent& extent,
+                             std::size_t nz) {
+  switch (piece) {
+    case HaloPiece::kWest:
+    case HaloPiece::kEast:
+      return extent.ny() * nz;
+    case HaloPiece::kSouth:
+    case HaloPiece::kNorth:
+      return extent.nx() * nz;
+    case HaloPiece::kSouthWest:
+    case HaloPiece::kSouthEast:
+    case HaloPiece::kNorthWest:
+    case HaloPiece::kNorthEast:
+      return nz;
+  }
+  return 0;
+}
+
+std::size_t HaloPlan::bytes_per_field() const noexcept {
+  std::size_t total = 0;
+  for (const HaloMessage& m : messages) {
+    total += m.bytes();
+  }
+  return total;
+}
+
+HaloPlan build_halo_plan(const Decomposition& decomposition) {
+  HaloPlan plan;
+  plan.messages.reserve(decomposition.ranks() * 8);
+  const std::size_t nz = decomposition.global_dims().nz;
+  for (std::size_t dst = 0; dst < decomposition.ranks(); ++dst) {
+    const RankExtent& extent = decomposition.extent(dst);
+    for (HaloPiece piece : kAllHaloPieces) {
+      int dx = 0, dy = 0;
+      halo_piece_offset(piece, dx, dy);
+      HaloMessage message;
+      message.src = decomposition.neighbour(dst, dx, dy);
+      message.dst = dst;
+      message.piece = piece;
+      message.cells = halo_piece_cells(piece, extent, nz);
+      plan.messages.push_back(message);
+    }
+  }
+  return plan;
+}
+
+}  // namespace pw::decomp

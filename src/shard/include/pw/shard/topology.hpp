@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "pw/decomp/halo_plan.hpp"
+#include "pw/lint/diagnostic.hpp"
+#include "pw/stencil/spec.hpp"
+#include "pw/xfer/event_graph.hpp"
+
+namespace pw::shard {
+
+/// How simulated devices reach each other's halo buffers. The paper's
+/// boards sit on PCIe with no direct link, so every halo hop bounces
+/// through host memory (a D2H DMA on the sender plus an H2D DMA on the
+/// receiver); NVLink/MI-bridge-class parts get a single direct hop at
+/// higher bandwidth.
+enum class Interconnect {
+  kPcieHostBounce,   ///< src D2H -> host buffer -> dst H2D, two DMA hops
+  kDeviceToDevice,   ///< one direct src -> dst hop over the device link
+};
+
+const char* to_string(Interconnect interconnect);
+
+/// Inverse of to_string plus the CLI short forms: "pcie" / "d2d".
+std::optional<Interconnect> parse_interconnect(std::string_view name);
+
+/// Bandwidth/latency knobs of the exchange cost model. Defaults sketch the
+/// paper's era: PCIe gen3 x16 effective ~12.5 GB/s per direction, a direct
+/// device link at twice that, and a few microseconds of per-message setup.
+struct InterconnectModel {
+  Interconnect kind = Interconnect::kPcieHostBounce;
+  double pcie_gbytes_per_s = 12.5;  ///< host-bounce hop bandwidth, per hop
+  double d2d_gbytes_per_s = 25.0;   ///< direct device-to-device bandwidth
+  double message_latency_s = 5e-6;  ///< DMA descriptor setup per message
+
+  /// Wire time of one `bytes`-sized hop under this model (setup + payload).
+  double hop_seconds(std::size_t bytes) const;
+};
+
+/// Modelled cost of one bulk-synchronous halo exchange, scheduled over one
+/// xfer::EventScheduler per device (in-order DMA queues, exactly how the
+/// paper's host code drives OpenCL buffers). Self-messages — periodic wraps
+/// on degenerate process grids — cross no link and cost nothing.
+struct ExchangeCost {
+  double seconds = 0.0;       ///< critical-path exchange time per step
+  double send_phase_s = 0.0;  ///< slowest device's outbound DMA makespan
+  double recv_phase_s = 0.0;  ///< slowest inbound makespan (0 for d2d)
+  std::size_t bytes = 0;      ///< cross-device payload, all fields
+  std::size_t messages = 0;   ///< cross-device messages (per field set)
+  std::size_t hops = 0;       ///< DMA commands scheduled across all devices
+};
+
+/// Schedules `plan`'s cross-device messages (each carrying `fields` fields'
+/// worth of its cells) over per-device in-order DMA engines and returns the
+/// critical path. PCIe host-bounce runs two phases — every sender drains
+/// its D2H queue, then every receiver its H2D queue — so
+/// seconds = max(send makespan) + max(recv makespan); device-to-device is
+/// the single-phase max. `devices` must cover every rank in the plan.
+ExchangeCost model_exchange(const decomp::HaloPlan& plan, std::size_t fields,
+                            const InterconnectModel& model,
+                            std::size_t devices);
+
+/// Fields one halo exchange must move per sweep of `spec`: the fields the
+/// kernel writes (and therefore invalidates in its neighbours' halos).
+/// Derived from the declared spec — advect_pw and diffusion update all
+/// three wind fields, poisson_jacobi only the guess — instead of the
+/// hardcoded 3 the first scale-out projection assumed for every kernel.
+std::size_t halo_exchange_fields(const stencil::StencilSpec& spec);
+
+/// Bytes one halo exchange of `spec` moves per sweep across all ranks:
+/// halo_exchange_bytes_per_field() scaled by the kernel's exchanged-field
+/// count (not by a hardcoded 3).
+std::size_t halo_traffic_bytes_per_sweep(
+    const decomp::Decomposition& decomposition,
+    const stencil::StencilSpec& spec);
+
+/// Static verification of an exchange graph against its decomposition —
+/// run before any sharded solve, like pw::lint's pipeline battery before a
+/// kernel run. Checks (dotted rule ids, all errors when violated):
+///   shard.exchange.coverage  every rank receives exactly one message per
+///                            halo piece (the 8 pieces tile its perimeter)
+///   shard.exchange.owner     every message's src is the periodic neighbour
+///                            that owns the piece
+///   shard.exchange.cells     every message carries exactly the piece's
+///                            face/corner cell count
+///   shard.exchange.bytes     plan bytes/field equals the decomposition's
+///                            halo_exchange_bytes_per_field()
+/// plus an info diagnostic with the cross-device message fraction.
+lint::LintReport lint_exchange(const decomp::Decomposition& decomposition,
+                               const decomp::HaloPlan& plan);
+
+/// CPU time of the calling thread (CLOCK_THREAD_CPUTIME_ID where
+/// available). Sharded benches measure per-shard compute with this instead
+/// of wall clock so scaling efficiency is meaningful on hosts with fewer
+/// cores than shards (shard threads time-slicing one core inflate each
+/// other's wall time but not their CPU time).
+double thread_cpu_seconds();
+
+}  // namespace pw::shard

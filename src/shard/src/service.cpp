@@ -1,0 +1,225 @@
+#include "pw/shard/service.hpp"
+
+#include <algorithm>
+
+namespace pw::shard {
+
+namespace {
+
+/// splitmix64 — the ring's vnode hash (fast, well-mixed, dependency-free).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t vnode_hash(std::size_t device, std::size_t vnode) {
+  return mix64(mix64(static_cast<std::uint64_t>(device) + 1) ^
+               static_cast<std::uint64_t>(vnode));
+}
+
+}  // namespace
+
+void HashRing::add(std::size_t device) {
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    ring_.emplace(vnode_hash(device, v), device);
+  }
+  ++devices_;
+}
+
+void HashRing::remove(std::size_t device) {
+  std::size_t erased = 0;
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    erased += ring_.erase(vnode_hash(device, v));
+  }
+  if (erased != 0) {
+    --devices_;
+  }
+}
+
+std::size_t HashRing::place(std::uint64_t key) const {
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+ShardedSolveService::ShardedSolveService(ShardServiceConfig config)
+    : config_(std::move(config)),
+      solver_(config_.shard),
+      plans_(config_.admission),
+      ring_(config_.virtual_nodes) {
+  const std::size_t devices = std::max<std::size_t>(1, config_.shard.devices);
+  caches_.resize(devices);
+  devices_.resize(devices);
+  for (std::size_t device = 0; device < devices; ++device) {
+    devices_[device].device = device;
+    ring_.add(device);
+  }
+}
+
+std::size_t ShardedSolveService::home_of(const api::SolveRequest& request) {
+  const std::uint64_t key = mix64(fingerprints_.fingerprint(request));
+  std::lock_guard lock(mutex_);
+  return ring_.empty() ? kNoHome : ring_.place(key);
+}
+
+void ShardedSolveService::note_deaths_locked() {
+  // Sync ring membership with the solver's dead set: a device that died
+  // during the last solve leaves the ring, dropping its cache — the
+  // keyspace migrates to its ring successors.
+  for (std::size_t device = 0; device < devices_.size(); ++device) {
+    if (!devices_[device].alive) {
+      continue;
+    }
+    // The authoritative death signal is the solver's per-device fault
+    // counter: it increments exactly when that simulated board was marked
+    // dead mid-solve.
+    const std::uint64_t faults = solver_.metrics().counter(
+        "shard." + std::to_string(device) + ".faults");
+    if (faults > 0) {
+      devices_[device].alive = false;
+      devices_[device].faults = faults;
+      ring_.remove(device);
+      caches_[device] = DeviceCache{};
+    }
+  }
+}
+
+api::SolveResult ShardedSolveService::submit(
+    const api::SolveRequest& request) {
+  {
+    std::lock_guard lock(mutex_);
+    ++submitted_;
+  }
+
+  // Admission: the same amortised lint battery the single-device service
+  // runs, keyed per request shape.
+  if (!request.state) {
+    std::lock_guard lock(mutex_);
+    ++rejected_;
+    return api::error_result(api::SolveError::kEmptyGrid,
+                             request.options.backend.backend(),
+                             "request carries no wind state");
+  }
+  const grid::GridDims dims = request.state->u.dims();
+  const auto plan = plans_.lookup(dims, request.options);
+  if (!plan->admitted) {
+    std::lock_guard lock(mutex_);
+    ++rejected_;
+    return api::error_result(api::SolveError::kRejectedByLint,
+                             request.options.backend.backend(),
+                             plan->rejection);
+  }
+
+  const std::uint64_t fingerprint = fingerprints_.fingerprint(request);
+  const std::uint64_t key = mix64(fingerprint);
+
+  // Route: home device by consistent hash; serve from its cache on a hit.
+  {
+    std::lock_guard lock(mutex_);
+    if (!ring_.empty()) {
+      const std::size_t home = ring_.place(key);
+      ++devices_[home].admitted;
+      auto& cache = caches_[home];
+      const auto hit = cache.entries.find(fingerprint);
+      if (hit != cache.entries.end()) {
+        ++cache_hits_;
+        ++completed_;
+        ++devices_[home].cache_hits;
+        ++devices_[home].completed;
+        api::SolveResult result = *hit->second;
+        result.cached = true;
+        return result;
+      }
+    }
+  }
+
+  // Miss: the whole device set cooperates on the sharded solve. The solver
+  // is internally serialised, so the service runs one solve at a time too.
+  api::SolveResult result = solver_.solve(request);
+
+  std::lock_guard lock(mutex_);
+  ++computed_;
+  const std::size_t deaths_before =
+      static_cast<std::size_t>(std::count_if(
+          devices_.begin(), devices_.end(),
+          [](const DeviceStats& d) { return !d.alive; }));
+  note_deaths_locked();
+  const std::size_t deaths_after =
+      static_cast<std::size_t>(std::count_if(
+          devices_.begin(), devices_.end(),
+          [](const DeviceStats& d) { return !d.alive; }));
+  if (deaths_after > deaths_before && result.ok()) {
+    ++failovers_;
+  }
+  if (solver_.last_report().cpu_failover) {
+    ++cpu_failovers_;
+  }
+  if (result.ok()) {
+    ++completed_;
+    if (result.degraded) {
+      ++degraded_;
+    }
+    if (!ring_.empty()) {
+      // (Re-)place on the post-death ring: the home may have migrated.
+      const std::size_t home = ring_.place(key);
+      ++devices_[home].completed;
+      auto& cache = caches_[home];
+      if (cache.entries.emplace(fingerprint,
+                                std::make_shared<api::SolveResult>(result))
+              .second) {
+        cache.order.push_back(fingerprint);
+        while (cache.order.size() > config_.cache_capacity_per_device) {
+          cache.entries.erase(cache.order.front());
+          cache.order.pop_front();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ShardServiceReport ShardedSolveService::report() const {
+  std::lock_guard lock(mutex_);
+  ShardServiceReport report;
+  report.submitted = submitted_;
+  report.completed = completed_;
+  report.computed = computed_;
+  report.cache_hits = cache_hits_;
+  report.rejected = rejected_;
+  report.degraded = degraded_;
+  report.failovers = failovers_;
+  report.cpu_failovers = cpu_failovers_;
+  report.devices = devices_;
+  for (DeviceStats& device : report.devices) {
+    device.cached_entries = caches_[device.device].entries.size();
+  }
+  return report;
+}
+
+util::Table to_table(const ShardServiceReport& report) {
+  util::Table table("Sharded serving: per-device routing and failover");
+  table.header({"device", "alive", "admitted", "completed", "cache_hits",
+                "faults", "cached"});
+  for (const DeviceStats& device : report.devices) {
+    table.row({std::to_string(device.device), device.alive ? "yes" : "DEAD",
+               std::to_string(device.admitted),
+               std::to_string(device.completed),
+               std::to_string(device.cache_hits),
+               std::to_string(device.faults),
+               std::to_string(device.cached_entries)});
+  }
+  table.row({"total",
+             std::to_string(report.failovers) + " failovers",
+             std::to_string(report.submitted),
+             std::to_string(report.completed),
+             std::to_string(report.cache_hits),
+             std::to_string(report.cpu_failovers) + " cpu",
+             std::to_string(report.rejected) + " rejected"});
+  return table;
+}
+
+}  // namespace pw::shard

@@ -1,0 +1,190 @@
+#include "pw/shard/topology.hpp"
+
+#include <algorithm>
+#include <ctime>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace pw::shard {
+
+const char* to_string(Interconnect interconnect) {
+  switch (interconnect) {
+    case Interconnect::kPcieHostBounce:
+      return "pcie_host_bounce";
+    case Interconnect::kDeviceToDevice:
+      return "device_to_device";
+  }
+  return "unknown";
+}
+
+std::optional<Interconnect> parse_interconnect(std::string_view name) {
+  if (name == "pcie_host_bounce" || name == "pcie") {
+    return Interconnect::kPcieHostBounce;
+  }
+  if (name == "device_to_device" || name == "d2d") {
+    return Interconnect::kDeviceToDevice;
+  }
+  return std::nullopt;
+}
+
+double InterconnectModel::hop_seconds(std::size_t bytes) const {
+  const double rate = kind == Interconnect::kPcieHostBounce
+                          ? pcie_gbytes_per_s
+                          : d2d_gbytes_per_s;
+  return message_latency_s + static_cast<double>(bytes) / (rate * 1e9);
+}
+
+ExchangeCost model_exchange(const decomp::HaloPlan& plan, std::size_t fields,
+                            const InterconnectModel& model,
+                            std::size_t devices) {
+  // One in-order DMA queue pair per device: kDeviceToHost carries outbound
+  // halo pieces, kHostToDevice inbound ones. Commands on one engine
+  // serialise (the paper's per-direction DMA engines), so a device sending
+  // to three neighbours pays three back-to-back hops.
+  std::vector<xfer::EventScheduler> schedulers(devices);
+  ExchangeCost cost;
+  for (const decomp::HaloMessage& message : plan.messages) {
+    if (message.src == message.dst) {
+      continue;  // periodic wrap within one device: a local memcpy
+    }
+    const std::size_t bytes = message.bytes() * fields;
+    const double hop_s = model.hop_seconds(bytes);
+    schedulers.at(message.src)
+        .add({std::string("send:") + decomp::to_string(message.piece),
+              xfer::Engine::kDeviceToHost, hop_s, {}});
+    ++cost.hops;
+    if (model.kind == Interconnect::kPcieHostBounce) {
+      schedulers.at(message.dst)
+          .add({std::string("recv:") + decomp::to_string(message.piece),
+                xfer::Engine::kHostToDevice, hop_s, {}});
+      ++cost.hops;
+    }
+    cost.bytes += bytes;
+    ++cost.messages;
+  }
+
+  // Bulk-synchronous phases: all sends drain, then (host-bounce only) all
+  // receives. The exchange's critical path is the slowest device per phase.
+  for (const xfer::EventScheduler& scheduler : schedulers) {
+    if (scheduler.size() == 0) {
+      continue;
+    }
+    const xfer::Timeline timeline = scheduler.run();
+    const double send_busy =
+        timeline.engine_busy_s[static_cast<std::size_t>(
+            xfer::Engine::kDeviceToHost)];
+    const double recv_busy =
+        timeline.engine_busy_s[static_cast<std::size_t>(
+            xfer::Engine::kHostToDevice)];
+    cost.send_phase_s = std::max(cost.send_phase_s, send_busy);
+    cost.recv_phase_s = std::max(cost.recv_phase_s, recv_busy);
+  }
+  cost.seconds = cost.send_phase_s + cost.recv_phase_s;
+  return cost;
+}
+
+std::size_t halo_exchange_fields(const stencil::StencilSpec& spec) {
+  return spec.fields_out;
+}
+
+std::size_t halo_traffic_bytes_per_sweep(
+    const decomp::Decomposition& decomposition,
+    const stencil::StencilSpec& spec) {
+  return decomposition.halo_exchange_bytes_per_field() *
+         halo_exchange_fields(spec);
+}
+
+lint::LintReport lint_exchange(const decomp::Decomposition& decomposition,
+                               const decomp::HaloPlan& plan) {
+  lint::LintReport report;
+  const std::size_t nz = decomposition.global_dims().nz;
+
+  // Coverage: one message per (rank, piece), nothing missing or duplicated.
+  std::map<std::pair<std::size_t, decomp::HaloPiece>, std::size_t> seen;
+  for (const decomp::HaloMessage& message : plan.messages) {
+    ++seen[{message.dst, message.piece}];
+  }
+  for (std::size_t rank = 0; rank < decomposition.ranks(); ++rank) {
+    for (decomp::HaloPiece piece : decomp::kAllHaloPieces) {
+      const std::size_t count = seen[{rank, piece}];
+      if (count != 1) {
+        report.diagnostics.push_back(
+            {lint::Severity::kError, "shard.exchange.coverage",
+             "rank " + std::to_string(rank), decomp::to_string(piece),
+             count == 0 ? "halo piece has no message filling it"
+                        : "halo piece is filled by " + std::to_string(count) +
+                              " messages",
+             "emit exactly one message per (rank, piece) in the plan"});
+      }
+    }
+  }
+
+  std::size_t cross_device = 0;
+  for (const decomp::HaloMessage& message : plan.messages) {
+    int dx = 0, dy = 0;
+    decomp::halo_piece_offset(message.piece, dx, dy);
+    const std::size_t owner =
+        decomposition.neighbour(message.dst, dx, dy);
+    if (message.src != owner) {
+      report.diagnostics.push_back(
+          {lint::Severity::kError, "shard.exchange.owner",
+           "rank " + std::to_string(message.dst),
+           decomp::to_string(message.piece),
+           "message sourced from rank " + std::to_string(message.src) +
+               " but the periodic neighbour owning this piece is rank " +
+               std::to_string(owner),
+           "source each piece from neighbour(dst, dx, dy) of its offset"});
+    }
+    const std::size_t expected = decomp::halo_piece_cells(
+        message.piece, decomposition.extent(message.dst), nz);
+    if (message.cells != expected) {
+      report.diagnostics.push_back(
+          {lint::Severity::kError, "shard.exchange.cells",
+           "rank " + std::to_string(message.dst),
+           decomp::to_string(message.piece),
+           "message carries " + std::to_string(message.cells) +
+               " cells; the piece has " + std::to_string(expected),
+           "size face messages n*nz and corner messages nz"});
+    }
+    if (message.src != message.dst) {
+      ++cross_device;
+    }
+  }
+
+  const std::size_t plan_bytes = plan.bytes_per_field();
+  const std::size_t decomp_bytes =
+      decomposition.halo_exchange_bytes_per_field();
+  if (plan_bytes != decomp_bytes) {
+    report.diagnostics.push_back(
+        {lint::Severity::kError, "shard.exchange.bytes", "", "",
+         "plan moves " + std::to_string(plan_bytes) +
+             " bytes/field but the decomposition accounts " +
+             std::to_string(decomp_bytes),
+         "keep build_halo_plan and halo_exchange_bytes_per_field in sync"});
+  }
+
+  if (!plan.messages.empty()) {
+    report.diagnostics.push_back(
+        {lint::Severity::kInfo, "shard.exchange.cross_device", "", "",
+         std::to_string(cross_device) + " of " +
+             std::to_string(plan.messages.size()) +
+             " messages cross a device link (the rest are periodic wraps "
+             "within one device)",
+         ""});
+  }
+  return report;
+}
+
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace pw::shard

@@ -67,4 +67,17 @@ PassStats run_poisson(const grid::WindState& state,
                       const PoissonParams& params, advect::SourceTerms& out,
                       const EngineConfig& config);
 
+/// One Jacobi sweep that ingests the guess's halos exactly as provided
+/// instead of imposing the Dirichlet boundary rule — the per-shard pass
+/// entry for pw::shard, whose halo-exchange layer owns the halo contents
+/// (neighbour-shard interiors at internal boundaries, the boundary rule
+/// only at true domain edges). state.u is the current guess including
+/// halos, state.v the right-hand side; the updated guess lands in out.su.
+/// params.iterations is ignored (the caller sequences sweeps around its
+/// exchanges).
+PassStats run_poisson_sweep(const grid::WindState& state,
+                            const PoissonParams& params,
+                            advect::SourceTerms& out,
+                            const EngineConfig& config);
+
 }  // namespace pw::stencil

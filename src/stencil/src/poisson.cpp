@@ -89,6 +89,13 @@ void poisson_reference(const grid::WindState& state,
   zero_interior(out.sw);
 }
 
+PassStats run_poisson_sweep(const grid::WindState& state,
+                            const PoissonParams& params,
+                            advect::SourceTerms& out,
+                            const EngineConfig& config) {
+  return run_pass(poisson_spec(), state, out, PoissonOp(params), config);
+}
+
 PassStats run_poisson(const grid::WindState& state,
                       const PoissonParams& params, advect::SourceTerms& out,
                       const EngineConfig& config) {

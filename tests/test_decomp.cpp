@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "pw/advect/coefficients.hpp"
 #include "pw/decomp/decomposition.hpp"
 #include "pw/decomp/exchange.hpp"
+#include "pw/decomp/halo_plan.hpp"
 #include "pw/grid/compare.hpp"
 #include "pw/kernel/fused.hpp"
 #include "pw/util/rng.hpp"
@@ -123,6 +126,88 @@ TEST(DistributedField, HaloExchangeMatchesGlobalHalos) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property battery for auto_grid: ~200 seeded (dims, ranks)
+// draws. For every decomposition auto_grid accepts, the extents must tile
+// the plane exactly, every rank must be wide enough for a 1-deep (radius-1)
+// halo, and the advertised per-field exchange bytes must equal the bytes
+// actually carried by the generated halo plan. Draws auto_grid rejects must
+// genuinely have no feasible factor pair.
+
+TEST(AutoGridProperty, RandomDrawsTileExactlyAndMatchHaloPlan) {
+  util::Rng rng(20260807);
+  constexpr int kDraws = 200;
+  int accepted = 0;
+  for (int draw = 0; draw < kDraws; ++draw) {
+    const grid::GridDims dims{1 + rng.next_below(40), 1 + rng.next_below(40),
+                              1 + rng.next_below(8)};
+    const std::size_t ranks = 1 + rng.next_below(12);
+    SCOPED_TRACE("draw " + std::to_string(draw) + ": " +
+                 std::to_string(dims.nx) + "x" + std::to_string(dims.ny) +
+                 "x" + std::to_string(dims.nz) + " over " +
+                 std::to_string(ranks) + " ranks");
+
+    // Feasibility oracle: some factor pair px*py == ranks fits the grid
+    // (every rank needs >= 1 cell per split axis).
+    bool feasible = false;
+    for (std::size_t px = 1; px <= ranks; ++px) {
+      if (ranks % px == 0 && px <= dims.nx && ranks / px <= dims.ny) {
+        feasible = true;
+      }
+    }
+    if (!feasible) {
+      EXPECT_THROW(Decomposition::auto_grid(dims, ranks),
+                   std::invalid_argument);
+      continue;
+    }
+    ++accepted;
+    const Decomposition d = Decomposition::auto_grid(dims, ranks);
+    ASSERT_EQ(d.ranks(), ranks);
+    EXPECT_EQ(d.px() * d.py(), ranks);
+
+    // Exact tiling: every (x, y) column owned by exactly one rank.
+    std::vector<int> covered(dims.nx * dims.ny, 0);
+    for (std::size_t r = 0; r < d.ranks(); ++r) {
+      const RankExtent& e = d.extent(r);
+      // Radius-1 halos need every rank at least one cell wide per axis so
+      // a halo column always maps to the immediate neighbour's interior.
+      ASSERT_GE(e.nx(), 1u);
+      ASSERT_GE(e.ny(), 1u);
+      ASSERT_LE(e.x_end, dims.nx);
+      ASSERT_LE(e.y_end, dims.ny);
+      const grid::GridDims local = d.local_dims(r);
+      EXPECT_EQ(local.nx, e.nx());
+      EXPECT_EQ(local.ny, e.ny());
+      EXPECT_EQ(local.nz, dims.nz);
+      for (std::size_t x = e.x_begin; x < e.x_end; ++x) {
+        for (std::size_t y = e.y_begin; y < e.y_end; ++y) {
+          ++covered[x * dims.ny + y];
+        }
+      }
+    }
+    for (int c : covered) {
+      ASSERT_EQ(c, 1);
+    }
+
+    // The advertised exchange volume equals the plan's actual bytes, which
+    // in turn must equal the sum of the per-piece message sizes.
+    const HaloPlan plan = build_halo_plan(d);
+    EXPECT_EQ(plan.messages.size(), d.ranks() * 8);
+    std::size_t plan_bytes = 0;
+    for (const HaloMessage& message : plan.messages) {
+      EXPECT_EQ(message.cells,
+                halo_piece_cells(message.piece, d.extent(message.dst),
+                                 dims.nz));
+      plan_bytes += message.bytes();
+    }
+    EXPECT_EQ(plan_bytes, plan.bytes_per_field());
+    EXPECT_EQ(plan.bytes_per_field(), d.halo_exchange_bytes_per_field());
+  }
+  // The draw ranges are tuned so the battery exercises both branches.
+  EXPECT_GT(accepted, 100);
+  EXPECT_LT(accepted, kDraws);
 }
 
 struct AdvectHarness {

@@ -1,0 +1,535 @@
+// Shard differential + chaos battery: a sharded solve must be bit-exact
+// with the single-device facade for every registered kernel at every shard
+// count — fault-free AND while a fault plan kills a whole simulated device
+// mid-solve (correct answer, flagged degraded). Plus the exchange cost
+// model, the exchange-graph lint, consistent-hash placement and the
+// sharded routing service.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "pw/advect/coefficients.hpp"
+#include "pw/api/request.hpp"
+#include "pw/api/solver.hpp"
+#include "pw/decomp/halo_plan.hpp"
+#include "pw/fault/fault.hpp"
+#include "pw/fault/injector.hpp"
+#include "pw/grid/compare.hpp"
+#include "pw/grid/init.hpp"
+#include "pw/shard/service.hpp"
+#include "pw/shard/sharded_solver.hpp"
+#include "pw/shard/topology.hpp"
+#include "pw/stencil/advect.hpp"
+#include "pw/stencil/diffusion.hpp"
+#include "pw/stencil/poisson.hpp"
+
+namespace {
+
+using namespace pw;
+
+// A grid every shard count in the battery can tile: 21 x 12 splits over
+// 1, 2, 4 and 7 near-square process grids with every rank non-empty.
+constexpr grid::GridDims kDims{21, 12, 6};
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 7};
+
+struct Fixture {
+  grid::WindState state{kDims};
+  advect::PwCoefficients coefficients;
+
+  Fixture()
+      : coefficients(advect::PwCoefficients::from_geometry(
+            grid::Geometry::uniform(kDims, 100.0, 100.0, 50.0))) {
+    grid::init_random(state, 4242);
+  }
+};
+
+api::SolveRequest request_for(const Fixture& f, api::Kernel kernel,
+                              api::Backend backend) {
+  api::SolverOptions options;
+  options.backend = backend;
+  options.kernel.chunk_y = 8;
+  switch (kernel) {
+    case api::Kernel::kAdvectPw:
+      options.kernel_spec = api::AdvectPwOptions{};
+      break;
+    case api::Kernel::kDiffusion:
+      options.kernel_spec = api::DiffusionOptions{};
+      break;
+    case api::Kernel::kPoissonJacobi: {
+      api::PoissonOptions poisson;
+      poisson.iterations = 5;
+      options.kernel_spec = poisson;
+      break;
+    }
+  }
+  api::SolveRequest request;
+  request.state = std::make_shared<grid::WindState>(f.state);
+  request.coefficients =
+      std::make_shared<advect::PwCoefficients>(f.coefficients);
+  request.options = options;
+  return request;
+}
+
+void expect_bit_exact(const api::SolveResult& a, const api::SolveResult& b) {
+  ASSERT_TRUE(a.ok()) << a.message;
+  ASSERT_TRUE(b.ok()) << b.message;
+  ASSERT_TRUE(a.terms && b.terms);
+  EXPECT_TRUE(grid::compare_interior(a.terms->su, b.terms->su).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(a.terms->sv, b.terms->sv).bit_equal());
+  EXPECT_TRUE(grid::compare_interior(a.terms->sw, b.terms->sw).bit_equal());
+}
+
+// ---------------------------------------------------------------------------
+// Differential battery: every registered kernel x every shard count.
+
+class ShardDifferential
+    : public ::testing::TestWithParam<std::tuple<api::Kernel, std::size_t>> {
+};
+
+TEST_P(ShardDifferential, MatchesSingleDeviceBitExact) {
+  const auto [kernel, shards] = GetParam();
+  const Fixture f;
+  const api::SolveRequest request =
+      request_for(f, kernel, api::Backend::kFused);
+
+  const api::SolveResult single = api::Solver().solve(request);
+  ASSERT_TRUE(single.ok()) << single.message;
+
+  shard::ShardOptions options;
+  options.devices = shards;
+  shard::ShardedSolver solver(options);
+  const api::SolveResult sharded = solver.solve(request);
+  expect_bit_exact(single, sharded);
+  EXPECT_FALSE(sharded.degraded);
+  EXPECT_EQ(solver.last_report().devices_used, shards);
+  EXPECT_EQ(solver.last_report().exchanges, solver.last_report().sweeps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllCounts, ShardDifferential,
+    ::testing::Combine(::testing::ValuesIn(api::kAllKernels),
+                       ::testing::ValuesIn(kShardCounts)));
+
+TEST(ShardDifferential, EveryBackendEngineShardsBitExact) {
+  // The per-shard pass runs the same engine the facade maps each backend
+  // to; all double engines must stay bit-exact under sharding.
+  const Fixture f;
+  for (const api::Backend backend : api::kAllBackends) {
+    const api::SolveRequest request =
+        request_for(f, api::Kernel::kDiffusion, backend);
+    const api::SolveResult single = api::Solver().solve(request);
+    shard::ShardOptions options;
+    options.devices = 4;
+    shard::ShardedSolver solver(options);
+    const api::SolveResult sharded = solver.solve(request);
+    expect_bit_exact(single, sharded);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: kill a whole simulated device; the answer must stay bit-exact and
+// arrive flagged degraded through the re-partition ladder.
+
+fault::FaultPlan kill_device_plan(std::size_t device, std::uint64_t after) {
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "shard." + std::to_string(device) + ".*";
+  rule.kind = fault::FaultKind::kKernelTimeout;
+  rule.probability = 1.0;
+  rule.after = after;
+  plan.rules.push_back(rule);
+  return plan;
+}
+
+TEST(ShardChaos, WholeShardDeathRepartitionsBitExact) {
+  for (const api::Kernel kernel : api::kAllKernels) {
+    const Fixture f;
+    const api::SolveRequest request =
+        request_for(f, kernel, api::Backend::kFused);
+    const api::SolveResult single = api::Solver().solve(request);
+
+    fault::FaultInjector injector(kill_device_plan(1, 0));
+    shard::ShardOptions options;
+    options.devices = 4;
+    shard::ShardedSolver solver(options);
+    api::SolveResult sharded;
+    {
+      fault::ScopedArm arm(injector);
+      sharded = solver.solve(request);
+    }
+    expect_bit_exact(single, sharded);
+    EXPECT_TRUE(sharded.degraded);
+    EXPECT_GE(sharded.attempts, 2u);
+    EXPECT_EQ(solver.dead_devices(), 1u);
+    EXPECT_EQ(solver.last_report().repartitions, 1u);
+    EXPECT_LT(solver.last_report().devices_used, 4u);
+  }
+}
+
+TEST(ShardChaos, MidSolveDeathDuringIterativeKernel) {
+  // after=1: device 2 survives its first Jacobi sweep, then dies — the
+  // solve is already mid-flight when the board disappears.
+  const Fixture f;
+  const api::SolveRequest request =
+      request_for(f, api::Kernel::kPoissonJacobi, api::Backend::kFused);
+  const api::SolveResult single = api::Solver().solve(request);
+
+  fault::FaultInjector injector(kill_device_plan(2, 1));
+  shard::ShardOptions options;
+  options.devices = 4;
+  shard::ShardedSolver solver(options);
+  api::SolveResult sharded;
+  {
+    fault::ScopedArm arm(injector);
+    sharded = solver.solve(request);
+  }
+  expect_bit_exact(single, sharded);
+  EXPECT_TRUE(sharded.degraded);
+  EXPECT_GE(injector.report().injected, 1u);
+}
+
+TEST(ShardChaos, DeadDevicesStayDeadAcrossSolves) {
+  const Fixture f;
+  const api::SolveRequest request =
+      request_for(f, api::Kernel::kDiffusion, api::Backend::kReference);
+  const api::SolveResult single = api::Solver().solve(request);
+
+  fault::FaultInjector injector(kill_device_plan(0, 0));
+  shard::ShardOptions options;
+  options.devices = 2;
+  shard::ShardedSolver solver(options);
+  {
+    fault::ScopedArm arm(injector);
+    (void)solver.solve(request);
+  }
+  // Disarmed second solve: device 0 must remain excluded (a killed board
+  // does not heal), and the result stays degraded but correct.
+  const api::SolveResult again = solver.solve(request);
+  expect_bit_exact(single, again);
+  EXPECT_TRUE(again.degraded);
+  EXPECT_EQ(solver.dead_devices(), 1u);
+}
+
+TEST(ShardChaos, AllDevicesDeadFallsBackToCpu) {
+  const Fixture f;
+  const api::SolveRequest request =
+      request_for(f, api::Kernel::kDiffusion, api::Backend::kFused);
+  const api::SolveResult single = api::Solver().solve(request);
+
+  fault::FaultPlan plan;
+  fault::FaultRule rule;
+  rule.site = "shard.*";
+  rule.kind = fault::FaultKind::kKernelTimeout;
+  plan.rules.push_back(rule);
+  fault::FaultInjector injector(plan);
+
+  shard::ShardOptions options;
+  options.devices = 2;
+  shard::ShardedSolver solver(options);
+  api::SolveResult result;
+  {
+    fault::ScopedArm arm(injector);
+    result = solver.solve(request);
+  }
+  expect_bit_exact(single, result);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(solver.last_report().cpu_failover);
+  EXPECT_EQ(result.backend, api::Backend::kCpuBaseline);
+}
+
+TEST(ShardChaos, FailoverDisabledSurfacesBackendFault) {
+  const Fixture f;
+  const api::SolveRequest request =
+      request_for(f, api::Kernel::kDiffusion, api::Backend::kFused);
+  fault::FaultInjector injector(kill_device_plan(1, 0));
+  shard::ShardOptions options;
+  options.devices = 4;
+  options.failover = false;
+  shard::ShardedSolver solver(options);
+  api::SolveResult result;
+  {
+    fault::ScopedArm arm(injector);
+    result = solver.solve(request);
+  }
+  EXPECT_EQ(result.error, api::SolveError::kBackendFault);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange cost model.
+
+TEST(Interconnect, NamesRoundTripAndParseShortForms) {
+  using shard::Interconnect;
+  for (const Interconnect kind :
+       {Interconnect::kPcieHostBounce, Interconnect::kDeviceToDevice}) {
+    EXPECT_EQ(shard::parse_interconnect(shard::to_string(kind)), kind);
+  }
+  EXPECT_EQ(shard::parse_interconnect("pcie"),
+            Interconnect::kPcieHostBounce);
+  EXPECT_EQ(shard::parse_interconnect("d2d"),
+            Interconnect::kDeviceToDevice);
+  EXPECT_FALSE(shard::parse_interconnect("token_ring").has_value());
+}
+
+TEST(Interconnect, HostBounceCostsMoreThanDirectLinks) {
+  const auto decomposition = decomp::Decomposition::auto_grid(kDims, 4);
+  const auto plan = decomp::build_halo_plan(decomposition);
+
+  shard::InterconnectModel pcie;
+  pcie.kind = shard::Interconnect::kPcieHostBounce;
+  shard::InterconnectModel d2d = pcie;
+  d2d.kind = shard::Interconnect::kDeviceToDevice;
+
+  const auto pcie_cost = shard::model_exchange(plan, 3, pcie, 4);
+  const auto d2d_cost = shard::model_exchange(plan, 3, d2d, 4);
+  EXPECT_GT(pcie_cost.seconds, d2d_cost.seconds);
+  EXPECT_EQ(pcie_cost.bytes, d2d_cost.bytes);
+  EXPECT_EQ(pcie_cost.hops, 2 * d2d_cost.hops);  // bounce = 2 DMA hops
+  EXPECT_GT(pcie_cost.recv_phase_s, 0.0);
+  EXPECT_EQ(d2d_cost.recv_phase_s, 0.0);
+}
+
+TEST(Interconnect, SingleShardExchangeIsFree) {
+  const auto decomposition = decomp::Decomposition::auto_grid(kDims, 1);
+  const auto plan = decomp::build_halo_plan(decomposition);
+  const auto cost =
+      shard::model_exchange(plan, 3, shard::InterconnectModel{}, 1);
+  EXPECT_EQ(cost.bytes, 0u);  // every message is a local periodic wrap
+  EXPECT_EQ(cost.messages, 0u);
+  EXPECT_DOUBLE_EQ(cost.seconds, 0.0);
+}
+
+TEST(Interconnect, ExchangedBytesScaleWithFieldArity) {
+  const auto decomposition = decomp::Decomposition::auto_grid(kDims, 4);
+  const auto plan = decomp::build_halo_plan(decomposition);
+  const shard::InterconnectModel model;
+  const auto one = shard::model_exchange(plan, 1, model, 4);
+  const auto three = shard::model_exchange(plan, 3, model, 4);
+  EXPECT_EQ(three.bytes, 3 * one.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange-graph lint.
+
+TEST(ExchangeLint, WellFormedPlanPasses) {
+  for (const std::size_t shards : kShardCounts) {
+    const auto decomposition =
+        decomp::Decomposition::auto_grid(kDims, shards);
+    const auto plan = decomp::build_halo_plan(decomposition);
+    const lint::LintReport report =
+        shard::lint_exchange(decomposition, plan);
+    EXPECT_TRUE(report.passed()) << report.summary();
+  }
+}
+
+TEST(ExchangeLint, CatchesMissingWrongOwnerAndWrongSize) {
+  const auto decomposition = decomp::Decomposition::auto_grid(kDims, 4);
+  auto plan = decomp::build_halo_plan(decomposition);
+
+  auto dropped = plan;
+  dropped.messages.pop_back();
+  EXPECT_FALSE(shard::lint_exchange(decomposition, dropped).passed());
+
+  auto misrouted = plan;
+  misrouted.messages.front().src =
+      (misrouted.messages.front().src + 1) % decomposition.ranks();
+  EXPECT_FALSE(shard::lint_exchange(decomposition, misrouted).passed());
+
+  auto undersized = plan;
+  undersized.messages.front().cells -= 1;
+  EXPECT_FALSE(shard::lint_exchange(decomposition, undersized).passed());
+}
+
+TEST(ExchangeLint, PlanBytesMatchDecompositionAccounting) {
+  for (const std::size_t shards : kShardCounts) {
+    const auto decomposition =
+        decomp::Decomposition::auto_grid(kDims, shards);
+    const auto plan = decomp::build_halo_plan(decomposition);
+    EXPECT_EQ(plan.bytes_per_field(),
+              decomposition.halo_exchange_bytes_per_field());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-derived halo field arity (the fix for the hardcoded 3-field
+// assumption the first scale-out projection shipped with).
+
+TEST(HaloArity, DerivedFromStencilSpecNotHardcoded) {
+  EXPECT_EQ(shard::halo_exchange_fields(stencil::advect_spec()), 3u);
+  EXPECT_EQ(shard::halo_exchange_fields(stencil::diffusion_spec()), 3u);
+  EXPECT_EQ(shard::halo_exchange_fields(stencil::poisson_spec()), 1u);
+
+  const auto decomposition = decomp::Decomposition::auto_grid(kDims, 4);
+  const std::size_t per_field =
+      decomposition.halo_exchange_bytes_per_field();
+  EXPECT_EQ(shard::halo_traffic_bytes_per_sweep(decomposition,
+                                                stencil::poisson_spec()),
+            per_field);
+  EXPECT_EQ(shard::halo_traffic_bytes_per_sweep(decomposition,
+                                                stencil::advect_spec()),
+            3 * per_field);
+}
+
+TEST(HaloArity, SolverExchangesOnlyWrittenFields) {
+  shard::ShardOptions options;
+  options.devices = 4;
+  shard::ShardedSolver solver(options);
+  const Fixture f;
+  (void)solver.solve(
+      request_for(f, api::Kernel::kPoissonJacobi, api::Backend::kReference));
+  EXPECT_EQ(solver.last_report().exchanged_fields, 1u);
+  (void)solver.solve(
+      request_for(f, api::Kernel::kDiffusion, api::Backend::kReference));
+  EXPECT_EQ(solver.last_report().exchanged_fields, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash placement.
+
+TEST(HashRing, RemovalOnlyMigratesTheDeadDevicesKeys) {
+  shard::HashRing ring(32);
+  for (std::size_t device = 0; device < 4; ++device) {
+    ring.add(device);
+  }
+  std::map<std::uint64_t, std::size_t> before;
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    before[key * 0x9e3779b97f4a7c15ull] =
+        ring.place(key * 0x9e3779b97f4a7c15ull);
+  }
+  ring.remove(2);
+  std::size_t moved = 0;
+  for (const auto& [key, device] : before) {
+    const std::size_t now = ring.place(key);
+    EXPECT_NE(now, 2u);
+    if (device != 2 && now != device) {
+      ++moved;  // a key not homed on the dead device must not move
+    }
+  }
+  EXPECT_EQ(moved, 0u);
+  EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(HashRing, CoversAllDevices) {
+  shard::HashRing ring(32);
+  for (std::size_t device = 0; device < 7; ++device) {
+    ring.add(device);
+  }
+  std::set<std::size_t> seen;
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    seen.insert(ring.place(key * 0x9e3779b97f4a7c15ull + 17));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded routing service.
+
+TEST(ShardService, IdenticalRequestHitsHomeDeviceCache) {
+  shard::ShardServiceConfig config;
+  config.shard.devices = 4;
+  shard::ShardedSolveService service(config);
+  const Fixture f;
+  const api::SolveRequest request =
+      request_for(f, api::Kernel::kDiffusion, api::Backend::kFused);
+
+  const api::SolveResult first = service.submit(request);
+  ASSERT_TRUE(first.ok()) << first.message;
+  EXPECT_FALSE(first.cached);
+  const api::SolveResult second = service.submit(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cached);
+  expect_bit_exact(first, second);
+
+  const shard::ShardServiceReport report = service.report();
+  EXPECT_EQ(report.submitted, 2u);
+  EXPECT_EQ(report.computed, 1u);
+  EXPECT_EQ(report.cache_hits, 1u);
+  const std::size_t home = service.home_of(request);
+  ASSERT_NE(home, shard::ShardedSolveService::kNoHome);
+  EXPECT_EQ(report.devices[home].cache_hits, 1u);
+  EXPECT_EQ(report.devices[home].cached_entries, 1u);
+}
+
+TEST(ShardService, DeviceDeathMigratesPlacementAndFlagsDegraded) {
+  shard::ShardServiceConfig config;
+  config.shard.devices = 4;
+  shard::ShardedSolveService service(config);
+  const Fixture f;
+  const api::SolveRequest request =
+      request_for(f, api::Kernel::kDiffusion, api::Backend::kFused);
+  const api::SolveResult single = api::Solver().solve(request);
+
+  fault::FaultInjector injector(kill_device_plan(1, 0));
+  api::SolveResult result;
+  {
+    fault::ScopedArm arm(injector);
+    result = service.submit(request);
+  }
+  expect_bit_exact(single, result);
+  EXPECT_TRUE(result.degraded);
+
+  const shard::ShardServiceReport report = service.report();
+  EXPECT_FALSE(report.devices[1].alive);
+  EXPECT_EQ(report.devices[1].cached_entries, 0u);
+  EXPECT_EQ(report.failovers, 1u);
+  EXPECT_EQ(report.degraded, 1u);
+  EXPECT_NE(service.home_of(request), 1u);
+
+  // Subsequent identical request: served (possibly from the migrated
+  // home's cache), still correct.
+  const api::SolveResult again = service.submit(request);
+  expect_bit_exact(single, again);
+}
+
+TEST(ShardService, RejectsRequestsWithoutState) {
+  shard::ShardedSolveService service;
+  const api::SolveResult result = service.submit(api::SolveRequest{});
+  EXPECT_EQ(result.error, api::SolveError::kEmptyGrid);
+  EXPECT_EQ(service.report().rejected, 1u);
+}
+
+TEST(ShardService, TableRendersOneRowPerDevice) {
+  shard::ShardServiceConfig config;
+  config.shard.devices = 3;
+  shard::ShardedSolveService service(config);
+  const util::Table table = shard::to_table(service.report());
+  EXPECT_EQ(table.rows(), 4u);  // 3 devices + totals
+}
+
+// ---------------------------------------------------------------------------
+// Measurement plumbing.
+
+TEST(ShardReport, MeasuresPerShardCpuAndExchange) {
+  shard::ShardOptions options;
+  options.devices = 4;
+  shard::ShardedSolver solver(options);
+  const Fixture f;
+  const api::SolveResult result = solver.solve(
+      request_for(f, api::Kernel::kPoissonJacobi, api::Backend::kFused));
+  ASSERT_TRUE(result.ok());
+  const shard::ShardRunReport& report = solver.last_report();
+  EXPECT_EQ(report.sweeps, 5u);
+  EXPECT_EQ(report.exchanges, 5u);
+  EXPECT_EQ(report.shard_cpu_s.size(), 4u);
+  EXPECT_GT(report.max_shard_cpu_s, 0.0);
+  EXPECT_GE(report.sum_shard_cpu_s, report.max_shard_cpu_s);
+  EXPECT_GT(report.halo_bytes, 0u);
+  EXPECT_GT(report.exchange_model_s, 0.0);
+  EXPECT_GE(report.critical_path_s, report.max_shard_cpu_s);
+  // Per-sweep cross-device traffic: one field (the Jacobi guess) over the
+  // cross-device subset of the plan, counted per exchange.
+  EXPECT_EQ(report.halo_bytes % report.exchanges, 0u);
+}
+
+TEST(ShardReport, ThreadCpuClockIsMonotonic) {
+  const double a = shard::thread_cpu_seconds();
+  double spin = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    spin += static_cast<double>(i) * 1e-9;
+  }
+  const double b = shard::thread_cpu_seconds();
+  EXPECT_GE(b + (spin > 1e30 ? 1.0 : 0.0), a);
+}
+
+}  // namespace

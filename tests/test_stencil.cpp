@@ -20,9 +20,11 @@
 #include "pw/kernel/fused.hpp"
 #include "pw/kernel/pipeline_graph.hpp"
 #include "pw/lint/checks.hpp"
+#include "pw/decomp/decomposition.hpp"
 #include "pw/serve/plan_cache.hpp"
 #include "pw/serve/service.hpp"
 #include "pw/serve/trace.hpp"
+#include "pw/shard/topology.hpp"
 #include "pw/stencil/advect.hpp"
 #include "pw/stencil/diffusion.hpp"
 #include "pw/stencil/poisson.hpp"
@@ -446,6 +448,45 @@ TEST(StencilServing, MixedKernelTraceRepliesWithPerKernelCounters) {
     admitted_total += it->second;
   }
   EXPECT_EQ(admitted_total, spec.requests);
+}
+
+// ---------------------------------------------------------------------------
+// Spec-derived halo arity (regression for the scale-out bench's old
+// hardcoded 3-field assumption).
+
+TEST(StencilSpecDerivation, HaloExchangeFieldArityComesFromSpec) {
+  // A halo exchange must move exactly the fields a sweep writes — the
+  // three wind fields for advection and diffusion, only the Jacobi guess
+  // for Poisson. bench/future_scaleout once charged every kernel 3 fields;
+  // pin the derivation so that bug cannot return.
+  stencil::ensure_registered();
+  const auto arity = [](const char* name) {
+    const stencil::StencilSpec* spec = stencil::find_stencil(name);
+    EXPECT_NE(spec, nullptr) << name;
+    return spec ? shard::halo_exchange_fields(*spec) : 0;
+  };
+  EXPECT_EQ(arity("advect_pw"), 3u);
+  EXPECT_EQ(arity("diffusion"), 3u);
+  EXPECT_EQ(arity("poisson_jacobi"), 1u);
+  for (const stencil::StencilSpec& spec : stencil::registered_stencils()) {
+    EXPECT_EQ(shard::halo_exchange_fields(spec), spec.fields_out) << spec.name;
+  }
+}
+
+TEST(StencilSpecDerivation, HaloTrafficScalesWithSpecFieldsNotThree) {
+  const auto d = decomp::Decomposition::auto_grid({24, 24, 8}, 4);
+  const std::size_t per_field = d.halo_exchange_bytes_per_field();
+  ASSERT_GT(per_field, 0u);
+  for (const stencil::StencilSpec& spec : stencil::registered_stencils()) {
+    EXPECT_EQ(shard::halo_traffic_bytes_per_sweep(d, spec),
+              per_field * spec.fields_out)
+        << spec.name;
+  }
+  const stencil::StencilSpec* poisson = stencil::find_stencil("poisson_jacobi");
+  ASSERT_NE(poisson, nullptr);
+  // The single-field Poisson exchange is the case the hardcoded 3 got wrong.
+  EXPECT_EQ(shard::halo_traffic_bytes_per_sweep(d, *poisson), per_field);
+  EXPECT_NE(shard::halo_traffic_bytes_per_sweep(d, *poisson), 3 * per_field);
 }
 
 }  // namespace

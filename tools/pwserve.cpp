@@ -17,6 +17,18 @@
 //   pwserve --json=SERVE_report.json # ServiceReport JSON artefact
 //   pwserve --report                 # the same JSON on stdout
 //   pwserve --fault-plan=storm.plan  # replay under an armed pw::fault plan
+//   pwserve --shards=4               # sharded multi-device replay
+//   pwserve --shards=4 --interconnect=d2d   # direct device links
+//
+// With --shards=N the trace is replayed through pw::shard's
+// ShardedSolveService instead: every solve is partitioned over N simulated
+// device instances, requests are routed to consistent-hash home devices
+// for result caching, and the tool prints the per-device table (admitted /
+// completed / cache hits / faults) plus the failover counters. Combine
+// with --fault-plan arming `shard.<i>.*` sites to watch a device die
+// mid-replay: its cache is dropped, its keyspace migrates, and requests
+// complete degraded through the re-partition ladder.
+// --interconnect=pcie|d2d picks the modelled halo-exchange topology.
 //
 // With --fault-plan=FILE the file is parsed as a pw::fault plan (see
 // docs/fault_injection.md for the line format), armed for the duration of
@@ -40,6 +52,7 @@
 #include "pw/fault/injector.hpp"
 #include "pw/serve/service.hpp"
 #include "pw/serve/trace.hpp"
+#include "pw/shard/service.hpp"
 #include "pw/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -53,7 +66,8 @@ int main(int argc, char** argv) {
         << "               [--nx=N --ny=N --nz=N] [--timeout-ms=N]\n"
         << "               [--kernels=advect_pw,diffusion,poisson_jacobi]\n"
         << "               [--no-cache] [--block] [--json=FILE] [--report]\n"
-        << "               [--fault-plan=FILE]\n";
+        << "               [--fault-plan=FILE]\n"
+        << "               [--shards=N] [--interconnect=pcie|d2d]\n";
     return 0;
   }
 
@@ -117,6 +131,78 @@ int main(int argc, char** argv) {
       std::cerr << "pwserve: --kernels lists no kernels\n";
       return 1;
     }
+  }
+
+  // --shards=N: replay the trace through the sharded multi-device service
+  // instead. Solves are synchronous (the whole simulated device set
+  // cooperates on each one), so the worker/batch/queue knobs of the
+  // threaded single-device service do not apply; --json/--report emit the
+  // single-device ServiceReport and are likewise inapplicable here.
+  if (cli.has("shards")) {
+    const auto trace = serve::make_trace(spec);
+    shard::ShardServiceConfig config;
+    config.shard.devices =
+        static_cast<std::size_t>(cli.get_int("shards", 2));
+    if (const auto name = cli.get("interconnect")) {
+      const auto parsed = shard::parse_interconnect(*name);
+      if (!parsed) {
+        std::cerr << "pwserve: unknown interconnect '" << *name
+                  << "' (expected pcie or d2d)\n";
+        return 1;
+      }
+      config.shard.interconnect.kind = *parsed;
+    }
+    if (cli.get_bool("no-cache", false)) {
+      config.cache_capacity_per_device = 0;
+    }
+    shard::ShardedSolveService service(config);
+
+    std::size_t failed = 0;
+    std::size_t degraded = 0;
+    {
+      std::unique_ptr<fault::ScopedArm> arm;
+      if (injector) {
+        arm = std::make_unique<fault::ScopedArm>(*injector);
+      }
+      for (const api::SolveRequest& request : trace) {
+        const api::SolveResult result = service.submit(request);
+        if (!result.ok()) {
+          ++failed;
+          std::cerr << "pwserve: " << request.tag << ": "
+                    << api::describe(result.error)
+                    << (result.message.empty() ? "" : " — " + result.message)
+                    << '\n';
+        } else if (result.degraded) {
+          ++degraded;
+        }
+      }
+    }
+
+    const shard::ShardServiceReport report = service.report();
+    shard::to_table(report).print(std::cout);
+    const shard::ShardRunReport& last = service.solver().last_report();
+    std::cout << "partition: " << last.px << "x" << last.py << " over "
+              << last.devices_used << " of " << config.shard.devices
+              << " devices, interconnect "
+              << shard::to_string(config.shard.interconnect.kind) << '\n';
+    std::cout << "resilience: " << report.failovers
+              << " device-death failovers (" << report.cpu_failovers
+              << " to the CPU rung), " << degraded << " of " << trace.size()
+              << " requests served degraded\n";
+    if (failed != 0) {
+      std::cout << failed << " of " << trace.size()
+                << " requests did not complete ok\n";
+    }
+    if (injector) {
+      const fault::FaultReport faults = injector->report();
+      std::cout << "fault plan: " << faults.injected
+                << " faults injected over " << faults.checks
+                << " hook checks\n";
+      for (const auto& [site, count] : faults.by_site) {
+        std::cout << "  " << site << ": " << count << '\n';
+      }
+    }
+    return failed == 0 ? 0 : 1;
   }
 
   serve::ServiceConfig config;
