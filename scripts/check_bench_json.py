@@ -67,6 +67,34 @@ GAUGE_GATES = {
         "tile, thread-CPU critical path + modelled exchange) must stay "
         "above 50%; ~90% measured on the reference host, budgeted for "
         "noisy CI boxes"),
+    "storm.bench.requests": (
+        "min", 100000.0,
+        "the QoS storm must offer at least 1e5 open-loop requests — a "
+        "smaller run does not stress the scheduler/shedding/cache paths "
+        "the SLO gates are about"),
+    "storm.bench.p99_ms": (
+        "max", 500.0,
+        "p99 served latency of the clean 1e5-request storm must meet the "
+        "SLO; ~75ms measured on the reference host, budgeted with ~6x "
+        "headroom for noisy CI boxes"),
+    "storm.bench.p999_ms": (
+        "max", 1000.0,
+        "p999 served latency of the clean storm must stay bounded (no "
+        "unbounded tail behind the weighted-fair scheduler)"),
+    "storm.bench.p99_ms_faulted": (
+        "max", 750.0,
+        "p99 served latency with the fault plan armed (injected admission "
+        "latency, forced sheds, backend transfer failures) must still meet "
+        "the degraded SLO"),
+    "storm.bench.shed_fairness": (
+        "min", 1.0,
+        "the scheduler audit must count zero unfair sheds across both "
+        "storms: a within-quota tenant may never be shed while an "
+        "over-quota tenant stays admitted"),
+    "storm.bench.cache_within_cap": (
+        "min", 1.0,
+        "the tiered result cache's peak resident bytes must never exceed "
+        "its configured byte cap (hard invariant, checked in both storms)"),
 }
 
 

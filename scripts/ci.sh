@@ -25,6 +25,14 @@
 #                              scripts/check_bench_json.py gates
 #                              scaleout.bench.bit_exact at 1.0 and the
 #                              4-shard weak-scaling efficiency at >= 0.5
+#   3b4. serve storm gate      bench/serve_storm -> BENCH_storm.json: the
+#                              1e5-request open-loop multi-tenant QoS storm
+#                              (clean + fault-plan-armed), with
+#                              scripts/check_bench_json.py gating the
+#                              storm.bench.* SLO gauges — p99/p999 latency,
+#                              shed_fairness at 1.0 (zero unfair sheds) and
+#                              cache_within_cap at 1.0 (tiered-cache peak
+#                              bytes never exceeded the byte cap)
 #   3c. model checker          ctest -L check (the pw::check unit battery)
 #                              plus the pwcheck scenario suite — exhaustive
 #                              bounded-preemption exploration of the ring
@@ -34,10 +42,11 @@
 #                              is a schedule production can reach.
 #   4. sanitizers              ASan+UBSan build (build-asan/) + full ctest
 #                              (which includes the `fault`-labelled chaos
-#                              battery and the `shard`-labelled differential
-#                              + kill-a-shard suite). Skipped with
-#                              PW_CI_SKIP_SANITIZERS=1 for quick local
-#                              iterations.
+#                              battery, the `shard`-labelled differential
+#                              + kill-a-shard suite, and the `qos`-labelled
+#                              scheduler/tiered-cache/traffic battery).
+#                              Skipped with PW_CI_SKIP_SANITIZERS=1 for
+#                              quick local iterations.
 #   4b. ubsan: streams + fault UBSan-only build (build-ubsan/) + ctest -L
 #        + stencil + check     streams/fault/stencil/check — unlike 4, no ASan
 #                              shadow memory, so the lock-free fast paths
@@ -47,8 +56,8 @@
 #                              tend to surface as. Also skipped with
 #                              PW_CI_SKIP_SANITIZERS=1.
 #   5. tsan: serve + fault     TSan build (build-tsan/) + ctest -R '^Serve',
-#        + streams + stencil   ctest -L fault, -L streams, -L stencil and
-#        + shard               -L shard — the serving layer is the repo's
+#        + streams + stencil   ctest -L fault, -L streams, -L stencil,
+#        + shard + qos         -L shard and -L qos — the serving layer is the repo's
 #                              most thread-heavy subsystem, the fault
 #                              battery deliberately storms it with mid-solve
 #                              failures, the streams label selects the
@@ -60,8 +69,11 @@
 #                              mixed-kernel SolveService traffic, and the
 #                              shard label runs one pass thread per
 #                              simulated device (including the chaos test
-#                              that kills a whole shard mid-solve). Also
-#                              skipped with PW_CI_SKIP_SANITIZERS=1.
+#                              that kills a whole shard mid-solve), and the
+#                              qos label races the WFQ/EDF schedulers, the
+#                              tiered result cache and the quota-shed path
+#                              under concurrent submitters. Also skipped
+#                              with PW_CI_SKIP_SANITIZERS=1.
 #
 # A full-suite TSan run is not part of the default gate (it roughly
 # 10x-es suite runtime); run it on demand:
@@ -94,6 +106,10 @@ echo "==== ci: scale-out bench gate ===="
 build/bench/future_scaleout --json=BENCH_scaleout.json
 python3 scripts/check_bench_json.py BENCH_scaleout.json
 
+echo "==== ci: serve storm gate ===="
+build/bench/serve_storm --json=BENCH_storm.json
+python3 scripts/check_bench_json.py BENCH_storm.json
+
 echo "==== ci: model checker (pw::check) ===="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L check
 build/tools/pwcheck --json=CHECK_scenarios.json
@@ -110,6 +126,11 @@ cmake -B build-asan -S . -DPW_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+# The qos battery again, alone: the schedulers and tiered cache are the
+# newest allocation-heavy paths, and a focused rerun keeps their ASan
+# signal legible when the full-suite log above is noisy.
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L qos
 
 echo "==== ci: UBSan-only build + streams + fault battery + checker ===="
 cmake -B build-ubsan -S . -DPW_SANITIZE=undefined \
@@ -132,7 +153,7 @@ cmake -B build-tsan -S . -DPW_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS" --target \
   test_serve test_serve_stress test_stream_fabric \
   test_fault test_fault_chaos test_backend_differential test_stencil \
-  test_shard
+  test_shard test_qos
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Serve'
 TSAN_OPTIONS=halt_on_error=1 \
@@ -143,5 +164,7 @@ TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L stencil
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L shard
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L qos
 
 echo "==== ci: all stages passed ===="

@@ -6,13 +6,16 @@
 # The instrumented benches additionally dump machine-readable metrics
 # registries (BENCH_table1.json, BENCH_fig6.json,
 # BENCH_micro_shift_buffer.json, BENCH_serve.json, BENCH_fault.json,
-# BENCH_streams.json, BENCH_scaleout.json); the run fails if any artefact
-# is missing or malformed (validated by scripts/check_bench_json.py, which
-# also gates the disarmed fault-hook overhead reported in BENCH_fault.json
-# at < 1%, the stream-fabric handoff budgets in BENCH_streams.json,
-# including the >= 5x SPSC-vs-mutex floor, and the sharded scale-out
-# measurements in BENCH_scaleout.json: bit-exactness at 1.0 and the
-# 4-shard weak-scaling efficiency floor).
+# BENCH_streams.json, BENCH_scaleout.json, BENCH_storm.json); the run fails
+# if any artefact is missing or malformed (validated by
+# scripts/check_bench_json.py, which also gates the disarmed fault-hook
+# overhead reported in BENCH_fault.json at < 1%, the stream-fabric handoff
+# budgets in BENCH_streams.json, including the >= 5x SPSC-vs-mutex floor,
+# the sharded scale-out measurements in BENCH_scaleout.json —
+# bit-exactness at 1.0 and the 4-shard weak-scaling efficiency floor — and
+# the QoS storm SLOs in BENCH_storm.json: >= 1e5 offered requests, p99 /
+# p999 served-latency ceilings, shed_fairness at 1.0 and the tiered-cache
+# peak-bytes-within-cap invariant at 1.0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,5 +51,6 @@ python3 scripts/check_bench_json.py BENCH_serve.json
 python3 scripts/check_bench_json.py BENCH_fault.json
 python3 scripts/check_bench_json.py BENCH_streams.json
 python3 scripts/check_bench_json.py BENCH_scaleout.json
+python3 scripts/check_bench_json.py BENCH_storm.json
 
 echo "done: test_output.txt, bench_output.txt, BENCH_*.json"

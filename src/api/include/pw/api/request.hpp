@@ -1,16 +1,60 @@
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 
 #include "pw/api/solver.hpp"
 
 namespace pw::api {
+
+/// Scheduling class of one request. Priorities do not preempt running
+/// solves; they bias the serve tier's admission ordering (EDF breaks
+/// deadline ties by priority, weighted-fair sheds kBatch traffic before
+/// kInteractive when a tenant must shrink).
+enum class Priority {
+  kBatch,        ///< throughput traffic: first to shed, last to run
+  kNormal,       ///< the default class
+  kInteractive,  ///< latency-sensitive: ties resolve in its favour
+};
+
+inline const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "unknown";
+}
+
+/// Inverse of to_string: "interactive" -> kInteractive; nullopt otherwise.
+/// Round-tripped exhaustively by tests, like parse_backend/parse_kernel.
+inline std::optional<Priority> parse_priority(std::string_view name) {
+  for (const Priority priority :
+       {Priority::kBatch, Priority::kNormal, Priority::kInteractive}) {
+    if (name == to_string(priority)) {
+      return priority;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Every Priority enumerator, for exhaustive iteration in tests and CLIs.
+inline constexpr std::array<Priority, 3> kAllPriorities = {
+    Priority::kBatch,
+    Priority::kNormal,
+    Priority::kInteractive,
+};
 
 /// One solve, as a value: fields + coefficients + options. Subsumes the
 /// positional solve(state, coefficients) arguments so requests can be
@@ -30,6 +74,12 @@ struct SolveRequest {
   /// request whose deadline passes before a worker reaches it completes
   /// with SolveError::kDeadlineExceeded instead of running.
   std::chrono::nanoseconds timeout{0};
+  /// Tenant the request bills against (empty = the "default" tenant). The
+  /// serve tier keys per-tenant quotas, weighted-fair scheduling and the
+  /// ServiceReport tenant rows on this.
+  std::string tenant;
+  /// Scheduling class within the tenant (see api::Priority).
+  Priority priority = Priority::kNormal;
 };
 
 /// Convenience constructor for owned payloads.

@@ -53,9 +53,22 @@ std::uint64_t payload_hash(const grid::WindState& state,
 /// same addresses, so a payload freed and reallocated at the same address
 /// can never serve a stale hash. Thread-safe; produces exactly the values
 /// of the one-shot request_fingerprint.
+///
+/// Bounded: the memo never holds more than `capacity` entries. Expired
+/// owners are purged first; if live payloads alone fill the memo, the
+/// oldest entries are evicted outright (a miss later recomputes the hash —
+/// correctness never depends on residency). The pre-QoS version only
+/// purged expired entries and then inserted regardless, growing without
+/// bound under >= capacity simultaneously-live payloads.
 class FingerprintCache {
  public:
+  explicit FingerprintCache(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
   std::uint64_t fingerprint(const api::SolveRequest& request);
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   struct CachedHash {
@@ -64,7 +77,8 @@ class FingerprintCache {
     std::uint64_t hash = 0;
   };
 
-  std::mutex mutex_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
   std::map<const grid::WindState*, CachedHash> hashes_;
 };
 

@@ -2,12 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -17,7 +18,8 @@
 #include "pw/fault/breaker.hpp"
 #include "pw/obs/metrics.hpp"
 #include "pw/serve/plan_cache.hpp"
-#include "pw/util/mpmc_queue.hpp"
+#include "pw/serve/sched.hpp"
+#include "pw/serve/tiered_cache.hpp"
 #include "pw/util/rng.hpp"
 #include "pw/util/table.hpp"
 #include "pw/util/thread_pool.hpp"
@@ -51,8 +53,24 @@ struct ServiceConfig {
 
   /// When the queue is full: true blocks the submitter until space frees
   /// (flow control), false completes the future immediately with a typed
-  /// SolveError::kQueueFull (load shedding).
+  /// SolveError::kQueueFull (load shedding; the weighted-fair scheduler
+  /// sheds the most over-quota tenant's queued work first instead of
+  /// refusing the incoming request outright).
   bool block_when_full = false;
+
+  /// Admission scheduling policy. kFifo is bit-compatible with the
+  /// pre-scheduler service (the differential referee); kEdf orders pops
+  /// earliest-deadline-first within `edf_window`; kWeightedFair shares
+  /// the queue across tenants by quota weight.
+  sched::Policy scheduler = sched::Policy::kFifo;
+
+  /// EDF deadline-comparison granularity (see sched::Options).
+  std::chrono::nanoseconds edf_window = std::chrono::milliseconds(1);
+
+  /// Per-tenant quotas for the weighted-fair policy; tenants not listed
+  /// use default_quota. Tenant "" bills as "default".
+  std::map<std::string, sched::TenantQuota> tenant_quotas;
+  sched::TenantQuota default_quota;
 
   /// Worker threads per backend pool (pools are created lazily, one per
   /// backend that actually receives traffic).
@@ -73,9 +91,17 @@ struct ServiceConfig {
   /// Memoise completed results by content fingerprint: a request identical
   /// to an already-served one (same shape, config, fields, coefficients)
   /// completes from cache without recomputing. Sound because every backend
-  /// is a deterministic pure function of the request.
+  /// is a deterministic pure function of the request. The cache is the
+  /// bounded two-tier TieredResultCache: `result_cache_capacity` total
+  /// entries (a quarter hot, the rest warm) under a hard
+  /// `result_cache_bytes` byte cap.
   bool result_cache = true;
   std::size_t result_cache_capacity = 256;
+  std::size_t result_cache_bytes = 512ull << 20;
+
+  /// Payload-hash memoisation entries (see FingerprintCache). Bounded:
+  /// the pre-QoS unbounded growth path no longer exists.
+  std::size_t fingerprint_cache_capacity = 1024;
 
   /// Admission-time lint strictness (see pw::lint::AdmissionPolicy).
   lint::AdmissionPolicy admission;
@@ -98,6 +124,18 @@ struct ServiceConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// One per-tenant row of a ServiceReport, keyed by normalised tenant name
+/// (requests with an empty tenant bill as "default"). Rows are sorted by
+/// tenant name — part of the stable --json schema.
+struct TenantReportRow {
+  std::string tenant;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;  ///< kQueueFull outcomes (refused or quota-shed)
+  std::uint64_t completed = 0;
+  double p99_latency_s = 0.0;
+};
+
 /// Point-in-time summary of a service: admission/completion counters, the
 /// latency and batch-size distributions, cache effectiveness, aggregate
 /// throughput, plus the full metrics snapshot for drill-down.
@@ -109,6 +147,8 @@ struct ServiceReport {
   std::uint64_t rejected_options = 0;     ///< typed validation failures
   std::uint64_t rejected_lint = 0;        ///< admission lint rejections
   std::uint64_t rejected_backpressure = 0;
+  std::uint64_t shed_quota = 0;     ///< queued work evicted by quota shedding
+  std::uint64_t sheds_unfair = 0;   ///< scheduler audit (must stay 0)
   std::uint64_t cancelled = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t plan_cache_hits = 0;
@@ -121,37 +161,61 @@ struct ServiceReport {
   std::uint64_t failover_failed = 0;    ///< failover attempt also faulted
   std::uint64_t breaker_opens = 0;      ///< total breaker open transitions
   std::uint64_t breaker_short_circuits = 0;  ///< solves skipped, breaker open
+  // Tiered result cache (zeroed when the cache is disabled).
+  std::uint64_t cache_hot_hits = 0;
+  std::uint64_t cache_warm_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_peak_bytes = 0;
+  std::uint64_t cache_byte_cap = 0;
+  sched::Policy scheduler = sched::Policy::kFifo;
   double uptime_s = 0.0;
   double aggregate_gflops = 0.0;  ///< served FLOPs / uptime
   obs::HistogramSummary latency_s;    ///< submit -> completion
   obs::HistogramSummary batch_size;   ///< per dispatched batch
+  std::vector<TenantReportRow> tenants;  ///< sorted by tenant name
   obs::RegistrySnapshot metrics;
 };
 
-/// {"service": {...counters...}, "metrics": <pw::obs snapshot JSON>}
+/// {"service": {...counters...}, "scheduler": {...}, "cache": {...},
+///  "tenants": [...sorted rows...], "metrics": <pw::obs snapshot JSON>}
+/// The field set and ordering are a stable schema, round-trip-tested.
 std::string to_json(const ServiceReport& report);
 util::Table to_table(const ServiceReport& report);
+
+/// One admitted request inside the service (public only so the scheduler
+/// template can be instantiated over it; not part of the API surface).
+struct ServeEntry {
+  api::SolveRequest request;
+  std::shared_ptr<api::detail::SolveState> state;
+  std::shared_ptr<const Plan> plan;
+  std::string tenant;  ///< normalised (empty request.tenant -> "default")
+  std::uint64_t fingerprint = 0;
+  std::uint64_t flops = 0;
+  double enqueued_s = 0.0;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
 
 /// An asynchronous, batching solve service over pw::api::Solver —
 /// the multi-tenant front door the blocking facade cannot be.
 ///
-///   submit(request) --admission--> bounded queue --dispatcher--> batches
-///        |                                                        |
-///        +-- typed error future on reject                per-backend pools
+///   submit(request) --admission--> scheduler --dispatcher--> batches
+///        |                (FIFO | EDF | WFQ)                  |
+///        +-- typed error future on reject            per-backend pools
 ///
 /// Admission validates options against the request's grid and runs the
 /// pw::lint battery (amortised per shape via the PlanCache); a rejected
 /// request completes its future with a typed error and never reaches a
-/// worker. Admitted requests enter a bounded MPMC queue; a dispatcher
-/// thread drains it, groups same-plan requests into batches of at most
-/// max_batch, and hands each batch to the worker pool of its backend.
-/// The dispatcher throttles itself to workers_per_backend * max_batch
-/// dispatched-but-unfinished entries, so when workers fall behind, work
-/// accumulates in the bounded queue (where it batches and backpressures)
-/// rather than in unbounded pool deques. Workers honour cancellation and
-/// per-request deadlines, serve identical requests from the result cache,
-/// and report queue depth / batch size / latency percentiles / aggregate
-/// GFLOPS through pw::obs.
+/// worker. Admitted requests enter the bounded admission scheduler — a
+/// pluggable pw::serve::sched policy: FIFO (bit-compatible with the
+/// pre-QoS service), EDF within a batch window, or weighted-fair across
+/// tenants with quota shedding. A dispatcher thread drains it in policy
+/// order, groups same-plan requests into batches of at most max_batch,
+/// and hands each batch to the worker pool of its backend. Workers honour
+/// cancellation and per-request deadlines, serve identical requests from
+/// the bounded two-tier result cache (single-flight coalesced), and
+/// report queue depth / batch size / per-tenant latency percentiles /
+/// cache curves / aggregate GFLOPS through pw::obs.
 class SolveService {
  public:
   explicit SolveService(ServiceConfig config = {});
@@ -162,7 +226,9 @@ class SolveService {
 
   /// Admits one request. Always returns a valid future: on rejection
   /// (invalid options, lint failure, backpressure, stopped service) the
-  /// future is already completed with the typed error.
+  /// future is already completed with the typed error. A quota-shed
+  /// victim's future completes with kQueueFull when the weighted-fair
+  /// scheduler evicts it in favour of a compliant tenant's request.
   api::SolveFuture submit(api::SolveRequest request);
 
   /// Convenience fan-in: submit every request, in order.
@@ -183,57 +249,54 @@ class SolveService {
 
   const PlanCache& plans() const noexcept { return plans_; }
   obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  /// The admission scheduler (for depth/audit introspection in tests).
+  const sched::Scheduler<ServeEntry>& scheduler() const noexcept {
+    return *queue_;
+  }
+  /// The bounded result cache's counters; nullopt when disabled.
+  std::optional<TieredCacheStats> cache_stats() const;
 
  private:
-  struct Entry {
-    api::SolveRequest request;
-    std::shared_ptr<api::detail::SolveState> state;
-    std::shared_ptr<const Plan> plan;
-    std::uint64_t fingerprint = 0;
-    std::uint64_t flops = 0;
-    double enqueued_s = 0.0;
-    std::optional<std::chrono::steady_clock::time_point> deadline;
-  };
-
   void dispatcher_loop();
-  void dispatch_batch(std::vector<Entry> batch);
-  void run_batch(std::vector<Entry>& batch);
-  void finish(Entry& entry, api::SolveResult result, bool dispatched = true);
+  void dispatch_batch(std::vector<ServeEntry> batch);
+  void run_batch(std::vector<ServeEntry>& batch);
+  void finish(ServeEntry& entry, api::SolveResult result,
+              bool dispatched = true);
   util::ThreadPool& pool_for(api::Backend backend);
   fault::CircuitBreaker& breaker_for(api::Backend backend);
   /// One solve attempt on `backend` (the entry's request with the backend
   /// swapped in). Consults the "serve.solve.<backend>" fault site first.
-  api::SolveResult attempt_solve(const Entry& entry,
+  api::SolveResult attempt_solve(const ServeEntry& entry,
                                  const api::BackendSpec& backend);
   /// The full resilience ladder: breaker gate -> retry with backoff ->
   /// failover to config_.failover_backend (degraded). Never throws.
-  api::SolveResult resilient_solve(const Entry& entry);
+  api::SolveResult resilient_solve(const ServeEntry& entry);
   api::SolveFuture reject(std::shared_ptr<api::detail::SolveState> state,
                           api::SolveError error, api::Backend backend,
                           std::string message = "");
+  void shed(ServeEntry& entry, std::string message);
 
   ServiceConfig config_;
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry* metrics_;
   PlanCache plans_;
   FingerprintCache fingerprints_;
-  util::BoundedMpmcQueue<Entry> queue_;
+  std::unique_ptr<sched::Scheduler<ServeEntry>> queue_;
+  std::unique_ptr<TieredResultCache> cache_;
   util::WallTimer uptime_;
 
-  mutable std::mutex mutex_;  // pools, result cache, pending bookkeeping
+  mutable std::mutex mutex_;  // pools, coalescing, pending bookkeeping
   std::condition_variable drained_cv_;
   std::map<api::Backend, std::unique_ptr<util::ThreadPool>> pools_;
   std::map<api::Backend, std::unique_ptr<fault::CircuitBreaker>> breakers_;
   util::Rng retry_rng_;  // jitter; guarded by mutex_
-  std::unordered_map<std::uint64_t, std::shared_ptr<const api::SolveResult>>
-      results_;
-  std::deque<std::uint64_t> result_order_;  // FIFO eviction
   /// Single-flight coalescing: fingerprint -> entries waiting on a compute
   /// already running on some worker. A key's presence (even with no
   /// waiters) marks the fingerprint as in flight; the computing worker
   /// completes every waiter when it finishes, so N concurrent identical
   /// requests cost one solve, deterministically.
-  std::unordered_map<std::uint64_t, std::vector<Entry>> coalesced_;
+  std::unordered_map<std::uint64_t, std::vector<ServeEntry>> coalesced_;
+  std::set<std::string> tenants_;  ///< every tenant ever seen; for report()
   std::size_t pending_ = 0;    // admitted, not yet completed
   std::size_t in_flight_ = 0;  // dispatched to a pool, not yet completed
   std::uint64_t flops_served_ = 0;

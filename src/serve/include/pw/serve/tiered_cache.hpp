@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "pw/api/solver.hpp"
+#include "pw/obs/metrics.hpp"
+
+namespace pw::serve {
+
+/// Bounds of one TieredResultCache. Both tiers are entry-capped
+/// individually and byte-capped together; the byte cap is a hard
+/// invariant, never a high-water mark — an insert that would breach it
+/// evicts first (or is refused outright when the result alone exceeds
+/// the cap).
+struct TieredCacheConfig {
+  std::size_t hot_entries = 64;    ///< fast tier (recently-used residents)
+  std::size_t warm_entries = 192;  ///< LRU-evicted overflow tier
+  std::size_t max_bytes = 512ull << 20;  ///< total payload bytes, hard cap
+};
+
+/// Point-in-time counters of one cache. hot/warm hit split, eviction and
+/// size curves — also published through pw::obs by the owning service.
+struct TieredCacheStats {
+  std::uint64_t hot_hits = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t promotions = 0;   ///< warm hit moved back into hot
+  std::uint64_t demotions = 0;    ///< hot LRU displaced into warm
+  std::uint64_t evictions = 0;    ///< dropped from warm (entry/byte caps)
+  std::uint64_t rejected_oversize = 0;  ///< single result > max_bytes
+  std::size_t hot_count = 0;
+  std::size_t warm_count = 0;
+  std::size_t bytes = 0;       ///< resident payload bytes, both tiers
+  std::size_t peak_bytes = 0;  ///< high-water mark (never exceeds the cap)
+  std::size_t byte_cap = 0;
+};
+
+/// The serve tier's bounded result cache: a hot in-memory tier in strict
+/// recency order backed by a warm LRU-evicted overflow tier. Replaces the
+/// unbounded fingerprint->result map the service grew before this layer.
+///
+///   get  hot hit    -> refresh recency, stay hot
+///        warm hit   -> promote to hot (hot LRU demotes to warm)
+///        miss       -> counted; the caller computes and put()s
+///   put  insert hot -> hot overflow demotes to warm, warm overflow and
+///                      byte pressure evict warm LRU entries
+///
+/// Thread-safe. Values are shared_ptr so an evicted result stays valid
+/// for callers already holding it. When a metrics registry is attached,
+/// every operation publishes the serve.cache.* counters and size gauges.
+class TieredResultCache {
+ public:
+  explicit TieredResultCache(TieredCacheConfig config = {},
+                             obs::MetricsRegistry* metrics = nullptr);
+
+  /// Cached result for `key`, refreshing/promoting on a hit; nullptr on a
+  /// miss (counted).
+  std::shared_ptr<const api::SolveResult> get(std::uint64_t key);
+
+  /// Inserts a freshly computed result (no-op when the key is already
+  /// resident). Returns false when the result alone exceeds the byte cap
+  /// and was refused.
+  bool put(std::uint64_t key, std::shared_ptr<const api::SolveResult> value);
+
+  TieredCacheStats stats() const;
+
+  /// Payload bytes one cached result pins (the three source-term fields
+  /// plus a fixed bookkeeping estimate).
+  static std::size_t result_bytes(const api::SolveResult& result);
+
+ private:
+  enum class Tier { kHot, kWarm };
+
+  struct Slot {
+    std::shared_ptr<const api::SolveResult> value;
+    std::size_t bytes = 0;
+    Tier tier = Tier::kHot;
+    std::list<std::uint64_t>::iterator position;  ///< in its tier's MRU list
+  };
+
+  void enforce_caps_locked();
+  void evict_warm_lru_locked();
+  void publish_locked();
+
+  TieredCacheConfig config_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Slot> slots_;
+  std::list<std::uint64_t> hot_;   ///< MRU first
+  std::list<std::uint64_t> warm_;  ///< MRU first
+  std::size_t bytes_ = 0;
+  TieredCacheStats stats_;
+};
+
+}  // namespace pw::serve

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pw/api/request.hpp"
+#include "pw/serve/trace.hpp"
+
+namespace pw::serve {
+
+/// One tenant of a traffic mix: its share of the request stream, the
+/// priority its requests carry, and the name they bill under.
+struct TenantMix {
+  std::string name = "default";
+  double weight = 1.0;  ///< share of arrivals (normalised over the mix)
+  api::Priority priority = api::Priority::kNormal;
+};
+
+/// Shape of an open-loop multi-tenant workload: *when* requests arrive
+/// (Poisson arrivals, optionally diurnally modulated), *what* they ask for
+/// (Zipf-popular scenarios from a bounded catalogue) and *who* sends them
+/// (a weighted tenant mix). Extends TraceSpec, which keeps describing the
+/// per-request content knobs (shapes, backends, kernels, chunking, seed).
+///
+/// Open-loop means arrival times ignore service completions — the storm
+/// bench measures the service under offered load, not under a closed loop
+/// that politely waits. Replayable: to_string produces a spec string that
+/// parse_traffic reads back (`pwserve --traffic=`), and make_traffic is
+/// deterministic in trace.seed.
+struct TrafficSpec {
+  std::size_t requests = 1024;
+
+  /// Mean arrival rate [requests/s] of the open-loop Poisson process.
+  double arrival_rate_hz = 2000.0;
+
+  /// Diurnal load curve: rate(t) = arrival_rate_hz *
+  /// (1 + diurnal_amplitude * sin(2*pi * t / diurnal_period_s)), floored
+  /// at 5% of the base rate. Off by default (constant rate).
+  bool diurnal = false;
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_s = 1.0;
+
+  /// Scenario popularity: requests draw from a catalogue of
+  /// `catalogue` distinct scenarios with Zipf(zipf_s) rank weights —
+  /// rank k is proportional to 1/k^zipf_s. A bounded catalogue bounds the
+  /// distinct payload bytes a storm materialises (and what a result cache
+  /// could at most hold); the skew concentrates load on the popular head
+  /// the way an operational service sees it.
+  double zipf_s = 1.1;
+  std::size_t catalogue = 512;
+
+  /// Weighted tenant mix; empty means a single "default" tenant.
+  std::vector<TenantMix> tenants;
+
+  /// Per-request content knobs (shapes/backends/kernels/chunking/seed/
+  /// timeout). trace.requests, trace.repeat_fraction and
+  /// trace.hot_payloads are ignored — the catalogue + Zipf draw replace
+  /// the hot/cold split.
+  TraceSpec trace;
+};
+
+/// One scheduled arrival of the workload, in arrival order.
+struct TimedRequest {
+  double arrival_s = 0.0;  ///< offset from the start of the storm
+  api::SolveRequest request;
+};
+
+/// Materialises the workload: `spec.requests` timed requests, arrival
+/// times strictly non-decreasing. Deterministic in spec.trace.seed.
+std::vector<TimedRequest> make_traffic(const TrafficSpec& spec);
+
+/// Evenly-weighted tenant mix "tenant-0".."tenant-N-1" with priorities
+/// cycling through kAllPriorities — the CLI's --tenants=N default.
+std::vector<TenantMix> default_tenant_mix(std::size_t tenants);
+
+/// Replayable spec string:
+///   "requests=I,rate=R,zipf=S,catalogue=K,tenants=N,diurnal=B,
+///    amplitude=A,period=P,seed=X,timeout_ms=M"
+/// (one line, no spaces). Only the scalar knobs travel; shapes/backends/
+/// kernels keep their TraceSpec defaults.
+std::string to_string(const TrafficSpec& spec);
+
+/// Inverse of to_string. Accepts any subset of the keys in any order;
+/// nullopt on an unknown key or a malformed value.
+std::optional<TrafficSpec> parse_traffic(std::string_view text);
+
+}  // namespace pw::serve

@@ -157,14 +157,25 @@ std::uint64_t FingerprintCache::fingerprint(const api::SolveRequest& request) {
       payload_hash(*request.state, request.coefficients.get());
   {
     std::lock_guard lock(mutex_);
-    if (hashes_.size() >= 1024) {  // drop dead owners before growing
+    if (hashes_.size() >= capacity_) {  // drop dead owners before growing
       for (auto it = hashes_.begin(); it != hashes_.end();) {
         it = it->second.state.expired() ? hashes_.erase(it) : ++it;
       }
     }
+    // Live payloads alone can fill the memo; evict outright so the cap is
+    // hard. (std::map iterates in address order — effectively arbitrary —
+    // and a victim's next request merely re-hashes its payload.)
+    while (hashes_.size() >= capacity_) {
+      hashes_.erase(hashes_.begin());
+    }
     hashes_[key] = CachedHash{request.state, request.coefficients, payload};
   }
   return combine_fingerprint(request, payload);
+}
+
+std::size_t FingerprintCache::size() const {
+  std::lock_guard lock(mutex_);
+  return hashes_.size();
 }
 
 std::shared_ptr<const Plan> PlanCache::lookup(

@@ -1,0 +1,48 @@
+#include "pw/serve/sched.hpp"
+
+#include "pw/fault/injector.hpp"
+
+namespace pw::serve::sched {
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kFifo:
+      return "fifo";
+    case Policy::kEdf:
+      return "edf";
+    case Policy::kWeightedFair:
+      return "wfq";
+  }
+  return "unknown";
+}
+
+std::optional<Policy> parse_policy(std::string_view name) {
+  for (const Policy policy : kAllPolicies) {
+    if (name == to_string(policy)) {
+      return policy;
+    }
+  }
+  return std::nullopt;
+}
+
+PushFault consult_push_site() {
+  if (fault::FaultInjector* injector = fault::armed()) {
+    if (const auto fault = injector->fire("serve.sched.push")) {
+      fault::apply_latency(*fault);
+      if (fault->kind != fault::FaultKind::kSpuriousLatency) {
+        return PushFault::kShed;
+      }
+    }
+  }
+  return PushFault::kNone;
+}
+
+void consult_pop_site() {
+  if (fault::FaultInjector* injector = fault::armed()) {
+    if (const auto fault = injector->fire("serve.sched.pop")) {
+      fault::apply_latency(*fault);
+    }
+  }
+}
+
+}  // namespace pw::serve::sched

@@ -42,6 +42,35 @@ void append_field(std::string& out, const char* name, std::uint64_t value,
   }
 }
 
+std::string normalised_tenant(const std::string& tenant) {
+  return tenant.empty() ? std::string("default") : tenant;
+}
+
+std::string tenant_metric(const std::string& tenant, const char* suffix) {
+  return std::string("serve.tenant.") + tenant + "." + suffix;
+}
+
+sched::Options scheduler_options(const ServiceConfig& config) {
+  sched::Options options;
+  options.policy = config.scheduler;
+  options.capacity = config.queue_capacity;
+  options.edf_window = config.edf_window;
+  options.quotas = config.tenant_quotas;
+  options.default_quota = config.default_quota;
+  return options;
+}
+
+TieredCacheConfig cache_config(const ServiceConfig& config) {
+  // A quarter of the entry budget stays hot; the rest absorbs demotions.
+  TieredCacheConfig tiers;
+  const std::size_t total =
+      std::max<std::size_t>(1, config.result_cache_capacity);
+  tiers.hot_entries = std::max<std::size_t>(1, total / 4);
+  tiers.warm_entries = total - tiers.hot_entries;
+  tiers.max_bytes = std::max<std::size_t>(1, config.result_cache_bytes);
+  return tiers;
+}
+
 }  // namespace
 
 std::string to_json(const ServiceReport& report) {
@@ -55,6 +84,7 @@ std::string to_json(const ServiceReport& report) {
   append_field(out, "rejected_options", report.rejected_options);
   append_field(out, "rejected_lint", report.rejected_lint);
   append_field(out, "rejected_backpressure", report.rejected_backpressure);
+  append_field(out, "shed_quota", report.shed_quota);
   append_field(out, "cancelled", report.cancelled);
   append_field(out, "deadline_exceeded", report.deadline_exceeded);
   append_field(out, "plan_cache_hits", report.plan_cache_hits);
@@ -74,6 +104,49 @@ std::string to_json(const ServiceReport& report) {
   out += ":";
   append_number(out, report.aggregate_gflops);
   out += "},";
+  obs::append_json_string(out, "scheduler");
+  out += ":{";
+  obs::append_json_string(out, "policy");
+  out += ":";
+  obs::append_json_string(out, sched::to_string(report.scheduler));
+  out += ",";
+  append_field(out, "shed_quota", report.shed_quota);
+  append_field(out, "unfair_sheds", report.sheds_unfair,
+               /*trailing_comma=*/false);
+  out += "},";
+  obs::append_json_string(out, "cache");
+  out += ":{";
+  append_field(out, "hot_hits", report.cache_hot_hits);
+  append_field(out, "warm_hits", report.cache_warm_hits);
+  append_field(out, "evictions", report.cache_evictions);
+  append_field(out, "bytes", report.cache_bytes);
+  append_field(out, "peak_bytes", report.cache_peak_bytes);
+  append_field(out, "byte_cap", report.cache_byte_cap,
+               /*trailing_comma=*/false);
+  out += "},";
+  obs::append_json_string(out, "tenants");
+  out += ":[";
+  bool first = true;
+  for (const TenantReportRow& row : report.tenants) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{";
+    obs::append_json_string(out, "tenant");
+    out += ":";
+    obs::append_json_string(out, row.tenant);
+    out += ",";
+    append_field(out, "submitted", row.submitted);
+    append_field(out, "admitted", row.admitted);
+    append_field(out, "shed", row.shed);
+    append_field(out, "completed", row.completed);
+    obs::append_json_string(out, "p99_latency_s");
+    out += ":";
+    append_number(out, row.p99_latency_s);
+    out += "}";
+  }
+  out += "],";
   obs::append_json_string(out, "metrics");
   out += ":";
   out += obs::to_json(report.metrics);
@@ -87,13 +160,22 @@ util::Table to_table(const ServiceReport& report) {
   const auto row = [&](const char* name, std::uint64_t value) {
     table.row({name, std::to_string(value)});
   };
+  table.row({"scheduler", sched::to_string(report.scheduler)});
   row("submitted", report.submitted);
   row("completed", report.completed);
   row("computed", report.computed);
   row("result cache hits", report.result_cache_hits);
+  row("cache hits (hot)", report.cache_hot_hits);
+  row("cache hits (warm)", report.cache_warm_hits);
+  row("cache evictions", report.cache_evictions);
+  row("cache bytes", report.cache_bytes);
+  row("cache peak bytes", report.cache_peak_bytes);
+  row("cache byte cap", report.cache_byte_cap);
   row("rejected (options)", report.rejected_options);
   row("rejected (lint)", report.rejected_lint);
   row("rejected (backpressure)", report.rejected_backpressure);
+  row("shed (quota)", report.shed_quota);
+  row("unfair sheds", report.sheds_unfair);
   row("cancelled", report.cancelled);
   row("deadline exceeded", report.deadline_exceeded);
   row("plan cache hits", report.plan_cache_hits);
@@ -112,6 +194,14 @@ util::Table to_table(const ServiceReport& report) {
   table.row({"latency p99 [s]", util::format_double(report.latency_s.p99, 6)});
   table.row({"mean batch size",
              util::format_double(report.batch_size.mean, 2)});
+  for (const TenantReportRow& tenant : report.tenants) {
+    table.row({"tenant " + tenant.tenant,
+               "admitted=" + std::to_string(tenant.admitted) +
+                   " shed=" + std::to_string(tenant.shed) +
+                   " completed=" + std::to_string(tenant.completed) +
+                   " p99=" + util::format_double(tenant.p99_latency_s, 6) +
+                   "s"});
+  }
   return table;
 }
 
@@ -119,13 +209,18 @@ SolveService::SolveService(ServiceConfig config)
     : config_(std::move(config)),
       metrics_(config_.metrics != nullptr ? config_.metrics : &own_metrics_),
       plans_(config_.admission),
-      queue_(config_.queue_capacity),
+      fingerprints_(config_.fingerprint_cache_capacity),
+      queue_(sched::make_scheduler<ServeEntry>(scheduler_options(config_))),
       retry_rng_(config_.retry.jitter_seed) {
   if (config_.workers_per_backend == 0) {
     config_.workers_per_backend = 1;
   }
   if (config_.max_batch == 0) {
     config_.max_batch = 1;
+  }
+  if (config_.result_cache) {
+    cache_ = std::make_unique<TieredResultCache>(cache_config(config_),
+                                                 metrics_);
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
@@ -139,10 +234,27 @@ api::SolveFuture SolveService::reject(
   return api::SolveFuture(std::move(state));
 }
 
+void SolveService::shed(ServeEntry& entry, std::string message) {
+  metrics_->counter_add("serve.admission.shed_quota");
+  metrics_->counter_add(tenant_metric(entry.tenant, "shed"));
+  entry.state->try_begin();
+  finish(entry,
+         api::error_result(api::SolveError::kQueueFull,
+                           entry.request.options.backend.backend(),
+                           std::move(message)),
+         /*dispatched=*/false);
+}
+
 api::SolveFuture SolveService::submit(api::SolveRequest request) {
   auto state = std::make_shared<api::detail::SolveState>();
   const api::Backend backend = request.options.backend.backend();
+  const std::string tenant = normalised_tenant(request.tenant);
   metrics_->counter_add("serve.submitted");
+  metrics_->counter_add(tenant_metric(tenant, "submitted"));
+  {
+    std::lock_guard lock(mutex_);
+    tenants_.insert(tenant);
+  }
 
   if (stopped_.load()) {
     return reject(std::move(state), api::SolveError::kServiceStopped, backend);
@@ -189,10 +301,11 @@ api::SolveFuture SolveService::submit(api::SolveRequest request) {
   // Service-level serve.* metrics land in metrics_ regardless; callers who
   // want per-solve internals in their own sink can still set
   // request.options.metrics explicitly.
-  Entry entry;
+  ServeEntry entry;
   entry.request = std::move(request);
   entry.state = state;
   entry.plan = std::move(plan);
+  entry.tenant = tenant;
   if (config_.result_cache) {
     entry.fingerprint = fingerprints_.fingerprint(entry.request);
   }
@@ -204,13 +317,39 @@ api::SolveFuture SolveService::submit(api::SolveRequest request) {
     entry.deadline = std::chrono::steady_clock::now() + entry.request.timeout;
   }
 
+  // The serve.sched.push fault site: an armed non-latency fault forces an
+  // injected shed — typed kQueueFull, named in the message, and exempt
+  // from the fairness audit (no real tenant decision was made).
+  if (sched::consult_push_site() == sched::PushFault::kShed) {
+    metrics_->counter_add("serve.fault.injected_shed");
+    metrics_->counter_add(tenant_metric(tenant, "shed"));
+    return reject(std::move(state), api::SolveError::kQueueFull, backend,
+                  "injected shed at serve.sched.push");
+  }
+
+  sched::Scheduled<ServeEntry> item;
+  item.meta.tenant = tenant;
+  item.meta.priority = entry.request.priority;
+  item.meta.deadline = entry.deadline;
+  item.meta.cost =
+      std::max(1.0, static_cast<double>(entry.flops) / 1e6);  // ~Mflops
+  item.value = std::move(entry);
+
   {
     std::lock_guard lock(mutex_);
     ++pending_;
   }
+  std::vector<sched::Scheduled<ServeEntry>> evicted;
   const bool accepted = config_.block_when_full
-                            ? queue_.push(std::move(entry))
-                            : queue_.try_push(std::move(entry));
+                            ? queue_->push(std::move(item))
+                            : queue_->try_push(std::move(item), evicted);
+  // Quota-shed victims (weighted-fair policy only): queued work evicted in
+  // favour of a compliant tenant's request completes kQueueFull, typed.
+  for (sched::Scheduled<ServeEntry>& victim : evicted) {
+    shed(victim.value,
+         "shed by quota: tenant " + victim.meta.tenant +
+             " queued over its fair share");
+  }
   if (!accepted) {
     {
       std::lock_guard lock(mutex_);
@@ -222,11 +361,13 @@ api::SolveFuture SolveService::submit(api::SolveRequest request) {
                     backend);
     }
     metrics_->counter_add("serve.admission.rejected_backpressure");
+    metrics_->counter_add(tenant_metric(tenant, "shed"));
     return reject(std::move(state), api::SolveError::kQueueFull, backend,
                   "admission queue is full");
   }
+  metrics_->counter_add(tenant_metric(tenant, "admitted"));
   metrics_->gauge_set("serve.queue.depth",
-                      static_cast<double>(queue_.size()));
+                      static_cast<double>(queue_->size()));
   return api::SolveFuture(std::move(state));
 }
 
@@ -258,11 +399,18 @@ void SolveService::shutdown(bool drain_queued) {
     abandon_.store(true);
     drained_cv_.notify_all();  // release a throttled dispatcher
   }
-  queue_.close();
+  queue_->close();
   if (dispatcher_.joinable()) {
     dispatcher_.join();
   }
   drain();  // pool workers may still be finishing dispatched batches
+}
+
+std::optional<TieredCacheStats> SolveService::cache_stats() const {
+  if (!cache_) {
+    return std::nullopt;
+  }
+  return cache_->stats();
 }
 
 util::ThreadPool& SolveService::pool_for(api::Backend backend) {
@@ -283,7 +431,7 @@ fault::CircuitBreaker& SolveService::breaker_for(api::Backend backend) {
   return *slot;
 }
 
-api::SolveResult SolveService::attempt_solve(const Entry& entry,
+api::SolveResult SolveService::attempt_solve(const ServeEntry& entry,
                                              const api::BackendSpec& backend) {
   // Serve-level fault site "serve.solve.<backend>", consulted per attempt:
   // it models a backend failing at dispatch (driver error, lost device)
@@ -311,7 +459,7 @@ api::SolveResult SolveService::attempt_solve(const Entry& entry,
   return result;
 }
 
-api::SolveResult SolveService::resilient_solve(const Entry& entry) {
+api::SolveResult SolveService::resilient_solve(const ServeEntry& entry) {
   const api::BackendSpec& primary = entry.request.options.backend;
   const api::Backend backend = primary.backend();
   fault::CircuitBreaker& breaker = breaker_for(backend);
@@ -412,35 +560,38 @@ void SolveService::dispatcher_loop() {
   for (;;) {
     {
       // Throttle: with every worker slot covered, leave requests in the
-      // bounded queue — that is where they batch up and where backpressure
-      // must bite. Pool deques are unbounded and must stay near-empty.
+      // bounded queue — that is where they batch up (and where EDF/WFQ
+      // reorder) and where backpressure must bite. Pool deques are
+      // unbounded and must stay near-empty.
       std::unique_lock lock(mutex_);
       drained_cv_.wait(lock, [&] {
         return in_flight_ < max_in_flight || abandon_.load();
       });
     }
-    std::optional<Entry> first = queue_.pop_for(std::chrono::milliseconds(50));
+    std::optional<sched::Scheduled<ServeEntry>> first =
+        queue_->pop_for(std::chrono::milliseconds(50));
     if (!first) {
-      if (queue_.closed()) {
+      if (queue_->closed()) {
         return;  // closed and fully drained
       }
       continue;
     }
-    std::vector<Entry> batch;
-    batch.push_back(std::move(*first));
+    sched::consult_pop_site();  // latency-only: a slow dispatcher
+    std::vector<ServeEntry> batch;
+    batch.push_back(std::move(first->value));
     while (batch.size() < config_.max_batch) {
-      std::optional<Entry> next = queue_.try_pop();
+      std::optional<sched::Scheduled<ServeEntry>> next = queue_->try_pop();
       if (!next) {
         break;
       }
-      batch.push_back(std::move(*next));
+      batch.push_back(std::move(next->value));
     }
     metrics_->gauge_set("serve.queue.depth",
-                        static_cast<double>(queue_.size()));
+                        static_cast<double>(queue_->size()));
 
     if (abandon_.load()) {
       // Abandoning shutdown: complete leftovers without running them.
-      for (Entry& entry : batch) {
+      for (ServeEntry& entry : batch) {
         entry.state->try_begin();
         finish(entry,
                api::error_result(api::SolveError::kServiceStopped,
@@ -453,8 +604,8 @@ void SolveService::dispatcher_loop() {
 
     // Group the drained slice by plan: same shape + same configuration runs
     // back-to-back on one worker (warm plan, warm caches).
-    std::map<std::string, std::vector<Entry>> groups;
-    for (Entry& entry : batch) {
+    std::map<std::string, std::vector<ServeEntry>> groups;
+    for (ServeEntry& entry : batch) {
       groups[entry.plan->key].push_back(std::move(entry));
     }
     for (auto& [key, group] : groups) {
@@ -463,7 +614,7 @@ void SolveService::dispatcher_loop() {
   }
 }
 
-void SolveService::dispatch_batch(std::vector<Entry> batch) {
+void SolveService::dispatch_batch(std::vector<ServeEntry> batch) {
   metrics_->observe("serve.batch.size", static_cast<double>(batch.size()));
   {
     std::lock_guard lock(mutex_);
@@ -472,12 +623,12 @@ void SolveService::dispatch_batch(std::vector<Entry> batch) {
   const api::Backend backend =
       batch.front().request.options.backend.backend();
   util::ThreadPool& pool = pool_for(backend);
-  auto shared = std::make_shared<std::vector<Entry>>(std::move(batch));
+  auto shared = std::make_shared<std::vector<ServeEntry>>(std::move(batch));
   pool.submit([this, shared] { run_batch(*shared); });
 }
 
-void SolveService::run_batch(std::vector<Entry>& batch) {
-  for (Entry& entry : batch) {
+void SolveService::run_batch(std::vector<ServeEntry>& batch) {
+  for (ServeEntry& entry : batch) {
     const api::Backend backend = entry.request.options.backend.backend();
     if (!entry.state->try_begin()) {
       metrics_->counter_add("serve.cancelled");
@@ -495,11 +646,10 @@ void SolveService::run_batch(std::vector<Entry>& batch) {
       std::shared_ptr<const api::SolveResult> cached;
       bool coalesced = false;
       {
+        // Lock order everywhere: mutex_ before the cache's internal mutex.
         std::lock_guard lock(mutex_);
-        const auto it = results_.find(entry.fingerprint);
-        if (it != results_.end()) {
-          cached = it->second;
-        } else {
+        cached = cache_->get(entry.fingerprint);
+        if (!cached) {
           // Single-flight: if this fingerprint is already being computed on
           // some worker, park the entry with it instead of computing the
           // same answer twice; otherwise claim it (empty waiter list).
@@ -508,7 +658,7 @@ void SolveService::run_batch(std::vector<Entry>& batch) {
             flight->second.push_back(std::move(entry));
             coalesced = true;
           } else {
-            coalesced_.emplace(entry.fingerprint, std::vector<Entry>{});
+            coalesced_.emplace(entry.fingerprint, std::vector<ServeEntry>{});
           }
         }
       }
@@ -526,22 +676,15 @@ void SolveService::run_batch(std::vector<Entry>& batch) {
 
     api::SolveResult result = resilient_solve(entry);
 
-    std::vector<Entry> waiters;
+    std::vector<ServeEntry> waiters;
     if (config_.result_cache) {
       std::lock_guard lock(mutex_);
       // Degraded results are served but never cached: the cache must only
       // memoise what the *requested* backend computed, so a recovered
       // backend is not shadowed by stale failover answers.
-      if (result.error == api::SolveError::kNone && !result.degraded &&
-          results_
-              .emplace(entry.fingerprint,
-                       std::make_shared<const api::SolveResult>(result))
-              .second) {
-        result_order_.push_back(entry.fingerprint);
-        while (result_order_.size() > config_.result_cache_capacity) {
-          results_.erase(result_order_.front());
-          result_order_.pop_front();
-        }
+      if (result.error == api::SolveError::kNone && !result.degraded) {
+        cache_->put(entry.fingerprint,
+                    std::make_shared<const api::SolveResult>(result));
       }
       const auto flight = coalesced_.find(entry.fingerprint);
       if (flight != coalesced_.end()) {
@@ -553,7 +696,7 @@ void SolveService::run_batch(std::vector<Entry>& batch) {
     // answer. An error propagates to them too — typed, but not counted (or
     // flagged) as a cache hit, since nothing was cached.
     const bool compute_ok = result.error == api::SolveError::kNone;
-    for (Entry& waiter : waiters) {
+    for (ServeEntry& waiter : waiters) {
       if (compute_ok) {
         metrics_->counter_add("serve.cache.hits");
         metrics_->counter_add("serve.cache.coalesced");
@@ -566,15 +709,18 @@ void SolveService::run_batch(std::vector<Entry>& batch) {
   }
 }
 
-void SolveService::finish(Entry& entry, api::SolveResult result,
+void SolveService::finish(ServeEntry& entry, api::SolveResult result,
                           bool dispatched) {
   const bool ok = result.error == api::SolveError::kNone;
   // Metrics and bookkeeping are published before complete() wakes waiters,
   // so a report() taken right after wait() returns already includes this
   // request.
-  metrics_->observe("serve.latency_s", uptime_.seconds() - entry.enqueued_s);
+  const double latency = uptime_.seconds() - entry.enqueued_s;
+  metrics_->observe("serve.latency_s", latency);
+  metrics_->observe(tenant_metric(entry.tenant, "latency_s"), latency);
   if (ok) {
     metrics_->counter_add("serve.requests.completed");
+    metrics_->counter_add(tenant_metric(entry.tenant, "completed"));
     metrics_->counter_add(
         std::string("serve.kernel.") +
         api::to_string(entry.request.options.kernel_spec) + ".completed");
@@ -609,6 +755,7 @@ ServiceReport SolveService::report() const {
       counter_or_zero(snapshot, "serve.admission.rejected_lint");
   report.rejected_backpressure =
       counter_or_zero(snapshot, "serve.admission.rejected_backpressure");
+  report.shed_quota = counter_or_zero(snapshot, "serve.admission.shed_quota");
   report.cancelled = counter_or_zero(snapshot, "serve.cancelled");
   report.deadline_exceeded =
       counter_or_zero(snapshot, "serve.deadline_exceeded");
@@ -628,6 +775,17 @@ ServiceReport SolveService::report() const {
       report.breaker_opens += breaker->opens();
     }
   }
+  report.scheduler = queue_->policy();
+  report.sheds_unfair = queue_->audit().unfair_sheds;
+  if (cache_) {
+    const TieredCacheStats stats = cache_->stats();
+    report.cache_hot_hits = stats.hot_hits;
+    report.cache_warm_hits = stats.warm_hits;
+    report.cache_evictions = stats.evictions;
+    report.cache_bytes = stats.bytes;
+    report.cache_peak_bytes = stats.peak_bytes;
+    report.cache_byte_cap = stats.byte_cap;
+  }
   report.uptime_s = uptime_.seconds();
   {
     std::lock_guard lock(mutex_);
@@ -635,6 +793,23 @@ ServiceReport SolveService::report() const {
         report.uptime_s > 0.0
             ? static_cast<double>(flops_served_) / report.uptime_s / 1e9
             : 0.0;
+    for (const std::string& tenant : tenants_) {
+      TenantReportRow row;
+      row.tenant = tenant;
+      row.submitted =
+          counter_or_zero(snapshot, tenant_metric(tenant, "submitted"));
+      row.admitted =
+          counter_or_zero(snapshot, tenant_metric(tenant, "admitted"));
+      row.shed = counter_or_zero(snapshot, tenant_metric(tenant, "shed"));
+      row.completed =
+          counter_or_zero(snapshot, tenant_metric(tenant, "completed"));
+      const auto hist =
+          snapshot.histograms.find(tenant_metric(tenant, "latency_s"));
+      if (hist != snapshot.histograms.end()) {
+        row.p99_latency_s = hist->second.p99;
+      }
+      report.tenants.push_back(std::move(row));
+    }
   }
   const auto latency = snapshot.histograms.find("serve.latency_s");
   if (latency != snapshot.histograms.end()) {

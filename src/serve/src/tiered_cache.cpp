@@ -1,0 +1,169 @@
+#include "pw/serve/tiered_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pw::serve {
+
+TieredResultCache::TieredResultCache(TieredCacheConfig config,
+                                     obs::MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {
+  config_.hot_entries = std::max<std::size_t>(1, config_.hot_entries);
+  config_.max_bytes = std::max<std::size_t>(1, config_.max_bytes);
+  stats_.byte_cap = config_.max_bytes;
+}
+
+std::size_t TieredResultCache::result_bytes(const api::SolveResult& result) {
+  // The dominant payload is the three source-term fields; the snapshot and
+  // bookkeeping ride in a fixed estimate so empty results still cost > 0.
+  std::size_t bytes = 512;
+  if (result.terms) {
+    bytes += result.terms->su.raw().size() * sizeof(double);
+    bytes += result.terms->sv.raw().size() * sizeof(double);
+    bytes += result.terms->sw.raw().size() * sizeof(double);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const api::SolveResult> TieredResultCache::get(
+    std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    ++stats_.misses;
+    if (metrics_ != nullptr) {
+      metrics_->counter_add("serve.cache.misses");
+    }
+    return nullptr;
+  }
+  Slot& slot = it->second;
+  if (slot.tier == Tier::kHot) {
+    ++stats_.hot_hits;
+    hot_.splice(hot_.begin(), hot_, slot.position);
+    if (metrics_ != nullptr) {
+      metrics_->counter_add("serve.cache.hot.hits");
+    }
+  } else {
+    ++stats_.warm_hits;
+    ++stats_.promotions;
+    warm_.erase(slot.position);
+    hot_.push_front(key);
+    slot.tier = Tier::kHot;
+    slot.position = hot_.begin();
+    enforce_caps_locked();
+    if (metrics_ != nullptr) {
+      metrics_->counter_add("serve.cache.warm.hits");
+      metrics_->counter_add("serve.cache.promotions");
+    }
+  }
+  publish_locked();
+  return slot.value;
+}
+
+bool TieredResultCache::put(std::uint64_t key,
+                            std::shared_ptr<const api::SolveResult> value) {
+  if (value == nullptr) {
+    return false;
+  }
+  const std::size_t bytes = result_bytes(*value);
+  std::lock_guard lock(mutex_);
+  if (slots_.count(key) != 0) {
+    return true;  // racing insert of the same fingerprint: first wins
+  }
+  if (bytes > config_.max_bytes) {
+    ++stats_.rejected_oversize;
+    if (metrics_ != nullptr) {
+      metrics_->counter_add("serve.cache.rejected_oversize");
+    }
+    return false;
+  }
+  hot_.push_front(key);
+  Slot slot;
+  slot.value = std::move(value);
+  slot.bytes = bytes;
+  slot.tier = Tier::kHot;
+  slot.position = hot_.begin();
+  slots_.emplace(key, std::move(slot));
+  bytes_ += bytes;
+  ++stats_.insertions;
+  if (metrics_ != nullptr) {
+    metrics_->counter_add("serve.cache.insertions");
+  }
+  enforce_caps_locked();
+  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
+  publish_locked();
+  return true;
+}
+
+void TieredResultCache::enforce_caps_locked() {
+  // Hot overflow demotes recency-last entries into warm...
+  while (hot_.size() > config_.hot_entries) {
+    const std::uint64_t key = hot_.back();
+    hot_.pop_back();
+    Slot& slot = slots_.at(key);
+    warm_.push_front(key);
+    slot.tier = Tier::kWarm;
+    slot.position = warm_.begin();
+    ++stats_.demotions;
+    if (metrics_ != nullptr) {
+      metrics_->counter_add("serve.cache.demotions");
+    }
+  }
+  // ...and warm absorbs the pressure: entry cap first, then the byte cap.
+  while (warm_.size() > config_.warm_entries ||
+         (bytes_ > config_.max_bytes && !warm_.empty())) {
+    evict_warm_lru_locked();
+  }
+  // Degenerate geometry (hot_entries alone exceeding the byte budget):
+  // shrink hot directly so the byte cap stays a hard invariant.
+  while (bytes_ > config_.max_bytes && !hot_.empty()) {
+    const std::uint64_t key = hot_.back();
+    hot_.pop_back();
+    const auto it = slots_.find(key);
+    bytes_ -= it->second.bytes;
+    slots_.erase(it);
+    ++stats_.evictions;
+    if (metrics_ != nullptr) {
+      metrics_->counter_add("serve.cache.evictions");
+    }
+  }
+}
+
+void TieredResultCache::evict_warm_lru_locked() {
+  const std::uint64_t key = warm_.back();
+  warm_.pop_back();
+  const auto it = slots_.find(key);
+  bytes_ -= it->second.bytes;
+  slots_.erase(it);
+  ++stats_.evictions;
+  if (metrics_ != nullptr) {
+    metrics_->counter_add("serve.cache.evictions");
+  }
+}
+
+void TieredResultCache::publish_locked() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  metrics_->gauge_set("serve.cache.bytes", static_cast<double>(bytes_));
+  metrics_->gauge_set("serve.cache.peak_bytes",
+                      static_cast<double>(stats_.peak_bytes));
+  metrics_->gauge_set("serve.cache.entries",
+                      static_cast<double>(slots_.size()));
+  metrics_->gauge_set("serve.cache.hot.entries",
+                      static_cast<double>(hot_.size()));
+  metrics_->gauge_set("serve.cache.warm.entries",
+                      static_cast<double>(warm_.size()));
+}
+
+TieredCacheStats TieredResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  TieredCacheStats stats = stats_;
+  stats.hot_count = hot_.size();
+  stats.warm_count = warm_.size();
+  stats.bytes = bytes_;
+  stats.byte_cap = config_.max_bytes;
+  return stats;
+}
+
+}  // namespace pw::serve

@@ -1,0 +1,250 @@
+#include "pw/serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "pw/grid/init.hpp"
+#include "pw/util/rng.hpp"
+
+namespace pw::serve {
+
+namespace {
+
+/// One catalogue scenario: a fully-formed request template whose payload
+/// pointers are shared by every request drawn at its rank, so Zipf
+/// popularity translates directly into shared fingerprints (cache hits).
+struct Scenario {
+  std::shared_ptr<const grid::WindState> state;
+  std::shared_ptr<const advect::PwCoefficients> coefficients;
+  api::SolverOptions options;
+  std::string tag;
+};
+
+api::SolverOptions options_for(api::Backend backend, api::Kernel kernel,
+                               const TraceSpec& spec) {
+  api::SolverOptions options;
+  if (backend == api::Backend::kHostOverlap) {
+    api::HostOptions host;
+    host.x_chunks = spec.x_chunks;
+    options.backend = host;
+  } else {
+    options.backend = backend;
+  }
+  options.kernel_spec = kernel;
+  options.kernel.chunk_y = spec.chunk_y;
+  return options;
+}
+
+double rate_at(const TrafficSpec& spec, double t) {
+  if (!spec.diurnal) {
+    return spec.arrival_rate_hz;
+  }
+  constexpr double kTau = 6.283185307179586;
+  const double period = std::max(1e-6, spec.diurnal_period_s);
+  const double modulated =
+      spec.arrival_rate_hz *
+      (1.0 + spec.diurnal_amplitude * std::sin(kTau * t / period));
+  return std::max(modulated, 0.05 * spec.arrival_rate_hz);
+}
+
+}  // namespace
+
+std::vector<TenantMix> default_tenant_mix(std::size_t tenants) {
+  std::vector<TenantMix> mix;
+  mix.reserve(std::max<std::size_t>(1, tenants));
+  if (tenants == 0) {
+    mix.push_back(TenantMix{});
+    return mix;
+  }
+  for (std::size_t i = 0; i < tenants; ++i) {
+    TenantMix tenant;
+    tenant.name = "tenant-" + std::to_string(i);
+    tenant.weight = 1.0;
+    tenant.priority = api::kAllPriorities[i % api::kAllPriorities.size()];
+    mix.push_back(std::move(tenant));
+  }
+  return mix;
+}
+
+std::vector<TimedRequest> make_traffic(const TrafficSpec& spec) {
+  std::vector<TimedRequest> traffic;
+  const TraceSpec& trace = spec.trace;
+  if (spec.requests == 0 || trace.shapes.empty() || trace.backends.empty()) {
+    return traffic;
+  }
+  traffic.reserve(spec.requests);
+  util::Rng rng(trace.seed);
+
+  const std::vector<api::Kernel> kernels =
+      trace.kernels.empty() ? std::vector<api::Kernel>{api::Kernel::kAdvectPw}
+                            : trace.kernels;
+
+  // Per-shape coefficients, shared by every scenario of that shape (the
+  // trace convention: requests of a shape always share one set).
+  std::vector<std::shared_ptr<const advect::PwCoefficients>> coefficients;
+  coefficients.reserve(trace.shapes.size());
+  for (const grid::GridDims& dims : trace.shapes) {
+    coefficients.push_back(std::make_shared<const advect::PwCoefficients>(
+        advect::PwCoefficients::from_geometry(
+            grid::Geometry::uniform(dims, 100.0, 100.0, 50.0))));
+  }
+
+  // The scenario catalogue: every distinct payload the storm can carry.
+  const std::size_t catalogue = std::max<std::size_t>(1, spec.catalogue);
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(catalogue);
+  for (std::size_t k = 0; k < catalogue; ++k) {
+    const std::size_t s = k % trace.shapes.size();
+    Scenario scenario;
+    auto state = std::make_shared<grid::WindState>(trace.shapes[s]);
+    grid::init_random(*state, trace.seed * 6151 + k * 389 + 17);
+    scenario.state = std::move(state);
+    const api::Kernel kernel = kernels[rng.next_below(kernels.size())];
+    if (kernel == api::Kernel::kAdvectPw) {
+      scenario.coefficients = coefficients[s];
+    }
+    const api::Backend backend =
+        trace.backends[rng.next_below(trace.backends.size())];
+    scenario.options = options_for(backend, kernel, trace);
+    scenario.tag = std::string(api::to_string(kernel)) + "/scenario/" +
+                   std::to_string(k);
+    scenarios.push_back(std::move(scenario));
+  }
+
+  // Zipf(zipf_s) popularity as an inverse-CDF table over scenario ranks.
+  std::vector<double> cdf(catalogue);
+  double total = 0.0;
+  const double s_param = std::max(0.0, spec.zipf_s);
+  for (std::size_t k = 0; k < catalogue; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s_param);
+    cdf[k] = total;
+  }
+  for (double& value : cdf) {
+    value /= total;
+  }
+
+  // Tenant mix as a weight-proportional CDF.
+  const std::vector<TenantMix> tenants =
+      spec.tenants.empty() ? default_tenant_mix(0) : spec.tenants;
+  std::vector<double> tenant_cdf(tenants.size());
+  double tenant_total = 0.0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    tenant_total += std::max(1e-9, tenants[i].weight);
+    tenant_cdf[i] = tenant_total;
+  }
+  for (double& value : tenant_cdf) {
+    value /= tenant_total;
+  }
+
+  // Open-loop arrivals: exponential interarrival gaps at the (possibly
+  // diurnally modulated) instantaneous rate.
+  double now_s = 0.0;
+  const double rate_floor = 1e-6;
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    const double rate = std::max(rate_floor, rate_at(spec, now_s));
+    const double u = std::min(1.0 - 1e-12, rng.next_double());
+    now_s += -std::log(1.0 - u) / rate;
+
+    const auto rank_it =
+        std::lower_bound(cdf.begin(), cdf.end(), rng.next_double());
+    const std::size_t rank = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(rank_it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(catalogue) - 1));
+    const Scenario& scenario = scenarios[rank];
+
+    const auto tenant_it = std::lower_bound(
+        tenant_cdf.begin(), tenant_cdf.end(), rng.next_double());
+    const std::size_t tenant_index = static_cast<std::size_t>(std::min<
+        std::ptrdiff_t>(tenant_it - tenant_cdf.begin(),
+                        static_cast<std::ptrdiff_t>(tenants.size()) - 1));
+    const TenantMix& tenant = tenants[tenant_index];
+
+    TimedRequest timed;
+    timed.arrival_s = now_s;
+    timed.request.state = scenario.state;
+    timed.request.coefficients = scenario.coefficients;
+    timed.request.options = scenario.options;
+    timed.request.tag = scenario.tag;
+    timed.request.tenant = tenant.name;
+    timed.request.priority = tenant.priority;
+    timed.request.timeout = trace.timeout;
+    traffic.push_back(std::move(timed));
+  }
+  return traffic;
+}
+
+std::string to_string(const TrafficSpec& spec) {
+  std::ostringstream os;
+  os << "requests=" << spec.requests;
+  os << ",rate=" << spec.arrival_rate_hz;
+  os << ",zipf=" << spec.zipf_s;
+  os << ",catalogue=" << spec.catalogue;
+  os << ",tenants=" << spec.tenants.size();
+  os << ",diurnal=" << (spec.diurnal ? 1 : 0);
+  os << ",amplitude=" << spec.diurnal_amplitude;
+  os << ",period=" << spec.diurnal_period_s;
+  os << ",seed=" << spec.trace.seed;
+  os << ",timeout_ms="
+     << std::chrono::duration_cast<std::chrono::milliseconds>(
+            spec.trace.timeout)
+            .count();
+  return os.str();
+}
+
+std::optional<TrafficSpec> parse_traffic(std::string_view text) {
+  TrafficSpec spec;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', start), text.size());
+    const std::string_view pair = text.substr(start, comma - start);
+    start = comma + 1;
+    if (pair.empty()) {
+      if (comma == text.size()) {
+        break;
+      }
+      continue;
+    }
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return std::nullopt;
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string value(pair.substr(eq + 1));
+    try {
+      if (key == "requests") {
+        spec.requests = std::stoull(value);
+      } else if (key == "rate") {
+        spec.arrival_rate_hz = std::stod(value);
+      } else if (key == "zipf") {
+        spec.zipf_s = std::stod(value);
+      } else if (key == "catalogue") {
+        spec.catalogue = std::stoull(value);
+      } else if (key == "tenants") {
+        spec.tenants = default_tenant_mix(std::stoull(value));
+      } else if (key == "diurnal") {
+        spec.diurnal = std::stoull(value) != 0;
+      } else if (key == "amplitude") {
+        spec.diurnal_amplitude = std::stod(value);
+      } else if (key == "period") {
+        spec.diurnal_period_s = std::stod(value);
+      } else if (key == "seed") {
+        spec.trace.seed = std::stoull(value);
+      } else if (key == "timeout_ms") {
+        spec.trace.timeout = std::chrono::milliseconds(std::stoll(value));
+      } else {
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (comma == text.size()) {
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace pw::serve

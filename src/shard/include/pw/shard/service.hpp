@@ -6,10 +6,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "pw/serve/plan_cache.hpp"
+#include "pw/serve/sched.hpp"
 #include "pw/shard/sharded_solver.hpp"
 #include "pw/util/table.hpp"
 
@@ -55,6 +57,13 @@ struct ShardServiceConfig {
   /// Admission-time lint strictness, amortised per shape via a PlanCache
   /// exactly like the single-device service.
   lint::AdmissionPolicy admission;
+
+  /// Admission scheduling, shared with the single-device serve tier: every
+  /// admitted request transits a pw::serve::sched scheduler before it is
+  /// routed, so tenant quotas and policy ordering apply to sharded serving
+  /// too. submit() pushes and pops one request (degenerate but uniform);
+  /// submit_all() drains whole batches in policy order.
+  serve::sched::Options sched;
 };
 
 /// Per-device serving counters (device ids are stable across deaths).
@@ -75,6 +84,7 @@ struct ShardServiceReport {
   std::uint64_t computed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t rejected = 0;      ///< validation + lint rejections
+  std::uint64_t shed = 0;          ///< scheduler refusals/quota evictions
   std::uint64_t degraded = 0;      ///< completions flagged degraded
   std::uint64_t failovers = 0;     ///< solves that survived a device death
   std::uint64_t cpu_failovers = 0; ///< ladder bottomed out on the CPU rung
@@ -98,8 +108,22 @@ class ShardedSolveService {
  public:
   explicit ShardedSolveService(ShardServiceConfig config = {});
 
-  /// Admits, routes and (cache miss) executes one request.
+  /// Admits, routes and (cache miss) executes one request — via the
+  /// admission scheduler, like every other submission.
   api::SolveResult submit(const api::SolveRequest& request);
+
+  /// Batch fan-in: admits every request, pushes the admitted ones through
+  /// the admission scheduler and executes them in *policy* order (EDF
+  /// deadlines, WFQ tenant fairness). Results return in request order;
+  /// a request the scheduler refuses or quota-sheds completes
+  /// kQueueFull, typed, without running.
+  std::vector<api::SolveResult> submit_all(
+      std::vector<api::SolveRequest> requests);
+
+  /// The admission scheduler (depth/audit introspection in tests).
+  const serve::sched::Scheduler<std::size_t>& scheduler() const noexcept {
+    return *scheduler_;
+  }
 
   /// Home device the ring currently assigns to `request` (kNoHome when
   /// every device is dead).
@@ -118,11 +142,18 @@ class ShardedSolveService {
   };
 
   void note_deaths_locked();
+  /// Validation + lint; returns the typed rejection, nullopt when admitted.
+  std::optional<api::SolveResult> admission_error(
+      const api::SolveRequest& request);
+  /// Fingerprint -> ring home -> cache hit or full sharded solve.
+  api::SolveResult route_and_solve(const api::SolveRequest& request);
 
   ShardServiceConfig config_;
   ShardedSolver solver_;
   serve::PlanCache plans_;
   serve::FingerprintCache fingerprints_;
+  std::unique_ptr<serve::sched::Scheduler<std::size_t>> scheduler_;
+  std::mutex sched_mutex_;  ///< serialises push/drain waves on scheduler_
 
   mutable std::mutex mutex_;
   HashRing ring_;
@@ -133,6 +164,7 @@ class ShardedSolveService {
   std::uint64_t computed_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
   std::uint64_t degraded_ = 0;
   std::uint64_t failovers_ = 0;
   std::uint64_t cpu_failovers_ = 0;

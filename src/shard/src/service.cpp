@@ -50,6 +50,7 @@ ShardedSolveService::ShardedSolveService(ShardServiceConfig config)
     : config_(std::move(config)),
       solver_(config_.shard),
       plans_(config_.admission),
+      scheduler_(serve::sched::make_scheduler<std::size_t>(config_.sched)),
       ring_(config_.virtual_nodes) {
   const std::size_t devices = std::max<std::size_t>(1, config_.shard.devices);
   caches_.resize(devices);
@@ -88,7 +89,7 @@ void ShardedSolveService::note_deaths_locked() {
   }
 }
 
-api::SolveResult ShardedSolveService::submit(
+std::optional<api::SolveResult> ShardedSolveService::admission_error(
     const api::SolveRequest& request) {
   {
     std::lock_guard lock(mutex_);
@@ -113,7 +114,96 @@ api::SolveResult ShardedSolveService::submit(
                              request.options.backend.backend(),
                              plan->rejection);
   }
+  return std::nullopt;
+}
 
+api::SolveResult ShardedSolveService::submit(
+    const api::SolveRequest& request) {
+  // One request is a batch of one: the synchronous path transits the
+  // admission scheduler exactly like a fan-in, so policy bookkeeping
+  // (queued_for, audit) covers every submission path.
+  return submit_all({request}).front();
+}
+
+std::vector<api::SolveResult> ShardedSolveService::submit_all(
+    std::vector<api::SolveRequest> requests) {
+  std::vector<api::SolveResult> results(requests.size());
+  if (requests.empty()) {
+    return results;
+  }
+  std::vector<char> settled(requests.size(), 0);
+  std::vector<std::size_t> order;  ///< execution order, policy-chosen
+  order.reserve(requests.size());
+  {
+    // Push/drain waves are serialised so a concurrent submit never pops
+    // another batch's index; the scheduler stays the one shared instance.
+    std::lock_guard sched_lock(sched_mutex_);
+    std::size_t next = 0;
+    while (next < requests.size()) {
+      const api::SolveRequest& request = requests[next];
+      if (auto rejection = admission_error(request)) {
+        results[next] = std::move(*rejection);
+        settled[next] = 1;
+        ++next;
+        continue;
+      }
+      serve::sched::Scheduled<std::size_t> item;
+      item.meta.tenant =
+          request.tenant.empty() ? std::string("default") : request.tenant;
+      item.meta.priority = request.priority;
+      if (request.timeout.count() > 0) {
+        item.meta.deadline =
+            std::chrono::steady_clock::now() + request.timeout;
+      }
+      item.value = next;
+      std::vector<serve::sched::Scheduled<std::size_t>> evicted;
+      const bool accepted = scheduler_->try_push(std::move(item), evicted);
+      for (const serve::sched::Scheduled<std::size_t>& victim : evicted) {
+        results[victim.value] = api::error_result(
+            api::SolveError::kQueueFull,
+            requests[victim.value].options.backend.backend(),
+            "shed by quota: tenant " + victim.meta.tenant +
+                " queued over its fair share");
+        settled[victim.value] = 1;
+        std::lock_guard lock(mutex_);
+        ++shed_;
+      }
+      if (!accepted) {
+        // Full of compliant traffic: drain a policy-ordered wave, retry.
+        bool drained = false;
+        while (auto popped = scheduler_->try_pop()) {
+          order.push_back(popped->value);
+          drained = true;
+        }
+        if (!drained) {
+          results[next] = api::error_result(
+              api::SolveError::kQueueFull,
+              request.options.backend.backend(),
+              "admission scheduler refused the request");
+          settled[next] = 1;
+          std::lock_guard lock(mutex_);
+          ++shed_;
+          ++next;
+        }
+        continue;
+      }
+      ++next;
+    }
+    while (auto popped = scheduler_->try_pop()) {
+      order.push_back(popped->value);
+    }
+  }
+  for (const std::size_t index : order) {
+    if (!settled[index]) {
+      results[index] = route_and_solve(requests[index]);
+      settled[index] = 1;
+    }
+  }
+  return results;
+}
+
+api::SolveResult ShardedSolveService::route_and_solve(
+    const api::SolveRequest& request) {
   const std::uint64_t fingerprint = fingerprints_.fingerprint(request);
   const std::uint64_t key = mix64(fingerprint);
 
@@ -190,6 +280,7 @@ ShardServiceReport ShardedSolveService::report() const {
   report.computed = computed_;
   report.cache_hits = cache_hits_;
   report.rejected = rejected_;
+  report.shed = shed_;
   report.degraded = degraded_;
   report.failovers = failovers_;
   report.cpu_failovers = cpu_failovers_;

@@ -124,6 +124,89 @@ TEST(ServeStress, PlanCacheConcurrentLookups) {
   EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kIterations);
 }
 
+TEST(ServeStress, FingerprintMemoStaysHardCappedUnderLivePayloads) {
+  // The pre-QoS memo grew without bound while payloads stayed alive: a
+  // long-lived submitter holding request objects leaked one entry per
+  // distinct payload forever. The cap must hold even though every payload
+  // here is still live, and eviction must never change a fingerprint.
+  serve::FingerprintCache memo(32);
+
+  serve::TraceSpec spec;
+  spec.requests = 256;
+  spec.repeat_fraction = 0.0;  // 256 distinct payloads, all kept alive
+  spec.shapes = {{8, 8, 8}};
+  const auto trace = serve::make_trace(spec);  // owns every payload
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<bool> over_cap{false};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t; i < trace.size(); i += kThreads) {
+        (void)memo.fingerprint(trace[i]);
+        if (memo.size() > memo.capacity()) {
+          over_cap.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(over_cap.load());
+  EXPECT_LE(memo.size(), memo.capacity());
+  // Evicted entries recompute to the same content hash.
+  for (std::size_t i = 0; i < trace.size(); i += 37) {
+    EXPECT_EQ(memo.fingerprint(trace[i]),
+              serve::request_fingerprint(trace[i]))
+        << i;
+  }
+}
+
+TEST(ServeStress, ResultCachePeakBytesNeverExceedsTheCap) {
+  // Distinct payloads force continual insertions; the tiered cache's byte
+  // cap must hold at the peak (evict-before-insert), not just at rest —
+  // the pre-QoS unbounded result map would fail this immediately.
+  serve::ServiceConfig config;
+  config.workers_per_backend = 2;
+  config.result_cache_capacity = 64;
+  config.result_cache_bytes = 256u << 10;  // ~3 resident 12^3 results
+  serve::SolveService service(config);
+
+  serve::TraceSpec spec;
+  spec.requests = 48;
+  spec.repeat_fraction = 0.0;
+  spec.shapes = {{12, 12, 12}};
+  spec.backends = {api::Backend::kFused};
+  const auto trace = serve::make_trace(spec);
+
+  constexpr std::size_t kThreads = 4;
+  std::atomic<std::size_t> ok_count{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = t; i < trace.size(); i += kThreads) {
+        if (service.submit(trace[i]).wait().ok()) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) {
+    thread.join();
+  }
+  EXPECT_EQ(ok_count.load(), trace.size());
+
+  const auto stats = service.cache_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->byte_cap, config.result_cache_bytes);
+  EXPECT_LE(stats->peak_bytes, stats->byte_cap);
+  EXPECT_LE(stats->bytes, stats->byte_cap);
+  EXPECT_GT(stats->evictions, 0u);  // the cap actually bit
+  const serve::ServiceReport report = service.report();
+  EXPECT_LE(report.cache_peak_bytes, report.cache_byte_cap);
+}
+
 TEST(ServeStress, BoundedQueueManyProducersManyConsumers) {
   util::BoundedMpmcQueue<std::size_t> queue(4);
   constexpr std::size_t kProducers = 4;

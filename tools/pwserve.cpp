@@ -19,6 +19,22 @@
 //   pwserve --fault-plan=storm.plan  # replay under an armed pw::fault plan
 //   pwserve --shards=4               # sharded multi-device replay
 //   pwserve --shards=4 --interconnect=d2d   # direct device links
+//   pwserve --scheduler=wfq          # admission policy: fifo | edf | wfq
+//   pwserve --tenants=3 --zipf=1.1 --arrival=poisson:2000 --diurnal
+//                                    # open-loop multi-tenant traffic mode
+//   pwserve --traffic="requests=5000,rate=4000,tenants=3,seed=7"
+//                                    # replay a canonical traffic string
+//
+// Traffic mode (any of --traffic / --tenants / --zipf / --arrival /
+// --diurnal) replays a pw::serve::traffic workload instead of the closed
+// trace: submissions pace themselves to the generated Poisson arrival
+// times (open loop — nothing waits for completions), requests carry
+// tenant names and priorities, and the report grows a per-tenant table
+// (submitted / admitted / shed / completed / p99). The scheduler defaults
+// to weighted-fair there (a QoS replay without quotas is just FIFO with
+// extra steps); quota sheds complete kQueueFull and are itemised, not
+// counted as failures. The canonical spec string is echoed so any run can
+// be replayed exactly via --traffic=.
 //
 // With --shards=N the trace is replayed through pw::shard's
 // ShardedSolveService instead: every solve is partitioned over N simulated
@@ -41,17 +57,21 @@
 // deadline, lint) and itemised in the table either way. Requests served
 // degraded (failover to the CPU baseline) count as ok: the answer is
 // correct, only the execution strategy changed.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pw/api/request.hpp"
 #include "pw/fault/injector.hpp"
 #include "pw/serve/service.hpp"
 #include "pw/serve/trace.hpp"
+#include "pw/serve/traffic.hpp"
 #include "pw/shard/service.hpp"
 #include "pw/util/cli.hpp"
 
@@ -67,7 +87,11 @@ int main(int argc, char** argv) {
         << "               [--kernels=advect_pw,diffusion,poisson_jacobi]\n"
         << "               [--no-cache] [--block] [--json=FILE] [--report]\n"
         << "               [--fault-plan=FILE]\n"
-        << "               [--shards=N] [--interconnect=pcie|d2d]\n";
+        << "               [--shards=N] [--interconnect=pcie|d2d]\n"
+        << "               [--scheduler=fifo|edf|wfq]\n"
+        << "               [--tenants=N] [--zipf=S] [--catalogue=N]\n"
+        << "               [--arrival=poisson:RATE_HZ] [--diurnal]\n"
+        << "               [--traffic=SPEC]\n";
     return 0;
   }
 
@@ -133,6 +157,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --scheduler=fifo|edf|wfq: the admission policy, for both the threaded
+  // single-device service and (as sched::Options) the sharded service.
+  std::optional<serve::sched::Policy> scheduler_flag;
+  if (const auto name = cli.get("scheduler")) {
+    scheduler_flag = serve::sched::parse_policy(*name);
+    if (!scheduler_flag) {
+      std::cerr << "pwserve: unknown scheduler '" << *name
+                << "' (choose from fifo, edf, wfq)\n";
+      return 1;
+    }
+  }
+
+  const bool traffic_mode = cli.has("traffic") || cli.has("tenants") ||
+                            cli.has("zipf") || cli.has("arrival") ||
+                            cli.has("diurnal");
+
   // --shards=N: replay the trace through the sharded multi-device service
   // instead. Solves are synchronous (the whole simulated device set
   // cooperates on each one), so the worker/batch/queue knobs of the
@@ -154,6 +194,9 @@ int main(int argc, char** argv) {
     }
     if (cli.get_bool("no-cache", false)) {
       config.cache_capacity_per_device = 0;
+    }
+    if (scheduler_flag) {
+      config.sched.policy = *scheduler_flag;
     }
     shard::ShardedSolveService service(config);
 
@@ -205,19 +248,105 @@ int main(int argc, char** argv) {
     return failed == 0 ? 0 : 1;
   }
 
+  // Traffic mode carries its own arrival clock; trace mode submits a
+  // closed batch. Both paths produce (requests, futures, tags) and share
+  // the reporting tail below.
+  std::vector<api::SolveRequest> requests;
+  std::vector<double> arrivals;  ///< non-empty = open-loop pacing
+  std::string traffic_echo;
+  if (traffic_mode) {
+    serve::TrafficSpec traffic_spec;
+    if (const auto text = cli.get("traffic")) {
+      const auto parsed = serve::parse_traffic(*text);
+      if (!parsed) {
+        std::cerr << "pwserve: malformed --traffic spec '" << *text << "'\n";
+        return 1;
+      }
+      traffic_spec = *parsed;
+    } else {
+      traffic_spec.requests = spec.requests;
+      traffic_spec.trace.seed = spec.seed;
+      traffic_spec.trace.timeout = spec.timeout;
+      traffic_spec.tenants = serve::default_tenant_mix(3);
+    }
+    // Individual flags override whatever the spec string carried; the
+    // content knobs (shapes/kernels/chunking) always ride the trace flags.
+    traffic_spec.trace.shapes = spec.shapes;
+    traffic_spec.trace.kernels = spec.kernels;
+    traffic_spec.trace.chunk_y = spec.chunk_y;
+    if (cli.has("requests")) {
+      traffic_spec.requests = spec.requests;
+    }
+    if (cli.has("seed")) {
+      traffic_spec.trace.seed = spec.seed;
+    }
+    if (timeout_ms > 0) {
+      traffic_spec.trace.timeout = spec.timeout;
+    }
+    if (cli.has("tenants")) {
+      traffic_spec.tenants = serve::default_tenant_mix(
+          static_cast<std::size_t>(cli.get_int("tenants", 3)));
+    }
+    if (cli.has("zipf")) {
+      traffic_spec.zipf_s = cli.get_double("zipf", traffic_spec.zipf_s);
+    }
+    if (cli.has("catalogue")) {
+      traffic_spec.catalogue = static_cast<std::size_t>(
+          cli.get_int("catalogue", static_cast<long long>(
+                                       traffic_spec.catalogue)));
+    }
+    if (const auto arrival = cli.get("arrival")) {
+      const std::string prefix = "poisson:";
+      if (arrival->rfind(prefix, 0) != 0) {
+        std::cerr << "pwserve: --arrival expects poisson:RATE_HZ, got '"
+                  << *arrival << "'\n";
+        return 1;
+      }
+      try {
+        traffic_spec.arrival_rate_hz =
+            std::stod(arrival->substr(prefix.size()));
+      } catch (const std::exception&) {
+        std::cerr << "pwserve: malformed --arrival rate in '" << *arrival
+                  << "'\n";
+        return 1;
+      }
+    }
+    if (cli.has("diurnal")) {
+      traffic_spec.diurnal = cli.get_bool("diurnal", true);
+    }
+    traffic_echo = serve::to_string(traffic_spec);
+    const std::vector<serve::TimedRequest> traffic =
+        serve::make_traffic(traffic_spec);
+    requests.reserve(traffic.size());
+    arrivals.reserve(traffic.size());
+    for (const serve::TimedRequest& timed : traffic) {
+      requests.push_back(timed.request);
+      arrivals.push_back(timed.arrival_s);
+    }
+  } else {
+    requests = serve::make_trace(spec);
+  }
+
   serve::ServiceConfig config;
-  config.queue_capacity = static_cast<std::size_t>(
-      cli.get_int("queue", static_cast<long long>(spec.requests)));
+  // Traffic mode defaults to a bounded 512-slot queue (overload sheds by
+  // quota, the point of the exercise); trace mode keeps the never-sheds
+  // default of one slot per request.
+  config.queue_capacity = static_cast<std::size_t>(cli.get_int(
+      "queue", traffic_mode ? 512
+                            : static_cast<long long>(requests.size())));
   config.workers_per_backend =
       static_cast<std::size_t>(cli.get_int("workers", 4));
   config.max_batch = static_cast<std::size_t>(cli.get_int("batch", 8));
   config.result_cache = !cli.get_bool("no-cache", false);
   config.block_when_full = cli.get_bool("block", false);
+  config.scheduler = scheduler_flag.value_or(
+      traffic_mode ? serve::sched::Policy::kWeightedFair
+                   : serve::sched::Policy::kFifo);
 
-  const auto trace = serve::make_trace(spec);
   serve::SolveService service(config);
 
   std::size_t failed = 0;
+  std::size_t shed = 0;
   std::size_t degraded = 0;
   {
     // The plan stays armed only while requests are in flight: parsing,
@@ -226,31 +355,77 @@ int main(int argc, char** argv) {
     if (injector) {
       arm = std::make_unique<fault::ScopedArm>(*injector);
     }
-    std::vector<api::SolveFuture> futures = service.submit_all(trace);
+    std::vector<api::SolveFuture> futures;
+    if (arrivals.empty()) {
+      futures = service.submit_all(requests);
+    } else {
+      // Open loop: pace each submission to its generated arrival time
+      // (sleeping only when meaningfully ahead), never wait on results.
+      futures.reserve(requests.size());
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto due =
+            start +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(arrivals[i]));
+        if (due - std::chrono::steady_clock::now() >
+            std::chrono::microseconds(200)) {
+          std::this_thread::sleep_until(due);
+        }
+        futures.push_back(service.submit(std::move(requests[i])));
+      }
+    }
     service.drain();
 
     for (std::size_t i = 0; i < futures.size(); ++i) {
       const api::SolveResult& result = futures[i].wait();
-      if (!result.ok()) {
-        ++failed;
-        std::cerr << "pwserve: " << trace[i].tag << ": "
-                  << api::describe(result.error)
-                  << (result.message.empty() ? "" : " — " + result.message)
-                  << '\n';
-      } else if (result.degraded) {
-        ++degraded;
+      if (result.ok()) {
+        if (result.degraded) {
+          ++degraded;
+        }
+        continue;
       }
+      if (traffic_mode && result.error == api::SolveError::kQueueFull) {
+        ++shed;  // quota shedding under offered overload: itemised, not
+        continue;  // a failure — the report carries the per-tenant split
+      }
+      ++failed;
+      std::cerr << "pwserve: request " << i << ": "
+                << api::describe(result.error)
+                << (result.message.empty() ? "" : " — " + result.message)
+                << '\n';
     }
   }
 
   const serve::ServiceReport report = service.report();
   serve::to_table(report).print(std::cout);
+  if (!report.tenants.empty() &&
+      (traffic_mode || report.tenants.size() > 1)) {
+    util::Table tenants("per-tenant admission and latency");
+    tenants.header(
+        {"tenant", "submitted", "admitted", "shed", "completed", "p99 [ms]"});
+    for (const serve::TenantReportRow& row : report.tenants) {
+      tenants.row({row.tenant, std::to_string(row.submitted),
+                   std::to_string(row.admitted), std::to_string(row.shed),
+                   std::to_string(row.completed),
+                   util::format_double(row.p99_latency_s * 1e3, 3)});
+    }
+    tenants.print(std::cout);
+  }
+  if (traffic_mode) {
+    std::cout << "traffic (replay with --traffic=): " << traffic_echo
+              << '\n';
+    std::cout << "scheduler " << serve::sched::to_string(report.scheduler)
+              << ": " << shed << " of " << requests.size()
+              << " requests shed under quota, " << report.sheds_unfair
+              << " unfair sheds (must be 0)\n";
+  }
   std::cout << "resilience: " << report.retries << " retries ("
             << report.retry_recovered << " recovered), " << report.failovers
-            << " failovers, " << degraded << " of " << trace.size()
+            << " failovers, " << degraded << " of " << requests.size()
             << " requests served degraded\n";
   if (failed != 0) {
-    std::cout << failed << " of " << trace.size()
+    std::cout << failed << " of " << requests.size()
               << " requests did not complete ok\n";
   }
 
